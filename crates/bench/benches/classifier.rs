@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the explanation-phase classifier
+//! (decision tree training + CFS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schism_ml::{cfs_select, DatasetBuilder, DecisionTree, TreeConfig};
+
+fn warehouse_dataset(rows: i64, warehouses: i64) -> schism_ml::Dataset {
+    let mut b = DatasetBuilder::new().numeric("s_i_id").numeric("s_w_id").numeric("noise");
+    for i in 0..rows {
+        let w = i % warehouses;
+        b.row(&[i, w, (i * 2654435761) % 97], (w % 8) as u32);
+    }
+    b.build()
+}
+
+fn bench_tree_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree/train");
+    group.sample_size(10);
+    for &rows in &[1_000i64, 10_000] {
+        let ds = warehouse_dataset(rows, 16);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &ds, |b, ds| {
+            b.iter(|| DecisionTree::train(ds, &TreeConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cfs(c: &mut Criterion) {
+    let ds = warehouse_dataset(5_000, 16);
+    c.bench_function("cfs/select", |b| b.iter(|| cfs_select(&ds, 16)));
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let ds = warehouse_dataset(10_000, 16);
+    let tree = DecisionTree::train(&ds, &TreeConfig::default());
+    c.bench_function("tree/predict", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            tree.predict(&[i % 10_000, i % 16, i % 97])
+        })
+    });
+}
+
+criterion_group!(benches, bench_tree_train, bench_cfs, bench_predict);
+criterion_main!(benches);

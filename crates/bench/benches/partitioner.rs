@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks for the multilevel graph partitioner — the
+//! machinery behind Figure 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schism_graph::{gen, partition, PartitionerConfig};
+
+fn bench_partition_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition/planted");
+    group.sample_size(10);
+    for &(groups, per_group) in &[(4usize, 500usize), (8, 1_000), (16, 2_000)] {
+        let g = gen::planted_partition(groups, per_group, per_group * 6, per_group / 2, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}v", g.num_vertices())),
+            &g,
+            |b, g| {
+                b.iter(|| partition(g, &PartitionerConfig::with_k(groups as u32)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition_k(c: &mut Criterion) {
+    let g = gen::planted_partition(16, 1_000, 6_000, 500, 3);
+    let mut group = c.benchmark_group("partition/k-sweep");
+    group.sample_size(10);
+    for &k in &[2u32, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| partition(&g, &PartitionerConfig::with_k(k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_scaling, bench_partition_k);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **Figure 6 + §6.3** — end-to-end TPC-C throughput scaling on the
+//! simulated cluster, with the Schism-derived partitioning (by warehouse,
+//! item replicated).
+//!
+//! Two configurations, as in the paper:
+//! - **16 warehouses total**, spread over 1/2/4/8 servers (scale-out):
+//!   contention on the 2 warehouses/server at 8 servers caps the speedup
+//!   (paper: 4.7x).
+//! - **16 warehouses per machine** (scale-up with data growth): near-linear
+//!   (paper: 7.7x, coefficient 0.96).
+//!
+//! ```text
+//! cargo run --release -p schism-bench --bin fig6_tpcc_scaling [--full]
+//! ```
+
+use schism_bench::manual::ManualTpcc;
+use schism_bench::table::Table;
+use schism_sim::{run, PoolSource, SimConfig, SimTxn};
+use schism_workload::tpcc::{self, TpccConfig};
+
+fn tpcc_pool(warehouses: u32, servers: u32, num_txns: usize) -> Vec<SimTxn> {
+    let tcfg = TpccConfig { num_txns, ..TpccConfig::full(warehouses) };
+    let w = tpcc::generate(&tcfg);
+    // The Schism result for TPC-C: partition by warehouse, replicate item
+    // (identical rules to the validated fig4 output; coded directly here so
+    // the throughput runs don't depend on a partitioning run).
+    let scheme = ManualTpcc::new(tcfg, servers);
+    SimTxn::from_trace(&w.trace, &scheme, &*w.db)
+}
+
+fn main() {
+    let full = schism_bench::full_scale();
+    let pool_txns = if full { 20_000 } else { 6_000 };
+    let servers_list = [1u32, 2, 4, 8];
+
+    println!("=== Figure 6: TPC-C throughput scaling (simulated cluster) ===\n");
+    let mut table = Table::new(&[
+        "servers",
+        "16 wh total (tps)",
+        "speedup",
+        "16 wh/machine (tps)",
+        "speedup",
+    ]);
+
+    let mut base_fixed = 0.0f64;
+    let mut base_grow = 0.0f64;
+    for &servers in &servers_list {
+        // Scale-out: constant 16 warehouses.
+        let pool = tpcc_pool(16, servers, pool_txns);
+        let cfg = SimConfig::figure6(servers, 22 * servers);
+        let fixed = run(&cfg, &mut PoolSource::new(pool));
+
+        // Scale-up: 16 warehouses per machine.
+        let pool = tpcc_pool(16 * servers, servers, pool_txns);
+        let cfg = SimConfig::figure6(servers, 22 * servers);
+        let grow = run(&cfg, &mut PoolSource::new(pool));
+
+        if servers == 1 {
+            base_fixed = fixed.throughput;
+            base_grow = grow.throughput;
+        }
+        table.row(vec![
+            servers.to_string(),
+            format!("{:.0}", fixed.throughput),
+            format!("{:.2}x", fixed.throughput / base_fixed.max(1e-9)),
+            format!("{:.0}", grow.throughput),
+            format!("{:.2}x", grow.throughput / base_grow.max(1e-9)),
+        ]);
+        eprintln!(
+            "[fig6] servers={servers}: fixed {:.0} tps (aborts {}), grow {:.0} tps (aborts {})",
+            fixed.throughput, fixed.aborts, grow.throughput, grow.aborts
+        );
+    }
+    println!("{}", table.render());
+    println!("paper: single server ~131 tps; 16-warehouse scale-out reaches only ~4.7x at");
+    println!("       8 servers (warehouse-row contention), while 16 warehouses/machine");
+    println!("       scales ~7.7x (coefficient 0.96).");
+}

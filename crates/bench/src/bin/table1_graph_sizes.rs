@@ -1,0 +1,94 @@
+//! **Table 1 + §6.2** — graph sizes for the three largest evaluation
+//! datasets: tuples in the database, transactions in the trace, and
+//! resulting graph nodes/edges (after the §5.1 heuristics).
+//!
+//! ```text
+//! cargo run --release -p schism-bench --bin table1_graph_sizes [--full]
+//! ```
+
+use schism_bench::table::Table;
+use schism_core::SchismConfig;
+use schism_workload::epinions::{self, EpinionsConfig};
+use schism_workload::tpcc::{self, TpccConfig};
+use schism_workload::tpce::{self, TpceConfig};
+use schism_workload::Workload;
+
+struct Row {
+    name: &'static str,
+    paper: (&'static str, &'static str, &'static str, &'static str),
+    workload: Workload,
+    cfg: SchismConfig,
+}
+
+fn main() {
+    let full = schism_bench::full_scale();
+    let scale = |small: usize, paper: usize| if full { paper } else { small };
+
+    println!("=== Table 1: graph sizes ===");
+    println!("(paper columns in parentheses; our datasets are scaled-down substitutions,");
+    println!(" so absolute sizes differ while node/edge-per-transaction ratios match)\n");
+
+    let mut rows = Vec::new();
+    {
+        let w = epinions::generate(&EpinionsConfig {
+            num_txns: scale(30_000, 100_000),
+            ..Default::default()
+        });
+        rows.push(Row {
+            name: "epinions",
+            paper: ("2.5M", "100k", "0.6M", "5M"),
+            workload: w,
+            cfg: SchismConfig::new(2),
+        });
+    }
+    {
+        let mut cfg = SchismConfig::new(10);
+        cfg.tuple_sample = 0.05;
+        let w = tpcc::generate(&TpccConfig {
+            num_txns: scale(40_000, 100_000),
+            ..TpccConfig::full(50)
+        });
+        rows.push(Row { name: "tpcc-50w", paper: ("25.0M", "100k", "2.5M", "65M"), workload: w, cfg });
+    }
+    {
+        let w = tpce::generate(&TpceConfig {
+            num_txns: scale(30_000, 100_000),
+            ..TpceConfig::with_customers(1_000)
+        });
+        rows.push(Row {
+            name: "tpce",
+            paper: ("2.0M", "100k", "3.0M", "100M"),
+            workload: w,
+            cfg: SchismConfig::new(2),
+        });
+    }
+
+    let mut table = Table::new(&[
+        "dataset", "tuples", "(paper)", "txns", "(paper)", "nodes", "(paper)", "edges", "(paper)",
+    ]);
+    for row in rows {
+        let wg = schism_core::build_graph(&row.workload, &row.workload.trace, &row.cfg);
+        table.row(vec![
+            row.name.to_string(),
+            human(row.workload.total_tuples()),
+            row.paper.0.to_string(),
+            human(row.workload.trace.len() as u64),
+            row.paper.1.to_string(),
+            human(wg.stats.nodes as u64),
+            row.paper.2.to_string(),
+            human(wg.stats.edges as u64),
+            row.paper.3.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}

@@ -1,0 +1,111 @@
+//! Configuration of the end-to-end Schism pipeline.
+
+use schism_graph::PartitionerConfig;
+use schism_ml::TreeConfig;
+
+/// How vertices are weighted for the balance constraint (§4.1): by access
+/// count (workload balancing) or by tuple size in bytes (data-size
+/// balancing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeWeight {
+    Workload,
+    DataSize,
+}
+
+/// Pipeline configuration. Defaults reproduce the paper's standard setup.
+#[derive(Clone, Debug)]
+pub struct SchismConfig {
+    /// Number of partitions.
+    pub k: u32,
+    /// Master seed (graph sampling, partitioner, cross-validation).
+    pub seed: u64,
+
+    // --- graph representation (§4.1) ---
+    /// Enable tuple-level replication via star explosion.
+    pub replication: bool,
+    /// Only explode tuples accessed by at least this many transactions
+    /// (singletons gain nothing from a star).
+    pub replication_min_accesses: u32,
+    /// Vertex weighting for the balance constraint.
+    pub node_weight: NodeWeight,
+
+    // --- scalability heuristics (§5.1) ---
+    /// Transaction-level sampling: fraction of training transactions
+    /// represented in the graph.
+    pub txn_sample: f64,
+    /// Tuple-level sampling: fraction of tuples kept as graph nodes.
+    pub tuple_sample: f64,
+    /// Blanket-statement filtering: scan statements touching more than this
+    /// many tuples contribute no edges.
+    pub blanket_threshold: usize,
+    /// Relevance filtering: drop tuples accessed fewer than this many times
+    /// (1 keeps every accessed tuple).
+    pub min_tuple_accesses: u32,
+    /// Tuple coalescing: merge tuples that are always accessed together.
+    pub coalesce: bool,
+
+    // --- graph partitioning (§4.2) ---
+    pub partitioner: PartitionerConfig,
+
+    // --- explanation (§4.3, §5.2) ---
+    /// An attribute must appear in at least this fraction of a table's
+    /// statements to be a split candidate.
+    pub min_attr_frequency: f64,
+    /// Decision-tree training knobs (pruning aggressiveness etc.).
+    pub tree: TreeConfig,
+    /// Cap on training tuples per table for the classifier.
+    pub explain_sample_per_table: usize,
+    /// Cross-validation folds.
+    pub cv_folds: usize,
+    /// Explanations whose cross-validated accuracy falls below this are
+    /// flagged as overfit (the validation phase will usually discard the
+    /// range scheme then).
+    pub min_cv_accuracy: f64,
+
+    // --- final validation (§4.4) ---
+    /// Fraction of the trace used for training (rest is the test set the
+    /// costs are measured on).
+    pub train_fraction: f64,
+    /// Tie and balance rules for picking the winning scheme.
+    pub selection: crate::validate::SelectionRules,
+}
+
+impl SchismConfig {
+    /// Defaults for `k` partitions.
+    pub fn new(k: u32) -> Self {
+        Self {
+            k,
+            seed: 0,
+            replication: true,
+            replication_min_accesses: 2,
+            node_weight: NodeWeight::Workload,
+            txn_sample: 1.0,
+            tuple_sample: 1.0,
+            blanket_threshold: 64,
+            min_tuple_accesses: 1,
+            coalesce: true,
+            partitioner: PartitionerConfig::with_k(k),
+            min_attr_frequency: 0.25,
+            tree: TreeConfig { min_leaf: 4, ..TreeConfig::default() },
+            explain_sample_per_table: 10_000,
+            cv_folds: 5,
+            min_cv_accuracy: 0.75,
+            train_fraction: 0.8,
+            selection: crate::validate::SelectionRules::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let cfg = SchismConfig::new(8);
+        assert_eq!(cfg.k, 8);
+        assert_eq!(cfg.partitioner.k, 8);
+        assert!(cfg.replication);
+        assert!((0.0..=1.0).contains(&cfg.train_fraction));
+    }
+}

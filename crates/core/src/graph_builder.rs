@@ -1,0 +1,491 @@
+//! From trace to graph (§4.1) with the scalability heuristics of §5.1.
+//!
+//! Pass 1 walks the (transaction-sampled) trace applying tuple sampling,
+//! blanket-statement filtering and relevance filtering, counting accesses
+//! and writes per surviving tuple and accumulating the coalescing
+//! signature. Pass 2 materializes graph nodes — one per tuple *group*, plus
+//! replica stars for exploded groups — and transaction clique edges.
+
+use crate::config::{NodeWeight, SchismConfig};
+use schism_graph::{CsrGraph, GraphBuilder, NodeId};
+use schism_workload::{Trace, TupleId, Workload};
+use std::collections::HashMap;
+
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn tuple_hash(t: TupleId) -> u64 {
+    splitmix(t.row ^ (t.table as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Deterministic access-weighted sampling decision for a tuple: keep with
+/// probability `min(1, p * accesses)`. Plain uniform sampling at e.g. 3%
+/// would drop the hub tuples (warehouse/district rows in TPC-C) that carry
+/// the entire co-access signal; weighting by access count keeps the
+/// workload's mass while still discarding the long tail of barely-touched
+/// tuples — which is what lets the paper partition TPC-C from a 0.5%
+/// coverage sample (§6.1).
+fn keep_tuple(t: TupleId, p: f64, accesses: u32, seed: u64) -> bool {
+    let p_eff = p * accesses as f64;
+    if p_eff >= 1.0 {
+        return true;
+    }
+    let h = splitmix(tuple_hash(t) ^ seed);
+    (h as f64 / u64::MAX as f64) < p_eff
+}
+
+/// Deterministic Bernoulli sampling decision for a transaction index.
+fn keep_txn(idx: usize, p: f64, seed: u64) -> bool {
+    if p >= 1.0 {
+        return true;
+    }
+    let h = splitmix((idx as u64).wrapping_mul(0x2545_F491_4F6C_DD1D) ^ seed);
+    (h as f64 / u64::MAX as f64) < p
+}
+
+#[derive(Clone, Debug, Default)]
+struct TupleStats {
+    accesses: u32,
+    writes: u32,
+    /// Order-sensitive hash of the (transaction, kind) access sequence;
+    /// tuples accessed by exactly the same transactions in the same way
+    /// collide, which is what coalescing wants.
+    signature: u64,
+}
+
+/// The workload graph plus everything needed to map a partitioning back to
+/// tuples.
+pub struct WorkloadGraph {
+    pub graph: CsrGraph,
+    /// Distinct surviving tuples.
+    tuples: Vec<TupleId>,
+    /// `group_of[i]` = group (base node) of `tuples[i]`.
+    group_of: Vec<NodeId>,
+    /// Number of groups; node ids `>= num_groups` are replica nodes.
+    num_groups: usize,
+    /// For every replica node (id - num_groups): its group.
+    replica_group: Vec<NodeId>,
+    /// Per-group write count (for diagnostics).
+    group_writes: Vec<u32>,
+    /// Per-group access count (training-set weighting in the explanation
+    /// phase: frequently-accessed tuples dominate, as in §5.2).
+    group_accesses: Vec<u32>,
+    /// Statistics of the build.
+    pub stats: BuildStats,
+}
+
+/// Size/shape accounting (reported in Table 1 style output).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    pub sampled_txns: usize,
+    pub distinct_tuples: usize,
+    pub groups: usize,
+    pub exploded_groups: usize,
+    pub nodes: usize,
+    pub edges: usize,
+    pub dropped_scans: usize,
+}
+
+impl WorkloadGraph {
+    /// Tuples represented in the graph.
+    pub fn tuples(&self) -> &[TupleId] {
+        &self.tuples
+    }
+
+    /// Resolves a graph partitioning into per-tuple partition sets: the set
+    /// of distinct partitions hosting the tuple's replicas (singleton when
+    /// the partitioner decided not to replicate, §4.2).
+    pub fn tuple_partitions(&self, assignment: &[u32]) -> Vec<(TupleId, Vec<u32>)> {
+        // Collect partitions per group: its base node plus every replica.
+        let mut per_group: Vec<Vec<u32>> = vec![Vec::new(); self.num_groups];
+        for g in 0..self.num_groups {
+            per_group[g].push(assignment[g]);
+        }
+        for (ri, &g) in self.replica_group.iter().enumerate() {
+            let node = self.num_groups + ri;
+            per_group[g as usize].push(assignment[node]);
+        }
+        for parts in &mut per_group {
+            parts.sort_unstable();
+            parts.dedup();
+        }
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, per_group[self.group_of[i] as usize].clone()))
+            .collect()
+    }
+
+    /// Write count of the group containing tuple index `i` (diagnostics).
+    pub fn group_write_count(&self, i: usize) -> u32 {
+        self.group_writes[self.group_of[i] as usize]
+    }
+
+    /// `(tuple, access count)` for every tuple in the graph.
+    pub fn tuple_access_counts(&self) -> impl Iterator<Item = (TupleId, u32)> + '_ {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, self.group_accesses[self.group_of[i] as usize]))
+    }
+}
+
+/// Builds the workload graph from the training trace.
+pub fn build_graph(workload: &Workload, trace: &Trace, cfg: &SchismConfig) -> WorkloadGraph {
+    let db = &*workload.db;
+    let seed = cfg.seed ^ 0x5C41_53A7;
+
+    // --- Pass 1: filter + count. ---
+    let mut stats_map: HashMap<TupleId, TupleStats> = HashMap::new();
+    let mut sampled_txns = 0usize;
+    let mut dropped_scans = 0usize;
+    let visit_tuple = |t: TupleId, write: bool, txn_idx: usize, map: &mut HashMap<TupleId, TupleStats>| {
+        let e = map.entry(t).or_default();
+        e.accesses += 1;
+        if write {
+            e.writes += 1;
+        }
+        e.signature = splitmix(
+            e.signature ^ ((txn_idx as u64) << 1 | u64::from(write)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+    };
+    for (idx, txn) in trace.transactions.iter().enumerate() {
+        if !keep_txn(idx, cfg.txn_sample, seed) {
+            continue;
+        }
+        sampled_txns += 1;
+        for &t in &txn.reads {
+            visit_tuple(t, false, idx, &mut stats_map);
+        }
+        for &t in &txn.writes {
+            visit_tuple(t, true, idx, &mut stats_map);
+        }
+        for scan in &txn.scans {
+            if scan.len() > cfg.blanket_threshold {
+                dropped_scans += 1;
+                continue;
+            }
+            for &t in scan {
+                visit_tuple(t, false, idx, &mut stats_map);
+            }
+        }
+    }
+
+    // Tuple-level sampling (access-weighted) + relevance filter.
+    stats_map.retain(|&t, s| {
+        s.accesses >= cfg.min_tuple_accesses
+            && (cfg.tuple_sample >= 1.0 || keep_tuple(t, cfg.tuple_sample, s.accesses, seed))
+    });
+
+    // --- Grouping (tuple coalescing). ---
+    let mut tuples: Vec<TupleId> = stats_map.keys().copied().collect();
+    tuples.sort_unstable();
+    let mut group_of = vec![0 as NodeId; tuples.len()];
+    let mut group_key: HashMap<(u64, u32), NodeId> = HashMap::new();
+    let mut groups: Vec<(u32, u32, u64)> = Vec::new(); // (accesses, writes, weight_bytes)
+    for (i, &t) in tuples.iter().enumerate() {
+        let s = &stats_map[&t];
+        let bytes = db.tuple_bytes(t.table) as u64;
+        let gid = if cfg.coalesce {
+            *group_key.entry((s.signature, s.accesses)).or_insert_with(|| {
+                groups.push((0, 0, 0));
+                (groups.len() - 1) as NodeId
+            })
+        } else {
+            groups.push((0, 0, 0));
+            (groups.len() - 1) as NodeId
+        };
+        group_of[i] = gid;
+        let g = &mut groups[gid as usize];
+        g.0 = g.0.max(s.accesses); // identical within a group by construction
+        g.1 = g.1.max(s.writes);
+        g.2 += bytes;
+    }
+    let num_groups = groups.len();
+
+    // --- Explosion plan: groups accessed often enough get replica stars. ---
+    let exploded: Vec<bool> = groups
+        .iter()
+        .map(|g| cfg.replication && g.0 >= cfg.replication_min_accesses)
+        .collect();
+    let total_replicas: usize = groups
+        .iter()
+        .zip(&exploded)
+        .filter(|&(_, &e)| e)
+        .map(|(g, _)| g.0 as usize)
+        .sum();
+    let exploded_groups = exploded.iter().filter(|&&e| e).count();
+
+    // --- Pass 2: nodes + edges. ---
+    let n_nodes = num_groups + total_replicas;
+    let mut gb = GraphBuilder::new(n_nodes);
+    // Node weights. Exploded groups spread their weight over replicas; the
+    // center is a zero-weight anchor.
+    for (gid, g) in groups.iter().enumerate() {
+        let weight = match cfg.node_weight {
+            NodeWeight::Workload => g.0 as u64,
+            NodeWeight::DataSize => g.2,
+        };
+        if exploded[gid] {
+            gb.set_vertex_weight(gid as NodeId, 0);
+        } else {
+            gb.set_vertex_weight(gid as NodeId, weight.clamp(1, u32::MAX as u64) as u32);
+        }
+    }
+
+    let tuple_index: HashMap<TupleId, usize> =
+        tuples.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut next_replica: NodeId = num_groups as NodeId;
+    let mut replica_group: Vec<NodeId> = Vec::with_capacity(total_replicas);
+    // Per-group replica weights, assigned per access below.
+    let mut members: Vec<NodeId> = Vec::with_capacity(64);
+    // To avoid a group contributing two members when a transaction touches
+    // two coalesced tuples of the same group, track last-touch stamps.
+    let mut group_stamp: Vec<u64> = vec![u64::MAX; num_groups];
+
+    const COMPACT_EVERY: usize = 1 << 23; // merge duplicate edges past ~8M buffered
+
+    for (idx, txn) in trace.transactions.iter().enumerate() {
+        if !keep_txn(idx, cfg.txn_sample, seed) {
+            continue;
+        }
+        members.clear();
+        let add_member = |t: TupleId,
+                              members: &mut Vec<NodeId>,
+                              gb: &mut GraphBuilder,
+                              replica_group: &mut Vec<NodeId>,
+                              next_replica: &mut NodeId,
+                              group_stamp: &mut Vec<u64>| {
+            let Some(&ti) = tuple_index.get(&t) else { return };
+            let gid = group_of[ti] as usize;
+            if group_stamp[gid] == idx as u64 {
+                return; // group already represented in this transaction
+            }
+            group_stamp[gid] = idx as u64;
+            if exploded[gid] {
+                // Fresh replica node for this transaction.
+                let r = *next_replica;
+                *next_replica += 1;
+                replica_group.push(gid as NodeId);
+                let g = &groups[gid];
+                let weight = match cfg.node_weight {
+                    NodeWeight::Workload => 1u64,
+                    NodeWeight::DataSize => (g.2 / g.0.max(1) as u64).max(1),
+                };
+                gb.set_vertex_weight(r, weight.clamp(1, u32::MAX as u64) as u32);
+                // Star edge to the center, weighted by the update cost
+                // (§4.1: the number of transactions that update the tuple).
+                // The floor of 1 mirrors METIS's requirement of positive
+                // edge weights: replicating even a read-only tuple costs a
+                // token amount, so replicas do not scatter on zero-gain
+                // balance moves.
+                gb.add_edge(gid as NodeId, r, g.1.max(1));
+                members.push(r);
+            } else {
+                members.push(gid as NodeId);
+            }
+        };
+
+        for &t in &txn.reads {
+            add_member(t, &mut members, &mut gb, &mut replica_group, &mut next_replica, &mut group_stamp);
+        }
+        for &t in &txn.writes {
+            add_member(t, &mut members, &mut gb, &mut replica_group, &mut next_replica, &mut group_stamp);
+        }
+        for scan in &txn.scans {
+            if scan.len() > cfg.blanket_threshold {
+                continue;
+            }
+            for &t in scan {
+                add_member(t, &mut members, &mut gb, &mut replica_group, &mut next_replica, &mut group_stamp);
+            }
+        }
+
+        // Transaction clique (§4.1; Appendix B prefers cliques over stars
+        // for transactions).
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                gb.add_edge(members[i], members[j], 1);
+            }
+        }
+        if gb.pending_edges() > COMPACT_EVERY {
+            gb.compact();
+        }
+    }
+
+    // Replicas may be fewer than planned if sampling hid some accesses;
+    // unused pre-allocated ids simply stay isolated with weight 1. Shrink
+    // bookkeeping to what was actually allocated.
+    let graph = gb.build();
+    let stats = BuildStats {
+        sampled_txns,
+        distinct_tuples: tuples.len(),
+        groups: num_groups,
+        exploded_groups,
+        nodes: graph.num_vertices(),
+        edges: graph.num_edges(),
+        dropped_scans,
+    };
+    let group_writes: Vec<u32> = groups.iter().map(|g| g.1).collect();
+    let group_accesses: Vec<u32> = groups.iter().map(|g| g.0).collect();
+    WorkloadGraph {
+        graph,
+        tuples,
+        group_of,
+        num_groups,
+        replica_group,
+        group_writes,
+        group_accesses,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchismConfig;
+    use schism_workload::simplecount::{self, AccessMode, SimpleCountConfig};
+    use schism_workload::ycsb::{self, YcsbConfig};
+
+    fn base_cfg() -> SchismConfig {
+        SchismConfig::new(2)
+    }
+
+    #[test]
+    fn co_accessed_tuples_get_edges() {
+        let w = simplecount::generate(&SimpleCountConfig {
+            clients: 2,
+            rows_per_client: 50,
+            servers: 2,
+            mode: AccessMode::SinglePartition,
+            num_txns: 300,
+            ..Default::default()
+        });
+        let mut cfg = base_cfg();
+        cfg.replication = false;
+        cfg.coalesce = false;
+        let g = build_graph(&w, &w.trace, &cfg);
+        assert!(g.graph.num_edges() > 0);
+        assert_eq!(g.stats.sampled_txns, 300);
+        assert_eq!(g.stats.nodes, g.stats.groups);
+        g.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn replication_explodes_hot_tuples() {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 200,
+            num_txns: 1_000,
+            ..YcsbConfig::workload_a()
+        });
+        let mut cfg = base_cfg();
+        cfg.coalesce = false;
+        let g = build_graph(&w, &w.trace, &cfg);
+        assert!(g.stats.exploded_groups > 0, "zipfian head must explode");
+        assert!(g.stats.nodes > g.stats.groups, "replica nodes expected");
+        g.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn blanket_filter_drops_large_scans() {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 1_000,
+            num_txns: 500,
+            scan_max: 10,
+            ..YcsbConfig::workload_e()
+        });
+        let mut strict = base_cfg();
+        strict.blanket_threshold = 2; // everything bigger dropped
+        let g_strict = build_graph(&w, &w.trace, &strict);
+        let mut lax = base_cfg();
+        lax.blanket_threshold = 100;
+        let g_lax = build_graph(&w, &w.trace, &lax);
+        assert!(g_strict.stats.dropped_scans > 0);
+        assert!(g_strict.graph.num_edges() < g_lax.graph.num_edges());
+    }
+
+    #[test]
+    fn tuple_sampling_shrinks_graph() {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 5_000,
+            num_txns: 2_000,
+            ..YcsbConfig::workload_e()
+        });
+        let full = build_graph(&w, &w.trace, &base_cfg());
+        let mut half = base_cfg();
+        half.tuple_sample = 0.3;
+        let sampled = build_graph(&w, &w.trace, &half);
+        assert!(
+            (sampled.stats.distinct_tuples as f64)
+                < 0.6 * full.stats.distinct_tuples as f64,
+            "{} vs {}",
+            sampled.stats.distinct_tuples,
+            full.stats.distinct_tuples
+        );
+    }
+
+    #[test]
+    fn coalescing_merges_always_together_tuples() {
+        // SimpleCount single-partition with 2 rows per server range and
+        // txns always reading the same pair -> pairs coalesce.
+        use schism_workload::{Trace, TxnBuilder, TupleId};
+        let w = simplecount::generate(&SimpleCountConfig {
+            clients: 1,
+            rows_per_client: 40,
+            servers: 1,
+            num_txns: 1,
+            ..Default::default()
+        });
+        // Hand-build a trace where tuples (2i, 2i+1) always co-occur.
+        let mut txns = Vec::new();
+        for round in 0..5 {
+            for i in 0..20u64 {
+                let mut b = TxnBuilder::new(false);
+                b.read(TupleId::new(0, 2 * i)).read(TupleId::new(0, 2 * i + 1));
+                let _ = round;
+                txns.push(b.finish());
+            }
+        }
+        let trace = Trace { transactions: txns };
+        let mut cfg = base_cfg();
+        cfg.replication = false;
+        let coalesced = build_graph(&w, &trace, &cfg);
+        assert_eq!(coalesced.stats.distinct_tuples, 40);
+        assert_eq!(coalesced.stats.groups, 20, "pairs must merge");
+        // Edges all interior to groups -> none survive.
+        assert_eq!(coalesced.graph.num_edges(), 0);
+        let mut no_coalesce = cfg.clone();
+        no_coalesce.coalesce = false;
+        let plain = build_graph(&w, &trace, &no_coalesce);
+        assert_eq!(plain.stats.groups, 40);
+        assert_eq!(plain.graph.num_edges(), 20);
+    }
+
+    #[test]
+    fn tuple_partitions_resolve_replication() {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 100,
+            num_txns: 500,
+            ..YcsbConfig::workload_a()
+        });
+        let cfg = base_cfg();
+        let g = build_graph(&w, &w.trace, &cfg);
+        // Fake assignment: alternate partitions by node id.
+        let assignment: Vec<u32> = (0..g.graph.num_vertices() as u32).map(|v| v % 2).collect();
+        let parts = g.tuple_partitions(&assignment);
+        assert_eq!(parts.len(), g.tuples().len());
+        for (_, ps) in &parts {
+            assert!(!ps.is_empty());
+            assert!(ps.len() <= 2);
+            assert!(ps.windows(2).all(|w| w[0] < w[1]), "sorted dedup expected");
+        }
+        // At least one hot tuple must span both partitions under this
+        // adversarial assignment.
+        assert!(parts.iter().any(|(_, ps)| ps.len() == 2));
+    }
+}

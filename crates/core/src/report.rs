@@ -1,0 +1,90 @@
+//! Human-readable rendering of a [`Recommendation`](crate::Recommendation)
+//! — the report a DBA would read, mirroring the paper's presentation
+//! (per-table rules with prediction errors, per-strategy distributed
+//! transaction percentages, and the final choice).
+
+use crate::pipeline::Recommendation;
+use std::fmt;
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Schism recommendation for `{}` (k = {}) ===", self.workload_name, self.k)?;
+        writeln!(
+            f,
+            "trace: {} training / {} test transactions",
+            self.train_txns, self.test_txns
+        )?;
+        let s = &self.build_stats;
+        writeln!(
+            f,
+            "graph: {} tuples -> {} groups ({} exploded), {} nodes, {} edges ({} blanket scans dropped)",
+            s.distinct_tuples, s.groups, s.exploded_groups, s.nodes, s.edges, s.dropped_scans
+        )?;
+        writeln!(
+            f,
+            "partitioning: edge cut {}, imbalance {:.3}, {} tuples replicated, {:.1?} (graph build {:.1?})",
+            self.edge_cut,
+            self.imbalance,
+            self.replicated_tuples,
+            self.partition_time,
+            self.graph_build_time
+        )?;
+        writeln!(f, "--- explanation ---")?;
+        for e in &self.explanation.per_table {
+            if e.training_tuples == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "table {} (cv accuracy {:.1}%, {} training tuples{}):",
+                e.table_name,
+                e.cv_accuracy * 100.0,
+                e.training_tuples,
+                if e.trusted { "" } else { ", UNTRUSTED" }
+            )?;
+            for r in &e.rules_rendered {
+                writeln!(f, "    {r}")?;
+            }
+        }
+        writeln!(f, "--- validation (distributed transactions on test trace) ---")?;
+        for (i, c) in self.validation.candidates.iter().enumerate() {
+            writeln!(
+                f,
+                "  {}{:<18} {:>7.2}%  (mean participants {:.2}, load imbalance {:.2})",
+                if i == self.validation.winner { "* " } else { "  " },
+                c.name,
+                c.fraction() * 100.0,
+                c.report.mean_participants(),
+                c.report.load_imbalance()
+            )?;
+        }
+        writeln!(
+            f,
+            "chosen: {} at {:.2}% distributed transactions (total {:.1?})",
+            self.chosen(),
+            self.chosen_fraction() * 100.0,
+            self.total_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Schism, SchismConfig};
+    use schism_workload::ycsb::{self, YcsbConfig};
+
+    #[test]
+    fn report_renders_key_sections() {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 500,
+            num_txns: 800,
+            ..YcsbConfig::workload_a()
+        });
+        let rec = Schism::new(SchismConfig::new(2)).run(&w);
+        let text = rec.to_string();
+        assert!(text.contains("Schism recommendation"));
+        assert!(text.contains("validation"));
+        assert!(text.contains("chosen: "));
+        assert!(text.contains("hashing"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Final validation (§4.4): compare the fine-grained lookup scheme, the
+//! range-predicate explanation, hash partitioning and full replication by
+//! the number of distributed transactions on the held-out test trace, and
+//! pick the winner — preferring simpler schemes on ties.
+
+use schism_router::{evaluate, Complexity, CostReport, Scheme};
+use schism_workload::{Trace, TupleValues};
+
+/// One evaluated candidate.
+pub struct Candidate {
+    pub name: String,
+    pub complexity: Complexity,
+    pub scheme: Box<dyn Scheme>,
+    pub report: CostReport,
+}
+
+impl Candidate {
+    pub fn fraction(&self) -> f64 {
+        self.report.distributed_fraction()
+    }
+}
+
+/// The validation outcome.
+pub struct Validation {
+    pub candidates: Vec<Candidate>,
+    /// Index of the winner in `candidates`.
+    pub winner: usize,
+}
+
+impl Validation {
+    pub fn winner(&self) -> &Candidate {
+        &self.candidates[self.winner]
+    }
+}
+
+/// Tie/balance rules for winner selection.
+#[derive(Clone, Copy, Debug)]
+pub struct SelectionRules {
+    /// Absolute tie window in fraction points.
+    pub tie_abs: f64,
+    /// Relative tie window (fraction of the best cost). The paper only says
+    /// schemes with "close to the same number" of distributed transactions
+    /// tie; a relative component makes 49% vs 52% a tie while keeping 0.2%
+    /// vs 5% a clear win.
+    pub tie_rel: f64,
+    /// Candidates whose per-partition transaction load imbalance exceeds
+    /// this are disqualified (unless every candidate does) — a scheme that
+    /// "wins" by piling everything onto one partition violates the
+    /// balanced-partitions requirement the whole paper rests on. The
+    /// default is a generous backstop: key-skew (Zipfian heads) legitimately
+    /// unbalances *every* scheme, so only gross pathologies should trip it.
+    pub balance_limit: f64,
+}
+
+impl Default for SelectionRules {
+    fn default() -> Self {
+        Self { tie_abs: 0.01, tie_rel: 0.15, balance_limit: 4.0 }
+    }
+}
+
+/// Evaluates all candidates and selects the winner.
+///
+/// Winner = minimum distributed fraction among balanced candidates; every
+/// candidate within `max(tie_abs, tie_rel * best)` of the minimum is
+/// considered tied, and the tie resolves to the lowest [`Complexity`] (then
+/// lowest cost, then input order).
+pub fn validate(
+    schemes: Vec<(String, Box<dyn Scheme>)>,
+    test: &Trace,
+    db: &dyn TupleValues,
+    rules: SelectionRules,
+) -> Validation {
+    assert!(!schemes.is_empty(), "need at least one candidate");
+    let candidates: Vec<Candidate> = schemes
+        .into_iter()
+        .map(|(name, scheme)| {
+            let report = evaluate(&*scheme, test, db);
+            Candidate { name, complexity: scheme.complexity(), scheme, report }
+        })
+        .collect();
+    let balanced = |c: &Candidate| c.report.load_imbalance() <= rules.balance_limit;
+    let any_balanced = candidates.iter().any(balanced);
+    let eligible = |c: &Candidate| !any_balanced || balanced(c);
+    let best = candidates
+        .iter()
+        .filter(|c| eligible(c))
+        .map(Candidate::fraction)
+        .fold(f64::INFINITY, f64::min);
+    let window = best + rules.tie_abs.max(rules.tie_rel * best);
+    let winner = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| eligible(c) && c.fraction() <= window)
+        .min_by(|(_, a), (_, b)| {
+            a.complexity
+                .cmp(&b.complexity)
+                .then(a.fraction().total_cmp(&b.fraction()))
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    Validation { candidates, winner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schism_router::{HashScheme, ReplicationScheme};
+    use schism_workload::random::{self, RandomConfig};
+    use schism_workload::ycsb::{self, YcsbConfig};
+
+    #[test]
+    fn ycsb_a_tie_resolves_to_hash() {
+        // Single-tuple transactions: hash and any per-tuple scheme are all
+        // at 0% — the validation phase must pick plain hashing (§6.1).
+        let w = ycsb::generate(&YcsbConfig { records: 500, num_txns: 1_000, ..YcsbConfig::workload_a() });
+        let v = validate(
+            vec![
+                (
+                    "replication".into(),
+                    Box::new(ReplicationScheme::new(4)) as Box<dyn Scheme>,
+                ),
+                ("hashing".into(), Box::new(HashScheme::by_row_id(4)) as Box<dyn Scheme>),
+            ],
+            &w.trace,
+            &*w.db,
+            SelectionRules::default(),
+        );
+        assert_eq!(v.winner().name, "hashing");
+        assert_eq!(v.winner().report.distributed_txns, 0);
+    }
+
+    #[test]
+    fn replication_loses_on_write_heavy() {
+        let w = random::generate(&RandomConfig { records: 5_000, num_txns: 1_000, ..Default::default() });
+        let v = validate(
+            vec![
+                (
+                    "replication".into(),
+                    Box::new(ReplicationScheme::new(2)) as Box<dyn Scheme>,
+                ),
+                ("hashing".into(), Box::new(HashScheme::by_row_id(2)) as Box<dyn Scheme>),
+            ],
+            &w.trace,
+            &*w.db,
+            SelectionRules::default(),
+        );
+        assert_eq!(v.winner().name, "hashing");
+        // Replication = 100% distributed; hashing ~50%.
+        let rep = v.candidates.iter().find(|c| c.name == "replication").unwrap();
+        assert!((rep.fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_winner_beats_simplicity() {
+        // If replication is strictly much better (read-only workload with
+        // multi-tuple reads scattered by hash), it must win despite hash
+        // being "simpler" in the ordering... note Hash < Replication in
+        // complexity, so here the CHEAPER one (replication, 0%) wins.
+        let w = ycsb::generate(&YcsbConfig {
+            records: 500,
+            num_txns: 1_000,
+            ..YcsbConfig::workload_e()
+        });
+        // Workload E: 95% scans (multi-tuple reads), 5% writes.
+        let v = validate(
+            vec![
+                ("hashing".into(), Box::new(HashScheme::by_row_id(4)) as Box<dyn Scheme>),
+                (
+                    "replication".into(),
+                    Box::new(ReplicationScheme::new(4)) as Box<dyn Scheme>,
+                ),
+            ],
+            &w.trace,
+            &*w.db,
+            SelectionRules::default(),
+        );
+        // Hash scatters nearly every scan; replication only pays for the 5%
+        // updates.
+        assert_eq!(v.winner().name, "replication");
+    }
+}

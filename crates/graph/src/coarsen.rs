@@ -1,0 +1,169 @@
+//! Graph contraction: collapse a matching into a coarser graph.
+//!
+//! Matched pairs become a single coarse vertex whose weight is the sum of the
+//! pair's weights; parallel edges created by the contraction are merged with
+//! summed weights; edges interior to a pair vanish. The mapping from fine to
+//! coarse vertex ids is retained so partitions can be projected back during
+//! uncoarsening.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// One level of the multilevel hierarchy.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The contracted graph.
+    pub graph: CsrGraph,
+    /// `map[v_fine] = v_coarse`.
+    pub map: Vec<NodeId>,
+}
+
+/// Contracts `g` according to `mate` (as produced by
+/// [`crate::matching::heavy_edge_matching`]).
+pub fn contract(g: &CsrGraph, mate: &[NodeId]) -> CoarseLevel {
+    let n = g.num_vertices();
+    debug_assert_eq!(mate.len(), n);
+
+    // Assign coarse ids: the lower-numbered endpoint of each pair owns the id.
+    let mut map = vec![NodeId::MAX; n];
+    let mut next: NodeId = 0;
+    for v in 0..n {
+        let m = mate[v] as usize;
+        if m >= v {
+            map[v] = next;
+            map[m] = next; // no-op when m == v
+            next += 1;
+        }
+    }
+    let cn = next as usize;
+
+    // Coarse vertex weights.
+    let mut cvwgt = vec![0u64; cn];
+    for v in 0..n {
+        cvwgt[map[v] as usize] += g.vertex_weight(v as NodeId) as u64;
+    }
+
+    // Build coarse adjacency with a timestamped scratch table so each coarse
+    // vertex accumulates its neighbors in O(sum of fine degrees).
+    let mut xadj = Vec::with_capacity(cn + 1);
+    xadj.push(0u32);
+    let mut adjncy: Vec<NodeId> = Vec::with_capacity(g.num_edges());
+    let mut adjwgt: Vec<u32> = Vec::with_capacity(g.num_edges());
+    // slot[c] = index into the adjacency currently being built, valid when
+    // stamp[c] == current vertex marker.
+    let mut slot = vec![0u32; cn];
+    let mut stamp = vec![NodeId::MAX; cn];
+
+    for v in 0..n {
+        let cv = map[v];
+        // Each coarse vertex is emitted exactly once, by its owner fine
+        // vertex (the one with the smaller id in the pair).
+        if (mate[v] as usize) < v {
+            continue;
+        }
+        let begin = adjncy.len();
+        let emit = |fine: NodeId,
+                        adjncy: &mut Vec<NodeId>,
+                        adjwgt: &mut Vec<u32>,
+                        slot: &mut [u32],
+                        stamp: &mut [NodeId]| {
+            for (u, w) in g.edges(fine) {
+                let cu = map[u as usize];
+                if cu == cv {
+                    continue; // interior edge of the pair
+                }
+                if stamp[cu as usize] == cv {
+                    let s = slot[cu as usize] as usize;
+                    adjwgt[s] = adjwgt[s].saturating_add(w);
+                } else {
+                    stamp[cu as usize] = cv;
+                    slot[cu as usize] = adjncy.len() as u32;
+                    adjncy.push(cu);
+                    adjwgt.push(w);
+                }
+            }
+        };
+        emit(v as NodeId, &mut adjncy, &mut adjwgt, &mut slot, &mut stamp);
+        let m = mate[v];
+        if m as usize != v {
+            emit(m, &mut adjncy, &mut adjwgt, &mut slot, &mut stamp);
+        }
+        debug_assert!(adjncy.len() >= begin);
+        xadj.push(adjncy.len() as u32);
+    }
+
+    let cvwgt: Vec<u32> = cvwgt
+        .into_iter()
+        .map(|w| u32::try_from(w).unwrap_or(u32::MAX))
+        .collect();
+    CoarseLevel { graph: CsrGraph::from_parts(xadj, adjncy, adjwgt, cvwgt), map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::matching::heavy_edge_matching;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn contract_square() {
+        // Square 0-1-2-3-0, match (0,1) and (2,3): coarse graph is two
+        // vertices joined by an edge of weight 2 (edges 1-2 and 3-0 merge).
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 10);
+        b.add_edge(3, 0, 1);
+        let g = b.build();
+        let mate = vec![1, 0, 3, 2];
+        let lvl = contract(&g, &mate);
+        lvl.graph.validate().unwrap();
+        assert_eq!(lvl.graph.num_vertices(), 2);
+        assert_eq!(lvl.graph.num_edges(), 1);
+        assert_eq!(lvl.graph.edges(0).next(), Some((1, 2)));
+        assert_eq!(lvl.graph.vertex_weight(0), 2);
+        assert_eq!(lvl.graph.total_vertex_weight(), g.total_vertex_weight());
+    }
+
+    #[test]
+    fn self_matched_vertices_survive() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let mate = vec![1, 0, 2];
+        let lvl = contract(&g, &mate);
+        assert_eq!(lvl.graph.num_vertices(), 2);
+        assert_eq!(lvl.graph.num_edges(), 0);
+        assert_eq!(lvl.graph.vertex_weight(lvl.map[2] as NodeId), 1);
+    }
+
+    #[test]
+    fn weight_conserved_on_random_graph() {
+        let mut b = GraphBuilder::new(200);
+        let mut rng = StdRng::seed_from_u64(7);
+        use rand::Rng;
+        for _ in 0..600 {
+            let u = rng.gen_range(0..200u32);
+            let v = rng.gen_range(0..200u32);
+            b.add_edge(u, v, rng.gen_range(1..5));
+        }
+        let g = b.build();
+        let mate = heavy_edge_matching(&g, &mut rng);
+        let lvl = contract(&g, &mate);
+        lvl.graph.validate().unwrap();
+        assert_eq!(lvl.graph.total_vertex_weight(), g.total_vertex_weight());
+        assert!(lvl.graph.num_vertices() < g.num_vertices());
+        // Total edge weight = fine total minus interior (matched) edges.
+        let interior: u64 = (0..200u32)
+            .filter(|&v| mate[v as usize] > v)
+            .map(|v| {
+                g.edges(v)
+                    .filter(|&(u, _)| u == mate[v as usize])
+                    .map(|(_, w)| w as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(lvl.graph.total_edge_weight(), g.total_edge_weight() - interior);
+    }
+}

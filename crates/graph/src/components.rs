@@ -1,0 +1,135 @@
+//! Union-find and connected components.
+//!
+//! Used by tests (a cut of 0 must separate components), and by Schism's
+//! tuple-coalescing heuristic, which unions tuples that are always accessed
+//! together (§5.1).
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// Labels each vertex with a component id in `[0, count)`; ids are assigned
+/// in order of first appearance.
+pub fn connected_components(g: &CsrGraph) -> (usize, Vec<u32>) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for v in 0..n as NodeId {
+        if comp[v as usize] != u32::MAX {
+            continue;
+        }
+        comp[v as usize] = count;
+        stack.push(v);
+        while let Some(x) = stack.pop() {
+            for &u in g.neighbors(x) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = count;
+                    stack.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        assert_eq!(uf.num_sets(), 3);
+        assert_eq!(uf.set_size(1), 3);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn components_of_forest() {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 4, 1);
+        // 5, 6 isolated
+        let g = b.build();
+        let (count, comp) = connected_components(&g);
+        assert_eq!(count, 4);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[6]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let (count, comp) = connected_components(&GraphBuilder::new(0).build());
+        assert_eq!(count, 0);
+        assert!(comp.is_empty());
+    }
+}

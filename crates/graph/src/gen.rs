@@ -1,0 +1,149 @@
+//! Synthetic graph generators for tests and benchmarks.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Path graph `0 - 1 - ... - (n-1)` with unit weights.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as NodeId, i as NodeId, 1);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n >= 3` vertices.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as NodeId, ((i + 1) % n) as NodeId, 1);
+    }
+    b.build()
+}
+
+/// `w x h` grid with 4-neighborhood and unit weights.
+pub fn grid(w: usize, h: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(w * h);
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(id(x, y), id(x + 1, y), 1);
+            }
+            if y + 1 < h {
+                b.add_edge(id(x, y), id(x, y + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete graph on `n` vertices with unit edge weights.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            b.add_edge(i as NodeId, j as NodeId, 1);
+        }
+    }
+    b.build()
+}
+
+/// Two `size`-cliques connected by a single edge of weight `bridge_w`.
+/// The optimal bisection cuts exactly the bridge.
+pub fn two_cliques(size: usize, bridge_w: u32) -> CsrGraph {
+    let mut b = GraphBuilder::new(2 * size);
+    for c in 0..2 {
+        let base = c * size;
+        for i in 0..size {
+            for j in i + 1..size {
+                b.add_edge((base + i) as NodeId, (base + j) as NodeId, 1);
+            }
+        }
+    }
+    b.add_edge(0, size as NodeId, bridge_w);
+    b.build()
+}
+
+/// Planted-partition graph: `groups` clusters of `per_group` vertices;
+/// `intra` random edges inside each cluster and `inter` random edges between
+/// clusters, all unit weight. With `intra >> inter` the planted clustering
+/// is the (near-)optimal k-way partition — the structure Schism exploits in
+/// the Epinions experiment.
+pub fn planted_partition(
+    groups: usize,
+    per_group: usize,
+    intra: usize,
+    inter: usize,
+    seed: u64,
+) -> CsrGraph {
+    let n = groups * per_group;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for g in 0..groups {
+        let base = g * per_group;
+        for _ in 0..intra {
+            let u = base + rng.gen_range(0..per_group);
+            let v = base + rng.gen_range(0..per_group);
+            b.add_edge(u as NodeId, v as NodeId, 1);
+        }
+    }
+    for _ in 0..inter {
+        let gu = rng.gen_range(0..groups);
+        let gv = (gu + rng.gen_range(1..groups.max(2))) % groups;
+        let u = gu * per_group + rng.gen_range(0..per_group);
+        let v = gv * per_group + rng.gen_range(0..per_group);
+        b.add_edge(u as NodeId, v as NodeId, 1);
+    }
+    b.build()
+}
+
+/// Erdős–Rényi-style random graph with `m` edge draws.
+pub fn random_graph(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_edge_capacity(n, m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        b.add_edge(u as NodeId, v as NodeId, 1);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+
+    #[test]
+    fn generator_shapes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(grid(3, 4).num_edges(), 3 * 4 * 2 - 3 - 4);
+        assert_eq!(complete(6).num_edges(), 15);
+        let tc = two_cliques(4, 7);
+        assert_eq!(tc.num_edges(), 2 * 6 + 1);
+        tc.validate().unwrap();
+    }
+
+    #[test]
+    fn planted_partition_is_clustered() {
+        let g = planted_partition(4, 50, 300, 10, 1);
+        g.validate().unwrap();
+        assert_eq!(g.num_vertices(), 200);
+        // Heavily intra-connected: each cluster should be one component at
+        // this density (300 draws over 50 vertices).
+        let (count, _) = connected_components(&g);
+        assert!(count <= 4, "clusters unexpectedly fragmented: {count}");
+    }
+
+    #[test]
+    fn random_graph_is_valid() {
+        let g = random_graph(100, 400, 3);
+        g.validate().unwrap();
+        assert_eq!(g.num_vertices(), 100);
+    }
+}

@@ -1,0 +1,36 @@
+//! # schism-graph
+//!
+//! A from-scratch multilevel k-way balanced min-cut graph partitioner — the
+//! substrate the Schism paper obtains from METIS (Karypis & Kumar).
+//!
+//! The partitioner follows the classic multilevel recipe: randomized
+//! heavy-edge-matching coarsening, recursive-bisection initial partitioning
+//! (greedy graph growing + Fiduccia–Mattheyses refinement), and greedy
+//! k-way boundary refinement during uncoarsening. It is deterministic for a
+//! fixed seed and enforces a configurable balance constraint
+//! `max_part <= (1 + epsilon) * total / k`.
+//!
+//! ```
+//! use schism_graph::{gen, partition, PartitionerConfig};
+//!
+//! let g = gen::two_cliques(16, 1);
+//! let p = partition(&g, &PartitionerConfig::with_k(2));
+//! assert_eq!(p.edge_cut, 1); // only the bridge edge is cut
+//! ```
+
+pub mod builder;
+pub mod coarsen;
+pub mod components;
+pub mod csr;
+pub mod gen;
+pub mod initial;
+pub mod matching;
+pub mod metrics;
+pub mod partition;
+pub mod refine;
+
+pub use builder::GraphBuilder;
+pub use components::{connected_components, UnionFind};
+pub use csr::{CsrGraph, NodeId};
+pub use metrics::{boundary_size, edge_cut, imbalance, part_weights};
+pub use partition::{partition, PartitionerConfig, Partitioning};

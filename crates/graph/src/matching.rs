@@ -1,0 +1,190 @@
+//! Randomized heavy-edge matching (HEM) for the coarsening phase.
+//!
+//! Vertices are visited in random order; each unmatched vertex is matched to
+//! the unmatched neighbor reachable over the heaviest edge. Heavy edges are
+//! collapsed first so the coarse graph preserves as much of the cut structure
+//! as possible — the classic Karypis–Kumar heuristic ("A fast and high
+//! quality multilevel scheme for partitioning irregular graphs").
+
+use crate::csr::{CsrGraph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sentinel meaning "not matched yet" during the algorithm. In the returned
+/// vector every vertex is matched (unmatched vertices are matched to
+/// themselves), so the sentinel never escapes.
+const UNMATCHED: NodeId = NodeId::MAX;
+
+/// Computes a heavy-edge matching.
+///
+/// Returns `mate` with `mate[v] == v` for vertices left unmatched (isolated
+/// vertices or odd leftovers) and `mate[v] == u`, `mate[u] == v` for matched
+/// pairs.
+pub fn heavy_edge_matching<R: Rng>(g: &CsrGraph, rng: &mut R) -> Vec<NodeId> {
+    heavy_edge_matching_capped(g, u64::MAX, rng)
+}
+
+/// [`heavy_edge_matching`] with a cap on the combined weight of a matched
+/// pair. The multilevel driver uses this to stop vertices from snowballing
+/// past the point where a balanced partition is impossible (a coarse vertex
+/// heavier than a partition's capacity can never be placed without
+/// overflowing it).
+pub fn heavy_edge_matching_capped<R: Rng>(
+    g: &CsrGraph,
+    max_pair_weight: u64,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let n = g.num_vertices();
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(rng);
+
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let vw = g.vertex_weight(v) as u64;
+        let mut best: Option<(NodeId, u32)> = None;
+        for (u, w) in g.edges(v) {
+            if mate[u as usize] == UNMATCHED
+                && u != v
+                && vw + g.vertex_weight(u) as u64 <= max_pair_weight
+            {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((u, w)),
+                }
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v,
+        }
+    }
+
+    // Second pass: two-hop matching (METIS's fix for star/power-law
+    // graphs). Hub-and-spoke structures — Schism's replication stars and
+    // hot-tuple cliques — leave most leaves unmatched after HEM because
+    // their only neighbor (the hub) is already taken, stalling coarsening.
+    // Leaves hanging off the same already-matched vertex are near-duplicates
+    // structurally, so pairing them is quality-safe.
+    let mut scratch: Vec<NodeId> = Vec::new();
+    for &v in &order {
+        if mate[v as usize] != v {
+            continue; // only self-matched leftovers
+        }
+        let vw = g.vertex_weight(v) as u64;
+        scratch.clear();
+        'outer: for (u, _) in g.edges(v) {
+            // Bound the scan so huge hubs don't make this quadratic.
+            for (w2, _) in g.edges(u).take(32) {
+                if w2 != v
+                    && mate[w2 as usize] == w2
+                    && vw + g.vertex_weight(w2) as u64 <= max_pair_weight
+                {
+                    mate[v as usize] = w2;
+                    mate[w2 as usize] = v;
+                    break 'outer;
+                }
+            }
+            scratch.push(u);
+            if scratch.len() >= 16 {
+                break;
+            }
+        }
+    }
+    mate
+}
+
+/// Number of matched *pairs* in a matching produced by
+/// [`heavy_edge_matching`].
+pub fn matched_pairs(mate: &[NodeId]) -> usize {
+    mate.iter()
+        .enumerate()
+        .filter(|&(v, &m)| (m as usize) > v)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_is_matching(g: &CsrGraph, mate: &[NodeId]) {
+        for v in 0..g.num_vertices() as NodeId {
+            let m = mate[v as usize];
+            assert_ne!(m, UNMATCHED, "every vertex must be resolved");
+            assert_eq!(mate[m as usize], v, "matching must be symmetric");
+            if m != v {
+                assert!(
+                    g.neighbors(v).contains(&m),
+                    "matched pair {v}-{m} must be an edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefers_heavy_edges() {
+        // Triangle with weights 0-1: 1, 0-2: 100, 1-2: 50. Whichever vertex
+        // is visited first, its heaviest available neighbor is chosen, so
+        // the weight-1 edge can never be the matched edge.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 100);
+        b.add_edge(1, 2, 50);
+        let g = b.build();
+        for seed in 0..20 {
+            let mate = heavy_edge_matching(&g, &mut StdRng::seed_from_u64(seed));
+            check_is_matching(&g, &mate);
+            assert!(
+                !(mate[0] == 1 && mate[1] == 0),
+                "seed {seed} matched the light edge"
+            );
+        }
+    }
+
+    #[test]
+    fn cap_prevents_heavy_pairs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 10);
+        b.set_vertex_weight(0, 100);
+        b.set_vertex_weight(1, 100);
+        let g = b.build();
+        let mate = heavy_edge_matching_capped(&g, 150, &mut StdRng::seed_from_u64(0));
+        assert_eq!(mate, vec![0, 1], "pair exceeding cap must stay unmatched");
+        let mate = heavy_edge_matching_capped(&g, 200, &mut StdRng::seed_from_u64(0));
+        assert_eq!(mate, vec![1, 0]);
+    }
+
+    #[test]
+    fn isolated_vertices_self_match() {
+        let g = GraphBuilder::new(3).build();
+        let mate = heavy_edge_matching(&g, &mut StdRng::seed_from_u64(1));
+        assert_eq!(mate, vec![0, 1, 2]);
+        assert_eq!(matched_pairs(&mate), 0);
+    }
+
+    #[test]
+    fn path_graph_matching_is_valid() {
+        let n = 101;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as NodeId, (i + 1) as NodeId, 1);
+        }
+        let g = b.build();
+        for seed in 0..5 {
+            let mate = heavy_edge_matching(&g, &mut StdRng::seed_from_u64(seed));
+            check_is_matching(&g, &mate);
+            // A path of 101 vertices admits at most 50 pairs; HEM on a path
+            // finds a near-maximal matching.
+            let pairs = matched_pairs(&mate);
+            assert!(pairs >= 30, "suspiciously small matching: {pairs}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Labelled training data for the classifiers.
+//!
+//! Values are stored column-major as `i64`: numeric attributes hold the raw
+//! value, categorical attributes hold a non-negative category code. Labels
+//! are dense `u32` class ids — in Schism these are partition numbers plus
+//! virtual replication labels (§4.3).
+
+/// Attribute kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttrKind {
+    /// Ordered numeric attribute; splits are `value <= threshold`.
+    Numeric,
+    /// Unordered categorical attribute with codes in `[0, arity)`; splits
+    /// are multiway on the code.
+    Categorical { arity: u32 },
+}
+
+/// Attribute metadata.
+#[derive(Clone, Debug)]
+pub struct Attribute {
+    pub name: String,
+    pub kind: AttrKind,
+}
+
+/// A labelled dataset, column-major.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    attrs: Vec<Attribute>,
+    /// `columns[a][row]` = value of attribute `a` in `row`.
+    columns: Vec<Vec<i64>>,
+    labels: Vec<u32>,
+    num_classes: u32,
+}
+
+impl Dataset {
+    /// Creates a dataset from attribute metadata, column vectors, and labels.
+    ///
+    /// # Panics
+    /// Panics if the shapes disagree, a categorical code is out of range, or
+    /// a label is `>= num_classes`.
+    pub fn new(
+        attrs: Vec<Attribute>,
+        columns: Vec<Vec<i64>>,
+        labels: Vec<u32>,
+        num_classes: u32,
+    ) -> Self {
+        assert_eq!(attrs.len(), columns.len(), "one column per attribute");
+        for col in &columns {
+            assert_eq!(col.len(), labels.len(), "all columns must match label count");
+        }
+        for (a, col) in attrs.iter().zip(&columns) {
+            if let AttrKind::Categorical { arity } = a.kind {
+                for &v in col {
+                    assert!(
+                        v >= 0 && (v as u64) < arity as u64,
+                        "category code {v} out of range for {}",
+                        a.name
+                    );
+                }
+            }
+        }
+        for &l in &labels {
+            assert!(l < num_classes, "label {l} >= num_classes {num_classes}");
+        }
+        Self { attrs, columns, labels, num_classes }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of attributes.
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> u32 {
+        self.num_classes
+    }
+
+    /// Attribute metadata.
+    pub fn attr(&self, a: usize) -> &Attribute {
+        &self.attrs[a]
+    }
+
+    /// All attributes.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Value of attribute `a` in `row`.
+    #[inline]
+    pub fn value(&self, a: usize, row: usize) -> i64 {
+        self.columns[a][row]
+    }
+
+    /// Whole column for attribute `a`.
+    pub fn column(&self, a: usize) -> &[i64] {
+        &self.columns[a]
+    }
+
+    /// Label of `row`.
+    #[inline]
+    pub fn label(&self, row: usize) -> u32 {
+        self.labels[row]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Class histogram over the given row indices.
+    pub fn class_counts(&self, rows: &[u32]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_classes as usize];
+        for &r in rows {
+            counts[self.labels[r as usize] as usize] += 1;
+        }
+        counts
+    }
+
+    /// Majority class over `rows` (ties resolve to the smaller id);
+    /// `(class, count)`.
+    pub fn majority(&self, rows: &[u32]) -> (u32, u32) {
+        let counts = self.class_counts(rows);
+        let mut best = (0u32, 0u32);
+        for (c, &n) in counts.iter().enumerate() {
+            if n > best.1 {
+                best = (c as u32, n);
+            }
+        }
+        best
+    }
+}
+
+/// Convenience builder for tests and small callers.
+#[derive(Clone, Debug, Default)]
+pub struct DatasetBuilder {
+    attrs: Vec<Attribute>,
+    rows: Vec<Vec<i64>>,
+    labels: Vec<u32>,
+}
+
+impl DatasetBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn numeric(mut self, name: &str) -> Self {
+        self.attrs.push(Attribute { name: name.into(), kind: AttrKind::Numeric });
+        self
+    }
+
+    pub fn categorical(mut self, name: &str, arity: u32) -> Self {
+        self.attrs.push(Attribute { name: name.into(), kind: AttrKind::Categorical { arity } });
+        self
+    }
+
+    pub fn row(&mut self, values: &[i64], label: u32) -> &mut Self {
+        assert_eq!(values.len(), self.attrs.len());
+        self.rows.push(values.to_vec());
+        self.labels.push(label);
+        self
+    }
+
+    pub fn build(self) -> Dataset {
+        let n_attrs = self.attrs.len();
+        let mut columns = vec![Vec::with_capacity(self.rows.len()); n_attrs];
+        for row in &self.rows {
+            for (a, &v) in row.iter().enumerate() {
+                columns[a].push(v);
+            }
+        }
+        let num_classes = self.labels.iter().copied().max().map_or(1, |m| m + 1);
+        Dataset::new(self.attrs, columns, self.labels, num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let mut b = DatasetBuilder::new().numeric("x").categorical("c", 3);
+        b.row(&[10, 0], 0);
+        b.row(&[20, 1], 1);
+        b.row(&[30, 2], 1);
+        let ds = b.build();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.num_attrs(), 2);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.value(0, 1), 20);
+        assert_eq!(ds.value(1, 2), 2);
+        assert_eq!(ds.label(0), 0);
+        assert_eq!(ds.class_counts(&[0, 1, 2]), vec![1, 2]);
+        assert_eq!(ds.majority(&[0, 1, 2]), (1, 2));
+    }
+
+    #[test]
+    fn majority_tie_prefers_lower_class() {
+        let mut b = DatasetBuilder::new().numeric("x");
+        b.row(&[1], 0);
+        b.row(&[2], 1);
+        let ds = b.build();
+        assert_eq!(ds.majority(&[0, 1]), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "category code")]
+    fn rejects_out_of_range_category() {
+        let mut b = DatasetBuilder::new().categorical("c", 2);
+        b.row(&[5], 0);
+        b.build();
+    }
+}

@@ -1,0 +1,125 @@
+//! Equal-frequency discretization of numeric attributes.
+//!
+//! CFS (see [`crate::cfs`]) needs discrete variables to estimate mutual
+//! information; numeric columns are binned here before the correlation
+//! computation. Bin boundaries always fall between *distinct* values, so
+//! identical values never straddle bins.
+
+/// A discretization of a numeric column.
+#[derive(Clone, Debug)]
+pub struct Discretization {
+    /// Upper bound (inclusive) of each bin except the last, sorted.
+    /// `code(v) = number of cutpoints < v`... concretely: bin `i` holds
+    /// `v <= cutpoints[i]` (and not in an earlier bin); values above every
+    /// cutpoint take the last code.
+    pub cutpoints: Vec<i64>,
+}
+
+impl Discretization {
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.cutpoints.len() + 1
+    }
+
+    /// Bin code of a value.
+    pub fn code(&self, v: i64) -> u32 {
+        // cutpoints is sorted; partition_point gives the first cut >= v.
+        self.cutpoints.partition_point(|&c| c < v) as u32
+    }
+}
+
+/// Builds an equal-frequency discretization with at most `max_bins` bins.
+///
+/// Duplicated values are kept together; columns with fewer distinct values
+/// than `max_bins` get one bin per distinct value.
+pub fn equal_frequency(values: &[i64], max_bins: usize) -> Discretization {
+    assert!(max_bins >= 1);
+    let mut sorted: Vec<i64> = values.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() <= max_bins {
+        // Cut between every pair of distinct values.
+        return Discretization { cutpoints: sorted.windows(2).map(|w| w[0]).collect() };
+    }
+    // Walk the *full* sorted multiset to find equal-frequency boundaries,
+    // then snap each boundary to the nearest distinct-value gap.
+    let mut full: Vec<i64> = values.to_vec();
+    full.sort_unstable();
+    let n = full.len();
+    let mut cutpoints = Vec::with_capacity(max_bins - 1);
+    for b in 1..max_bins {
+        let idx = b * n / max_bins;
+        let candidate = full[idx.min(n - 1)];
+        // The cut is "v <= candidate-gap"; use the previous distinct value
+        // so the boundary value itself lands in the upper bin... we instead
+        // cut at the largest distinct value strictly below `candidate`.
+        let pos = sorted.partition_point(|&v| v < candidate);
+        if pos == 0 {
+            continue;
+        }
+        let cut = sorted[pos - 1];
+        if cutpoints.last() != Some(&cut) {
+            cutpoints.push(cut);
+        }
+    }
+    Discretization { cutpoints }
+}
+
+/// Discretizes the whole column, returning codes.
+pub fn codes(values: &[i64], max_bins: usize) -> (Vec<u32>, Discretization) {
+    let d = equal_frequency(values, max_bins);
+    let codes = values.iter().map(|&v| d.code(v)).collect();
+    (codes, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn few_distinct_values_one_bin_each() {
+        let vals = vec![5, 5, 7, 7, 7, 9];
+        let (codes, d) = codes_helper(&vals, 10);
+        assert_eq!(d.num_bins(), 3);
+        assert_eq!(codes, vec![0, 0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn equal_frequency_splits_uniform_data() {
+        let vals: Vec<i64> = (0..100).collect();
+        let (codes, d) = codes_helper(&vals, 4);
+        assert_eq!(d.num_bins(), 4);
+        // Each quartile ~25 rows.
+        for bin in 0..4u32 {
+            let count = codes.iter().filter(|&&c| c == bin).count();
+            assert!((20..=30).contains(&count), "bin {bin} has {count}");
+        }
+        // Monotone codes.
+        for w in codes.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn heavy_duplicates_stay_together() {
+        // 90 copies of 1 and ten larger values, 4 bins: all the 1s must get
+        // the same code.
+        let mut vals = vec![1i64; 90];
+        vals.extend(10..20);
+        let (codes, _) = codes_helper(&vals, 4);
+        let code_of_one = codes[0];
+        assert!(codes[..90].iter().all(|&c| c == code_of_one));
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let vals: Vec<i64> = (0..10).collect();
+        let (_, d) = codes_helper(&vals, 2);
+        assert_eq!(d.code(i64::MIN), 0);
+        assert_eq!(d.code(i64::MAX), (d.num_bins() - 1) as u32);
+    }
+
+    fn codes_helper(vals: &[i64], bins: usize) -> (Vec<u32>, Discretization) {
+        codes(vals, bins)
+    }
+}

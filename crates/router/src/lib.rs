@@ -1,0 +1,28 @@
+//! # schism-router
+//!
+//! The routing middleware and partitioning-scheme runtime from §5.4 and
+//! Appendix C: partition sets, the [`Scheme`] abstraction, hash / range /
+//! lookup-table / full-replication schemes, the three physical lookup-table
+//! backends (index, bit-array, Bloom filters), replication-aware
+//! transaction routing, and the distributed-transaction cost evaluator that
+//! drives Schism's final validation.
+
+pub mod bloom;
+pub mod cost;
+pub mod hash;
+pub mod lookup;
+pub mod pset;
+pub mod range;
+pub mod router;
+pub mod scheme;
+
+pub use bloom::BloomFilter;
+pub use cost::{evaluate, CostReport};
+pub use hash::{HashBy, HashScheme};
+pub use lookup::{
+    BitArrayBackend, BloomBackend, IndexBackend, LookupBackend, LookupScheme, MissPolicy, RowKey,
+};
+pub use pset::{PartitionSet, MAX_PARTITIONS};
+pub use range::{RangeRule, RangeScheme, TablePolicy};
+pub use router::{route_transaction, Participants};
+pub use scheme::{Complexity, ReplicationScheme, Route, Scheme};

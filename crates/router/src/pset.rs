@@ -1,0 +1,201 @@
+//! Sets of partition ids, as a fixed 256-bit bitset.
+//!
+//! The paper sizes its lookup tables for "up to 256 partitions" (Appendix
+//! C.1); we adopt the same bound, which keeps a partition set copyable and
+//! branch-free to union.
+
+/// Maximum number of partitions supported across the crate.
+pub const MAX_PARTITIONS: u32 = 256;
+
+/// A set of partition ids in `[0, MAX_PARTITIONS)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PartitionSet {
+    bits: [u64; 4],
+}
+
+impl PartitionSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        Self { bits: [0; 4] }
+    }
+
+    /// The singleton `{p}`.
+    pub fn single(p: u32) -> Self {
+        let mut s = Self::empty();
+        s.insert(p);
+        s
+    }
+
+    /// The full set `{0, .., k-1}`.
+    pub fn all(k: u32) -> Self {
+        assert!(k <= MAX_PARTITIONS);
+        let mut s = Self::empty();
+        for p in 0..k {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Inserts `p`.
+    #[inline]
+    pub fn insert(&mut self, p: u32) {
+        assert!(p < MAX_PARTITIONS, "partition {p} out of range");
+        self.bits[(p / 64) as usize] |= 1u64 << (p % 64);
+    }
+
+    /// Whether `p` is present.
+    #[inline]
+    pub fn contains(&self, p: u32) -> bool {
+        p < MAX_PARTITIONS && self.bits[(p / 64) as usize] & (1u64 << (p % 64)) != 0
+    }
+
+    /// Number of partitions in the set.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.bits.iter().map(|b| b.count_ones()).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// Whether the set has exactly one member.
+    #[inline]
+    pub fn is_single(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Smallest member, if any.
+    pub fn first(&self) -> Option<u32> {
+        for (i, &b) in self.bits.iter().enumerate() {
+            if b != 0 {
+                return Some(i as u32 * 64 + b.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for i in 0..4 {
+            out.bits[i] |= other.bits[i];
+        }
+        out
+    }
+
+    /// In-place union.
+    #[inline]
+    pub fn union_with(&mut self, other: &Self) {
+        for i in 0..4 {
+            self.bits[i] |= other.bits[i];
+        }
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for i in 0..4 {
+            out.bits[i] &= other.bits[i];
+        }
+        out
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..4usize).flat_map(move |i| {
+            let mut b = self.bits[i];
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let p = b.trailing_zeros();
+                    b &= b - 1;
+                    Some(i as u32 * 64 + p)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<u32> for PartitionSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = Self::empty();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for PartitionSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_operations() {
+        let mut s = PartitionSet::empty();
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(255);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 255]);
+        assert!(!s.is_single());
+        assert!(PartitionSet::single(7).is_single());
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let a: PartitionSet = [1u32, 2, 3].into_iter().collect();
+        let b: PartitionSet = [3u32, 4].into_iter().collect();
+        assert_eq!(a.union(&b).len(), 4);
+        let i = a.intersect(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3]);
+        let mut c = a;
+        c.union_with(&b);
+        assert_eq!(c, a.union(&b));
+    }
+
+    #[test]
+    fn all_covers_k() {
+        let s = PartitionSet::all(10);
+        assert_eq!(s.len(), 10);
+        assert!(s.contains(9));
+        assert!(!s.contains(10));
+        assert_eq!(PartitionSet::all(256).len(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        PartitionSet::empty().insert(256);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s: PartitionSet = [0u32, 5].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{0,5}");
+    }
+}

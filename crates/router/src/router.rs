@@ -1,0 +1,198 @@
+//! Replication-aware transaction routing.
+//!
+//! Given a transaction's read/write tuple sets and a scheme, compute the
+//! participant set: writes touch every copy of a tuple; reads may pick any
+//! single copy, and per §5.4 "Schism attempts to choose a replica on a
+//! partition that has already been accessed in the same transaction". The
+//! residual choice is a small set-cover problem solved greedily.
+
+use crate::pset::PartitionSet;
+use crate::scheme::Scheme;
+use schism_workload::{Transaction, TupleValues};
+
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Participants of one transaction under a scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Participants {
+    pub set: PartitionSet,
+}
+
+impl Participants {
+    /// Whether the transaction is distributed (more than one participant).
+    pub fn is_distributed(&self) -> bool {
+        self.set.len() > 1
+    }
+}
+
+/// Routes a transaction: returns the minimal-ish participant set.
+pub fn route_transaction(
+    txn: &Transaction,
+    scheme: &dyn Scheme,
+    db: &dyn TupleValues,
+) -> Participants {
+    let mut participants = PartitionSet::empty();
+
+    // Writes pin every copy.
+    for &w in &txn.writes {
+        participants.union_with(&scheme.locate_tuple(w, db));
+    }
+
+    // Reads: fixed single-copy reads first, then the flexible (replicated)
+    // ones via greedy cover.
+    let mut flexible: Vec<PartitionSet> = Vec::new();
+    for r in txn.reads.iter().chain(txn.scans.iter().flatten()) {
+        let pset = scheme.locate_tuple(*r, db);
+        if pset.is_single() {
+            participants.union_with(&pset);
+        } else {
+            flexible.push(pset);
+        }
+    }
+
+    // Drop flexible reads already satisfied by a chosen participant, then
+    // repeatedly pick the partition covering the most remaining reads.
+    // Count ties are broken by a per-transaction pseudo-random preference:
+    // a fixed tie-break (e.g. lowest id) would route every fully-replicated
+    // read-only transaction to the same partition and destroy load balance.
+    flexible.retain(|p| p.intersect(&participants).is_empty());
+    let salt = txn
+        .accessed()
+        .next()
+        .map(|t| t.row ^ (t.table as u64).rotate_left(32))
+        .unwrap_or(0);
+    while !flexible.is_empty() {
+        let mut counts = std::collections::HashMap::new();
+        for pset in &flexible {
+            for p in pset.iter() {
+                *counts.entry(p).or_insert(0usize) += 1;
+            }
+        }
+        let (&best, _) = counts
+            .iter()
+            .max_by_key(|&(p, &c)| (c, splitmix(*p as u64 ^ salt)))
+            .expect("flexible non-empty");
+        participants.insert(best);
+        flexible.retain(|p| !p.contains(best));
+    }
+
+    // A transaction with no accesses still runs somewhere.
+    if participants.is_empty() {
+        participants.insert(0);
+    }
+    Participants { set: participants }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookup::{IndexBackend, LookupScheme, MissPolicy};
+    use crate::scheme::ReplicationScheme;
+    use schism_workload::{MaterializedDb, TupleId, TxnBuilder};
+
+    fn lookup_scheme(entries: Vec<(u64, PartitionSet)>) -> LookupScheme {
+        LookupScheme::new(
+            4,
+            vec![Some(Box::new(IndexBackend::new(entries)) as Box<_>)],
+            vec![None],
+            MissPolicy::HashRow,
+        )
+    }
+
+    #[test]
+    fn single_partition_transaction() {
+        let s = lookup_scheme(vec![
+            (0, PartitionSet::single(2)),
+            (1, PartitionSet::single(2)),
+        ]);
+        let db = MaterializedDb::new();
+        let mut b = TxnBuilder::new(false);
+        b.read(TupleId::new(0, 0)).write(TupleId::new(0, 1));
+        let p = route_transaction(&b.finish(), &s, &db);
+        assert_eq!(p.set, PartitionSet::single(2));
+        assert!(!p.is_distributed());
+    }
+
+    #[test]
+    fn replicated_read_joins_write_partition() {
+        // Tuple 0 replicated on {0,1,2,3}; write forces partition 3; the
+        // read must NOT add a second participant.
+        let s = lookup_scheme(vec![
+            (0, PartitionSet::all(4)),
+            (1, PartitionSet::single(3)),
+        ]);
+        let db = MaterializedDb::new();
+        let mut b = TxnBuilder::new(false);
+        b.read(TupleId::new(0, 0)).write(TupleId::new(0, 1));
+        let p = route_transaction(&b.finish(), &s, &db);
+        assert_eq!(p.set, PartitionSet::single(3));
+    }
+
+    #[test]
+    fn write_to_replicated_tuple_is_distributed() {
+        let s = lookup_scheme(vec![(0, PartitionSet::all(4))]);
+        let db = MaterializedDb::new();
+        let mut b = TxnBuilder::new(false);
+        b.write(TupleId::new(0, 0));
+        let p = route_transaction(&b.finish(), &s, &db);
+        assert_eq!(p.set.len(), 4);
+        assert!(p.is_distributed());
+    }
+
+    #[test]
+    fn greedy_cover_prefers_shared_partition() {
+        // Two replicated reads {0,1} and {1,2}: one participant (1) covers
+        // both.
+        let s = lookup_scheme(vec![
+            (0, [0u32, 1].into_iter().collect()),
+            (1, [1u32, 2].into_iter().collect()),
+        ]);
+        let db = MaterializedDb::new();
+        let mut b = TxnBuilder::new(false);
+        b.read(TupleId::new(0, 0)).read(TupleId::new(0, 1));
+        let p = route_transaction(&b.finish(), &s, &db);
+        assert_eq!(p.set, PartitionSet::single(1));
+    }
+
+    #[test]
+    fn full_replication_reads_local_writes_everywhere() {
+        let s = ReplicationScheme::new(3);
+        let db = MaterializedDb::new();
+        let mut b = TxnBuilder::new(false);
+        b.read(TupleId::new(0, 0)).read(TupleId::new(0, 1)).read(TupleId::new(1, 5));
+        let p = route_transaction(&b.finish(), &s, &db);
+        assert!(p.set.is_single(), "read-only under replication is local: {:?}", p.set);
+        let mut b = TxnBuilder::new(false);
+        b.write(TupleId::new(0, 0));
+        let p = route_transaction(&b.finish(), &s, &db);
+        assert_eq!(p.set.len(), 3);
+    }
+
+    #[test]
+    fn empty_transaction_gets_a_home() {
+        let s = ReplicationScheme::new(2);
+        let db = MaterializedDb::new();
+        let p = route_transaction(&TxnBuilder::new(false).finish(), &s, &db);
+        assert_eq!(p.set.len(), 1);
+    }
+
+    #[test]
+    fn scan_groups_participate() {
+        let s = lookup_scheme(vec![
+            (0, PartitionSet::single(0)),
+            (1, PartitionSet::single(1)),
+        ]);
+        let db = MaterializedDb::new();
+        let mut b = TxnBuilder::new(false);
+        b.scan(vec![TupleId::new(0, 0), TupleId::new(0, 1)]);
+        let p = route_transaction(&b.finish(), &s, &db);
+        assert_eq!(p.set.len(), 2);
+        assert!(p.is_distributed());
+    }
+}

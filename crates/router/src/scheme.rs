@@ -1,0 +1,130 @@
+//! The partitioning-scheme abstraction shared by the router, the cost
+//! evaluator, and Schism's final validation phase.
+
+use crate::pset::PartitionSet;
+use schism_sql::Statement;
+use schism_workload::{TupleId, TupleValues};
+
+/// Scheme complexity, for the validation phase's tie-break (§4.4): "we
+/// prefer hash partitioning or replication over predicate-based
+/// partitioning, and predicate-based partitioning over lookup tables."
+/// Lower is simpler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Complexity {
+    Hash = 0,
+    Replication = 1,
+    Range = 2,
+    Lookup = 3,
+}
+
+/// Where a statement must go.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Candidate partitions.
+    pub targets: PartitionSet,
+    /// When true, any single member of `targets` suffices (replicated
+    /// read); when false every member must participate.
+    pub any_one: bool,
+}
+
+impl Route {
+    pub fn must(targets: PartitionSet) -> Self {
+        Self { targets, any_one: false }
+    }
+
+    pub fn any(targets: PartitionSet) -> Self {
+        Self { targets, any_one: true }
+    }
+}
+
+/// A replication/partitioning strategy.
+///
+/// `locate_tuple` returns the *copy set* of a tuple — every partition
+/// holding a replica. Reads may pick any one member; writes must touch all
+/// members. `route_statement` is the runtime path used by the middleware
+/// router, driven by WHERE-clause predicates.
+pub trait Scheme: Send + Sync {
+    /// Short human-readable description (e.g. `"hash(w_id)"`).
+    fn name(&self) -> String;
+
+    /// Number of partitions.
+    fn k(&self) -> u32;
+
+    /// Complexity rank for validation tie-breaks.
+    fn complexity(&self) -> Complexity;
+
+    /// Copy set of `t`. Never empty.
+    fn locate_tuple(&self, t: TupleId, db: &dyn TupleValues) -> PartitionSet;
+
+    /// Partitions a statement must reach, based on its predicate.
+    fn route_statement(&self, stmt: &Statement) -> Route;
+}
+
+/// Full-table replication of the entire database: reads are local
+/// everywhere, every write touches all partitions (§4.4's "full-table
+/// replication" baseline).
+#[derive(Clone, Debug)]
+pub struct ReplicationScheme {
+    k: u32,
+}
+
+impl ReplicationScheme {
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1);
+        Self { k }
+    }
+}
+
+impl Scheme for ReplicationScheme {
+    fn name(&self) -> String {
+        "full-replication".to_owned()
+    }
+
+    fn k(&self) -> u32 {
+        self.k
+    }
+
+    fn complexity(&self) -> Complexity {
+        Complexity::Replication
+    }
+
+    fn locate_tuple(&self, _t: TupleId, _db: &dyn TupleValues) -> PartitionSet {
+        PartitionSet::all(self.k)
+    }
+
+    fn route_statement(&self, stmt: &Statement) -> Route {
+        if stmt.kind.is_write() {
+            Route::must(PartitionSet::all(self.k))
+        } else {
+            Route::any(PartitionSet::all(self.k))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schism_sql::{Predicate, Value};
+    use schism_workload::MaterializedDb;
+
+    #[test]
+    fn replication_semantics() {
+        let s = ReplicationScheme::new(4);
+        let db = MaterializedDb::new();
+        let loc = s.locate_tuple(TupleId::new(0, 5), &db);
+        assert_eq!(loc.len(), 4);
+        let read = s.route_statement(&Statement::select(0, Predicate::Eq(0, Value::Int(1))));
+        assert!(read.any_one);
+        let write = s.route_statement(&Statement::update(0, Predicate::Eq(0, Value::Int(1))));
+        assert!(!write.any_one);
+        assert_eq!(write.targets.len(), 4);
+        assert_eq!(s.complexity(), Complexity::Replication);
+    }
+
+    #[test]
+    fn complexity_ordering_matches_paper() {
+        assert!(Complexity::Hash < Complexity::Replication);
+        assert!(Complexity::Replication < Complexity::Range);
+        assert!(Complexity::Range < Complexity::Lookup);
+    }
+}

@@ -1,0 +1,26 @@
+//! # schism
+//!
+//! Umbrella crate for the Schism reproduction (Curino, Jones, Zhang,
+//! Madden: *Schism: a Workload-Driven Approach to Database Replication and
+//! Partitioning*, VLDB 2010): re-exports the whole workspace behind one
+//! dependency and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! ```
+//! use schism::core::{Schism, SchismConfig};
+//! use schism::workload::ycsb::{self, YcsbConfig};
+//!
+//! let w = ycsb::generate(&YcsbConfig { records: 500, num_txns: 500, ..YcsbConfig::workload_a() });
+//! let rec = Schism::new(SchismConfig::new(2)).run(&w);
+//! assert_eq!(rec.chosen(), "hashing");
+//! ```
+
+pub use schism_core as core;
+pub use schism_graph as graph;
+pub use schism_ml as ml;
+pub use schism_router as router;
+pub use schism_sim as sim;
+pub use schism_sql as sql;
+pub use schism_workload as workload;
+
+pub use schism_core::{Recommendation, Schism, SchismConfig};

@@ -1,0 +1,201 @@
+//! Workload analysis over statement streams.
+//!
+//! §4.3: "An explanation is only useful if it is based on attributes used
+//! frequently in the queries." This module counts how often each column
+//! appears in WHERE clauses, per table, and selects the *frequent attribute
+//! set* the explanation phase is allowed to split on.
+
+use crate::predicate::Predicate;
+use crate::schema::{ColId, Schema, TableId};
+use crate::statement::Statement;
+use std::collections::HashMap;
+
+/// WHERE-clause attribute usage statistics.
+#[derive(Clone, Debug, Default)]
+pub struct AttributeStats {
+    /// `(table, col) -> number of statements whose WHERE clause references
+    /// the column`.
+    counts: HashMap<(TableId, ColId), u64>,
+    /// `table -> number of statements that touch the table`.
+    table_counts: HashMap<TableId, u64>,
+}
+
+impl AttributeStats {
+    /// Gathers statistics from a statement stream.
+    pub fn from_statements<'a>(stmts: impl IntoIterator<Item = &'a Statement>) -> Self {
+        let mut stats = Self::default();
+        for s in stmts {
+            stats.observe(s);
+        }
+        stats
+    }
+
+    /// Records one statement.
+    pub fn observe(&mut self, stmt: &Statement) {
+        *self.table_counts.entry(stmt.table).or_insert(0) += 1;
+        let mut cols = Vec::new();
+        stmt.predicate.collect_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        for c in cols {
+            *self.counts.entry((stmt.table, c)).or_insert(0) += 1;
+        }
+    }
+
+    /// Records a statement by shape only: the table and the distinct columns
+    /// its WHERE clause constrains. Workload generators use this to feed the
+    /// statistics without materializing `Statement` objects for every access
+    /// in a 100k-transaction trace.
+    pub fn observe_shape(&mut self, table: TableId, cols: &[ColId]) {
+        *self.table_counts.entry(table).or_insert(0) += 1;
+        for &c in cols {
+            *self.counts.entry((table, c)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of statements that referenced `(table, col)` in their WHERE
+    /// clause.
+    pub fn count(&self, table: TableId, col: ColId) -> u64 {
+        self.counts.get(&(table, col)).copied().unwrap_or(0)
+    }
+
+    /// Number of statements that touched `table` at all.
+    pub fn table_count(&self, table: TableId) -> u64 {
+        self.table_counts.get(&table).copied().unwrap_or(0)
+    }
+
+    /// Fraction of `table`'s statements that reference `col`.
+    pub fn frequency(&self, table: TableId, col: ColId) -> f64 {
+        let t = self.table_count(table);
+        if t == 0 {
+            0.0
+        } else {
+            self.count(table, col) as f64 / t as f64
+        }
+    }
+
+    /// The frequent attribute set for `table`: columns referenced by at
+    /// least `min_frequency` (fraction in `[0, 1]`) of the statements on
+    /// that table, most frequent first.
+    pub fn frequent_attributes(&self, table: TableId, min_frequency: f64) -> Vec<ColId> {
+        let total = self.table_count(table);
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut cols: Vec<(ColId, u64)> = self
+            .counts
+            .iter()
+            .filter(|((t, _), _)| *t == table)
+            .map(|((_, c), &n)| (*c, n))
+            .filter(|&(_, n)| (n as f64 / total as f64) >= min_frequency)
+            .collect();
+        cols.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        cols.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Frequent attribute sets for every table in `schema`.
+    pub fn frequent_attributes_all(
+        &self,
+        schema: &Schema,
+        min_frequency: f64,
+    ) -> HashMap<TableId, Vec<ColId>> {
+        schema
+            .tables()
+            .map(|(id, _)| (id, self.frequent_attributes(id, min_frequency)))
+            .collect()
+    }
+}
+
+/// Statement-shape fingerprint: kind, table, and the ordered set of
+/// WHERE-clause columns. Blanket-statement detection and workload summaries
+/// group statements by this key.
+pub fn statement_shape(stmt: &Statement) -> (u8, TableId, Vec<ColId>) {
+    let kind = match stmt.kind {
+        crate::statement::StatementKind::Select => 0u8,
+        crate::statement::StatementKind::Update => 1,
+        crate::statement::StatementKind::Insert => 2,
+        crate::statement::StatementKind::Delete => 3,
+    };
+    let mut cols = Vec::new();
+    stmt.predicate.collect_columns(&mut cols);
+    cols.sort_unstable();
+    cols.dedup();
+    (kind, stmt.table, cols)
+}
+
+/// Checks whether the predicate is a "blanket" scan: no column constraints
+/// at all (`WHERE TRUE` / missing WHERE). Schism filters these out of the
+/// graph (§5.1) because they touch everything and carry no co-access signal.
+pub fn is_blanket(p: &Predicate) -> bool {
+    match p {
+        Predicate::True => true,
+        Predicate::And(ps) => ps.iter().all(is_blanket),
+        Predicate::Or(ps) => ps.iter().all(is_blanket),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            "stock",
+            &[("s_i_id", ColumnType::Int), ("s_w_id", ColumnType::Int), ("s_qty", ColumnType::Int)],
+            &["s_i_id", "s_w_id"],
+        );
+        s
+    }
+
+    #[test]
+    fn frequency_counting() {
+        let s = schema();
+        let stmts = vec![
+            Statement::select(
+                0,
+                Predicate::And(vec![
+                    Predicate::Eq(0, Value::Int(1)),
+                    Predicate::Eq(1, Value::Int(2)),
+                ]),
+            ),
+            Statement::select(0, Predicate::Eq(1, Value::Int(2))),
+            Statement::update(0, Predicate::Eq(1, Value::Int(3))),
+            Statement::select(0, Predicate::True),
+        ];
+        let stats = AttributeStats::from_statements(&stmts);
+        assert_eq!(stats.table_count(0), 4);
+        assert_eq!(stats.count(0, 0), 1);
+        assert_eq!(stats.count(0, 1), 3);
+        assert_eq!(stats.count(0, 2), 0);
+        assert!((stats.frequency(0, 1) - 0.75).abs() < 1e-9);
+        // s_w_id qualifies at 50% threshold; s_i_id does not.
+        assert_eq!(stats.frequent_attributes(0, 0.5), vec![1]);
+        assert_eq!(stats.frequent_attributes(0, 0.2), vec![1, 0]);
+        let all = stats.frequent_attributes_all(&s, 0.5);
+        assert_eq!(all[&0], vec![1]);
+    }
+
+    #[test]
+    fn duplicate_columns_in_one_statement_count_once() {
+        let stmts = vec![Statement::select(
+            0,
+            Predicate::Or(vec![
+                Predicate::Eq(0, Value::Int(1)),
+                Predicate::Eq(0, Value::Int(2)),
+            ]),
+        )];
+        let stats = AttributeStats::from_statements(&stmts);
+        assert_eq!(stats.count(0, 0), 1);
+    }
+
+    #[test]
+    fn blanket_detection() {
+        assert!(is_blanket(&Predicate::True));
+        assert!(is_blanket(&Predicate::And(vec![])));
+        assert!(!is_blanket(&Predicate::Eq(0, Value::Int(1))));
+    }
+}

@@ -1,0 +1,247 @@
+//! Tokenizer for the SQL subset accepted by [`crate::parser`].
+
+use std::fmt;
+
+/// Lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are resolved case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Integer literal (sign handled in the parser).
+    Int(i64),
+    /// Single-quoted string literal with `''` escapes resolved.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Eq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Ne,
+    Minus,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Ne => write!(f, "<>"),
+            Token::Minus => write!(f, "-"),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+/// Lexing error with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, message: "stray '!'".into() });
+                }
+            }
+            b'\'' => {
+                // String literal with '' escape.
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(LexError { offset: i, message: "unterminated string".into() });
+                    }
+                    if bytes[j] == b'\'' {
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        // Consume a full UTF-8 character.
+                        let ch_start = j;
+                        let ch = input[ch_start..].chars().next().expect("in bounds");
+                        s.push(ch);
+                        j += ch.len_utf8();
+                    }
+                }
+                out.push(Token::Str(s));
+                i = j;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("integer literal out of range: {text}"),
+                })?;
+                out.push(Token::Int(v));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_owned()));
+            }
+            b'?' => {
+                return Err(LexError {
+                    offset: i,
+                    message: "parameter placeholders are not supported; bind values first".into(),
+                })
+            }
+            _ => {
+                return Err(LexError { offset: i, message: format!("unexpected byte 0x{c:02x}") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_simple_select() {
+        let toks = lex("SELECT * FROM t WHERE id = 42").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Star,
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("id".into()),
+                Token::Eq,
+                Token::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = lex("a <= 1 AND b <> 2 OR c != 3 AND d >= -4").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Ne).count(), 2);
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Minus));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("name = 'o''brien'").unwrap();
+        assert_eq!(toks[2], Token::Str("o'brien".into()));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn rejects_placeholders() {
+        let err = lex("id = ?").unwrap_err();
+        assert!(err.message.contains("placeholder"));
+    }
+
+    #[test]
+    fn qualified_idents_keep_dot() {
+        let toks = lex("stock.s_w_id = 3").unwrap();
+        assert_eq!(toks[0], Token::Ident("stock.s_w_id".into()));
+    }
+}

@@ -1,0 +1,29 @@
+//! # schism-sql
+//!
+//! A minimal SQL layer: schema metadata, literal values, single-table
+//! statements with structured WHERE predicates, a parser for the SQL subset
+//! found in OLTP traces, and WHERE-clause attribute analysis.
+//!
+//! The Schism paper ingests MySQL general-log traces (§5.3) and routes live
+//! statements through a JDBC middleware that "parses the statement, extracts
+//! predicates on table attributes from the WHERE clause, and compares the
+//! attributes to the partitioning scheme" (Appendix C.2). This crate is that
+//! SQL substrate: workload generators emit [`Statement`]s (and can render
+//! them to SQL text), the router consumes their [`Predicate`]s, and the
+//! explanation phase uses [`analyze::AttributeStats`] to find the frequent
+//! attribute set.
+
+pub mod analyze;
+pub mod lexer;
+pub mod parser;
+pub mod predicate;
+pub mod schema;
+pub mod statement;
+pub mod value;
+
+pub use analyze::AttributeStats;
+pub use parser::{parse_statement, ParseError};
+pub use predicate::{CmpOp, Predicate};
+pub use schema::{ColId, ColumnDef, ColumnType, Schema, TableDef, TableId};
+pub use statement::{Statement, StatementKind};
+pub use value::Value;

@@ -1,0 +1,289 @@
+//! WHERE-clause predicates.
+//!
+//! The router compares these predicates against partitioning schemes to
+//! decide which partitions a statement must touch (Appendix C.2), and the
+//! explanation phase mines them for frequently-used attributes (§4.3).
+
+use crate::schema::ColId;
+use crate::value::Value;
+
+/// Comparison operators for [`Predicate::Cmp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Ne,
+}
+
+/// A predicate tree over the columns of a single table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// Matches every row (absent WHERE clause → full scan).
+    True,
+    /// `col = value`
+    Eq(ColId, Value),
+    /// `col <op> value`
+    Cmp(ColId, CmpOp, Value),
+    /// `col BETWEEN lo AND hi` (inclusive on both ends).
+    Between(ColId, Value, Value),
+    /// `col IN (v1, v2, ...)`
+    In(ColId, Vec<Value>),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Conjunction helper that flattens trivial cases.
+    pub fn and(preds: Vec<Predicate>) -> Predicate {
+        let mut out: Vec<Predicate> = Vec::with_capacity(preds.len());
+        for p in preds {
+            match p {
+                Predicate::True => {}
+                Predicate::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Predicate::True,
+            1 => out.pop().expect("len checked"),
+            _ => Predicate::And(out),
+        }
+    }
+
+    /// Evaluates against a row (`row[col]` is the column value).
+    pub fn matches(&self, row: &[Value]) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq(c, v) => row[*c as usize].sql_eq(v),
+            Predicate::Cmp(c, op, v) => match row[*c as usize].sql_cmp(v) {
+                None => false,
+                Some(ord) => match op {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                    CmpOp::Ne => ord.is_ne(),
+                },
+            },
+            Predicate::Between(c, lo, hi) => {
+                let x = &row[*c as usize];
+                matches!(x.sql_cmp(lo), Some(o) if o.is_ge())
+                    && matches!(x.sql_cmp(hi), Some(o) if o.is_le())
+            }
+            Predicate::In(c, vs) => vs.iter().any(|v| row[*c as usize].sql_eq(v)),
+            Predicate::And(ps) => ps.iter().all(|p| p.matches(row)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches(row)),
+        }
+    }
+
+    /// Appends every column referenced anywhere in the tree.
+    pub fn collect_columns(&self, out: &mut Vec<ColId>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Eq(c, _)
+            | Predicate::Cmp(c, _, _)
+            | Predicate::Between(c, _, _)
+            | Predicate::In(c, _) => out.push(*c),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// If the predicate pins `col` to a finite set of values (an equality or
+    /// IN-list, possibly under conjunctions), returns those values. Returns
+    /// `None` when `col` is unconstrained or only range-constrained — the
+    /// router then has to broadcast.
+    ///
+    /// Disjunctions return the union if *every* branch pins the column.
+    pub fn pinned_values(&self, col: ColId) -> Option<Vec<Value>> {
+        match self {
+            Predicate::Eq(c, v) if *c == col => Some(vec![v.clone()]),
+            Predicate::In(c, vs) if *c == col => Some(vs.clone()),
+            Predicate::Between(c, lo, hi) if *c == col => {
+                // A small integer range is still a finite pin; large ranges
+                // are treated as unpinned.
+                match (lo, hi) {
+                    (Value::Int(a), Value::Int(b)) if b >= a && b - a <= 64 => {
+                        Some((*a..=*b).map(Value::Int).collect())
+                    }
+                    _ => None,
+                }
+            }
+            Predicate::And(ps) => ps.iter().find_map(|p| p.pinned_values(col)),
+            Predicate::Or(ps) => {
+                let mut all = Vec::new();
+                for p in ps {
+                    all.extend(p.pinned_values(col)?);
+                }
+                Some(all)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn col(c: ColId) -> String {
+            format!("c{c}")
+        }
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Eq(c, v) => write!(f, "{} = {v}", col(*c)),
+            Predicate::Cmp(c, op, v) => {
+                let s = match op {
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                    CmpOp::Ne => "<>",
+                };
+                write!(f, "{} {s} {v}", col(*c))
+            }
+            Predicate::Between(c, lo, hi) => write!(f, "{} BETWEEN {lo} AND {hi}", col(*c)),
+            Predicate::In(c, vs) => {
+                write!(f, "{} IN (", col(*c))?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn eq_and_cmp() {
+        let p = Predicate::Eq(0, Value::Int(5));
+        assert!(p.matches(&row(&[5, 0])));
+        assert!(!p.matches(&row(&[4, 0])));
+        let p = Predicate::Cmp(1, CmpOp::Ge, Value::Int(10));
+        assert!(p.matches(&row(&[0, 10])));
+        assert!(!p.matches(&row(&[0, 9])));
+        let p = Predicate::Cmp(0, CmpOp::Ne, Value::Int(1));
+        assert!(p.matches(&row(&[2])));
+        assert!(!p.matches(&row(&[1])));
+    }
+
+    #[test]
+    fn between_and_in() {
+        let p = Predicate::Between(0, Value::Int(3), Value::Int(5));
+        assert!(p.matches(&row(&[3])));
+        assert!(p.matches(&row(&[5])));
+        assert!(!p.matches(&row(&[6])));
+        let p = Predicate::In(0, vec![Value::Int(1), Value::Int(9)]);
+        assert!(p.matches(&row(&[9])));
+        assert!(!p.matches(&row(&[2])));
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let p = Predicate::Eq(0, Value::Null);
+        assert!(!p.matches(&[Value::Null]));
+        let p = Predicate::Cmp(0, CmpOp::Lt, Value::Int(5));
+        assert!(!p.matches(&[Value::Null]));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let p = Predicate::And(vec![
+            Predicate::Eq(0, Value::Int(1)),
+            Predicate::Cmp(1, CmpOp::Lt, Value::Int(10)),
+        ]);
+        assert!(p.matches(&row(&[1, 5])));
+        assert!(!p.matches(&row(&[1, 15])));
+        let p = Predicate::Or(vec![
+            Predicate::Eq(0, Value::Int(1)),
+            Predicate::Eq(0, Value::Int(2)),
+        ]);
+        assert!(p.matches(&row(&[2])));
+        assert!(!p.matches(&row(&[3])));
+    }
+
+    #[test]
+    fn and_flattens() {
+        let p = Predicate::and(vec![
+            Predicate::True,
+            Predicate::and(vec![Predicate::Eq(0, Value::Int(1)), Predicate::True]),
+        ]);
+        assert_eq!(p, Predicate::Eq(0, Value::Int(1)));
+        assert_eq!(Predicate::and(vec![]), Predicate::True);
+    }
+
+    #[test]
+    fn pinned_values_extraction() {
+        let p = Predicate::And(vec![
+            Predicate::Eq(0, Value::Int(7)),
+            Predicate::Cmp(1, CmpOp::Lt, Value::Int(3)),
+        ]);
+        assert_eq!(p.pinned_values(0), Some(vec![Value::Int(7)]));
+        assert_eq!(p.pinned_values(1), None);
+        let p = Predicate::Or(vec![
+            Predicate::Eq(0, Value::Int(1)),
+            Predicate::In(0, vec![Value::Int(2)]),
+        ]);
+        assert_eq!(p.pinned_values(0), Some(vec![Value::Int(1), Value::Int(2)]));
+        // One unpinned branch poisons the disjunction.
+        let p = Predicate::Or(vec![Predicate::Eq(0, Value::Int(1)), Predicate::True]);
+        assert_eq!(p.pinned_values(0), None);
+        // Small BETWEEN ranges enumerate.
+        let p = Predicate::Between(0, Value::Int(2), Value::Int(4));
+        assert_eq!(
+            p.pinned_values(0),
+            Some(vec![Value::Int(2), Value::Int(3), Value::Int(4)])
+        );
+    }
+
+    #[test]
+    fn collect_columns_walks_tree() {
+        let p = Predicate::And(vec![
+            Predicate::Eq(0, Value::Int(1)),
+            Predicate::Or(vec![
+                Predicate::In(2, vec![Value::Int(1)]),
+                Predicate::Between(3, Value::Int(0), Value::Int(9)),
+            ]),
+        ]);
+        let mut cols = Vec::new();
+        p.collect_columns(&mut cols);
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 2, 3]);
+    }
+}

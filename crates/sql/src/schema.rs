@@ -1,0 +1,177 @@
+//! Schema metadata: tables, columns, primary keys.
+
+use std::collections::HashMap;
+
+/// Index of a table within a [`Schema`].
+pub type TableId = u16;
+/// Index of a column within its table.
+pub type ColId = u16;
+
+/// Column type. Only the two types the evaluation workloads need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    Int,
+    Str,
+}
+
+/// A column definition.
+#[derive(Clone, Debug)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+/// A table definition.
+#[derive(Clone, Debug)]
+pub struct TableDef {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Column indices forming the primary key, in key order.
+    pub primary_key: Vec<ColId>,
+}
+
+impl TableDef {
+    /// Looks up a column by name.
+    pub fn column_id(&self, name: &str) -> Option<ColId> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| i as ColId)
+    }
+
+    /// The column definition for `col`.
+    pub fn column(&self, col: ColId) -> &ColumnDef {
+        &self.columns[col as usize]
+    }
+}
+
+/// A database schema: an ordered collection of tables with name lookup.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    tables: Vec<TableDef>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Schema {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table; `columns` are `(name, type)` pairs and `primary_key`
+    /// lists key column names.
+    ///
+    /// # Panics
+    /// Panics on duplicate table names, duplicate column names, or unknown
+    /// primary-key columns — all programming errors in workload definitions.
+    pub fn add_table(
+        &mut self,
+        name: &str,
+        columns: &[(&str, ColumnType)],
+        primary_key: &[&str],
+    ) -> TableId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate table name {name}"
+        );
+        let cols: Vec<ColumnDef> = columns
+            .iter()
+            .map(|(n, t)| ColumnDef { name: (*n).to_owned(), ty: *t })
+            .collect();
+        {
+            let mut seen = std::collections::HashSet::new();
+            for c in &cols {
+                assert!(seen.insert(&c.name), "duplicate column {} in {name}", c.name);
+            }
+        }
+        let def = TableDef {
+            name: name.to_owned(),
+            primary_key: primary_key
+                .iter()
+                .map(|k| {
+                    cols.iter()
+                        .position(|c| &c.name == k)
+                        .unwrap_or_else(|| panic!("unknown pk column {k} in {name}"))
+                        as ColId
+                })
+                .collect(),
+            columns: cols,
+        };
+        let id = self.tables.len() as TableId;
+        self.by_name.insert(name.to_owned(), id);
+        self.tables.push(def);
+        id
+    }
+
+    /// Table by id.
+    pub fn table(&self, id: TableId) -> &TableDef {
+        &self.tables[id as usize]
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Iterates `(id, def)` pairs.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &TableDef)> {
+        self.tables.iter().enumerate().map(|(i, t)| (i as TableId, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let mut s = Schema::new();
+        let acc = s.add_table(
+            "account",
+            &[("id", ColumnType::Int), ("name", ColumnType::Str), ("bal", ColumnType::Int)],
+            &["id"],
+        );
+        assert_eq!(s.table_id("account"), Some(acc));
+        assert_eq!(s.table_id("nope"), None);
+        let t = s.table(acc);
+        assert_eq!(t.column_id("bal"), Some(2));
+        assert_eq!(t.primary_key, vec![0]);
+        assert_eq!(t.column(1).ty, ColumnType::Str);
+        assert_eq!(s.num_tables(), 1);
+    }
+
+    #[test]
+    fn composite_primary_key() {
+        let mut s = Schema::new();
+        let t = s.add_table(
+            "order_line",
+            &[
+                ("ol_w_id", ColumnType::Int),
+                ("ol_d_id", ColumnType::Int),
+                ("ol_o_id", ColumnType::Int),
+                ("ol_number", ColumnType::Int),
+            ],
+            &["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+        );
+        assert_eq!(s.table(t).primary_key, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table")]
+    fn rejects_duplicate_table() {
+        let mut s = Schema::new();
+        s.add_table("t", &[("a", ColumnType::Int)], &["a"]);
+        s.add_table("t", &[("a", ColumnType::Int)], &["a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown pk column")]
+    fn rejects_bad_pk() {
+        let mut s = Schema::new();
+        s.add_table("t", &[("a", ColumnType::Int)], &["b"]);
+    }
+}

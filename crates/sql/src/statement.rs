@@ -1,0 +1,194 @@
+//! Statements: the unit the router sees.
+//!
+//! Each statement targets a single table with a predicate. INSERTs carry the
+//! inserted column values *as* an equality conjunction over the written
+//! columns, so routing logic is uniform across statement kinds. Multi-table
+//! SQL (joins) is decomposed by the trace extractor into per-table accesses,
+//! matching the paper's read/write-set extraction (§5.3).
+
+use crate::predicate::Predicate;
+use crate::schema::{Schema, TableId};
+use crate::value::Value;
+
+/// What the statement does to matching rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StatementKind {
+    Select,
+    Update,
+    Insert,
+    Delete,
+}
+
+impl StatementKind {
+    /// Whether this statement writes (updates/inserts/deletes) rows.
+    pub fn is_write(self) -> bool {
+        !matches!(self, StatementKind::Select)
+    }
+}
+
+/// A single-table statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Statement {
+    pub kind: StatementKind,
+    pub table: TableId,
+    /// WHERE clause; for INSERT, an equality conjunction binding the
+    /// inserted values.
+    pub predicate: Predicate,
+}
+
+impl Statement {
+    pub fn select(table: TableId, predicate: Predicate) -> Self {
+        Self { kind: StatementKind::Select, table, predicate }
+    }
+
+    pub fn update(table: TableId, predicate: Predicate) -> Self {
+        Self { kind: StatementKind::Update, table, predicate }
+    }
+
+    pub fn delete(table: TableId, predicate: Predicate) -> Self {
+        Self { kind: StatementKind::Delete, table, predicate }
+    }
+
+    /// Builds an INSERT from `(column, value)` pairs.
+    pub fn insert(table: TableId, values: Vec<(u16, Value)>) -> Self {
+        let preds = values.into_iter().map(|(c, v)| Predicate::Eq(c, v)).collect();
+        Self { kind: StatementKind::Insert, table, predicate: Predicate::and(preds) }
+    }
+
+    /// Renders the statement back to SQL text (used by trace tooling and
+    /// round-trip tests). Columns are printed by name via the schema.
+    pub fn to_sql(&self, schema: &Schema) -> String {
+        let t = schema.table(self.table);
+        let where_clause = |p: &Predicate| -> String {
+            if matches!(p, Predicate::True) {
+                String::new()
+            } else {
+                format!(" WHERE {}", render_pred(p, self.table, schema))
+            }
+        };
+        match self.kind {
+            StatementKind::Select => {
+                format!("SELECT * FROM {}{}", t.name, where_clause(&self.predicate))
+            }
+            StatementKind::Delete => {
+                format!("DELETE FROM {}{}", t.name, where_clause(&self.predicate))
+            }
+            StatementKind::Update => {
+                // The updated columns are not tracked (routing only needs the
+                // WHERE clause); emit a marker assignment.
+                format!("UPDATE {} SET _ = _{}", t.name, where_clause(&self.predicate))
+            }
+            StatementKind::Insert => {
+                let mut cols = Vec::new();
+                let mut vals = Vec::new();
+                flatten_insert(&self.predicate, &mut cols, &mut vals);
+                let names: Vec<&str> =
+                    cols.iter().map(|&c| t.column(c).name.as_str()).collect();
+                let rendered: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+                format!(
+                    "INSERT INTO {} ({}) VALUES ({})",
+                    t.name,
+                    names.join(", "),
+                    rendered.join(", ")
+                )
+            }
+        }
+    }
+}
+
+fn flatten_insert(p: &Predicate, cols: &mut Vec<u16>, vals: &mut Vec<Value>) {
+    match p {
+        Predicate::Eq(c, v) => {
+            cols.push(*c);
+            vals.push(v.clone());
+        }
+        Predicate::And(ps) => {
+            for p in ps {
+                flatten_insert(p, cols, vals);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn render_pred(p: &Predicate, table: TableId, schema: &Schema) -> String {
+    use crate::predicate::CmpOp;
+    let t = schema.table(table);
+    let col = |c: u16| t.column(c).name.clone();
+    match p {
+        Predicate::True => "TRUE".to_owned(),
+        Predicate::Eq(c, v) => format!("{} = {v}", col(*c)),
+        Predicate::Cmp(c, op, v) => {
+            let s = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Ne => "<>",
+            };
+            format!("{} {s} {v}", col(*c))
+        }
+        Predicate::Between(c, lo, hi) => format!("{} BETWEEN {lo} AND {hi}", col(*c)),
+        Predicate::In(c, vs) => {
+            let inner: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+            format!("{} IN ({})", col(*c), inner.join(", "))
+        }
+        Predicate::And(ps) => {
+            let inner: Vec<String> =
+                ps.iter().map(|p| render_pred(p, table, schema)).collect();
+            format!("({})", inner.join(" AND "))
+        }
+        Predicate::Or(ps) => {
+            let inner: Vec<String> =
+                ps.iter().map(|p| render_pred(p, table, schema)).collect();
+            format!("({})", inner.join(" OR "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            "account",
+            &[("id", ColumnType::Int), ("name", ColumnType::Str), ("bal", ColumnType::Int)],
+            &["id"],
+        );
+        s
+    }
+
+    #[test]
+    fn select_to_sql() {
+        let s = schema();
+        let stmt = Statement::select(0, Predicate::Eq(0, Value::Int(5)));
+        assert_eq!(stmt.to_sql(&s), "SELECT * FROM account WHERE id = 5");
+        assert!(!stmt.kind.is_write());
+    }
+
+    #[test]
+    fn insert_roundtrip_shape() {
+        let s = schema();
+        let stmt = Statement::insert(
+            0,
+            vec![(0, Value::Int(9)), (1, Value::Str("carlo".into()))],
+        );
+        assert_eq!(
+            stmt.to_sql(&s),
+            "INSERT INTO account (id, name) VALUES (9, 'carlo')"
+        );
+        assert!(stmt.kind.is_write());
+        // The synthesized predicate pins the pk.
+        assert_eq!(stmt.predicate.pinned_values(0), Some(vec![Value::Int(9)]));
+    }
+
+    #[test]
+    fn full_scan_has_no_where() {
+        let s = schema();
+        let stmt = Statement::select(0, Predicate::True);
+        assert_eq!(stmt.to_sql(&s), "SELECT * FROM account");
+    }
+}

@@ -1,0 +1,121 @@
+//! Literal values that flow through statements, predicates, and rows.
+
+use std::fmt;
+
+/// A SQL literal. The workloads in the Schism evaluation are key-oriented
+/// OLTP, so integers dominate; strings appear in a few schema columns
+/// (names, payloads) and `Null` marks absent data.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Absent / unknown. Compares less than everything else for ordering
+    /// purposes (like an index would sort NULLs first), but `Null == Null`
+    /// predicates never match, mirroring SQL three-valued logic in the only
+    /// place it matters for routing.
+    Null,
+    /// 64-bit integer — ids, keys, quantities.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style equality: `Null` never equals anything, including itself.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self == other
+    }
+
+    /// SQL-style ordering: `None` when either side is `Null` or the types
+    /// differ (a predicate comparing an int column to a string matches
+    /// nothing rather than panicking).
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn sql_equality_with_null() {
+        assert!(Value::Int(3).sql_eq(&Value::Int(3)));
+        assert!(!Value::Int(3).sql_eq(&Value::Int(4)));
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Int(0).sql_eq(&Value::Null));
+    }
+
+    #[test]
+    fn sql_ordering() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Str("a".into()).sql_cmp(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Str("a".into())), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_escapes_quotes() {
+        assert_eq!(Value::Str("o'brien".into()).to_string(), "'o''brien'");
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,34 @@
+//! # schism-workload
+//!
+//! The benchmark suite of the Schism evaluation (§6, Appendix D), rebuilt as
+//! trace generators:
+//!
+//! | module | paper experiment |
+//! |--------|------------------|
+//! | [`simplecount`] | §3 "The Price of Distribution" (Figure 1) |
+//! | [`ycsb`] | YCSB-A / YCSB-E (Figure 4) |
+//! | [`tpcc`] | TPC-C 2W / 50W (Figures 4, 6; Table 1) |
+//! | [`tpce`] | TPC-E, 1000 customers (Figure 4; Table 1) |
+//! | [`epinions`] | Epinions.com social workload (Figure 4; Table 1) |
+//! | [`random`] | the "impossible" Random workload (Figure 4) |
+//!
+//! Every generator returns a [`Workload`]: schema, transaction [`Trace`]
+//! (read/write sets, optional SQL statements), a [`TupleValues`] oracle for
+//! tuple attribute values, per-table row counts, and WHERE-clause attribute
+//! statistics. Generators are deterministic for a fixed seed.
+
+pub mod dist;
+pub mod epinions;
+pub mod random;
+pub mod simplecount;
+pub mod tpcc;
+pub mod tpce;
+pub mod trace;
+pub mod tuple;
+pub mod txn;
+pub mod ycsb;
+
+pub use dist::{ScrambledZipfian, Zipfian};
+pub use trace::{Trace, Workload};
+pub use tuple::{MaterializedDb, TupleId, TupleValues};
+pub use txn::{Transaction, TxnBuilder};

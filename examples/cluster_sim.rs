@@ -1,0 +1,60 @@
+//! Drive the discrete-event cluster simulator directly: compare a good
+//! partitioning against hash partitioning for the same workload on the
+//! same 4-server cluster — the end-to-end consequence of Figure 4's cost
+//! differences.
+//!
+//! ```text
+//! cargo run --release -p schism --example cluster_sim
+//! ```
+
+use schism_router::{HashScheme, PartitionSet, RangeRule, RangeScheme, TablePolicy};
+use schism_sim::{run, PoolSource, SimConfig, SimTxn};
+use schism_workload::simplecount::{self, AccessMode, SimpleCountConfig};
+
+fn main() {
+    let servers = 4u32;
+    let wcfg = SimpleCountConfig {
+        servers,
+        mode: AccessMode::SinglePartition,
+        update_fraction: 0.2,
+        num_txns: 8_000,
+        ..Default::default()
+    };
+    let w = simplecount::generate(&wcfg);
+    let rows = w.total_tuples();
+    let stripe = rows / servers as u64;
+
+    // Scheme A: range partitioning aligned with the workload's locality.
+    let rules: Vec<RangeRule> = (0..servers)
+        .map(|p| RangeRule {
+            conds: vec![(
+                0,
+                (p as u64 * stripe) as i64,
+                if p == servers - 1 { i64::MAX } else { ((p as u64 + 1) * stripe - 1) as i64 },
+            )],
+            partitions: PartitionSet::single(p),
+        })
+        .collect();
+    let aligned = RangeScheme::new(
+        servers,
+        vec![TablePolicy::Rules { rules, default: PartitionSet::single(0) }],
+    );
+
+    // Scheme B: hash partitioning (scatters the co-accessed pairs).
+    let hashed = HashScheme::by_row_id(servers);
+
+    let sim_cfg = SimConfig::figure1(servers);
+    println!("simulating {} servers, {} clients, 10 simulated seconds each...\n", servers, sim_cfg.num_clients);
+    let a = run(&sim_cfg, &mut PoolSource::new(SimTxn::from_trace(&w.trace, &aligned, &*w.db)));
+    let b = run(&sim_cfg, &mut PoolSource::new(SimTxn::from_trace(&w.trace, &hashed, &*w.db)));
+
+    println!("aligned ranges : {:>7.0} txn/s, {:>5.2} ms mean latency, {:>4.1}% distributed",
+        a.throughput, a.mean_latency_ms, a.distributed_fraction * 100.0);
+    println!("hash partition : {:>7.0} txn/s, {:>5.2} ms mean latency, {:>4.1}% distributed",
+        b.throughput, b.mean_latency_ms, b.distributed_fraction * 100.0);
+    println!(
+        "\npartitioning aligned with co-access gives {:.2}x the throughput of hashing —\n\
+         this is exactly the gap Schism's graph partitioning recovers automatically.",
+        a.throughput / b.throughput.max(1e-9)
+    );
+}

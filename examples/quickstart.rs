@@ -1,0 +1,82 @@
+//! Quickstart: the paper's Figure 2/3 bank example, end to end.
+//!
+//! A single `account` table, transactions that co-access pairs of accounts
+//! in two natural clusters, and one frequently-read-rarely-written account
+//! touched by both clusters — the situation where tuple-level replication
+//! shines. Schism builds the graph, partitions it, explains the result as
+//! range predicates, and validates against hashing/replication.
+//!
+//! ```text
+//! cargo run --release -p schism --example quickstart
+//! ```
+
+use schism_core::{Schism, SchismConfig};
+use schism_sql::{AttributeStats, ColumnType, Predicate, Schema, Statement, Value};
+use schism_workload::{MaterializedDb, Trace, TupleId, TxnBuilder, Workload};
+use std::sync::Arc;
+
+fn main() {
+    // --- The database: account(id, name, bal), 400 tuples. ---
+    let mut schema = Schema::new();
+    let t_account = schema.add_table(
+        "account",
+        &[("id", ColumnType::Int), ("name", ColumnType::Str), ("bal", ColumnType::Int)],
+        &["id"],
+    );
+    let n_accounts = 400u64;
+    let mut db = MaterializedDb::new();
+    let t = db.add_table(3);
+    db.set_column(t, 0, (0..n_accounts as i64).collect());
+    db.set_column(t, 2, (0..n_accounts as i64).map(|i| 1_000 + i * 7).collect());
+
+    // --- The workload: transfers stay within the low half or the high
+    //     half of the id space (two natural partitions), but every
+    //     transaction also *reads* the bank's fee-schedule account #0. ---
+    let mut stats = AttributeStats::default();
+    let mut txns = Vec::new();
+    let mut rng_state = 42u64;
+    let mut next = |m: u64| {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (rng_state >> 33) % m
+    };
+    for i in 0..4_000 {
+        let half = if i % 2 == 0 { 0 } else { n_accounts / 2 };
+        let a = half + next(n_accounts / 2);
+        let mut b = half + next(n_accounts / 2);
+        while b == a {
+            b = half + next(n_accounts / 2);
+        }
+        let mut tb = TxnBuilder::new(false);
+        tb.write(TupleId::new(t_account, a));
+        tb.write(TupleId::new(t_account, b));
+        tb.read(TupleId::new(t_account, 0)); // everyone reads the fee schedule
+        for id in [a, b] {
+            stats.observe(&Statement::update(
+                t_account,
+                Predicate::Eq(0, Value::Int(id as i64)),
+            ));
+        }
+        stats.observe(&Statement::select(t_account, Predicate::Eq(0, Value::Int(0))));
+        txns.push(tb.finish());
+    }
+
+    let workload = Workload {
+        name: "bank-quickstart".into(),
+        schema: Arc::new(schema),
+        trace: Trace { transactions: txns },
+        db: Arc::new(db),
+        table_rows: vec![n_accounts],
+        attr_stats: stats,
+    };
+
+    // --- Run Schism for 2 partitions. ---
+    let rec = Schism::new(SchismConfig::new(2)).run(&workload);
+    println!("{rec}");
+
+    println!("What to look for:");
+    println!(" - the explanation finds the two id ranges (low half vs high half),");
+    println!(" - account #0 (read by everyone, written by no one) is replicated by");
+    println!("   the graph or absorbed into a partition at zero extra cost,");
+    println!(" - the fine-grained schemes land near 0-1% distributed transactions");
+    println!("   while hashing scatters the transfer pairs (~75%+).");
+}

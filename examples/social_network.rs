@@ -1,0 +1,79 @@
+//! The Epinions social-network scenario (§6.1): many-to-many relations with
+//! latent community structure that no range or hash scheme can see —
+//! Schism's lookup tables discover it from co-access alone.
+//!
+//! ```text
+//! cargo run --release -p schism --example social_network
+//! ```
+
+use schism_core::{Schism, SchismConfig};
+use schism_router::evaluate;
+use schism_workload::epinions::{self, EpinionsConfig};
+
+fn main() {
+    let cfg = EpinionsConfig {
+        users: 2_000,
+        items: 4_000,
+        reviews: 20_000,
+        trust_edges: 10_000,
+        num_txns: 30_000,
+        ..Default::default()
+    };
+    println!(
+        "generating epinions workload: {} users, {} items, {} reviews, {} trust edges, {} txns",
+        cfg.users, cfg.items, cfg.reviews, cfg.trust_edges, cfg.num_txns
+    );
+    let workload = epinions::generate(&cfg);
+
+    let mut scfg = SchismConfig::new(2);
+    scfg.partitioner.epsilon = 0.1;
+    let schism = Schism::new(scfg.clone());
+    let (train, test) = workload.trace.split(scfg.train_fraction, scfg.seed ^ 0x7E57);
+    let rec = schism.run_split(&workload, &train, &test);
+    println!("{rec}");
+
+    // Compare against the paper's manual strategy: items+reviews hashed
+    // together, users+trust replicated everywhere.
+    struct Manual;
+    use schism_router::{Complexity, PartitionSet, Route, Scheme};
+    use schism_sql::Statement;
+    use schism_workload::{TupleId, TupleValues};
+    impl Scheme for Manual {
+        fn name(&self) -> String {
+            "manual".into()
+        }
+        fn k(&self) -> u32 {
+            2
+        }
+        fn complexity(&self) -> Complexity {
+            Complexity::Hash
+        }
+        fn locate_tuple(&self, t: TupleId, db: &dyn TupleValues) -> PartitionSet {
+            use schism_workload::epinions::{T_ITEMS, T_REVIEWS};
+            let h = |x: u64| PartitionSet::single((x % 2) as u32);
+            match t.table {
+                T_ITEMS => h(t.row),
+                T_REVIEWS => db.value(t, 2).map(|i| h(i as u64)).unwrap_or(PartitionSet::all(2)),
+                _ => PartitionSet::all(2),
+            }
+        }
+        fn route_statement(&self, stmt: &Statement) -> Route {
+            if stmt.kind.is_write() {
+                Route::must(PartitionSet::all(2))
+            } else {
+                Route::any(PartitionSet::all(2))
+            }
+        }
+    }
+    let manual = evaluate(&Manual, &test, &*workload.db);
+    println!(
+        "manual partitioning (item-hash + replicate users/trust): {:.2}% distributed",
+        manual.distributed_fraction() * 100.0
+    );
+    println!(
+        "schism chose `{}` at {:.2}% — the paper reports Schism beating the manual \
+         strategy by ~30% relative on this workload.",
+        rec.chosen(),
+        rec.chosen_fraction() * 100.0
+    );
+}

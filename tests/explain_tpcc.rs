@@ -1,0 +1,81 @@
+//! The §5.2 worked example: for TPC-C with two warehouses and two
+//! partitions, the explanation phase must produce warehouse-range rules
+//! for the `stock` table (`s_w_id <= 1 -> one partition, s_w_id > 1 -> the
+//! other`) and select `s_w_id` over `s_i_id` during attribute selection.
+
+use schism_core::{Schism, SchismConfig};
+use schism_router::TablePolicy;
+use schism_workload::tpcc::{self, TpccConfig, T_STOCK};
+
+#[test]
+fn stock_rules_split_on_warehouse_id() {
+    let w = tpcc::generate(&TpccConfig { num_txns: 12_000, ..TpccConfig::small(2) });
+    let rec = Schism::new(SchismConfig::new(2)).run(&w);
+
+    let stock = rec
+        .explanation
+        .per_table
+        .iter()
+        .find(|e| e.table == T_STOCK)
+        .expect("stock explained");
+
+    // Attribute selection: s_w_id (col 0) must be chosen; the item id must
+    // not be the (only) split attribute.
+    assert!(
+        stock.attrs.contains(&0),
+        "s_w_id must be selected, got {:?}",
+        stock.attrs
+    );
+
+    match &stock.policy {
+        TablePolicy::Rules { rules, .. } => {
+            assert_eq!(rules.len(), 2, "two warehouses -> two rules: {:?}", stock.rules_rendered);
+            // Both rules must condition on s_w_id (col 0) and map to
+            // different single partitions.
+            let mut targets = Vec::new();
+            for r in rules {
+                assert!(r.conds.iter().any(|&(c, _, _)| c == 0), "{:?}", stock.rules_rendered);
+                assert!(r.partitions.is_single());
+                targets.push(r.partitions.first().unwrap());
+            }
+            targets.sort_unstable();
+            assert_eq!(targets, vec![0, 1]);
+            // The boundary must sit between warehouse 1 and 2.
+            let lo_rule = rules.iter().find(|r| {
+                r.conds.iter().any(|&(c, lo, hi)| c == 0 && lo <= 1 && hi == 1)
+            });
+            assert!(lo_rule.is_some(), "expected `s_w_id <= 1` rule: {:?}", stock.rules_rendered);
+        }
+        other => panic!("expected rules for stock, got {other:?} ({:?})", stock.rules_rendered),
+    }
+    // Paper-style rendering shows up in the report too.
+    let text = rec.to_string();
+    assert!(text.contains("s_w_id"), "report: {text}");
+}
+
+#[test]
+fn whole_database_policy_is_warehouse_aligned() {
+    let tcfg = TpccConfig { num_txns: 12_000, ..TpccConfig::small(2) };
+    let w = tpcc::generate(&tcfg);
+    let rec = Schism::new(SchismConfig::new(2)).run(&w);
+    // Every warehouse-keyed table must have produced range rules (not a
+    // broadcast policy); item is the replicated exception.
+    for e in &rec.explanation.per_table {
+        if e.training_tuples == 0 {
+            continue;
+        }
+        match e.table_name.as_str() {
+            "item" => assert!(
+                matches!(e.policy, TablePolicy::Replicate),
+                "item should replicate: {:?}",
+                e.rules_rendered
+            ),
+            _ => assert!(
+                matches!(e.policy, TablePolicy::Rules { .. } | TablePolicy::Single(_)),
+                "{} should be ruled: {:?}",
+                e.table_name,
+                e.rules_rendered
+            ),
+        }
+    }
+}

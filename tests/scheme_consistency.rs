@@ -1,0 +1,105 @@
+//! Consistency between the two routing paths every scheme exposes:
+//! statement routing (predicates) must always cover tuple placement —
+//! a statement that pins a key must be routed to (at least) wherever
+//! `locate_tuple` puts the matching tuple, or correctness breaks at
+//! runtime.
+
+use schism_router::{
+    BitArrayBackend, HashScheme, IndexBackend, LookupBackend, LookupScheme, MissPolicy,
+    PartitionSet, RangeRule, RangeScheme, ReplicationScheme, RowKey, Scheme, TablePolicy,
+};
+use schism_sql::{Predicate, Statement, Value};
+use schism_workload::{MaterializedDb, TupleId};
+
+fn db_with_ids(rows: u64) -> MaterializedDb {
+    let mut db = MaterializedDb::new();
+    let t = db.add_table(1);
+    db.set_column(t, 0, (0..rows as i64).collect());
+    db
+}
+
+fn check_coverage(scheme: &dyn Scheme, db: &MaterializedDb, rows: u64) {
+    for row in 0..rows {
+        let home = scheme.locate_tuple(TupleId::new(0, row), db);
+        let stmt = Statement::select(0, Predicate::Eq(0, Value::Int(row as i64)));
+        let route = scheme.route_statement(&stmt);
+        assert!(
+            !route.targets.intersect(&home).is_empty(),
+            "{}: statement for row {row} routed to {:?} but tuple lives on {:?}",
+            scheme.name(),
+            route.targets,
+            home
+        );
+        // Writes must reach every copy.
+        let w = Statement::update(0, Predicate::Eq(0, Value::Int(row as i64)));
+        let wroute = scheme.route_statement(&w);
+        assert_eq!(
+            wroute.targets.union(&home),
+            wroute.targets,
+            "{}: write route {:?} misses copies {:?}",
+            scheme.name(),
+            wroute.targets,
+            home
+        );
+    }
+}
+
+#[test]
+fn hash_scheme_routes_cover_placement() {
+    let rows = 500;
+    let db = db_with_ids(rows);
+    check_coverage(&HashScheme::by_attrs(7, vec![Some(0)]), &db, rows);
+}
+
+#[test]
+fn replication_scheme_routes_cover_placement() {
+    let rows = 100;
+    let db = db_with_ids(rows);
+    check_coverage(&ReplicationScheme::new(5), &db, rows);
+}
+
+#[test]
+fn range_scheme_routes_cover_placement() {
+    let rows = 600;
+    let db = db_with_ids(rows);
+    let scheme = RangeScheme::new(
+        3,
+        vec![TablePolicy::Rules {
+            rules: vec![
+                RangeRule { conds: vec![(0, i64::MIN, 199)], partitions: PartitionSet::single(0) },
+                RangeRule { conds: vec![(0, 200, 399)], partitions: PartitionSet::single(1) },
+                RangeRule { conds: vec![(0, 400, i64::MAX)], partitions: PartitionSet::single(2) },
+            ],
+            default: PartitionSet::single(0),
+        }],
+    );
+    check_coverage(&scheme, &db, rows);
+}
+
+#[test]
+fn lookup_scheme_routes_cover_placement() {
+    let rows = 400u64;
+    let db = db_with_ids(rows);
+    let entries: Vec<(u64, PartitionSet)> = (0..rows)
+        .map(|r| {
+            if r % 10 == 0 {
+                (r, PartitionSet::all(4)) // some replicated tuples
+            } else {
+                (r, PartitionSet::single((r % 4) as u32))
+            }
+        })
+        .collect();
+    for backend in ["index", "bits"] {
+        let b: Box<dyn LookupBackend> = match backend {
+            "index" => Box::new(IndexBackend::new(entries.clone())),
+            _ => Box::new(BitArrayBackend::new(rows, entries.clone())),
+        };
+        let scheme = LookupScheme::new(
+            4,
+            vec![Some(b)],
+            vec![Some(RowKey { col: 0, offset: 0 })],
+            MissPolicy::Replicate,
+        );
+        check_coverage(&scheme, &db, rows);
+    }
+}
