@@ -5,7 +5,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use schism_ml::{cfs_select, DatasetBuilder, DecisionTree, TreeConfig};
 
 fn warehouse_dataset(rows: i64, warehouses: i64) -> schism_ml::Dataset {
-    let mut b = DatasetBuilder::new().numeric("s_i_id").numeric("s_w_id").numeric("noise");
+    let mut b = DatasetBuilder::new()
+        .numeric("s_i_id")
+        .numeric("s_w_id")
+        .numeric("noise");
     for i in 0..rows {
         let w = i % warehouses;
         b.row(&[i, w, (i * 2654435761) % 97], (w % 8) as u32);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the migration machinery: plan diffing
+//! and partition relabeling at 1e5–1e6 tuples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schism_migrate::{plan_migration, relabel, PlanConfig};
+use schism_router::PartitionSet;
+use schism_workload::{MaterializedDb, TupleId};
+use std::collections::HashMap;
+
+const K: u32 = 64;
+
+/// `n` tuples hashed over `K` partitions; `perturb` per-mille of them
+/// moved to a different partition (plus a global label rotation, which
+/// relabeling must see through).
+fn assignments(
+    n: u64,
+    perturb_per_mille: u64,
+) -> (
+    HashMap<TupleId, PartitionSet>,
+    HashMap<TupleId, PartitionSet>,
+) {
+    let mut old = HashMap::with_capacity(n as usize);
+    let mut new = HashMap::with_capacity(n as usize);
+    for r in 0..n {
+        let p = (r.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % K as u64;
+        let moved = (r.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) % 1_000 < perturb_per_mille;
+        let q = if moved { (p + 7) % K as u64 } else { p };
+        old.insert(TupleId::new(0, r), PartitionSet::single(p as u32));
+        // Rotated labels: new id = old id + 1 (mod K).
+        new.insert(
+            TupleId::new(0, r),
+            PartitionSet::single(((q + 1) % K as u64) as u32),
+        );
+    }
+    (old, new)
+}
+
+fn bench_plan_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migrate/plan");
+    group.sample_size(10);
+    for &n in &[100_000u64, 1_000_000] {
+        let (old, new) = assignments(n, 50);
+        let db = MaterializedDb::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| plan_migration(&old, &new, &db, &PlanConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_relabel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migrate/relabel");
+    group.sample_size(10);
+    for &n in &[100_000u64, 1_000_000] {
+        let (old, new) = assignments(n, 50);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| relabel(&old, &new, K))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_diff, bench_relabel);
+criterion_main!(benches);

@@ -12,9 +12,7 @@ fn bench_partition_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}v", g.num_vertices())),
             &g,
-            |b, g| {
-                b.iter(|| partition(g, &PartitionerConfig::with_k(groups as u32)))
-            },
+            |b, g| b.iter(|| partition(g, &PartitionerConfig::with_k(groups as u32))),
         );
     }
     group.finish();

@@ -12,7 +12,9 @@ const N: u64 = 100_000;
 const K: u32 = 8;
 
 fn entries() -> Vec<(u64, PartitionSet)> {
-    (0..N).map(|r| (r, PartitionSet::single((r % K as u64) as u32))).collect()
+    (0..N)
+        .map(|r| (r, PartitionSet::single((r % K as u64) as u32)))
+        .collect()
 }
 
 fn bench_lookup_backends(c: &mut Criterion) {
@@ -48,7 +50,9 @@ fn bench_bloom_insert(c: &mut Criterion) {
 fn bench_route_transaction(c: &mut Criterion) {
     let scheme = LookupScheme::new(
         K,
-        vec![Some(Box::new(BitArrayBackend::new(N, entries())) as Box<dyn LookupBackend>)],
+        vec![Some(
+            Box::new(BitArrayBackend::new(N, entries())) as Box<dyn LookupBackend>
+        )],
         vec![None],
         MissPolicy::Replicate,
     );

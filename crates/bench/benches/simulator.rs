@@ -8,8 +8,16 @@ fn pool(servers: u32) -> Vec<SimTxn> {
     (0..256u64)
         .map(|i| SimTxn {
             ops: vec![
-                SimOp { server: (i % servers as u64) as u32, key: (0, i * 2), write: false },
-                SimOp { server: (i % servers as u64) as u32, key: (0, i * 2 + 1), write: i % 4 == 0 },
+                SimOp {
+                    server: (i % servers as u64) as u32,
+                    key: (0, i * 2),
+                    write: false,
+                },
+                SimOp {
+                    server: (i % servers as u64) as u32,
+                    key: (0, i * 2 + 1),
+                    write: i % 4 == 0,
+                },
             ],
         })
         .collect()

@@ -50,14 +50,21 @@ fn main() {
                     conds: vec![(
                         0,
                         (p as u64 * stripe) as i64,
-                        if p == servers - 1 { i64::MAX } else { ((p as u64 + 1) * stripe - 1) as i64 },
+                        if p == servers - 1 {
+                            i64::MAX
+                        } else {
+                            ((p as u64 + 1) * stripe - 1) as i64
+                        },
                     )],
                     partitions: PartitionSet::single(p),
                 })
                 .collect();
             let scheme = RangeScheme::new(
                 servers,
-                vec![TablePolicy::Rules { rules, default: PartitionSet::single(0) }],
+                vec![TablePolicy::Rules {
+                    rules,
+                    default: PartitionSet::single(0),
+                }],
             );
             let pool = SimTxn::from_trace(&w.trace, &scheme, &*w.db);
             let cfg = SimConfig::figure1(servers);

@@ -57,7 +57,10 @@ fn experiments(full: bool) -> Vec<Experiment> {
     }
     // --- TPC-C 2W. ---
     {
-        let tcfg = TpccConfig { num_txns: scale(30_000, 100_000), ..TpccConfig::full(2) };
+        let tcfg = TpccConfig {
+            num_txns: scale(30_000, 100_000),
+            ..TpccConfig::full(2)
+        };
         let w = tpcc::generate(&tcfg);
         let cfg = SchismConfig::new(2);
         out.push(Experiment {
@@ -70,7 +73,10 @@ fn experiments(full: bool) -> Vec<Experiment> {
     // --- TPC-C 2W, stress-tested sampling (§6.1: 20k txns, ~3% of
     //     tuples, <=250 training tuples per table). ---
     {
-        let tcfg = TpccConfig { num_txns: 20_000, ..TpccConfig::full(2) };
+        let tcfg = TpccConfig {
+            num_txns: 20_000,
+            ..TpccConfig::full(2)
+        };
         let w = tpcc::generate(&tcfg);
         let mut cfg = SchismConfig::new(2);
         cfg.tuple_sample = 0.03;
@@ -84,7 +90,10 @@ fn experiments(full: bool) -> Vec<Experiment> {
     }
     // --- TPC-C 50W / 10 partitions, 1% tuple sampling. ---
     {
-        let tcfg = TpccConfig { num_txns: scale(60_000, 150_000), ..TpccConfig::full(50) };
+        let tcfg = TpccConfig {
+            num_txns: scale(60_000, 150_000),
+            ..TpccConfig::full(50)
+        };
         let w = tpcc::generate(&tcfg);
         let mut cfg = SchismConfig::new(10);
         // Our tuple sampling is access-weighted (see DESIGN.md), so 5%
@@ -101,10 +110,18 @@ fn experiments(full: bool) -> Vec<Experiment> {
     }
     // --- TPC-E, 1000 customers. ---
     {
-        let ecfg = TpceConfig { num_txns: scale(30_000, 100_000), ..TpceConfig::with_customers(1_000) };
+        let ecfg = TpceConfig {
+            num_txns: scale(30_000, 100_000),
+            ..TpceConfig::with_customers(1_000)
+        };
         let w = tpce::generate(&ecfg);
         let cfg = SchismConfig::new(2);
-        out.push(Experiment { name: "tpce", manual: None, workload: w, cfg });
+        out.push(Experiment {
+            name: "tpce",
+            manual: None,
+            workload: w,
+            cfg,
+        });
     }
     // --- Epinions, 2 and 10 partitions. ---
     for (name, k) in [("epinions-2", 2u32), ("epinions-10", 10)] {
@@ -126,7 +143,10 @@ fn experiments(full: bool) -> Vec<Experiment> {
     }
     // --- Random: impossible to partition. ---
     {
-        let w = random::generate(&RandomConfig { num_txns: scale(10_000, 10_000), ..Default::default() });
+        let w = random::generate(&RandomConfig {
+            num_txns: scale(10_000, 10_000),
+            ..Default::default()
+        });
         let cfg = SchismConfig::new(2);
         out.push(Experiment {
             name: "random",
@@ -148,24 +168,47 @@ fn stripes_scheme(records: u64, k: u32) -> schism_router::RangeScheme {
             conds: vec![(
                 0,
                 (p as u64 * stripe) as i64,
-                if p == k - 1 { i64::MAX } else { ((p as u64 + 1) * stripe - 1) as i64 },
+                if p == k - 1 {
+                    i64::MAX
+                } else {
+                    ((p as u64 + 1) * stripe - 1) as i64
+                },
             )],
             partitions: PartitionSet::single(p),
         })
         .collect();
-    RangeScheme::new(k, vec![TablePolicy::Rules { rules, default: PartitionSet::single(0) }])
+    RangeScheme::new(
+        k,
+        vec![TablePolicy::Rules {
+            rules,
+            default: PartitionSet::single(0),
+        }],
+    )
 }
 
 fn main() {
     let full = schism_bench::full_scale();
     println!(
         "=== Figure 4: % distributed transactions per workload and strategy ({}) ===\n",
-        if full { "paper-scale traces" } else { "reduced traces; pass --full for paper scale" }
+        if full {
+            "paper-scale traces"
+        } else {
+            "reduced traces; pass --full for paper scale"
+        }
     );
 
     let mut table = Table::new(&[
-        "workload", "SCHISM", "(paper)", "manual", "(paper)", "replication", "(paper)",
-        "hashing", "(paper)", "chosen", "(paper chose)",
+        "workload",
+        "SCHISM",
+        "(paper)",
+        "manual",
+        "(paper)",
+        "replication",
+        "(paper)",
+        "hashing",
+        "(paper)",
+        "chosen",
+        "(paper chose)",
     ]);
     let mut details = String::new();
 
@@ -184,12 +227,8 @@ fn main() {
             .map(|m| evaluate(&**m, &test, &*exp.workload.db).distributed_fraction());
         let replication = rec.fraction_of("replication").unwrap_or(1.0);
         // Figure 4's "hashing" baseline: hash on primary key / tuple id.
-        let hash_id = evaluate(
-            &HashScheme::by_row_id(exp.cfg.k),
-            &test,
-            &*exp.workload.db,
-        )
-        .distributed_fraction();
+        let hash_id = evaluate(&HashScheme::by_row_id(exp.cfg.k), &test, &*exp.workload.db)
+            .distributed_fraction();
         let paper = paper_row(exp.name).expect("paper row");
 
         table.row(vec![

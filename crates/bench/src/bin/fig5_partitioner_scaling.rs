@@ -61,9 +61,7 @@ fn main() {
     println!("=== Figure 5: partitioning time vs number of partitions ===\n");
     let ks = [2u32, 4, 8, 16, 32, 64, 128, 256, 512];
 
-    let mut table = Table::new(&[
-        "k", "epinions (s)", "tpcc-50w (s)", "tpce (s)",
-    ]);
+    let mut table = Table::new(&["k", "epinions (s)", "tpcc-50w (s)", "tpce (s)"]);
     let graphs: Vec<(String, CsrGraph)> = ["epinions", "tpcc-50w", "tpce"]
         .iter()
         .map(|n| build(n, full))

@@ -19,7 +19,10 @@ use schism_sim::{run, PoolSource, SimConfig, SimTxn};
 use schism_workload::tpcc::{self, TpccConfig};
 
 fn tpcc_pool(warehouses: u32, servers: u32, num_txns: usize) -> Vec<SimTxn> {
-    let tcfg = TpccConfig { num_txns, ..TpccConfig::full(warehouses) };
+    let tcfg = TpccConfig {
+        num_txns,
+        ..TpccConfig::full(warehouses)
+    };
     let w = tpcc::generate(&tcfg);
     // The Schism result for TPC-C: partition by warehouse, replicate item
     // (identical rules to the validated fig4 output; coded directly here so

@@ -48,7 +48,12 @@ fn main() {
             num_txns: scale(40_000, 100_000),
             ..TpccConfig::full(50)
         });
-        rows.push(Row { name: "tpcc-50w", paper: ("25.0M", "100k", "2.5M", "65M"), workload: w, cfg });
+        rows.push(Row {
+            name: "tpcc-50w",
+            paper: ("25.0M", "100k", "2.5M", "65M"),
+            workload: w,
+            cfg,
+        });
     }
     {
         let w = tpce::generate(&TpceConfig {

@@ -36,15 +36,78 @@ pub struct PaperFig4Row {
 
 /// Paper reference values for Figure 4 (percent distributed transactions).
 pub const PAPER_FIG4: &[PaperFig4Row] = &[
-    PaperFig4Row { workload: "ycsb-a", schism: 0.0, manual: Some(0.0), replication: 50.0, hashing: 0.0, chosen: "hashing" },
-    PaperFig4Row { workload: "ycsb-e", schism: 0.25, manual: Some(0.16), replication: 5.1, hashing: 85.5, chosen: "range-predicates" },
-    PaperFig4Row { workload: "tpcc-2w", schism: 12.1, manual: Some(12.1), replication: 100.0, hashing: 54.6, chosen: "range-predicates" },
-    PaperFig4Row { workload: "tpcc-2w-sampled", schism: 12.7, manual: Some(12.3), replication: 100.0, hashing: 54.1, chosen: "range-predicates" },
-    PaperFig4Row { workload: "tpcc-50w", schism: 10.8, manual: Some(10.8), replication: 100.0, hashing: 55.5, chosen: "range-predicates" },
-    PaperFig4Row { workload: "tpce", schism: 12.1, manual: None, replication: 44.0, hashing: 68.5, chosen: "range-predicates" },
-    PaperFig4Row { workload: "epinions-2", schism: 4.5, manual: Some(6.0), replication: 8.0, hashing: 62.1, chosen: "lookup-table" },
-    PaperFig4Row { workload: "epinions-10", schism: 6.1, manual: Some(6.5), replication: 8.0, hashing: 75.7, chosen: "lookup-table" },
-    PaperFig4Row { workload: "random", schism: 50.0, manual: Some(50.0), replication: 100.0, hashing: 50.0, chosen: "hashing" },
+    PaperFig4Row {
+        workload: "ycsb-a",
+        schism: 0.0,
+        manual: Some(0.0),
+        replication: 50.0,
+        hashing: 0.0,
+        chosen: "hashing",
+    },
+    PaperFig4Row {
+        workload: "ycsb-e",
+        schism: 0.25,
+        manual: Some(0.16),
+        replication: 5.1,
+        hashing: 85.5,
+        chosen: "range-predicates",
+    },
+    PaperFig4Row {
+        workload: "tpcc-2w",
+        schism: 12.1,
+        manual: Some(12.1),
+        replication: 100.0,
+        hashing: 54.6,
+        chosen: "range-predicates",
+    },
+    PaperFig4Row {
+        workload: "tpcc-2w-sampled",
+        schism: 12.7,
+        manual: Some(12.3),
+        replication: 100.0,
+        hashing: 54.1,
+        chosen: "range-predicates",
+    },
+    PaperFig4Row {
+        workload: "tpcc-50w",
+        schism: 10.8,
+        manual: Some(10.8),
+        replication: 100.0,
+        hashing: 55.5,
+        chosen: "range-predicates",
+    },
+    PaperFig4Row {
+        workload: "tpce",
+        schism: 12.1,
+        manual: None,
+        replication: 44.0,
+        hashing: 68.5,
+        chosen: "range-predicates",
+    },
+    PaperFig4Row {
+        workload: "epinions-2",
+        schism: 4.5,
+        manual: Some(6.0),
+        replication: 8.0,
+        hashing: 62.1,
+        chosen: "lookup-table",
+    },
+    PaperFig4Row {
+        workload: "epinions-10",
+        schism: 6.1,
+        manual: Some(6.5),
+        replication: 8.0,
+        hashing: 75.7,
+        chosen: "lookup-table",
+    },
+    PaperFig4Row {
+        workload: "random",
+        schism: 50.0,
+        manual: Some(50.0),
+        replication: 100.0,
+        hashing: 50.0,
+        chosen: "hashing",
+    },
 ];
 
 /// Looks up the paper row by workload name.

@@ -129,7 +129,10 @@ mod tests {
     fn manual_tpcc_matches_multiwarehouse_fraction() {
         // The manual scheme's distributed fraction equals the fraction of
         // multi-warehouse transactions (~10.7%).
-        let cfg = TpccConfig { num_txns: 10_000, ..TpccConfig::small(4) };
+        let cfg = TpccConfig {
+            num_txns: 10_000,
+            ..TpccConfig::small(4)
+        };
         let w = tpcc::generate(&cfg);
         let scheme = ManualTpcc::new(cfg, 4);
         let r = evaluate(&scheme, &w.trace, &*w.db);
@@ -139,7 +142,10 @@ mod tests {
 
     #[test]
     fn manual_epinions_in_paper_ballpark() {
-        let cfg = EpinionsConfig { num_txns: 10_000, ..Default::default() };
+        let cfg = EpinionsConfig {
+            num_txns: 10_000,
+            ..Default::default()
+        };
         let w = epinions::generate(&cfg);
         let scheme = ManualEpinions::new(2);
         let r = evaluate(&scheme, &w.trace, &*w.db);

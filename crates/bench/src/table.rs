@@ -8,7 +8,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {

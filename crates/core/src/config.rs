@@ -86,7 +86,10 @@ impl SchismConfig {
             coalesce: true,
             partitioner: PartitionerConfig::with_k(k),
             min_attr_frequency: 0.25,
-            tree: TreeConfig { min_leaf: 4, ..TreeConfig::default() },
+            tree: TreeConfig {
+                min_leaf: 4,
+                ..TreeConfig::default()
+            },
             explain_sample_per_table: 10_000,
             cv_folds: 5,
             min_cv_accuracy: 0.75,

@@ -4,7 +4,7 @@
 
 use crate::config::SchismConfig;
 use schism_ml::{
-    cfs_select, cross_validate, extract_rules, Attribute, AttrKind, Dataset, DecisionTree,
+    cfs_select, cross_validate, extract_rules, AttrKind, Attribute, Dataset, DecisionTree,
     TreeConfig,
 };
 use schism_router::{PartitionSet, RangeRule, RangeScheme, TablePolicy};
@@ -100,8 +100,11 @@ pub fn explain(
         // writes pay the distributed cost — or pinned to the majority
         // partition otherwise.
         let tot = reads[tid as usize] + writes[tid as usize];
-        let write_frac =
-            if tot == 0 { 0.0 } else { writes[tid as usize] as f64 / tot as f64 };
+        let write_frac = if tot == 0 {
+            0.0
+        } else {
+            writes[tid as usize] as f64 / tot as f64
+        };
         if exp.training_tuples >= TINY_TABLE_ROWS
             && exp.cv_accuracy < cfg.min_cv_accuracy
             && write_frac < 0.05
@@ -121,16 +124,21 @@ pub fn explain(
         .iter()
         .filter(|e| e.training_tuples > 0)
         .all(|e| e.trusted);
-    Explanation { per_table, scheme: RangeScheme::new(k, policies), trusted }
+    Explanation {
+        per_table,
+        scheme: RangeScheme::new(k, policies),
+        trusted,
+    }
 }
 
 fn clone_policy(p: &TablePolicy) -> TablePolicy {
     match p {
         TablePolicy::Replicate => TablePolicy::Replicate,
         TablePolicy::Single(x) => TablePolicy::Single(*x),
-        TablePolicy::Rules { rules, default } => {
-            TablePolicy::Rules { rules: rules.clone(), default: *default }
-        }
+        TablePolicy::Rules { rules, default } => TablePolicy::Rules {
+            rules: rules.clone(),
+            default: *default,
+        },
     }
 }
 
@@ -194,8 +202,9 @@ fn explain_table(
     let num_labels = k + multi_sets.len() as u32 + 1;
 
     // Candidate attributes: frequently queried (§4.3 requirement (i)).
-    let candidates: Vec<ColId> =
-        workload.attr_stats.frequent_attributes(table, cfg.min_attr_frequency);
+    let candidates: Vec<ColId> = workload
+        .attr_stats
+        .frequent_attributes(table, cfg.min_attr_frequency);
 
     // Fetch attribute values; tuples with unavailable values are skipped.
     // Each tuple contributes one training row per (capped) trace access, so
@@ -244,7 +253,10 @@ fn explain_table(
             (TablePolicy::Single(p), format!("<empty>: partition {p}"))
         } else {
             (
-                TablePolicy::Rules { rules: Vec::new(), default: pset },
+                TablePolicy::Rules {
+                    rules: Vec::new(),
+                    default: pset,
+                },
                 format!("<empty>: partitions {pset:?}"),
             )
         }
@@ -285,10 +297,7 @@ fn explain_table(
     };
     // Project the dataset onto the selected attributes.
     let proj_cols: Vec<Vec<i64>> = selected.iter().map(|&a| ds.column(a).to_vec()).collect();
-    let proj_attrs: Vec<Attribute> = selected
-        .iter()
-        .map(|&a| ds.attr(a).clone())
-        .collect();
+    let proj_attrs: Vec<Attribute> = selected.iter().map(|&a| ds.attr(a).clone()).collect();
     let proj = Dataset::new(proj_attrs, proj_cols, labels, num_labels);
     let selected_cols: Vec<ColId> = selected.iter().map(|&a| candidates[a]).collect();
 
@@ -348,7 +357,10 @@ fn explain_table(
         } else if pset.is_single() {
             TablePolicy::Single(pset.first().expect("singleton"))
         } else {
-            TablePolicy::Rules { rules: Vec::new(), default: pset }
+            TablePolicy::Rules {
+                rules: Vec::new(),
+                default: pset,
+            }
         }
     } else {
         let range_rules: Vec<RangeRule> = rules
@@ -359,9 +371,7 @@ fn explain_table(
                     .iter()
                     .map(|c| match *c {
                         schism_ml::Cond::NumRange { attr, lo, hi } => (selected_cols[attr], lo, hi),
-                        schism_ml::Cond::CatEq { attr, code } => {
-                            (selected_cols[attr], code, code)
-                        }
+                        schism_ml::Cond::CatEq { attr, code } => (selected_cols[attr], code, code),
                     })
                     .collect(),
                 partitions: label_set(r.label),
@@ -373,7 +383,10 @@ fn explain_table(
             .max_by_key(|r| r.support)
             .map(|r| label_set(r.label))
             .unwrap_or_else(|| PartitionSet::all(k));
-        TablePolicy::Rules { rules: range_rules, default }
+        TablePolicy::Rules {
+            rules: range_rules,
+            default,
+        }
     };
 
     let trusted = if tiny {
@@ -430,7 +443,11 @@ mod tests {
         assert!(e.cv_accuracy > 0.95, "cv accuracy {}", e.cv_accuracy);
         match &e.policy {
             TablePolicy::Rules { rules, .. } => {
-                assert!(rules.len() >= 4, "expected >=4 range rules, got {}", rules.len());
+                assert!(
+                    rules.len() >= 4,
+                    "expected >=4 range rules, got {}",
+                    rules.len()
+                );
                 // Every observed tuple must be routed to its stripe.
                 let scheme = &exp.scheme;
                 for (&t, &want) in &assignment {

@@ -133,6 +133,111 @@ impl WorkloadGraph {
             .enumerate()
             .map(|(i, &t)| (t, self.group_accesses[self.group_of[i] as usize]))
     }
+
+    /// Resolves any graph node (group center or replica) to its group.
+    fn node_group(&self, node: usize) -> Option<usize> {
+        if node < self.num_groups {
+            Some(node)
+        } else {
+            self.replica_group
+                .get(node - self.num_groups)
+                .map(|&g| g as usize)
+        }
+    }
+
+    /// Builds a per-node initial assignment from a previous per-tuple
+    /// placement — the warm start for incremental repartitioning.
+    ///
+    /// Each group takes the majority previous *primary* partition of its
+    /// member tuples; replica nodes inherit their group's label (the
+    /// refiner is free to spread them again). Groups whose tuples were
+    /// never seen before take the edge-weighted majority label of their
+    /// graph neighbors (label propagation, up to three sweeps) so a
+    /// newly-hot co-access cluster seeds onto *one* partition rather than
+    /// being scattered; only groups with no labeled neighbors at all fall
+    /// back to the currently lightest partition.
+    pub fn seed_assignment(
+        &self,
+        prev: &HashMap<TupleId, schism_router::PartitionSet>,
+        k: u32,
+    ) -> Vec<u32> {
+        assert!(k >= 1);
+        // Majority vote per group over the previous placement.
+        let mut votes: Vec<HashMap<u32, u32>> = vec![HashMap::new(); self.num_groups];
+        for (i, t) in self.tuples.iter().enumerate() {
+            if let Some(p) = prev.get(t).and_then(|ps| ps.first()) {
+                *votes[self.group_of[i] as usize].entry(p % k).or_insert(0) += 1;
+            }
+        }
+        let mut load = vec![0u64; k as usize];
+        let mut labels = vec![u32::MAX; self.num_groups];
+        let mut unlabeled = 0usize;
+        for (g, v) in votes.iter().enumerate() {
+            // Deterministic tie-break: highest count, then lowest partition.
+            if let Some((&p, _)) = v.iter().max_by_key(|&(&p, &c)| (c, std::cmp::Reverse(p))) {
+                labels[g] = p;
+                load[p as usize] += u64::from(self.group_accesses[g].max(1));
+            } else {
+                unlabeled += 1;
+            }
+        }
+
+        // Label propagation for unseen groups: a group co-accessed with
+        // placed groups belongs with them.
+        let mut pass = 0;
+        while unlabeled > 0 && pass < 3 {
+            pass += 1;
+            let mut gains: HashMap<usize, HashMap<u32, u64>> = HashMap::new();
+            for node in 0..self.graph.num_vertices() {
+                let Some(gu) = self.node_group(node) else {
+                    continue;
+                };
+                if labels[gu] == u32::MAX {
+                    continue;
+                }
+                let label = labels[gu];
+                for (v, w) in self.graph.edges(node as NodeId) {
+                    let Some(gv) = self.node_group(v as usize) else {
+                        continue;
+                    };
+                    if labels[gv] == u32::MAX {
+                        *gains.entry(gv).or_default().entry(label).or_insert(0) += u64::from(w);
+                    }
+                }
+            }
+            if gains.is_empty() {
+                break;
+            }
+            for (g, vote) in gains {
+                let (&p, _) = vote
+                    .iter()
+                    .max_by_key(|&(&p, &w)| (w, std::cmp::Reverse(p)))
+                    .expect("non-empty vote");
+                labels[g] = p;
+                load[p as usize] += u64::from(self.group_accesses[g].max(1));
+                unlabeled -= 1;
+            }
+        }
+
+        // Whatever is still unlabeled has no placed neighborhood: spread by
+        // load so newcomers don't all pile onto partition 0.
+        for (g, label) in labels.iter_mut().enumerate() {
+            if *label == u32::MAX {
+                let lightest = (0..k).min_by_key(|&p| load[p as usize]).unwrap_or(0);
+                *label = lightest;
+                load[lightest as usize] += u64::from(self.group_accesses[g].max(1));
+            }
+        }
+        let mut assignment = Vec::with_capacity(self.graph.num_vertices());
+        assignment.extend_from_slice(&labels);
+        for &g in &self.replica_group {
+            assignment.push(labels[g as usize]);
+        }
+        // Replica ids that were planned but never allocated sit between the
+        // allocated ones and num_vertices; park them on partition 0.
+        assignment.resize(self.graph.num_vertices(), 0);
+        assignment
+    }
 }
 
 /// Builds the workload graph from the training trace.
@@ -144,16 +249,19 @@ pub fn build_graph(workload: &Workload, trace: &Trace, cfg: &SchismConfig) -> Wo
     let mut stats_map: HashMap<TupleId, TupleStats> = HashMap::new();
     let mut sampled_txns = 0usize;
     let mut dropped_scans = 0usize;
-    let visit_tuple = |t: TupleId, write: bool, txn_idx: usize, map: &mut HashMap<TupleId, TupleStats>| {
-        let e = map.entry(t).or_default();
-        e.accesses += 1;
-        if write {
-            e.writes += 1;
-        }
-        e.signature = splitmix(
-            e.signature ^ ((txn_idx as u64) << 1 | u64::from(write)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-    };
+    let visit_tuple =
+        |t: TupleId, write: bool, txn_idx: usize, map: &mut HashMap<TupleId, TupleStats>| {
+            let e = map.entry(t).or_default();
+            e.accesses += 1;
+            if write {
+                e.writes += 1;
+            }
+            e.signature = splitmix(
+                e.signature
+                    ^ ((txn_idx as u64) << 1 | u64::from(write))
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+        };
     for (idx, txn) in trace.transactions.iter().enumerate() {
         if !keep_txn(idx, cfg.txn_sample, seed) {
             continue;
@@ -192,10 +300,12 @@ pub fn build_graph(workload: &Workload, trace: &Trace, cfg: &SchismConfig) -> Wo
         let s = &stats_map[&t];
         let bytes = db.tuple_bytes(t.table) as u64;
         let gid = if cfg.coalesce {
-            *group_key.entry((s.signature, s.accesses)).or_insert_with(|| {
-                groups.push((0, 0, 0));
-                (groups.len() - 1) as NodeId
-            })
+            *group_key
+                .entry((s.signature, s.accesses))
+                .or_insert_with(|| {
+                    groups.push((0, 0, 0));
+                    (groups.len() - 1) as NodeId
+                })
         } else {
             groups.push((0, 0, 0));
             (groups.len() - 1) as NodeId
@@ -256,12 +366,14 @@ pub fn build_graph(workload: &Workload, trace: &Trace, cfg: &SchismConfig) -> Wo
         }
         members.clear();
         let add_member = |t: TupleId,
-                              members: &mut Vec<NodeId>,
-                              gb: &mut GraphBuilder,
-                              replica_group: &mut Vec<NodeId>,
-                              next_replica: &mut NodeId,
-                              group_stamp: &mut Vec<u64>| {
-            let Some(&ti) = tuple_index.get(&t) else { return };
+                          members: &mut Vec<NodeId>,
+                          gb: &mut GraphBuilder,
+                          replica_group: &mut Vec<NodeId>,
+                          next_replica: &mut NodeId,
+                          group_stamp: &mut Vec<u64>| {
+            let Some(&ti) = tuple_index.get(&t) else {
+                return;
+            };
             let gid = group_of[ti] as usize;
             if group_stamp[gid] == idx as u64 {
                 return; // group already represented in this transaction
@@ -292,17 +404,38 @@ pub fn build_graph(workload: &Workload, trace: &Trace, cfg: &SchismConfig) -> Wo
         };
 
         for &t in &txn.reads {
-            add_member(t, &mut members, &mut gb, &mut replica_group, &mut next_replica, &mut group_stamp);
+            add_member(
+                t,
+                &mut members,
+                &mut gb,
+                &mut replica_group,
+                &mut next_replica,
+                &mut group_stamp,
+            );
         }
         for &t in &txn.writes {
-            add_member(t, &mut members, &mut gb, &mut replica_group, &mut next_replica, &mut group_stamp);
+            add_member(
+                t,
+                &mut members,
+                &mut gb,
+                &mut replica_group,
+                &mut next_replica,
+                &mut group_stamp,
+            );
         }
         for scan in &txn.scans {
             if scan.len() > cfg.blanket_threshold {
                 continue;
             }
             for &t in scan {
-                add_member(t, &mut members, &mut gb, &mut replica_group, &mut next_replica, &mut group_stamp);
+                add_member(
+                    t,
+                    &mut members,
+                    &mut gb,
+                    &mut replica_group,
+                    &mut next_replica,
+                    &mut group_stamp,
+                );
             }
         }
 
@@ -421,8 +554,7 @@ mod tests {
         half.tuple_sample = 0.3;
         let sampled = build_graph(&w, &w.trace, &half);
         assert!(
-            (sampled.stats.distinct_tuples as f64)
-                < 0.6 * full.stats.distinct_tuples as f64,
+            (sampled.stats.distinct_tuples as f64) < 0.6 * full.stats.distinct_tuples as f64,
             "{} vs {}",
             sampled.stats.distinct_tuples,
             full.stats.distinct_tuples
@@ -433,7 +565,7 @@ mod tests {
     fn coalescing_merges_always_together_tuples() {
         // SimpleCount single-partition with 2 rows per server range and
         // txns always reading the same pair -> pairs coalesce.
-        use schism_workload::{Trace, TxnBuilder, TupleId};
+        use schism_workload::{Trace, TupleId, TxnBuilder};
         let w = simplecount::generate(&SimpleCountConfig {
             clients: 1,
             rows_per_client: 40,
@@ -446,7 +578,8 @@ mod tests {
         for round in 0..5 {
             for i in 0..20u64 {
                 let mut b = TxnBuilder::new(false);
-                b.read(TupleId::new(0, 2 * i)).read(TupleId::new(0, 2 * i + 1));
+                b.read(TupleId::new(0, 2 * i))
+                    .read(TupleId::new(0, 2 * i + 1));
                 let _ = round;
                 txns.push(b.finish());
             }

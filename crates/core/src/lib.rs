@@ -41,6 +41,8 @@ pub mod validate;
 pub use config::{NodeWeight, SchismConfig};
 pub use explain::{Explanation, TableExplanation};
 pub use graph_builder::{build_graph, BuildStats, WorkloadGraph};
-pub use partition_phase::{run_partition_phase, PartitionPhase};
-pub use pipeline::{build_lookup_scheme, hash_on_frequent_attributes, Recommendation, Schism};
+pub use partition_phase::{run_partition_phase, run_partition_phase_warm, PartitionPhase};
+pub use pipeline::{
+    build_lookup_scheme, hash_on_frequent_attributes, Recommendation, RerunOutcome, Schism,
+};
 pub use validate::{validate, Candidate, SelectionRules, Validation};

@@ -5,7 +5,7 @@
 use crate::config::SchismConfig;
 use crate::explain::{explain, Explanation};
 use crate::graph_builder::{build_graph, BuildStats};
-use crate::partition_phase::run_partition_phase;
+use crate::partition_phase::{run_partition_phase, run_partition_phase_warm, PartitionPhase};
 use crate::validate::{validate, Validation};
 use schism_router::{
     BitArrayBackend, HashScheme, IndexBackend, LookupBackend, LookupScheme, MissPolicy,
@@ -62,6 +62,18 @@ impl Recommendation {
             .find(|c| c.name == name)
             .map(|c| c.fraction())
     }
+}
+
+/// Everything an incremental [`Schism::rerun`] produced. Unlike a full
+/// [`Recommendation`] there is no explanation/validation sweep — the warm
+/// path exists to keep the *current* scheme family and move little data, so
+/// consumers feed `phase.assignment` straight into relabeling and planning.
+pub struct RerunOutcome {
+    pub build_stats: BuildStats,
+    pub graph_build_time: Duration,
+    /// The warm-started partitioning, resolved back to per-tuple sets.
+    pub phase: PartitionPhase,
+    pub total_time: Duration,
 }
 
 impl Schism {
@@ -125,6 +137,37 @@ impl Schism {
         }
     }
 
+    /// Incremental re-run: rebuilds the workload graph from a drifted
+    /// training trace and *refines* the previous per-tuple placement
+    /// instead of partitioning from scratch.
+    ///
+    /// This is the repartitioning half of the continuous loop the paper
+    /// leaves open ("detecting significant workload shifts" is future work
+    /// in §7); the relabeling, planning, and mid-migration routing halves
+    /// live in `schism-migrate`. Tuples unseen in `prev` are parked on the
+    /// lightest partition before refinement; everything else starts where
+    /// it already lives, so only balance- or cut-improving moves relocate
+    /// data.
+    pub fn rerun(
+        &self,
+        workload: &Workload,
+        train: &Trace,
+        prev: &HashMap<TupleId, PartitionSet>,
+    ) -> RerunOutcome {
+        let cfg = &self.cfg;
+        let t0 = Instant::now();
+        let wg = build_graph(workload, train, cfg);
+        let graph_build_time = t0.elapsed();
+        let initial = wg.seed_assignment(prev, cfg.k);
+        let phase = run_partition_phase_warm(&wg, cfg, &initial);
+        RerunOutcome {
+            build_stats: wg.stats,
+            graph_build_time,
+            phase,
+            total_time: t0.elapsed(),
+        }
+    }
+
     /// Builds the §4.4 candidates. An *untrusted* explanation — one whose
     /// training-trace cost degrades the graph solution (§4.3 criterion ii)
     /// — is discarded before validation: its apparent test cost is an
@@ -138,11 +181,16 @@ impl Schism {
     ) -> Vec<(String, Box<dyn Scheme>)> {
         let k = self.cfg.k;
         let hash = hash_on_frequent_attributes(workload, k);
-        let mut out: Vec<(String, Box<dyn Scheme>)> =
-            vec![("lookup-table".to_owned(), Box::new(lookup) as Box<dyn Scheme>)];
+        let mut out: Vec<(String, Box<dyn Scheme>)> = vec![(
+            "lookup-table".to_owned(),
+            Box::new(lookup) as Box<dyn Scheme>,
+        )];
         if explanation.trusted {
             let range = explanation.scheme.clone();
-            out.push(("range-predicates".to_owned(), Box::new(range) as Box<dyn Scheme>));
+            out.push((
+                "range-predicates".to_owned(),
+                Box::new(range) as Box<dyn Scheme>,
+            ));
         }
         out.push(("hashing".to_owned(), Box::new(hash) as Box<dyn Scheme>));
         out.push((
@@ -235,7 +283,11 @@ pub fn build_lookup_scheme(
 /// the table's key is a dense integer sequence the lookup can be addressed
 /// by.
 fn detect_row_key_offset(workload: &Workload, table: u16, col: ColId) -> Option<i64> {
-    let rows = workload.table_rows.get(table as usize).copied().unwrap_or(0);
+    let rows = workload
+        .table_rows
+        .get(table as usize)
+        .copied()
+        .unwrap_or(0);
     if rows == 0 {
         return None;
     }
@@ -323,7 +375,11 @@ mod tests {
         let rec = Schism::new(SchismConfig::new(4)).run(&w);
         let range = rec.fraction_of("range-predicates").unwrap();
         let lookup = rec.fraction_of("lookup-table").unwrap();
-        assert!(range < 0.05, "range fraction {range} (summary {:?})", summary(&rec));
+        assert!(
+            range < 0.05,
+            "range fraction {range} (summary {:?})",
+            summary(&rec)
+        );
         assert!(lookup < 0.05, "lookup fraction {lookup}");
         // Hash scatters the two-tuple transactions.
         let hash = rec.fraction_of("hashing").unwrap();
@@ -350,10 +406,7 @@ mod tests {
         let stmt = Statement::select(0, Predicate::Eq(0, Value::Int(some_row as i64)));
         let r = scheme.route_statement(&stmt);
         assert!(r.targets.is_single());
-        assert_eq!(
-            r.targets.first().unwrap(),
-            (some_row % 2) as u32
-        );
+        assert_eq!(r.targets.first().unwrap(), (some_row % 2) as u32);
     }
 
     fn summary(rec: &Recommendation) -> Vec<(String, f64)> {

@@ -8,7 +8,11 @@ use std::fmt;
 
 impl fmt::Display for Recommendation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== Schism recommendation for `{}` (k = {}) ===", self.workload_name, self.k)?;
+        writeln!(
+            f,
+            "=== Schism recommendation for `{}` (k = {}) ===",
+            self.workload_name, self.k
+        )?;
         writeln!(
             f,
             "trace: {} training / {} test transactions",
@@ -46,12 +50,19 @@ impl fmt::Display for Recommendation {
                 writeln!(f, "    {r}")?;
             }
         }
-        writeln!(f, "--- validation (distributed transactions on test trace) ---")?;
+        writeln!(
+            f,
+            "--- validation (distributed transactions on test trace) ---"
+        )?;
         for (i, c) in self.validation.candidates.iter().enumerate() {
             writeln!(
                 f,
                 "  {}{:<18} {:>7.2}%  (mean participants {:.2}, load imbalance {:.2})",
-                if i == self.validation.winner { "* " } else { "  " },
+                if i == self.validation.winner {
+                    "* "
+                } else {
+                    "  "
+                },
                 c.name,
                 c.fraction() * 100.0,
                 c.report.mean_participants(),

@@ -54,7 +54,11 @@ pub struct SelectionRules {
 
 impl Default for SelectionRules {
     fn default() -> Self {
-        Self { tie_abs: 0.01, tie_rel: 0.15, balance_limit: 4.0 }
+        Self {
+            tie_abs: 0.01,
+            tie_rel: 0.15,
+            balance_limit: 4.0,
+        }
     }
 }
 
@@ -75,7 +79,12 @@ pub fn validate(
         .into_iter()
         .map(|(name, scheme)| {
             let report = evaluate(&*scheme, test, db);
-            Candidate { name, complexity: scheme.complexity(), scheme, report }
+            Candidate {
+                name,
+                complexity: scheme.complexity(),
+                scheme,
+                report,
+            }
         })
         .collect();
     let balanced = |c: &Candidate| c.report.load_imbalance() <= rules.balance_limit;
@@ -112,14 +121,21 @@ mod tests {
     fn ycsb_a_tie_resolves_to_hash() {
         // Single-tuple transactions: hash and any per-tuple scheme are all
         // at 0% — the validation phase must pick plain hashing (§6.1).
-        let w = ycsb::generate(&YcsbConfig { records: 500, num_txns: 1_000, ..YcsbConfig::workload_a() });
+        let w = ycsb::generate(&YcsbConfig {
+            records: 500,
+            num_txns: 1_000,
+            ..YcsbConfig::workload_a()
+        });
         let v = validate(
             vec![
                 (
                     "replication".into(),
                     Box::new(ReplicationScheme::new(4)) as Box<dyn Scheme>,
                 ),
-                ("hashing".into(), Box::new(HashScheme::by_row_id(4)) as Box<dyn Scheme>),
+                (
+                    "hashing".into(),
+                    Box::new(HashScheme::by_row_id(4)) as Box<dyn Scheme>,
+                ),
             ],
             &w.trace,
             &*w.db,
@@ -131,14 +147,21 @@ mod tests {
 
     #[test]
     fn replication_loses_on_write_heavy() {
-        let w = random::generate(&RandomConfig { records: 5_000, num_txns: 1_000, ..Default::default() });
+        let w = random::generate(&RandomConfig {
+            records: 5_000,
+            num_txns: 1_000,
+            ..Default::default()
+        });
         let v = validate(
             vec![
                 (
                     "replication".into(),
                     Box::new(ReplicationScheme::new(2)) as Box<dyn Scheme>,
                 ),
-                ("hashing".into(), Box::new(HashScheme::by_row_id(2)) as Box<dyn Scheme>),
+                (
+                    "hashing".into(),
+                    Box::new(HashScheme::by_row_id(2)) as Box<dyn Scheme>,
+                ),
             ],
             &w.trace,
             &*w.db,
@@ -146,7 +169,11 @@ mod tests {
         );
         assert_eq!(v.winner().name, "hashing");
         // Replication = 100% distributed; hashing ~50%.
-        let rep = v.candidates.iter().find(|c| c.name == "replication").unwrap();
+        let rep = v
+            .candidates
+            .iter()
+            .find(|c| c.name == "replication")
+            .unwrap();
         assert!((rep.fraction() - 1.0).abs() < 1e-9);
     }
 
@@ -164,7 +191,10 @@ mod tests {
         // Workload E: 95% scans (multi-tuple reads), 5% writes.
         let v = validate(
             vec![
-                ("hashing".into(), Box::new(HashScheme::by_row_id(4)) as Box<dyn Scheme>),
+                (
+                    "hashing".into(),
+                    Box::new(HashScheme::by_row_id(4)) as Box<dyn Scheme>,
+                ),
                 (
                     "replication".into(),
                     Box::new(ReplicationScheme::new(4)) as Box<dyn Scheme>,

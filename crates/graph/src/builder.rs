@@ -23,7 +23,11 @@ impl GraphBuilder {
     /// A builder for a graph with `n` vertices, all with unit weight.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "too many vertices for u32 ids");
-        Self { n, edges: Vec::new(), vwgt: vec![1; n] }
+        Self {
+            n,
+            edges: Vec::new(),
+            vwgt: vec![1; n],
+        }
     }
 
     /// Pre-allocates capacity for `m` edge insertions.
@@ -42,7 +46,10 @@ impl GraphBuilder {
     /// derives nothing from them). Duplicate edges are merged at build time
     /// with their weights summed (saturating).
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: u32) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge endpoint out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge endpoint out of range"
+        );
         if u == v || w == 0 {
             return;
         }
@@ -105,7 +112,9 @@ impl GraphBuilder {
         xadj.push(0u32);
         let mut acc = 0u32;
         for &d in &deg {
-            acc = acc.checked_add(d).expect("edge count overflows u32 adjacency index");
+            acc = acc
+                .checked_add(d)
+                .expect("edge count overflows u32 adjacency index");
             xadj.push(acc);
         }
 

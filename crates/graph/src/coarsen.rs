@@ -62,10 +62,10 @@ pub fn contract(g: &CsrGraph, mate: &[NodeId]) -> CoarseLevel {
         }
         let begin = adjncy.len();
         let emit = |fine: NodeId,
-                        adjncy: &mut Vec<NodeId>,
-                        adjwgt: &mut Vec<u32>,
-                        slot: &mut [u32],
-                        stamp: &mut [NodeId]| {
+                    adjncy: &mut Vec<NodeId>,
+                    adjwgt: &mut Vec<u32>,
+                    slot: &mut [u32],
+                    stamp: &mut [NodeId]| {
             for (u, w) in g.edges(fine) {
                 let cu = map[u as usize];
                 if cu == cv {
@@ -95,7 +95,10 @@ pub fn contract(g: &CsrGraph, mate: &[NodeId]) -> CoarseLevel {
         .into_iter()
         .map(|w| u32::try_from(w).unwrap_or(u32::MAX))
         .collect();
-    CoarseLevel { graph: CsrGraph::from_parts(xadj, adjncy, adjwgt, cvwgt), map }
+    CoarseLevel {
+        graph: CsrGraph::from_parts(xadj, adjncy, adjwgt, cvwgt),
+        map,
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +167,9 @@ mod tests {
                     .sum::<u64>()
             })
             .sum();
-        assert_eq!(lvl.graph.total_edge_weight(), g.total_edge_weight() - interior);
+        assert_eq!(
+            lvl.graph.total_edge_weight(),
+            g.total_edge_weight() - interior
+        );
     }
 }

@@ -17,7 +17,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
     }
 
     /// Representative of `x`'s set.

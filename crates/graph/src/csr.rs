@@ -35,7 +35,12 @@ impl CsrGraph {
     /// Panics if the arrays are structurally inconsistent (lengths, monotone
     /// `xadj`). Symmetry is *not* checked here (it is O(E log E)); call
     /// [`CsrGraph::validate`] in tests.
-    pub fn from_parts(xadj: Vec<u32>, adjncy: Vec<NodeId>, adjwgt: Vec<u32>, vwgt: Vec<u32>) -> Self {
+    pub fn from_parts(
+        xadj: Vec<u32>,
+        adjncy: Vec<NodeId>,
+        adjwgt: Vec<u32>,
+        vwgt: Vec<u32>,
+    ) -> Self {
         assert!(!xadj.is_empty(), "xadj must have at least one entry");
         let n = xadj.len() - 1;
         assert_eq!(vwgt.len(), n, "vwgt length must equal vertex count");
@@ -48,12 +53,24 @@ impl CsrGraph {
         assert_eq!(adjncy.len(), m, "adjncy length must equal xadj[n]");
         assert_eq!(adjwgt.len(), m, "adjwgt length must equal xadj[n]");
         let total_vwgt = vwgt.iter().map(|&w| w as u64).sum();
-        Self { xadj, adjncy, adjwgt, vwgt, total_vwgt }
+        Self {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+            total_vwgt,
+        }
     }
 
     /// An empty graph with zero vertices.
     pub fn empty() -> Self {
-        Self { xadj: vec![0], adjncy: vec![], adjwgt: vec![], vwgt: vec![], total_vwgt: 0 }
+        Self {
+            xadj: vec![0],
+            adjncy: vec![],
+            adjwgt: vec![],
+            vwgt: vec![],
+            total_vwgt: 0,
+        }
     }
 
     /// Number of vertices.
@@ -110,7 +127,10 @@ impl CsrGraph {
     /// Iterates `(neighbor, edge_weight)` pairs of `v`.
     #[inline]
     pub fn edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, u32)> + '_ {
-        self.neighbors(v).iter().copied().zip(self.edge_weights(v).iter().copied())
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.edge_weights(v).iter().copied())
     }
 
     /// Sum of the weights of all edges incident to `v`.

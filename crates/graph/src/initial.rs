@@ -30,10 +30,10 @@ fn greedy_grow<R: Rng>(g: &CsrGraph, target0: u64, rng: &mut R) -> Side {
     let mut grown_weight = 0u64;
 
     let grow = |v: NodeId,
-                    side: &mut Side,
-                    conn: &mut Vec<u64>,
-                    heap: &mut std::collections::BinaryHeap<(u64, NodeId)>,
-                    grown_weight: &mut u64| {
+                side: &mut Side,
+                conn: &mut Vec<u64>,
+                heap: &mut std::collections::BinaryHeap<(u64, NodeId)>,
+                grown_weight: &mut u64| {
         side[v as usize] = 0;
         *grown_weight += g.vertex_weight(v) as u64;
         for (u, w) in g.edges(v) {
@@ -64,7 +64,10 @@ fn greedy_grow<R: Rng>(g: &CsrGraph, target0: u64, rng: &mut R) -> Side {
             None => {
                 // Frontier exhausted (disconnected component fully grown):
                 // jump to a random ungrown vertex.
-                match (0..n).map(|i| ((i + seed as usize) % n) as NodeId).find(|&u| side[u as usize] == 1) {
+                match (0..n)
+                    .map(|i| ((i + seed as usize) % n) as NodeId)
+                    .find(|&u| side[u as usize] == 1)
+                {
                     Some(u) => u,
                     None => break,
                 }
@@ -78,13 +81,7 @@ fn greedy_grow<R: Rng>(g: &CsrGraph, target0: u64, rng: &mut R) -> Side {
 /// Bisects `g` so that side 0 holds approximately `target0` of the total
 /// vertex weight (side 1 gets the rest). Runs `tries` independent greedy
 /// growths, FM-refines each, and returns the best (cut, then balance).
-pub fn bisect<R: Rng>(
-    g: &CsrGraph,
-    target0: u64,
-    epsilon: f64,
-    tries: usize,
-    rng: &mut R,
-) -> Side {
+pub fn bisect<R: Rng>(g: &CsrGraph, target0: u64, epsilon: f64, tries: usize, rng: &mut R) -> Side {
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -166,8 +163,19 @@ pub fn recursive_bisection<R: Rng>(
         base: u32,
     }
     let identity: Vec<NodeId> = (0..g.num_vertices() as NodeId).collect();
-    let mut stack = vec![Frame { graph: g.clone(), orig: identity, k, base: 0 }];
-    while let Some(Frame { graph, orig, k, base }) = stack.pop() {
+    let mut stack = vec![Frame {
+        graph: g.clone(),
+        orig: identity,
+        k,
+        base: 0,
+    }];
+    while let Some(Frame {
+        graph,
+        orig,
+        k,
+        base,
+    }) = stack.pop()
+    {
         if k == 1 || graph.num_vertices() == 0 {
             for &ov in &orig {
                 assignment[ov as usize] = base;
@@ -182,8 +190,18 @@ pub fn recursive_bisection<R: Rng>(
         let (g1, o1) = induced_subgraph(&graph, &side, 1);
         let orig0: Vec<NodeId> = o0.iter().map(|&l| orig[l as usize]).collect();
         let orig1: Vec<NodeId> = o1.iter().map(|&l| orig[l as usize]).collect();
-        stack.push(Frame { graph: g0, orig: orig0, k: k0, base });
-        stack.push(Frame { graph: g1, orig: orig1, k: k1, base: base + k0 });
+        stack.push(Frame {
+            graph: g0,
+            orig: orig0,
+            k: k0,
+            base,
+        });
+        stack.push(Frame {
+            graph: g1,
+            orig: orig1,
+            k: k1,
+            base: base + k0,
+        });
     }
     assignment
 }
@@ -263,6 +281,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let side = bisect(&g, 3, 0.05, 4, &mut rng);
         let assign: Vec<u32> = side.iter().map(|&s| s as u32).collect();
-        assert_eq!(edge_cut(&g, &assign), 0, "cut should separate the triangles");
+        assert_eq!(
+            edge_cut(&g, &assign),
+            0,
+            "cut should separate the triangles"
+        );
     }
 }

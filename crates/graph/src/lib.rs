@@ -33,4 +33,4 @@ pub use builder::GraphBuilder;
 pub use components::{connected_components, UnionFind};
 pub use csr::{CsrGraph, NodeId};
 pub use metrics::{boundary_size, edge_cut, imbalance, part_weights};
-pub use partition::{partition, PartitionerConfig, Partitioning};
+pub use partition::{partition, partition_warm, PartitionerConfig, Partitioning};

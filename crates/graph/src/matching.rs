@@ -99,6 +99,83 @@ pub fn heavy_edge_matching_capped<R: Rng>(
     mate
 }
 
+/// [`heavy_edge_matching_capped`] restricted to pairs with equal `labels`.
+///
+/// Used by the warm-start V-cycle: coarsening that never crosses a label
+/// boundary keeps every coarse vertex on one side of the seed partitioning,
+/// so the seed projects exactly onto every level of the hierarchy and the
+/// refiner can move whole co-access clusters (which single-vertex moves on
+/// the fine graph cannot — evicting one member of a clique is always a
+/// negative-gain move).
+pub fn heavy_edge_matching_labeled<R: Rng>(
+    g: &CsrGraph,
+    labels: &[u32],
+    max_pair_weight: u64,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let n = g.num_vertices();
+    debug_assert_eq!(labels.len(), n);
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(rng);
+
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let vw = g.vertex_weight(v) as u64;
+        let vl = labels[v as usize];
+        let mut best: Option<(NodeId, u32)> = None;
+        for (u, w) in g.edges(v) {
+            if mate[u as usize] == UNMATCHED
+                && u != v
+                && labels[u as usize] == vl
+                && vw + g.vertex_weight(u) as u64 <= max_pair_weight
+            {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((u, w)),
+                }
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v,
+        }
+    }
+
+    // Two-hop pass (see above), also label-restricted.
+    for &v in &order {
+        if mate[v as usize] != v {
+            continue;
+        }
+        let vw = g.vertex_weight(v) as u64;
+        let vl = labels[v as usize];
+        let mut scanned = 0usize;
+        'outer: for (u, _) in g.edges(v) {
+            for (w2, _) in g.edges(u).take(32) {
+                if w2 != v
+                    && mate[w2 as usize] == w2
+                    && labels[w2 as usize] == vl
+                    && vw + g.vertex_weight(w2) as u64 <= max_pair_weight
+                {
+                    mate[v as usize] = w2;
+                    mate[w2 as usize] = v;
+                    break 'outer;
+                }
+            }
+            scanned += 1;
+            if scanned >= 16 {
+                break;
+            }
+        }
+    }
+    mate
+}
+
 /// Number of matched *pairs* in a matching produced by
 /// [`heavy_edge_matching`].
 pub fn matched_pairs(mate: &[NodeId]) -> usize {
@@ -168,6 +245,32 @@ mod tests {
         let mate = heavy_edge_matching(&g, &mut StdRng::seed_from_u64(1));
         assert_eq!(mate, vec![0, 1, 2]);
         assert_eq!(matched_pairs(&mate), 0);
+    }
+
+    #[test]
+    fn labeled_matching_never_crosses_labels() {
+        // Path 0-1-2-3 with labels [0,0,1,1]: edge 1-2 crosses and must not
+        // be matched, whatever the visit order.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 100); // heaviest, but crosses
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let labels = [0u32, 0, 1, 1];
+        for seed in 0..20 {
+            let mate = heavy_edge_matching_labeled(
+                &g,
+                &labels,
+                u64::MAX,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            check_is_matching(&g, &mate);
+            for v in 0..4usize {
+                let m = mate[v] as usize;
+                assert_eq!(labels[v], labels[m], "seed {seed} matched across labels");
+            }
+            assert_eq!(matched_pairs(&mate), 2);
+        }
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl Default for PartitionerConfig {
 impl PartitionerConfig {
     /// Convenience constructor for `k` partitions with default tuning.
     pub fn with_k(k: u32) -> Self {
-        Self { k, ..Self::default() }
+        Self {
+            k,
+            ..Self::default()
+        }
     }
 
     fn effective_coarsen_target(&self) -> usize {
@@ -103,7 +106,11 @@ pub fn partition(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
     let mut best: Option<Partitioning> = None;
     for i in 0..runs {
         let run_cfg = PartitionerConfig {
-            seed: cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ cfg.seed,
+            seed: cfg
+                .seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ cfg.seed,
             ncuts: 1,
             ..cfg.clone()
         };
@@ -119,6 +126,121 @@ pub fn partition(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
         }
     }
     best.expect("at least one run")
+}
+
+/// Refines a partitioning starting from `initial` instead of running the
+/// full multilevel pipeline — the warm-start entry point used by
+/// incremental repartitioning (`schism-migrate`).
+///
+/// This is a V-cycle in the ParMETIS adaptive-repartitioning mold: the
+/// graph is coarsened with *label-respecting* heavy-edge matching (matched
+/// pairs never straddle the seed partitioning, so `initial` projects
+/// exactly onto every level), the seed is rebalanced and refined on the
+/// coarsest graph — where whole co-access clusters are single vertices and
+/// moving one is a cheap, often positive-gain move — and refinement runs
+/// again at each uncoarsening level. Plain fine-grained refinement cannot
+/// do this: evicting one member of a clique is always negative-gain, so a
+/// drifted workload would leave the seed stuck in its old shape.
+///
+/// Labels `>= k` are wrapped. Vertices keep their partition unless a
+/// balance or cut-improving move evicts them, which is what bounds data
+/// movement when the workload changed only incrementally.
+pub fn partition_warm(g: &CsrGraph, initial: &[u32], cfg: &PartitionerConfig) -> Partitioning {
+    assert!(cfg.k >= 1, "k must be at least 1");
+    assert_eq!(
+        initial.len(),
+        g.num_vertices(),
+        "initial assignment must cover every vertex"
+    );
+    let k = cfg.k;
+    let mut labels: Vec<u32> = initial.iter().map(|&p| p % k).collect();
+    if k == 1 || g.num_vertices() == 0 {
+        return finish(g, labels, k);
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x57A2_7ED0);
+    // Two V-cycles: the first rebalances the drifted seed at cluster
+    // granularity; the second re-coarsens along the *new* labels, letting
+    // clusters the first round had to split re-merge and move as a unit
+    // (METIS runs repeated V-cycles for the same reason).
+    for _ in 0..2 {
+        labels = warm_vcycle(g, labels, cfg, &mut rng);
+    }
+    finish(g, labels, k)
+}
+
+fn warm_vcycle(
+    g: &CsrGraph,
+    mut labels: Vec<u32>,
+    cfg: &PartitionerConfig,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let k = cfg.k;
+    let total = g.total_vertex_weight();
+    let max_part = max_part_weight(total, k, cfg.epsilon);
+    let max_pair = (max_part / 2).max(1);
+
+    // --- Coarsening, restricted to the seed's label classes. ---
+    // Unlike the cold path there is no vertex-count target: we coarsen
+    // until label-respecting matching stalls, i.e. until every connected
+    // intra-label cluster is (close to) a single vertex. That is the
+    // granularity at which rebalancing a drifted seed is cheap — whole
+    // clusters move without cutting their interior edges.
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut current: CsrGraph = g.clone();
+    while current.num_vertices() > k as usize {
+        let mate = crate::matching::heavy_edge_matching_labeled(&current, &labels, max_pair, rng);
+        let pairs = matched_pairs(&mate);
+        if (pairs as f64) < 0.02 * current.num_vertices() as f64 {
+            break;
+        }
+        let level = contract(&current, &mate);
+        // Project labels onto the coarse graph: both members of a matched
+        // pair share a label by construction.
+        let mut coarse_labels = vec![0u32; level.graph.num_vertices()];
+        for (v, &cv) in level.map.iter().enumerate() {
+            coarse_labels[cv as usize] = labels[v];
+        }
+        labels = coarse_labels;
+        current = level.graph.clone();
+        levels.push(level);
+        if levels.len() > 64 {
+            break;
+        }
+    }
+
+    // --- Rebalance + refine the seed on the coarsest graph. ---
+    let mut assignment = labels;
+    enforce_balance(&current, &mut assignment, k, max_part, rng);
+    kway_greedy_refine(
+        &current,
+        &mut assignment,
+        k,
+        max_part,
+        cfg.refine_passes,
+        rng,
+    );
+
+    // --- Uncoarsen with refinement, as in the cold path. ---
+    for (idx, level) in levels.iter().enumerate().rev() {
+        let fine_n = level.map.len();
+        let mut fine_assignment = vec![0u32; fine_n];
+        for v in 0..fine_n {
+            fine_assignment[v] = assignment[level.map[v] as usize];
+        }
+        assignment = fine_assignment;
+        let fine_graph: &CsrGraph = if idx == 0 { g } else { &levels[idx - 1].graph };
+        enforce_balance(fine_graph, &mut assignment, k, max_part, rng);
+        kway_greedy_refine(
+            fine_graph,
+            &mut assignment,
+            k,
+            max_part,
+            cfg.refine_passes,
+            rng,
+        );
+    }
+
+    assignment
 }
 
 fn partition_once(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
@@ -166,7 +288,14 @@ fn partition_once(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
     // --- Initial partitioning on the coarsest graph ---
     let mut assignment = recursive_bisection(&current, k, cfg.epsilon, cfg.init_tries, &mut rng);
     enforce_balance(&current, &mut assignment, k, max_part, &mut rng);
-    kway_greedy_refine(&current, &mut assignment, k, max_part, cfg.refine_passes, &mut rng);
+    kway_greedy_refine(
+        &current,
+        &mut assignment,
+        k,
+        max_part,
+        cfg.refine_passes,
+        &mut rng,
+    );
 
     // --- Uncoarsening with refinement ---
     for level in levels.iter().rev() {
@@ -180,11 +309,21 @@ fn partition_once(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
             g
         } else {
             // The fine graph of level i is the coarse graph of level i-1.
-            let idx = levels.iter().position(|l| std::ptr::eq(l, level)).expect("present");
+            let idx = levels
+                .iter()
+                .position(|l| std::ptr::eq(l, level))
+                .expect("present");
             &levels[idx - 1].graph
         };
         enforce_balance(fine_graph, &mut assignment, k, max_part, &mut rng);
-        kway_greedy_refine(fine_graph, &mut assignment, k, max_part, cfg.refine_passes, &mut rng);
+        kway_greedy_refine(
+            fine_graph,
+            &mut assignment,
+            k,
+            max_part,
+            cfg.refine_passes,
+            &mut rng,
+        );
     }
 
     finish(g, assignment, k)
@@ -199,7 +338,12 @@ fn max_part_weight(total: u64, k: u32, epsilon: f64) -> u64 {
 fn finish(g: &CsrGraph, assignment: Vec<u32>, k: u32) -> Partitioning {
     let edge_cut = edge_cut(g, &assignment);
     let part_weights = part_weights(g, &assignment, k);
-    Partitioning { assignment, edge_cut, part_weights, k }
+    Partitioning {
+        assignment,
+        edge_cut,
+        part_weights,
+        k,
+    }
 }
 
 #[cfg(test)]
@@ -233,7 +377,14 @@ mod tests {
     #[test]
     fn two_cliques_optimal() {
         let g = gen::two_cliques(32, 1);
-        let p = partition(&g, &PartitionerConfig { k: 2, seed: 11, ..Default::default() });
+        let p = partition(
+            &g,
+            &PartitionerConfig {
+                k: 2,
+                seed: 11,
+                ..Default::default()
+            },
+        );
         assert_eq!(p.edge_cut, 1, "must cut only the bridge");
         assert_eq!(p.part_weights, vec![32, 32]);
     }
@@ -243,7 +394,14 @@ mod tests {
         // 4 clusters of 200 vertices; intra-density dominates. A good
         // partitioner finds a cut close to the planted one.
         let g = gen::planted_partition(4, 200, 2000, 120, 5);
-        let p = partition(&g, &PartitionerConfig { k: 4, seed: 3, ..Default::default() });
+        let p = partition(
+            &g,
+            &PartitionerConfig {
+                k: 4,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         assert!(p.imbalance() <= 1.05 + 1e-9, "imbalance {}", p.imbalance());
         // The planted cut weight is at most the number of inter edges (120
         // draws, some duplicates). Allow slack but reject grossly bad cuts:
@@ -254,21 +412,69 @@ mod tests {
     #[test]
     fn grid_scaling_cut_is_reasonable() {
         let g = gen::grid(32, 32);
-        let p = partition(&g, &PartitionerConfig { k: 4, seed: 1, ..Default::default() });
+        let p = partition(
+            &g,
+            &PartitionerConfig {
+                k: 4,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         // Ideal 4-way cut of a 32x32 grid is 64 (two straight cuts);
         // multilevel should come close.
-        assert!(p.edge_cut <= 110, "cut {} too far from optimal 64", p.edge_cut);
+        assert!(
+            p.edge_cut <= 110,
+            "cut {} too far from optimal 64",
+            p.edge_cut
+        );
         assert!(p.imbalance() <= 1.05 + 1e-9);
     }
 
     #[test]
     fn determinism() {
         let g = gen::planted_partition(3, 100, 700, 60, 9);
-        let cfg = PartitionerConfig { k: 3, seed: 42, ..Default::default() };
+        let cfg = PartitionerConfig {
+            k: 3,
+            seed: 42,
+            ..Default::default()
+        };
         let p1 = partition(&g, &cfg);
         let p2 = partition(&g, &cfg);
         assert_eq!(p1.assignment, p2.assignment);
         assert_eq!(p1.edge_cut, p2.edge_cut);
+    }
+
+    #[test]
+    fn warm_start_preserves_good_assignment() {
+        // Feed the planted cut itself: refinement must keep it (or improve
+        // it), not scramble labels.
+        let g = gen::two_cliques(32, 1);
+        let initial: Vec<u32> = (0..64).map(|v| (v >= 32) as u32).collect();
+        let p = partition_warm(&g, &initial, &PartitionerConfig::with_k(2));
+        assert_eq!(p.edge_cut, 1);
+        assert_eq!(p.assignment, initial, "optimal warm start must be stable");
+    }
+
+    #[test]
+    fn warm_start_repairs_imbalance() {
+        // Everything on partition 0: balance enforcement must spread it
+        // under the documented cap `ceil((1 + eps) * total / k)`.
+        let g = gen::grid(8, 8);
+        let initial = vec![0u32; 64];
+        let p = partition_warm(&g, &initial, &PartitionerConfig::with_k(4));
+        let cap = ((g.total_vertex_weight() as f64) * 1.05 / 4.0).ceil() as u64;
+        for (i, &w) in p.part_weights.iter().enumerate() {
+            assert!(w <= cap, "part {i} overweight: {w} > {cap}");
+        }
+        assert!(p.assignment.iter().any(|&a| a != 0));
+    }
+
+    #[test]
+    fn warm_start_wraps_out_of_range_labels() {
+        let g = gen::path(6);
+        let initial = vec![7u32, 8, 9, 10, 11, 12];
+        let p = partition_warm(&g, &initial, &PartitionerConfig::with_k(2));
+        assert!(p.assignment.iter().all(|&a| a < 2));
     }
 
     #[test]
@@ -282,7 +488,15 @@ mod tests {
             b.set_vertex_weight(i, 1 + (i % 7));
         }
         let g = b.build();
-        let p = partition(&g, &PartitionerConfig { k: 5, seed: 2, epsilon: 0.08, ..Default::default() });
+        let p = partition(
+            &g,
+            &PartitionerConfig {
+                k: 5,
+                seed: 2,
+                epsilon: 0.08,
+                ..Default::default()
+            },
+        );
         let cap = ((g.total_vertex_weight() as f64) * 1.08 / 5.0).ceil() as u64;
         for (i, &w) in p.part_weights.iter().enumerate() {
             assert!(w <= cap + 7, "part {i} overweight: {w} > {cap}");

@@ -67,7 +67,9 @@ pub fn fm_bisection(
     for _ in 0..max_passes {
         // One pass: tentatively move vertices by best gain, remember the best
         // prefix, then roll back past it.
-        let mut gains: Vec<i64> = (0..n as NodeId).map(|v| bisection_gain(g, side, v)).collect();
+        let mut gains: Vec<i64> = (0..n as NodeId)
+            .map(|v| bisection_gain(g, side, v))
+            .collect();
         let mut heap: BinaryHeap<(i64, NodeId)> =
             (0..n as NodeId).map(|v| (gains[v as usize], v)).collect();
         let mut moved = vec![false; n];
@@ -190,7 +192,11 @@ pub fn kway_greedy_refine<R: Rng>(
             if touched.len() <= 1 && touched.first() == Some(&own) {
                 continue; // interior vertex
             }
-            let own_conn = if touched.contains(&own) { conn[own as usize] } else { 0 };
+            let own_conn = if touched.contains(&own) {
+                conn[own as usize]
+            } else {
+                0
+            };
             let vw = g.vertex_weight(v) as u64;
             // Pick the best feasible destination.
             let mut best: Option<(i64, u32)> = None;
@@ -200,8 +206,8 @@ pub fn kway_greedy_refine<R: Rng>(
                 }
                 let gain = conn[p as usize] as i64 - own_conn as i64;
                 let fits = weights[p as usize] + vw <= max_part_weight;
-                let rebalances =
-                    weights[own as usize] > max_part_weight && weights[p as usize] + vw < weights[own as usize];
+                let rebalances = weights[own as usize] > max_part_weight
+                    && weights[p as usize] + vw < weights[own as usize];
                 if !(fits || rebalances) {
                     continue;
                 }
@@ -232,9 +238,15 @@ pub fn kway_greedy_refine<R: Rng>(
 }
 
 /// Forces every partition under `max_part_weight` (if at all possible) by
-/// evicting the cheapest boundary vertices from overweight partitions into
-/// the lightest feasible destinations. Cut quality is secondary here;
-/// [`kway_greedy_refine`] runs afterwards to repair it.
+/// evicting vertices from overweight partitions into feasible destinations,
+/// **cheapest cut damage first**: each sweep scores every vertex of an
+/// overweight partition by the cut delta of its best move
+/// (`edges-to-own − edges-to-destination`) and evicts in ascending order.
+/// An interior vertex of a co-access cluster is therefore never chosen
+/// while a whole contracted cluster (delta 0) is available — which is what
+/// keeps warm-started repartitioning from shredding cliques the refiner
+/// can never reassemble. [`kway_greedy_refine`] runs afterwards to repair
+/// what damage was unavoidable.
 pub fn enforce_balance<R: Rng>(
     g: &CsrGraph,
     assignment: &mut [u32],
@@ -242,6 +254,7 @@ pub fn enforce_balance<R: Rng>(
     max_part_weight: u64,
     rng: &mut R,
 ) {
+    let _ = rng; // deterministic; kept for signature stability
     let n = g.num_vertices();
     let kk = k as usize;
     let mut weights = vec![0u64; kk];
@@ -251,32 +264,66 @@ pub fn enforce_balance<R: Rng>(
     if !weights.iter().any(|&w| w > max_part_weight) {
         return;
     }
-    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-    order.shuffle(rng);
-    // Up to two sweeps are enough in practice; the loop is bounded to avoid
-    // thrashing on impossible instances (e.g. one vertex heavier than the cap).
-    for _ in 0..3 {
-        let mut any_over = false;
-        for &v in &order {
+    let mut conn = vec![0u64; kk];
+    // Bounded sweeps: stale scores self-correct next sweep, and the bound
+    // avoids thrashing on impossible instances (e.g. one vertex heavier
+    // than the cap).
+    for _ in 0..4 {
+        if !weights.iter().any(|&w| w > max_part_weight) {
+            break;
+        }
+        // Score every vertex of an overweight partition: (delta, v) with
+        // delta = conn(own) - best conn among all other partitions. The
+        // destination is re-chosen at move time against fresh weights.
+        let mut cands: Vec<(i64, NodeId)> = Vec::new();
+        for v in 0..n as NodeId {
             let own = assignment[v as usize] as usize;
             if weights[own] <= max_part_weight {
                 continue;
             }
-            any_over = true;
-            let vw = g.vertex_weight(v) as u64;
-            // Send v to the lightest partition that can take it.
-            if let Some((p, _)) = weights
+            conn.iter_mut().for_each(|c| *c = 0);
+            for (u, w) in g.edges(v) {
+                conn[assignment[u as usize] as usize] += w as u64;
+            }
+            let best_other = conn
                 .iter()
                 .enumerate()
-                .filter(|&(p, &w)| p != own && w + vw <= max_part_weight)
-                .min_by_key(|&(_, &w)| w)
+                .filter(|&(p, _)| p != own)
+                .map(|(_, &c)| c)
+                .max()
+                .unwrap_or(0);
+            cands.push((conn[own] as i64 - best_other as i64, v));
+        }
+        if cands.is_empty() {
+            break;
+        }
+        // Cheapest damage first; heavier vertex first on ties (fewer moves).
+        cands.sort_unstable_by_key(|&(delta, v)| (delta, std::cmp::Reverse(g.vertex_weight(v)), v));
+        let mut moved = false;
+        for (_, v) in cands {
+            let own = assignment[v as usize] as usize;
+            if weights[own] <= max_part_weight {
+                continue; // partition already fixed this sweep
+            }
+            let vw = g.vertex_weight(v) as u64;
+            conn.iter_mut().for_each(|c| *c = 0);
+            for (u, w) in g.edges(v) {
+                conn[assignment[u as usize] as usize] += w as u64;
+            }
+            // Feasible destination with the most connectivity; break ties
+            // toward the lightest load.
+            if let Some((p, _)) = (0..kk)
+                .filter(|&p| p != own && weights[p] + vw <= max_part_weight)
+                .map(|p| (p, (conn[p], std::cmp::Reverse(weights[p]))))
+                .max_by_key(|&(_, key)| key)
             {
                 weights[own] -= vw;
                 weights[p] += vw;
                 assignment[v as usize] = p as u32;
+                moved = true;
             }
         }
-        if !any_over {
+        if !moved {
             break;
         }
     }

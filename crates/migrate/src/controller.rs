@@ -1,0 +1,186 @@
+//! The continuous loop: watch windows, detect drift, repartition warm,
+//! relabel, and emit a migration plan.
+//!
+//! [`MigrationController`] owns the pieces the rest of the crate provides —
+//! a [`DriftDetector`] rebased on every repartition, the current per-tuple
+//! placement, and the planner budgets — and exposes a single
+//! [`observe`](MigrationController::observe) entry point per window. The
+//! caller executes the returned plan at its own pace (batch by batch,
+//! marking progress in a [`schism_router::VersionedScheme`]) and keeps
+//! serving traffic meanwhile.
+
+use crate::drift::{DriftConfig, DriftDetector, DriftReport};
+use crate::incremental::{rerun_incremental, RepartitionOutcome};
+use crate::plan::{plan_migration, MigrationPlan, PlanConfig};
+use schism_core::{build_graph, run_partition_phase, Schism, SchismConfig};
+use schism_router::PartitionSet;
+use schism_workload::{TupleId, Workload};
+use std::collections::HashMap;
+
+/// Everything the controller needs to run the loop.
+#[derive(Clone, Debug)]
+pub struct ControllerConfig {
+    pub schism: SchismConfig,
+    pub drift: DriftConfig,
+    pub plan: PlanConfig,
+}
+
+impl ControllerConfig {
+    pub fn new(k: u32) -> Self {
+        Self {
+            schism: SchismConfig::new(k),
+            drift: DriftConfig::default(),
+            plan: PlanConfig::default(),
+        }
+    }
+}
+
+/// What one observed window produced.
+pub enum Tick {
+    /// No repartition: the window matches the reference distribution (or
+    /// is too small to trust).
+    Stable(DriftReport),
+    /// Drift crossed the threshold: a warm repartition ran and this is the
+    /// resulting (possibly empty) migration.
+    Migrate(MigrationOutcome),
+}
+
+/// A triggered repartition: the drift evidence, the warm re-run, and the
+/// batched plan from the old placement to the new one.
+pub struct MigrationOutcome {
+    pub report: DriftReport,
+    pub repartition: RepartitionOutcome,
+    pub plan: MigrationPlan,
+}
+
+/// Drift-detect → warm repartition → relabel → plan, with state carried
+/// across windows.
+pub struct MigrationController {
+    cfg: ControllerConfig,
+    detector: DriftDetector,
+    assignment: HashMap<TupleId, PartitionSet>,
+}
+
+impl MigrationController {
+    /// Bootstraps from an initial workload: one cold partition of its
+    /// trace becomes the reference placement and drift baseline.
+    pub fn bootstrap(workload: &Workload, cfg: ControllerConfig) -> Self {
+        let wg = build_graph(workload, &workload.trace, &cfg.schism);
+        let phase = run_partition_phase(&wg, &cfg.schism);
+        let detector = DriftDetector::new(cfg.drift.clone(), &workload.trace);
+        Self {
+            cfg,
+            detector,
+            assignment: phase.assignment,
+        }
+    }
+
+    /// Adopts an existing placement (e.g. from a previous
+    /// [`schism_core::Recommendation`]) instead of bootstrapping cold.
+    pub fn with_assignment(
+        reference: &Workload,
+        assignment: HashMap<TupleId, PartitionSet>,
+        cfg: ControllerConfig,
+    ) -> Self {
+        let detector = DriftDetector::new(cfg.drift.clone(), &reference.trace);
+        Self {
+            cfg,
+            detector,
+            assignment,
+        }
+    }
+
+    /// The current authoritative placement.
+    pub fn assignment(&self) -> &HashMap<TupleId, PartitionSet> {
+        &self.assignment
+    }
+
+    /// Feeds one window (a [`Workload`] whose trace is the window).
+    ///
+    /// On drift: runs the warm repartition, swaps the controller's
+    /// placement to the relabeled result, rebases the drift reference, and
+    /// returns the move plan. The caller owns plan execution; the
+    /// controller's state already reflects the post-migration world.
+    pub fn observe(&mut self, window: &Workload) -> Tick {
+        let report = self.detector.observe(&window.trace);
+        if !report.drifted {
+            return Tick::Stable(report);
+        }
+        let schism = Schism::new(self.cfg.schism.clone());
+        let repartition = rerun_incremental(&schism, window, &window.trace, &self.assignment);
+        let plan = plan_migration(
+            &self.assignment,
+            &repartition.assignment,
+            &*window.db,
+            &self.cfg.plan,
+        );
+        self.assignment = repartition.assignment.clone();
+        self.detector.rebase(&window.trace);
+        Tick::Migrate(MigrationOutcome {
+            report,
+            repartition,
+            plan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::DistanceMetric;
+    use schism_workload::drifting::{self, DriftingConfig};
+
+    fn controller_cfg(k: u32) -> ControllerConfig {
+        let mut cfg = ControllerConfig::new(k);
+        cfg.drift = DriftConfig {
+            metric: DistanceMetric::JensenShannon,
+            threshold: 0.15,
+            min_transactions: 100,
+        };
+        cfg
+    }
+
+    #[test]
+    fn stable_windows_do_not_migrate() {
+        let dcfg = DriftingConfig {
+            num_txns: 2_000,
+            ..Default::default()
+        };
+        let w0 = drifting::window(&dcfg, 0);
+        let mut ctl = MigrationController::bootstrap(&w0, controller_cfg(4));
+        let before = ctl.assignment().clone();
+        // A fresh sample of the same window distribution.
+        let same = drifting::generate(&DriftingConfig { seed: 777, ..dcfg });
+        match ctl.observe(&same) {
+            Tick::Stable(r) => assert!(!r.drifted),
+            Tick::Migrate(m) => panic!("spurious migration, distance {}", m.report.distance),
+        }
+        assert_eq!(ctl.assignment().len(), before.len(), "state untouched");
+    }
+
+    #[test]
+    fn drifted_window_triggers_plan_and_rebase() {
+        let dcfg = DriftingConfig {
+            num_txns: 2_000,
+            ..Default::default()
+        };
+        let w0 = drifting::window(&dcfg, 0);
+        let mut ctl = MigrationController::bootstrap(&w0, controller_cfg(4));
+        let w3 = drifting::window(&dcfg, 3);
+        let outcome = match ctl.observe(&w3) {
+            Tick::Migrate(m) => m,
+            Tick::Stable(r) => panic!("drift missed, distance {}", r.distance),
+        };
+        assert!(outcome.report.drifted);
+        // The plan diffs old vs relabeled-new placements exactly.
+        let moved_by_plan = outcome.plan.total_moves;
+        assert!(moved_by_plan > 0, "a rotated hotspot must move something");
+        // Controller adopted the new placement…
+        assert_eq!(ctl.assignment().len(), outcome.repartition.assignment.len());
+        // …and rebased: replaying the same window is now stable.
+        match ctl.observe(&w3) {
+            Tick::Stable(r) => assert!(!r.drifted, "rebase failed: {}", r.distance),
+            Tick::Migrate(_) => panic!("same window migrated twice"),
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Windowed drift detection over workload traces.
+//!
+//! The detector keeps a *reference* access histogram — the distribution the
+//! current partitioning was computed from — and compares each incoming
+//! window's histogram against it with a distribution distance. When the
+//! distance crosses the configured threshold the workload has drifted
+//! enough that the placement is stale and a (warm) re-partition pays off.
+//!
+//! Two distances are offered:
+//!
+//! - **Total variation**: `0.5 * Σ |p_i - q_i|` — the fraction of access
+//!   mass that sits on the "wrong" tuples; directly interpretable as "x% of
+//!   traffic moved".
+//! - **Jensen–Shannon divergence** (base-2, so in `[0, 1]`): smoother under
+//!   sampling noise and symmetric, the usual choice for drift monitors.
+//!
+//! Histograms are per-tuple. At production scale callers would coarsen to
+//! key ranges first; the windowed API only assumes the histogram keys are
+//! comparable across windows.
+
+use schism_workload::{Trace, TupleId};
+use std::collections::HashMap;
+
+/// Distribution distance used by the detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistanceMetric {
+    TotalVariation,
+    JensenShannon,
+}
+
+/// Detector configuration.
+#[derive(Clone, Debug)]
+pub struct DriftConfig {
+    pub metric: DistanceMetric,
+    /// Distance above which a window counts as drifted.
+    pub threshold: f64,
+    /// Windows with fewer transactions than this never trigger (too noisy).
+    pub min_transactions: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            metric: DistanceMetric::JensenShannon,
+            threshold: 0.15,
+            min_transactions: 100,
+        }
+    }
+}
+
+/// A normalized access histogram of one trace window.
+#[derive(Clone, Debug, Default)]
+pub struct AccessHistogram {
+    counts: HashMap<TupleId, u64>,
+    total: u64,
+}
+
+impl AccessHistogram {
+    /// Counts every access (point reads, scan members, writes).
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut counts: HashMap<TupleId, u64> = HashMap::new();
+        let mut total = 0u64;
+        for txn in &trace.transactions {
+            for t in txn.accessed() {
+                *counts.entry(t).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        Self { counts, total }
+    }
+
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    pub fn distinct_tuples(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Probability mass of `t` in this window.
+    pub fn mass(&self, t: TupleId) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            *self.counts.get(&t).unwrap_or(&0) as f64 / self.total as f64
+        }
+    }
+
+    /// Distance between two windows' access distributions.
+    pub fn distance(&self, other: &Self, metric: DistanceMetric) -> f64 {
+        if self.total == 0 || other.total == 0 {
+            // An empty window carries no evidence either way.
+            return 0.0;
+        }
+        match metric {
+            DistanceMetric::TotalVariation => {
+                let mut sum = 0.0f64;
+                for (&t, &c) in &self.counts {
+                    let p = c as f64 / self.total as f64;
+                    let q = other.mass(t);
+                    sum += (p - q).abs();
+                }
+                // Keys only in `other`.
+                for (&t, &c) in &other.counts {
+                    if !self.counts.contains_key(&t) {
+                        sum += c as f64 / other.total as f64;
+                    }
+                }
+                0.5 * sum
+            }
+            DistanceMetric::JensenShannon => {
+                let mut js = 0.0f64;
+                let kl_term = |p: f64, m: f64| if p > 0.0 { p * (p / m).log2() } else { 0.0 };
+                for (&t, &c) in &self.counts {
+                    let p = c as f64 / self.total as f64;
+                    let q = other.mass(t);
+                    let m = 0.5 * (p + q);
+                    js += 0.5 * kl_term(p, m);
+                }
+                for (&t, &c) in &other.counts {
+                    let q = c as f64 / other.total as f64;
+                    let p = self.mass(t);
+                    let m = 0.5 * (p + q);
+                    js += 0.5 * kl_term(q, m);
+                }
+                js.clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// What the detector said about one window.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftReport {
+    /// Distance from the reference distribution.
+    pub distance: f64,
+    /// Whether the threshold was crossed (and the window was big enough).
+    pub drifted: bool,
+    /// Transactions in the observed window.
+    pub window_txns: usize,
+}
+
+/// Windowed drift detector: reference histogram + threshold trigger.
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    reference: AccessHistogram,
+}
+
+impl DriftDetector {
+    /// `reference` is the trace the current placement was computed from.
+    pub fn new(cfg: DriftConfig, reference: &Trace) -> Self {
+        Self {
+            cfg,
+            reference: AccessHistogram::from_trace(reference),
+        }
+    }
+
+    /// Scores one window against the reference.
+    pub fn observe(&self, window: &Trace) -> DriftReport {
+        let hist = AccessHistogram::from_trace(window);
+        let distance = hist.distance(&self.reference, self.cfg.metric);
+        DriftReport {
+            distance,
+            drifted: window.len() >= self.cfg.min_transactions && distance > self.cfg.threshold,
+            window_txns: window.len(),
+        }
+    }
+
+    /// Resets the reference after a repartition: future windows are judged
+    /// against the distribution the *new* placement was computed from.
+    pub fn rebase(&mut self, trace: &Trace) {
+        self.reference = AccessHistogram::from_trace(trace);
+    }
+
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+}
+
+/// Chops a trace into back-to-back windows of `window_txns` transactions
+/// (the last window keeps the remainder if it is at least half-full,
+/// otherwise it is merged into the previous one).
+pub fn split_windows(trace: &Trace, window_txns: usize) -> Vec<Trace> {
+    assert!(window_txns > 0);
+    let mut out: Vec<Trace> = Vec::new();
+    let mut cur = Vec::with_capacity(window_txns);
+    for t in &trace.transactions {
+        cur.push(t.clone());
+        if cur.len() == window_txns {
+            out.push(Trace {
+                transactions: std::mem::take(&mut cur),
+            });
+        }
+    }
+    if !cur.is_empty() {
+        if cur.len() * 2 >= window_txns || out.is_empty() {
+            out.push(Trace { transactions: cur });
+        } else if let Some(last) = out.last_mut() {
+            last.transactions.extend(cur);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schism_workload::drifting::{self, DriftingConfig};
+    use schism_workload::TxnBuilder;
+
+    fn point_trace(rows: &[u64]) -> Trace {
+        Trace {
+            transactions: rows
+                .iter()
+                .map(|&r| {
+                    let mut b = TxnBuilder::new(false);
+                    b.read(TupleId::new(0, r));
+                    b.finish()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_windows_have_zero_distance() {
+        let t = point_trace(&[1, 2, 3, 1, 1, 5]);
+        let h = AccessHistogram::from_trace(&t);
+        for m in [
+            DistanceMetric::TotalVariation,
+            DistanceMetric::JensenShannon,
+        ] {
+            assert!(h.distance(&h, m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disjoint_windows_have_maximal_distance() {
+        let a = AccessHistogram::from_trace(&point_trace(&[1, 2, 3]));
+        let b = AccessHistogram::from_trace(&point_trace(&[10, 11, 12]));
+        assert!((a.distance(&b, DistanceMetric::TotalVariation) - 1.0).abs() < 1e-12);
+        assert!((a.distance(&b, DistanceMetric::JensenShannon) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = AccessHistogram::from_trace(&point_trace(&[1, 1, 2, 3]));
+        let b = AccessHistogram::from_trace(&point_trace(&[2, 3, 3, 4, 5]));
+        for m in [
+            DistanceMetric::TotalVariation,
+            DistanceMetric::JensenShannon,
+        ] {
+            assert!((a.distance(&b, m) - b.distance(&a, m)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn detector_fires_on_real_drift_not_on_noise() {
+        let cfg = DriftingConfig::default();
+        let w0 = drifting::window(&cfg, 0);
+        let detector = DriftDetector::new(DriftConfig::default(), &w0.trace);
+        // A fresh sample of the same distribution: below threshold.
+        let same = drifting::generate(&DriftingConfig {
+            seed: 1234,
+            ..cfg.clone()
+        });
+        let quiet = detector.observe(&same.trace);
+        assert!(!quiet.drifted, "noise misread as drift: {}", quiet.distance);
+        // A rotated hot spot: above threshold.
+        let moved = drifting::window(&cfg, 3);
+        let loud = detector.observe(&moved.trace);
+        assert!(loud.drifted, "drift missed: {}", loud.distance);
+        assert!(loud.distance > quiet.distance);
+    }
+
+    #[test]
+    fn small_windows_never_trigger() {
+        let detector = DriftDetector::new(
+            DriftConfig {
+                min_transactions: 100,
+                ..Default::default()
+            },
+            &point_trace(&[1, 2, 3]),
+        );
+        let r = detector.observe(&point_trace(&[50, 51, 52]));
+        assert!(r.distance > 0.9, "disjoint windows are far apart");
+        assert!(!r.drifted, "3-txn window is below min_transactions");
+    }
+
+    #[test]
+    fn rebase_resets_reference() {
+        let mut d = DriftDetector::new(
+            DriftConfig {
+                min_transactions: 1,
+                ..Default::default()
+            },
+            &point_trace(&[1, 2, 3]),
+        );
+        let far = point_trace(&[7, 8, 9]);
+        assert!(d.observe(&far).drifted);
+        d.rebase(&far);
+        assert!(!d.observe(&far).drifted);
+    }
+
+    #[test]
+    fn split_windows_covers_trace() {
+        let t = point_trace(&(0..25).collect::<Vec<_>>());
+        let ws = split_windows(&t, 10);
+        assert_eq!(ws.len(), 3, "10 + 10 + 5 (remainder >= half keeps its own)");
+        assert_eq!(ws.iter().map(Trace::len).sum::<usize>(), 25);
+        let tiny = split_windows(&point_trace(&(0..23).collect::<Vec<_>>()), 10);
+        assert_eq!(tiny.len(), 2, "3-txn remainder merges into the last window");
+        assert_eq!(tiny[1].len(), 13);
+    }
+}

@@ -1,0 +1,293 @@
+//! Migration planning: diff two placements into a throttled, batched move
+//! plan.
+//!
+//! A [`TupleMove`] records one tuple's copy-set transition `from → to`;
+//! partitions in `to \ from` receive a copy, partitions in `from \ to` drop
+//! theirs once the move commits. Moves are packed into [`MigrationBatch`]es
+//! under per-batch row *and* byte budgets — the executor's throttle unit:
+//! one batch is what a live system copies, then marks moved in the
+//! [`schism_router::VersionedScheme`], before yielding to foreground
+//! traffic ([`MigrationPlan::sim_txns`] turns the same plan into simulator
+//! transactions so the tax shows up in simulated throughput).
+//!
+//! Only tuples present in **both** assignments generate moves: a tuple seen
+//! for the first time has no authoritative copy to relocate (the lookup
+//! scheme's miss policy places it), and a tuple that vanished from the
+//! trace keeps its old home until a later plan touches it.
+
+use schism_router::PartitionSet;
+use schism_sim::{SimOp, SimTxn};
+use schism_workload::{TupleId, TupleValues};
+use std::collections::HashMap;
+
+/// One tuple's placement change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TupleMove {
+    pub tuple: TupleId,
+    /// Copy set before the migration.
+    pub from: PartitionSet,
+    /// Copy set after the migration.
+    pub to: PartitionSet,
+}
+
+impl TupleMove {
+    /// Partitions that must receive a copy.
+    pub fn copies_added(&self) -> PartitionSet {
+        self.to.difference(&self.from)
+    }
+
+    /// Partitions that drop their copy after commit.
+    pub fn copies_dropped(&self) -> PartitionSet {
+        self.from.difference(&self.to)
+    }
+}
+
+/// Throttle budgets for one batch.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanConfig {
+    /// Maximum tuples per batch.
+    pub max_rows_per_batch: usize,
+    /// Maximum payload bytes per batch (a tuple's bytes count once per
+    /// receiving partition).
+    pub max_bytes_per_batch: u64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        Self {
+            max_rows_per_batch: 1_000,
+            max_bytes_per_batch: 16 << 20,
+        }
+    }
+}
+
+/// One throttle unit of work.
+#[derive(Clone, Debug, Default)]
+pub struct MigrationBatch {
+    pub moves: Vec<TupleMove>,
+    /// Payload bytes this batch copies.
+    pub bytes: u64,
+}
+
+/// The full, ordered move plan between two placements.
+#[derive(Clone, Debug, Default)]
+pub struct MigrationPlan {
+    pub batches: Vec<MigrationBatch>,
+    pub total_moves: usize,
+    pub total_bytes: u64,
+}
+
+impl MigrationPlan {
+    pub fn is_empty(&self) -> bool {
+        self.total_moves == 0
+    }
+
+    /// All moves in plan order.
+    pub fn moves(&self) -> impl Iterator<Item = &TupleMove> + '_ {
+        self.batches.iter().flat_map(|b| b.moves.iter())
+    }
+
+    /// Renders the plan as simulator transactions: each move reads the
+    /// tuple on its current primary and writes it on every partition that
+    /// gains a copy — a distributed transaction whenever the two differ,
+    /// which is precisely the migration's 2PC tax on the cluster.
+    pub fn sim_txns(&self) -> Vec<SimTxn> {
+        self.moves()
+            .filter_map(|m| {
+                let src = m.from.first()?;
+                let key = (m.tuple.table, m.tuple.row);
+                let mut ops = vec![SimOp {
+                    server: src,
+                    key,
+                    write: false,
+                }];
+                for dst in m.copies_added().iter() {
+                    ops.push(SimOp {
+                        server: dst,
+                        key,
+                        write: true,
+                    });
+                }
+                (ops.len() > 1).then_some(SimTxn { ops })
+            })
+            .collect()
+    }
+}
+
+/// Diffs `old` against `new` and packs the changed tuples into batches.
+///
+/// Deterministic: moves are emitted in `TupleId` order regardless of map
+/// iteration order, so the same pair of assignments always yields the same
+/// plan (and the same simulated traffic).
+pub fn plan_migration(
+    old: &HashMap<TupleId, PartitionSet>,
+    new: &HashMap<TupleId, PartitionSet>,
+    db: &dyn TupleValues,
+    cfg: &PlanConfig,
+) -> MigrationPlan {
+    assert!(cfg.max_rows_per_batch >= 1);
+    assert!(cfg.max_bytes_per_batch >= 1);
+    let mut moves: Vec<TupleMove> = new
+        .iter()
+        .filter_map(|(&t, &to)| {
+            let &from = old.get(&t)?;
+            (from != to).then_some(TupleMove { tuple: t, from, to })
+        })
+        .collect();
+    moves.sort_unstable_by_key(|m| m.tuple);
+
+    let mut plan = MigrationPlan::default();
+    let mut batch = MigrationBatch::default();
+    for m in moves {
+        // Payload is copy bandwidth only: a drop-only move (replication
+        // shrink) transfers no bytes, matching the traffic `sim_txns`
+        // renders; it still occupies a row slot in its batch because the
+        // executor must process (and mark) it.
+        let payload = u64::from(db.tuple_bytes(m.tuple.table)) * u64::from(m.copies_added().len());
+        let would_overflow = !batch.moves.is_empty()
+            && (batch.moves.len() >= cfg.max_rows_per_batch
+                || batch.bytes + payload > cfg.max_bytes_per_batch);
+        if would_overflow {
+            plan.batches.push(std::mem::take(&mut batch));
+        }
+        batch.bytes += payload;
+        plan.total_bytes += payload;
+        batch.moves.push(m);
+        plan.total_moves += 1;
+    }
+    if !batch.moves.is_empty() {
+        plan.batches.push(batch);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schism_workload::MaterializedDb;
+
+    fn asg(pairs: &[(u64, u32)]) -> HashMap<TupleId, PartitionSet> {
+        pairs
+            .iter()
+            .map(|&(r, p)| (TupleId::new(0, r), PartitionSet::single(p)))
+            .collect()
+    }
+
+    #[test]
+    fn diff_only_changed_tuples_in_order() {
+        let old = asg(&[(0, 0), (1, 0), (2, 1), (3, 1)]);
+        let new = asg(&[(0, 0), (1, 1), (2, 0), (3, 1), (9, 0)]);
+        let plan = plan_migration(&old, &new, &MaterializedDb::new(), &PlanConfig::default());
+        let rows: Vec<u64> = plan.moves().map(|m| m.tuple.row).collect();
+        assert_eq!(rows, vec![1, 2], "only changed & common tuples, sorted");
+        assert_eq!(plan.total_moves, 2);
+    }
+
+    #[test]
+    fn batches_respect_row_budget() {
+        let old = asg(&(0..25).map(|r| (r, 0)).collect::<Vec<_>>());
+        let new = asg(&(0..25).map(|r| (r, 1)).collect::<Vec<_>>());
+        let cfg = PlanConfig {
+            max_rows_per_batch: 10,
+            ..Default::default()
+        };
+        let plan = plan_migration(&old, &new, &MaterializedDb::new(), &cfg);
+        let sizes: Vec<usize> = plan.batches.iter().map(|b| b.moves.len()).collect();
+        assert_eq!(sizes, vec![10, 10, 5]);
+        assert_eq!(plan.total_moves, 25);
+    }
+
+    #[test]
+    fn batches_respect_byte_budget() {
+        let mut db = MaterializedDb::new();
+        let t = db.add_table(1);
+        db.set_tuple_bytes(t, 100);
+        let old = asg(&(0..10).map(|r| (r, 0)).collect::<Vec<_>>());
+        let new = asg(&(0..10).map(|r| (r, 1)).collect::<Vec<_>>());
+        let cfg = PlanConfig {
+            max_rows_per_batch: 1_000,
+            max_bytes_per_batch: 250,
+        };
+        let plan = plan_migration(&old, &new, &db, &cfg);
+        for b in &plan.batches {
+            assert!(b.bytes <= 250, "batch bytes {}", b.bytes);
+        }
+        assert_eq!(plan.total_bytes, 1_000);
+        assert_eq!(plan.batches.len(), 5);
+    }
+
+    #[test]
+    fn replication_changes_count_copy_bytes() {
+        let old = asg(&[(0, 0)]);
+        let mut new = HashMap::new();
+        new.insert(
+            TupleId::new(0, 0),
+            [0u32, 1, 2].into_iter().collect::<PartitionSet>(),
+        );
+        let plan = plan_migration(&old, &new, &MaterializedDb::new(), &PlanConfig::default());
+        assert_eq!(plan.total_moves, 1);
+        let m = plan.moves().next().unwrap();
+        assert_eq!(m.copies_added().iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(m.copies_dropped().is_empty());
+        assert_eq!(plan.total_bytes, 2 * 64, "64 default bytes x 2 new copies");
+    }
+
+    #[test]
+    fn drop_only_moves_carry_no_payload() {
+        // Replication shrink {0,1} -> {0}: a move (the replica must be
+        // dropped and the tuple marked) but zero copy bytes, so it never
+        // trips the byte throttle.
+        let mut old = HashMap::new();
+        old.insert(
+            TupleId::new(0, 0),
+            [0u32, 1].into_iter().collect::<PartitionSet>(),
+        );
+        let new = asg(&[(0, 0)]);
+        let cfg = PlanConfig {
+            max_bytes_per_batch: 1,
+            ..Default::default()
+        };
+        let plan = plan_migration(&old, &new, &MaterializedDb::new(), &cfg);
+        assert_eq!(plan.total_moves, 1);
+        assert_eq!(plan.total_bytes, 0);
+        assert_eq!(plan.batches.len(), 1);
+        let m = plan.moves().next().unwrap();
+        assert!(m.copies_added().is_empty());
+        assert_eq!(m.copies_dropped().iter().collect::<Vec<_>>(), vec![1]);
+        assert!(plan.sim_txns().is_empty(), "no copy traffic for drops");
+    }
+
+    #[test]
+    fn sim_txns_are_cross_server_copies() {
+        let old = asg(&[(0, 0), (1, 1)]);
+        let new = asg(&[(0, 2), (1, 1)]);
+        let plan = plan_migration(&old, &new, &MaterializedDb::new(), &PlanConfig::default());
+        let txns = plan.sim_txns();
+        assert_eq!(txns.len(), 1);
+        assert_eq!(
+            txns[0].ops,
+            vec![
+                SimOp {
+                    server: 0,
+                    key: (0, 0),
+                    write: false
+                },
+                SimOp {
+                    server: 2,
+                    key: (0, 0),
+                    write: true
+                },
+            ]
+        );
+        assert!(txns[0].is_distributed());
+    }
+
+    #[test]
+    fn empty_diff_empty_plan() {
+        let a = asg(&[(0, 0)]);
+        let plan = plan_migration(&a, &a, &MaterializedDb::new(), &PlanConfig::default());
+        assert!(plan.is_empty());
+        assert!(plan.batches.is_empty());
+        assert!(plan.sim_txns().is_empty());
+    }
+}

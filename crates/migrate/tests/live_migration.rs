@@ -1,0 +1,118 @@
+//! End-to-end: a drifting workload drives the controller, the resulting
+//! plan is executed against a versioned scheme while the simulator shows
+//! the migration's throughput tax.
+
+use schism_core::{build_graph, run_partition_phase, SchismConfig};
+use schism_migrate::{ControllerConfig, MigrationController, Tick};
+use schism_router::Scheme;
+use schism_sim::{run, MigrationSource, PoolSource, SimConfig, SimTxn};
+use schism_workload::drifting::{self, DriftingConfig};
+
+const K: u32 = 4;
+
+fn controller_at_window0(dcfg: &DriftingConfig) -> MigrationController {
+    let w0 = drifting::window(dcfg, 0);
+    MigrationController::bootstrap(&w0, ControllerConfig::new(K))
+}
+
+#[test]
+fn migration_traffic_costs_throughput_then_recovers() {
+    let dcfg = DriftingConfig {
+        num_txns: 2_000,
+        ..Default::default()
+    };
+    let mut ctl = controller_at_window0(&dcfg);
+    let w2 = drifting::window(&dcfg, 2);
+    let outcome = match ctl.observe(&w2) {
+        Tick::Migrate(m) => m,
+        Tick::Stable(r) => panic!("drift missed: {}", r.distance),
+    };
+    assert!(!outcome.plan.is_empty());
+
+    // Foreground: the drifted window routed through the *new* placement.
+    let scheme = schism_core::build_lookup_scheme(&w2, &w2.trace, ctl.assignment(), K);
+    let pool = SimTxn::from_trace(&w2.trace, &scheme, &*w2.db);
+    let sim_cfg = SimConfig {
+        num_servers: K,
+        num_clients: 40,
+        duration: 4_000_000,
+        warmup: 1_000_000,
+        ..SimConfig::default()
+    };
+    let quiet = run(&sim_cfg, &mut PoolSource::new(pool.clone()));
+
+    // Same foreground plus copy traffic, one move per 2 txns. The plan's
+    // own queue drains in a fraction of the run, so cycle it into a
+    // sustained stream that outlives the measurement window — modeling a
+    // long-running migration at this throttle.
+    let moves = outcome.plan.sim_txns();
+    assert!(!moves.is_empty(), "plan must induce copy transactions");
+    assert!(
+        moves.iter().all(SimTxn::is_distributed),
+        "copies cross servers"
+    );
+    let sustained: Vec<SimTxn> = moves.iter().cloned().cycle().take(60_000).collect();
+    let mut source = MigrationSource::new(PoolSource::new(pool), sustained, 2);
+    let busy = run(&sim_cfg, &mut source);
+    assert!(
+        !source.drained(),
+        "copy stream must outlive the run for the tax to be measurable"
+    );
+
+    assert!(
+        busy.throughput < 0.9 * quiet.throughput,
+        "migration traffic must cost throughput: {} vs {}",
+        busy.throughput,
+        quiet.throughput
+    );
+}
+
+#[test]
+fn executed_plan_converges_router_to_new_placement() {
+    use schism_router::VersionedScheme;
+    use std::sync::Arc;
+
+    let dcfg = DriftingConfig {
+        num_txns: 1_500,
+        ..Default::default()
+    };
+    let w0 = drifting::window(&dcfg, 0);
+    let cfg = SchismConfig::new(K);
+    let wg = build_graph(&w0, &w0.trace, &cfg);
+    let prev = run_partition_phase(&wg, &cfg).assignment;
+
+    let mut ctl = MigrationController::with_assignment(&w0, prev.clone(), ControllerConfig::new(K));
+    let w3 = drifting::window(&dcfg, 3);
+    let outcome = match ctl.observe(&w3) {
+        Tick::Migrate(m) => m,
+        Tick::Stable(r) => panic!("drift missed: {}", r.distance),
+    };
+
+    let old: Arc<dyn Scheme> = Arc::new(schism_core::build_lookup_scheme(&w0, &w0.trace, &prev, K));
+    let new: Arc<dyn Scheme> = Arc::new(schism_core::build_lookup_scheme(
+        &w3,
+        &w3.trace,
+        ctl.assignment(),
+        K,
+    ));
+    let vs = VersionedScheme::new(old, new.clone());
+
+    // Execute batch by batch; the moved-set grows monotonically.
+    let mut done = 0usize;
+    for batch in &outcome.plan.batches {
+        done += vs.mark_batch(batch.moves.iter().map(|m| m.tuple));
+        assert_eq!(vs.moved_count(), done);
+    }
+    assert_eq!(done, outcome.plan.total_moves);
+
+    // After the last batch every moved tuple resolves through the new
+    // scheme; finalize hands the new scheme back for the swap.
+    for m in outcome.plan.moves() {
+        assert_eq!(
+            vs.locate_tuple(m.tuple, &*w3.db),
+            new.locate_tuple(m.tuple, &*w3.db)
+        );
+    }
+    let finalized = vs.finalize();
+    assert_eq!(finalized.name(), new.name());
+}

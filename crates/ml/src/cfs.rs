@@ -86,7 +86,11 @@ pub struct CfsResult {
 pub fn cfs_select(ds: &Dataset, bins: usize) -> CfsResult {
     let n = ds.num_attrs();
     if n == 0 || ds.is_empty() {
-        return CfsResult { selected: Vec::new(), merit: 0.0, label_correlation: vec![0.0; n] };
+        return CfsResult {
+            selected: Vec::new(),
+            merit: 0.0,
+            label_correlation: vec![0.0; n],
+        };
     }
     let view = DiscreteView::new(ds, bins.max(2));
     let rcf: Vec<f64> = (0..n).map(|a| view.su_with_label(a)).collect();
@@ -127,8 +131,8 @@ pub fn cfs_select(ds: &Dataset, bins: usize) -> CfsResult {
     let mut best_merit = 0.0f64;
     loop {
         let mut best_add: Option<(usize, f64)> = None;
-        for a in 0..n {
-            if selected.contains(&a) || rcf[a] <= f64::EPSILON {
+        for (a, &rcf_a) in rcf.iter().enumerate().take(n) {
+            if selected.contains(&a) || rcf_a <= f64::EPSILON {
                 continue;
             }
             let mut trial = selected.clone();
@@ -147,7 +151,11 @@ pub fn cfs_select(ds: &Dataset, bins: usize) -> CfsResult {
             _ => break,
         }
     }
-    CfsResult { selected, merit: best_merit, label_correlation: rcf }
+    CfsResult {
+        selected,
+        merit: best_merit,
+        label_correlation: rcf,
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +215,10 @@ mod tests {
     fn complementary_attributes_both_selected() {
         // label = (x_high, y_high) 4-class; each attribute alone gives one
         // bit; together they determine the label.
-        let mut b = DatasetBuilder::new().numeric("x").numeric("y").numeric("noise");
+        let mut b = DatasetBuilder::new()
+            .numeric("x")
+            .numeric("y")
+            .numeric("noise");
         for i in 0..400i64 {
             let x = i % 20;
             let y = (i / 20) % 20;

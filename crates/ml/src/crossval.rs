@@ -7,8 +7,8 @@
 
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTree, TreeConfig};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Splits row indices into `k` folds, stratified so each fold has roughly
@@ -50,7 +50,10 @@ pub fn cross_validate(ds: &Dataset, cfg: &TreeConfig, k: usize, seed: u64) -> Cv
     let training_accuracy = full.accuracy_on(ds, &all);
     if ds.len() < k {
         // Too few rows to cross-validate; report training accuracy only.
-        return CvResult { accuracy: training_accuracy, training_accuracy };
+        return CvResult {
+            accuracy: training_accuracy,
+            training_accuracy,
+        };
     }
     let folds = stratified_folds(ds.labels(), k, seed);
     let mut acc_sum = 0.0;
@@ -70,7 +73,11 @@ pub fn cross_validate(ds: &Dataset, cfg: &TreeConfig, k: usize, seed: u64) -> Cv
         folds_used += 1;
     }
     CvResult {
-        accuracy: if folds_used == 0 { training_accuracy } else { acc_sum / folds_used as f64 },
+        accuracy: if folds_used == 0 {
+            training_accuracy
+        } else {
+            acc_sum / folds_used as f64
+        },
         training_accuracy,
     }
 }
@@ -128,7 +135,12 @@ mod tests {
         let ds = b.build();
         // Unlimited depth so the unpruned tree can fully memorize the noise
         // (random labels degenerate into deep peel-off chains).
-        let cfg = TreeConfig { prune_cf: 1.0, min_leaf: 1, min_split: 2, max_depth: 1024 };
+        let cfg = TreeConfig {
+            prune_cf: 1.0,
+            min_leaf: 1,
+            min_split: 2,
+            max_depth: 1024,
+        };
         let cv = cross_validate(&ds, &cfg, 5, 2);
         assert!(
             cv.accuracy < 0.7,

@@ -46,7 +46,11 @@ impl Dataset {
     ) -> Self {
         assert_eq!(attrs.len(), columns.len(), "one column per attribute");
         for col in &columns {
-            assert_eq!(col.len(), labels.len(), "all columns must match label count");
+            assert_eq!(
+                col.len(),
+                labels.len(),
+                "all columns must match label count"
+            );
         }
         for (a, col) in attrs.iter().zip(&columns) {
             if let AttrKind::Categorical { arity } = a.kind {
@@ -62,7 +66,12 @@ impl Dataset {
         for &l in &labels {
             assert!(l < num_classes, "label {l} >= num_classes {num_classes}");
         }
-        Self { attrs, columns, labels, num_classes }
+        Self {
+            attrs,
+            columns,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of rows.
@@ -154,12 +163,18 @@ impl DatasetBuilder {
     }
 
     pub fn numeric(mut self, name: &str) -> Self {
-        self.attrs.push(Attribute { name: name.into(), kind: AttrKind::Numeric });
+        self.attrs.push(Attribute {
+            name: name.into(),
+            kind: AttrKind::Numeric,
+        });
         self
     }
 
     pub fn categorical(mut self, name: &str, arity: u32) -> Self {
-        self.attrs.push(Attribute { name: name.into(), kind: AttrKind::Categorical { arity } });
+        self.attrs.push(Attribute {
+            name: name.into(),
+            kind: AttrKind::Categorical { arity },
+        });
         self
     }
 

@@ -39,7 +39,9 @@ pub fn equal_frequency(values: &[i64], max_bins: usize) -> Discretization {
     sorted.dedup();
     if sorted.len() <= max_bins {
         // Cut between every pair of distinct values.
-        return Discretization { cutpoints: sorted.windows(2).map(|w| w[0]).collect() };
+        return Discretization {
+            cutpoints: sorted.windows(2).map(|w| w[0]).collect(),
+        };
     }
     // Walk the *full* sorted multiset to find equal-frequency boundaries,
     // then snap each boundary to the nearest distinct-value gap.

@@ -45,10 +45,7 @@ pub fn info_gain(parent: &[u32], parts: &[&[u32]]) -> f64 {
 /// Split information: entropy of the partition *sizes* (C4.5's denominator
 /// that penalizes high-arity splits).
 pub fn split_info(parts: &[&[u32]]) -> f64 {
-    let sizes: Vec<u32> = parts
-        .iter()
-        .map(|p| p.iter().sum::<u32>())
-        .collect();
+    let sizes: Vec<u32> = parts.iter().map(|p| p.iter().sum::<u32>()).collect();
     entropy(&sizes)
 }
 

@@ -57,8 +57,8 @@ pub fn upper_error(n: u32, e: u32, z: f64) -> f64 {
     let n = n as f64;
     let f = e as f64 / n;
     let z2 = z * z;
-    let ub = (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).sqrt())
-        / (1.0 + z2 / n);
+    let ub =
+        (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).sqrt()) / (1.0 + z2 / n);
     ub * n
 }
 
@@ -76,7 +76,7 @@ fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -144,7 +144,13 @@ mod tests {
     use crate::tree::{Node, NodeStats};
 
     fn leaf(n: u32, majority: u32, errors: u32) -> Node {
-        Node::Leaf { stats: NodeStats { n, majority, errors } }
+        Node::Leaf {
+            stats: NodeStats {
+                n,
+                majority,
+                errors,
+            },
+        }
     }
 
     #[test]
@@ -152,7 +158,11 @@ mod tests {
         // Both children predict the same class and carry errors: the split
         // buys nothing, so pessimistic pruning must collapse it.
         let mut node = Node::Num {
-            stats: NodeStats { n: 20, majority: 0, errors: 5 },
+            stats: NodeStats {
+                n: 20,
+                majority: 0,
+                errors: 5,
+            },
             attr: 0,
             threshold: 10,
             left: Box::new(leaf(10, 0, 3)),
@@ -160,7 +170,14 @@ mod tests {
         };
         prune(&mut node, 0.25);
         match node {
-            Node::Leaf { stats } => assert_eq!(stats, NodeStats { n: 20, majority: 0, errors: 5 }),
+            Node::Leaf { stats } => assert_eq!(
+                stats,
+                NodeStats {
+                    n: 20,
+                    majority: 0,
+                    errors: 5
+                }
+            ),
             other => panic!("expected collapse, got {other:?}"),
         }
     }
@@ -169,14 +186,21 @@ mod tests {
     fn informative_split_is_kept() {
         // Perfect separation: collapsing would cost 10 errors.
         let mut node = Node::Num {
-            stats: NodeStats { n: 20, majority: 0, errors: 10 },
+            stats: NodeStats {
+                n: 20,
+                majority: 0,
+                errors: 10,
+            },
             attr: 0,
             threshold: 10,
             left: Box::new(leaf(10, 0, 0)),
             right: Box::new(leaf(10, 1, 0)),
         };
         prune(&mut node, 0.25);
-        assert!(matches!(node, Node::Num { .. }), "useful split must survive");
+        assert!(
+            matches!(node, Node::Num { .. }),
+            "useful split must survive"
+        );
     }
 
     #[test]
@@ -185,7 +209,11 @@ mod tests {
         // With a lenient CF it survives; with an aggressive (small) CF the
         // pessimism penalty for the small leaves outweighs the gain.
         let build = || Node::Num {
-            stats: NodeStats { n: 40, majority: 0, errors: 6 },
+            stats: NodeStats {
+                n: 40,
+                majority: 0,
+                errors: 6,
+            },
             attr: 0,
             threshold: 5,
             left: Box::new(leaf(36, 0, 4)),
@@ -193,7 +221,10 @@ mod tests {
         };
         let mut lenient = build();
         prune(&mut lenient, 0.9);
-        assert!(matches!(lenient, Node::Num { .. }), "cf=0.9 should keep the split");
+        assert!(
+            matches!(lenient, Node::Num { .. }),
+            "cf=0.9 should keep the split"
+        );
         let mut aggressive = build();
         prune(&mut aggressive, 0.01);
         assert!(
@@ -207,14 +238,22 @@ mod tests {
         // Inner useless split under a useful root: inner collapses, root
         // survives.
         let inner = Node::Num {
-            stats: NodeStats { n: 10, majority: 1, errors: 2 },
+            stats: NodeStats {
+                n: 10,
+                majority: 1,
+                errors: 2,
+            },
             attr: 0,
             threshold: 15,
             left: Box::new(leaf(5, 1, 1)),
             right: Box::new(leaf(5, 1, 1)),
         };
         let mut root = Node::Num {
-            stats: NodeStats { n: 20, majority: 0, errors: 10 },
+            stats: NodeStats {
+                n: 20,
+                majority: 0,
+                errors: 10,
+            },
             attr: 0,
             threshold: 9,
             left: Box::new(leaf(10, 0, 0)),
@@ -223,7 +262,10 @@ mod tests {
         prune(&mut root, 0.25);
         match &root {
             Node::Num { right, .. } => {
-                assert!(matches!(**right, Node::Leaf { .. }), "inner split must collapse");
+                assert!(
+                    matches!(**right, Node::Leaf { .. }),
+                    "inner split must collapse"
+                );
             }
             other => panic!("root must survive, got {other:?}"),
         }

@@ -56,12 +56,14 @@ impl Rule {
                         (false, false) => parts.push(format!("{lo} <= {name} <= {hi}")),
                     }
                 }
-                Cond::CatEq { attr, code } => {
-                    parts.push(format!("{} = {code}", attr_names[attr]))
-                }
+                Cond::CatEq { attr, code } => parts.push(format!("{} = {code}", attr_names[attr])),
             }
         }
-        let lhs = if parts.is_empty() { "<empty>".to_owned() } else { parts.join(" AND ") };
+        let lhs = if parts.is_empty() {
+            "<empty>".to_owned()
+        } else {
+            parts.join(" AND ")
+        };
         format!(
             "{lhs}: label {} (support {}, pred. error {:.2}%)",
             self.label,
@@ -85,22 +87,48 @@ fn walk(node: &Node, path: &mut Vec<Cond>, out: &mut Vec<Rule>) {
     match node {
         Node::Leaf { stats } => {
             let conds = merge_conditions(path);
-            let error_rate = if stats.n == 0 { 0.0 } else { stats.errors as f64 / stats.n as f64 };
-            out.push(Rule { conds, label: stats.majority, support: stats.n, error_rate });
+            let error_rate = if stats.n == 0 {
+                0.0
+            } else {
+                stats.errors as f64 / stats.n as f64
+            };
+            out.push(Rule {
+                conds,
+                label: stats.majority,
+                support: stats.n,
+                error_rate,
+            });
         }
-        Node::Num { attr, threshold, left, right, .. } => {
-            path.push(Cond::NumRange { attr: *attr, lo: i64::MIN, hi: *threshold });
+        Node::Num {
+            attr,
+            threshold,
+            left,
+            right,
+            ..
+        } => {
+            path.push(Cond::NumRange {
+                attr: *attr,
+                lo: i64::MIN,
+                hi: *threshold,
+            });
             walk(left, path, out);
             path.pop();
             let lo = threshold.saturating_add(1);
-            path.push(Cond::NumRange { attr: *attr, lo, hi: i64::MAX });
+            path.push(Cond::NumRange {
+                attr: *attr,
+                lo,
+                hi: i64::MAX,
+            });
             walk(right, path, out);
             path.pop();
         }
         Node::Cat { attr, children, .. } => {
             for (code, child) in children.iter().enumerate() {
                 if let Some(child) = child {
-                    path.push(Cond::CatEq { attr: *attr, code: code as i64 });
+                    path.push(Cond::CatEq {
+                        attr: *attr,
+                        code: code as i64,
+                    });
                     walk(child, path, out);
                     path.pop();
                 }
@@ -116,8 +144,11 @@ fn merge_conditions(path: &[Cond]) -> Vec<Cond> {
     for c in path {
         match *c {
             Cond::NumRange { attr, lo, hi } => {
-                if let Some(Cond::NumRange { lo: elo, hi: ehi, .. }) =
-                    out.iter_mut().find(|e| matches!(e, Cond::NumRange { attr: a, .. } if *a == attr))
+                if let Some(Cond::NumRange {
+                    lo: elo, hi: ehi, ..
+                }) = out
+                    .iter_mut()
+                    .find(|e| matches!(e, Cond::NumRange { attr: a, .. } if *a == attr))
                 {
                     *elo = (*elo).max(lo);
                     *ehi = (*ehi).min(hi);
@@ -166,7 +197,11 @@ mod tests {
         // Rules behave like the tree.
         for row in [[10, 1], [10, 2]] {
             let by_tree = tree.predict(&row);
-            let by_rule = rules.iter().find(|r| r.matches(&row)).expect("covered").label;
+            let by_rule = rules
+                .iter()
+                .find(|r| r.matches(&row))
+                .expect("covered")
+                .label;
             assert_eq!(by_tree, by_rule);
         }
     }
@@ -177,12 +212,25 @@ mod tests {
         // range 11..=20.
         let mut b = DatasetBuilder::new().numeric("x");
         for i in 0..30 {
-            b.row(&[i], if i <= 10 { 0 } else if i <= 20 { 1 } else { 2 });
+            b.row(
+                &[i],
+                if i <= 10 {
+                    0
+                } else if i <= 20 {
+                    1
+                } else {
+                    2
+                },
+            );
         }
         let ds = b.build();
         let tree = DecisionTree::train(
             &ds,
-            &TreeConfig { min_leaf: 1, min_split: 2, ..Default::default() },
+            &TreeConfig {
+                min_leaf: 1,
+                min_split: 2,
+                ..Default::default()
+            },
         );
         let rules = extract_rules(&tree, &ds);
         assert_eq!(rules.len(), 3);
@@ -223,7 +271,12 @@ mod tests {
         let ds = b.build();
         let tree = DecisionTree::train(
             &ds,
-            &TreeConfig { min_leaf: 1, min_split: 2, prune_cf: 1.0, ..Default::default() },
+            &TreeConfig {
+                min_leaf: 1,
+                min_split: 2,
+                prune_cf: 1.0,
+                ..Default::default()
+            },
         );
         let rules = extract_rules(&tree, &ds);
         for x in 0..10i64 {

@@ -29,7 +29,12 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 30, min_leaf: 2, min_split: 4, prune_cf: 0.25 }
+        Self {
+            max_depth: 30,
+            min_leaf: 2,
+            min_split: 4,
+            prune_cf: 0.25,
+        }
     }
 }
 
@@ -92,14 +97,23 @@ impl DecisionTree {
     /// Trains on a subset of rows (used by cross-validation).
     pub fn train_on(ds: &Dataset, mut rows: Vec<u32>, cfg: &TreeConfig) -> Self {
         let mut root = if rows.is_empty() {
-            Node::Leaf { stats: NodeStats { n: 0, majority: 0, errors: 0 } }
+            Node::Leaf {
+                stats: NodeStats {
+                    n: 0,
+                    majority: 0,
+                    errors: 0,
+                },
+            }
         } else {
             build(ds, &mut rows, cfg.max_depth, cfg)
         };
         if cfg.prune_cf < 1.0 {
             crate::prune::prune(&mut root, cfg.prune_cf);
         }
-        Self { root, num_attrs: ds.num_attrs() }
+        Self {
+            root,
+            num_attrs: ds.num_attrs(),
+        }
     }
 
     /// Predicts the class of a row given as one value per attribute.
@@ -109,10 +123,24 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { stats } => return stats.majority,
-                Node::Num { attr, threshold, left, right, .. } => {
-                    node = if row[*attr] <= *threshold { left } else { right };
+                Node::Num {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if row[*attr] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
-                Node::Cat { stats, attr, children } => {
+                Node::Cat {
+                    stats,
+                    attr,
+                    children,
+                } => {
                     let code = row[*attr];
                     match usize::try_from(code).ok().and_then(|c| children.get(c)) {
                         Some(Some(child)) => node = child,
@@ -132,8 +160,8 @@ impl DecisionTree {
         let correct = rows
             .iter()
             .filter(|&&r| {
-                for a in 0..ds.num_attrs() {
-                    buf[a] = ds.value(a, r as usize);
+                for (a, slot) in buf.iter_mut().enumerate() {
+                    *slot = ds.value(a, r as usize);
                 }
                 self.predict(&buf) == ds.label(r as usize)
             })
@@ -147,10 +175,9 @@ impl DecisionTree {
             match n {
                 Node::Leaf { .. } => 1,
                 Node::Num { left, right, .. } => walk(left) + walk(right),
-                Node::Cat { children, .. } => children
-                    .iter()
-                    .map(|c| c.as_deref().map_or(0, walk))
-                    .sum(),
+                Node::Cat { children, .. } => {
+                    children.iter().map(|c| c.as_deref().map_or(0, walk)).sum()
+                }
             }
         }
         walk(&self.root)
@@ -188,7 +215,11 @@ fn stats_of(counts: &[u32]) -> NodeStats {
         .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
         .map(|(c, &m)| (c as u32, m))
         .unwrap_or((0, 0));
-    NodeStats { n, majority, errors: n - maj_n }
+    NodeStats {
+        n,
+        majority,
+        errors: n - maj_n,
+    }
 }
 
 struct BestSplit {
@@ -254,7 +285,11 @@ fn build(ds: &Dataset, rows: &mut [u32], depth_left: usize, cfg: &TreeConfig) ->
                     }
                 })
                 .collect();
-            Node::Cat { stats, attr: best.attr, children }
+            Node::Cat {
+                stats,
+                attr: best.attr,
+                children,
+            }
         }
     }
 }
@@ -410,7 +445,9 @@ mod tests {
         assert_eq!(tree.num_leaves(), 2, "one split suffices");
         // The split must be on s_w_id (attr 1), not the uninformative item id.
         match tree.root() {
-            Node::Num { attr, threshold, .. } => {
+            Node::Num {
+                attr, threshold, ..
+            } => {
                 assert_eq!(*attr, 1);
                 assert_eq!(*threshold, 1); // s_w_id <= 1 -> partition 0
             }
@@ -423,7 +460,7 @@ mod tests {
     fn pure_dataset_is_single_leaf() {
         let mut b = DatasetBuilder::new().numeric("x");
         for i in 0..10 {
-            b.row(&[i], 3.min(3));
+            b.row(&[i], 3);
         }
         let ds = b.build();
         let tree = DecisionTree::train(&ds, &TreeConfig::default());
@@ -441,7 +478,13 @@ mod tests {
             b.row(&[2], 2);
         }
         let ds = b.build();
-        let tree = DecisionTree::train(&ds, &TreeConfig { min_leaf: 1, ..Default::default() });
+        let tree = DecisionTree::train(
+            &ds,
+            &TreeConfig {
+                min_leaf: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(tree.predict(&[0]), 0);
         assert_eq!(tree.predict(&[1]), 1);
         assert_eq!(tree.predict(&[2]), 2);
@@ -457,7 +500,13 @@ mod tests {
             b.row(&[1], 1);
         }
         let ds = b.build();
-        let tree = DecisionTree::train(&ds, &TreeConfig { min_leaf: 1, ..Default::default() });
+        let tree = DecisionTree::train(
+            &ds,
+            &TreeConfig {
+                min_leaf: 1,
+                ..Default::default()
+            },
+        );
         // Code 3 never seen in training; majority overall is class 0.
         assert_eq!(tree.predict(&[3]), 0);
     }
@@ -473,7 +522,11 @@ mod tests {
         }
         b.row(&[100], 1);
         let ds = b.build();
-        let cfg = TreeConfig { min_leaf: 5, prune_cf: 1.0, ..Default::default() };
+        let cfg = TreeConfig {
+            min_leaf: 5,
+            prune_cf: 1.0,
+            ..Default::default()
+        };
         let tree = DecisionTree::train(&ds, &cfg);
         assert_eq!(tree.predict(&[100]), 0, "stray row must not get a rule");
         assert_eq!(tree.predict(&[0]), 0);
@@ -492,7 +545,12 @@ mod tests {
             }
         }
         let ds = b.build();
-        let cfg = TreeConfig { min_leaf: 1, min_split: 2, prune_cf: 1.0, ..Default::default() };
+        let cfg = TreeConfig {
+            min_leaf: 1,
+            min_split: 2,
+            prune_cf: 1.0,
+            ..Default::default()
+        };
         let tree = DecisionTree::train(&ds, &cfg);
         assert!(tree.depth() >= 3, "conjunction requires nested splits");
         for (x, y) in [(0, 0), (0, 9), (9, 0), (9, 9), (4, 9), (5, 5)] {

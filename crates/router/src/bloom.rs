@@ -14,12 +14,19 @@ impl BloomFilter {
     /// Sizes the filter for `expected_items` at `fp_rate` false positives
     /// (`m = -n ln p / ln2²`, `k = m/n ln2`).
     pub fn new(expected_items: usize, fp_rate: f64) -> Self {
-        assert!((0.0..1.0).contains(&fp_rate) && fp_rate > 0.0, "bad fp rate");
+        assert!(
+            (0.0..1.0).contains(&fp_rate) && fp_rate > 0.0,
+            "bad fp rate"
+        );
         let n = expected_items.max(1) as f64;
         let ln2 = std::f64::consts::LN_2;
         let m = (-(n * fp_rate.ln()) / (ln2 * ln2)).ceil().max(64.0) as u64;
         let k = ((m as f64 / n) * ln2).round().clamp(1.0, 16.0) as u32;
-        Self { bits: vec![0u64; m.div_ceil(64) as usize], num_bits: m, num_hashes: k }
+        Self {
+            bits: vec![0u64; m.div_ceil(64) as usize],
+            num_bits: m,
+            num_hashes: k,
+        }
     }
 
     fn hashes(&self, key: u64) -> (u64, u64) {

@@ -81,7 +81,11 @@ mod tests {
     fn replication_costs_every_write() {
         // Random workload: every transaction is a 2-tuple write, so full
         // replication makes 100% distributed (the paper's worst case).
-        let w = random::generate(&RandomConfig { records: 1000, num_txns: 500, ..Default::default() });
+        let w = random::generate(&RandomConfig {
+            records: 1000,
+            num_txns: 500,
+            ..Default::default()
+        });
         let r = evaluate(&ReplicationScheme::new(4), &w.trace, &*w.db);
         assert_eq!(r.distributed_txns, 500);
         assert!((r.distributed_fraction() - 1.0).abs() < 1e-12);
@@ -126,7 +130,10 @@ mod tests {
             .collect();
         let scheme = RangeScheme::new(
             4,
-            vec![TablePolicy::Rules { rules, default: PartitionSet::single(0) }],
+            vec![TablePolicy::Rules {
+                rules,
+                default: PartitionSet::single(0),
+            }],
         );
         let r = evaluate(&scheme, &w.trace, &*w.db);
         assert_eq!(r.distributed_txns, 0, "aligned scheme must be all-local");
@@ -141,9 +148,17 @@ mod tests {
 
     #[test]
     fn load_balance_accounting() {
-        let w = random::generate(&RandomConfig { records: 10_000, num_txns: 2_000, ..Default::default() });
+        let w = random::generate(&RandomConfig {
+            records: 10_000,
+            num_txns: 2_000,
+            ..Default::default()
+        });
         let r = evaluate(&HashScheme::by_row_id(4), &w.trace, &*w.db);
-        assert!(r.load_imbalance() < 1.2, "hash should balance: {}", r.load_imbalance());
+        assert!(
+            r.load_imbalance() < 1.2,
+            "hash should balance: {}",
+            r.load_imbalance()
+        );
         let total: u64 = r.txns_per_partition.iter().sum();
         assert_eq!(total, r.total_participants);
     }

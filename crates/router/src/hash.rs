@@ -36,13 +36,19 @@ impl HashScheme {
     /// Hash by tuple row id.
     pub fn by_row_id(k: u32) -> Self {
         assert!(k >= 1);
-        Self { k, by: HashBy::RowId }
+        Self {
+            k,
+            by: HashBy::RowId,
+        }
     }
 
     /// Hash by one attribute per table; tables with `None` hash the row id.
     pub fn by_attrs(k: u32, attrs: Vec<Option<ColId>>) -> Self {
         assert!(k >= 1);
-        Self { k, by: HashBy::Attr(attrs) }
+        Self {
+            k,
+            by: HashBy::Attr(attrs),
+        }
     }
 
     fn bucket_value(&self, v: i64) -> u32 {

@@ -15,6 +15,7 @@ pub mod pset;
 pub mod range;
 pub mod router;
 pub mod scheme;
+pub mod versioned;
 
 pub use bloom::BloomFilter;
 pub use cost::{evaluate, CostReport};
@@ -26,3 +27,4 @@ pub use pset::{PartitionSet, MAX_PARTITIONS};
 pub use range::{RangeRule, RangeScheme, TablePolicy};
 pub use router::{route_transaction, Participants};
 pub use scheme::{Complexity, ReplicationScheme, Route, Scheme};
+pub use versioned::VersionedScheme;

@@ -37,7 +37,9 @@ pub struct IndexBackend {
 
 impl IndexBackend {
     pub fn new(entries: impl IntoIterator<Item = (u64, PartitionSet)>) -> Self {
-        Self { map: entries.into_iter().collect() }
+        Self {
+            map: entries.into_iter().collect(),
+        }
     }
 }
 
@@ -114,8 +116,9 @@ impl BloomBackend {
         fp_rate: f64,
         entries: impl IntoIterator<Item = (u64, PartitionSet)>,
     ) -> Self {
-        let mut filters: Vec<BloomFilter> =
-            (0..k).map(|_| BloomFilter::new(expected_per_partition, fp_rate)).collect();
+        let mut filters: Vec<BloomFilter> = (0..k)
+            .map(|_| BloomFilter::new(expected_per_partition, fp_rate))
+            .collect();
         for (row, pset) in entries {
             for p in pset.iter() {
                 filters[p as usize].insert(row);
@@ -174,7 +177,12 @@ impl LookupScheme {
         miss: MissPolicy,
     ) -> Self {
         assert!(k >= 1);
-        Self { k, backends, row_keys, miss }
+        Self {
+            k,
+            backends,
+            row_keys,
+            miss,
+        }
     }
 
     fn miss_set(&self, t: TupleId) -> PartitionSet {
@@ -193,11 +201,7 @@ impl LookupScheme {
 
     /// Total memory footprint of the backends.
     pub fn size_bytes(&self) -> usize {
-        self.backends
-            .iter()
-            .flatten()
-            .map(|b| b.size_bytes())
-            .sum()
+        self.backends.iter().flatten().map(|b| b.size_bytes()).sum()
     }
 }
 
@@ -301,8 +305,9 @@ mod tests {
 
     #[test]
     fn bloom_backend_never_loses_home() {
-        let many: Vec<(u64, PartitionSet)> =
-            (0..1000).map(|r| (r, PartitionSet::single((r % 4) as u32))).collect();
+        let many: Vec<(u64, PartitionSet)> = (0..1000)
+            .map(|r| (r, PartitionSet::single((r % 4) as u32)))
+            .collect();
         let b = BloomBackend::new(4, 300, 0.01, many.clone());
         for (r, pset) in many {
             let got = b.get(r).expect("present");
@@ -316,7 +321,9 @@ mod tests {
         let mk = |miss| {
             LookupScheme::new(
                 2,
-                vec![Some(Box::new(IndexBackend::new(entries())) as Box<dyn LookupBackend>)],
+                vec![Some(
+                    Box::new(IndexBackend::new(entries())) as Box<dyn LookupBackend>
+                )],
                 vec![Some(RowKey { col: 0, offset: 0 })],
                 miss,
             )
@@ -326,14 +333,19 @@ mod tests {
         let s = mk(MissPolicy::HashRow);
         assert!(s.locate_tuple(TupleId::new(0, 99), &db).is_single());
         // Known tuple resolves exactly.
-        assert_eq!(s.locate_tuple(TupleId::new(0, 1), &db), PartitionSet::single(1));
+        assert_eq!(
+            s.locate_tuple(TupleId::new(0, 1), &db),
+            PartitionSet::single(1)
+        );
     }
 
     #[test]
     fn statement_routing_through_row_key() {
         let s = LookupScheme::new(
             2,
-            vec![Some(Box::new(IndexBackend::new(entries())) as Box<dyn LookupBackend>)],
+            vec![Some(
+                Box::new(IndexBackend::new(entries())) as Box<dyn LookupBackend>
+            )],
             vec![Some(RowKey { col: 0, offset: 10 })], // pk = row + 10
             MissPolicy::Replicate,
         );

@@ -105,6 +105,16 @@ impl PartitionSet {
         out
     }
 
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for i in 0..4 {
+            out.bits[i] &= !other.bits[i];
+        }
+        out
+    }
+
     /// Iterates members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         (0..4usize).flat_map(move |i| {
@@ -176,6 +186,9 @@ mod tests {
         let mut c = a;
         c.union_with(&b);
         assert_eq!(c, a.union(&b));
+        let d = a.difference(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(b.difference(&a).iter().collect::<Vec<_>>(), vec![4]);
     }
 
     #[test]

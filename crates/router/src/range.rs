@@ -50,7 +50,10 @@ impl RangeRule {
 #[derive(Clone, Debug)]
 pub enum TablePolicy {
     /// First-match rule list; tuples matching no rule fall to `default`.
-    Rules { rules: Vec<RangeRule>, default: PartitionSet },
+    Rules {
+        rules: Vec<RangeRule>,
+        default: PartitionSet,
+    },
     /// The whole table is replicated everywhere.
     Replicate,
     /// The whole table lives on one partition.
@@ -173,8 +176,14 @@ mod tests {
             vec![
                 TablePolicy::Rules {
                     rules: vec![
-                        RangeRule { conds: vec![(0, i64::MIN, 1)], partitions: PartitionSet::single(0) },
-                        RangeRule { conds: vec![(0, 2, i64::MAX)], partitions: PartitionSet::single(1) },
+                        RangeRule {
+                            conds: vec![(0, i64::MIN, 1)],
+                            partitions: PartitionSet::single(0),
+                        },
+                        RangeRule {
+                            conds: vec![(0, 2, i64::MAX)],
+                            partitions: PartitionSet::single(1),
+                        },
                     ],
                     default: PartitionSet::single(0),
                 },
@@ -187,8 +196,14 @@ mod tests {
     #[test]
     fn locates_by_rule() {
         let (s, db) = tpcc_like();
-        assert_eq!(s.locate_tuple(TupleId::new(0, 0), &db), PartitionSet::single(0));
-        assert_eq!(s.locate_tuple(TupleId::new(0, 4), &db), PartitionSet::single(1));
+        assert_eq!(
+            s.locate_tuple(TupleId::new(0, 0), &db),
+            PartitionSet::single(0)
+        );
+        assert_eq!(
+            s.locate_tuple(TupleId::new(0, 4), &db),
+            PartitionSet::single(1)
+        );
         // Replicated table.
         assert_eq!(s.locate_tuple(TupleId::new(1, 0), &db).len(), 2);
     }
@@ -223,7 +238,10 @@ mod tests {
     fn missing_attribute_falls_to_default() {
         let (s, db) = tpcc_like();
         // Row 100 has no materialized s_w_id.
-        assert_eq!(s.locate_tuple(TupleId::new(0, 100), &db), PartitionSet::single(0));
+        assert_eq!(
+            s.locate_tuple(TupleId::new(0, 100), &db),
+            PartitionSet::single(0)
+        );
         // Unknown table id -> replicate by default policy.
         assert_eq!(s.locate_tuple(TupleId::new(9, 0), &db).len(), 2);
     }
@@ -238,17 +256,38 @@ mod tests {
             4,
             vec![TablePolicy::Rules {
                 rules: vec![
-                    RangeRule { conds: vec![(0, 1, 1), (1, 1, 1)], partitions: PartitionSet::single(0) },
-                    RangeRule { conds: vec![(0, 1, 1), (1, 2, 2)], partitions: PartitionSet::single(1) },
-                    RangeRule { conds: vec![(0, 2, 2), (1, 1, 1)], partitions: PartitionSet::single(2) },
+                    RangeRule {
+                        conds: vec![(0, 1, 1), (1, 1, 1)],
+                        partitions: PartitionSet::single(0),
+                    },
+                    RangeRule {
+                        conds: vec![(0, 1, 1), (1, 2, 2)],
+                        partitions: PartitionSet::single(1),
+                    },
+                    RangeRule {
+                        conds: vec![(0, 2, 2), (1, 1, 1)],
+                        partitions: PartitionSet::single(2),
+                    },
                 ],
                 default: PartitionSet::single(3),
             }],
         );
-        assert_eq!(s.locate_tuple(TupleId::new(0, 0), &db), PartitionSet::single(0));
-        assert_eq!(s.locate_tuple(TupleId::new(0, 1), &db), PartitionSet::single(1));
-        assert_eq!(s.locate_tuple(TupleId::new(0, 2), &db), PartitionSet::single(2));
-        assert_eq!(s.locate_tuple(TupleId::new(0, 3), &db), PartitionSet::single(3));
+        assert_eq!(
+            s.locate_tuple(TupleId::new(0, 0), &db),
+            PartitionSet::single(0)
+        );
+        assert_eq!(
+            s.locate_tuple(TupleId::new(0, 1), &db),
+            PartitionSet::single(1)
+        );
+        assert_eq!(
+            s.locate_tuple(TupleId::new(0, 2), &db),
+            PartitionSet::single(2)
+        );
+        assert_eq!(
+            s.locate_tuple(TupleId::new(0, 3), &db),
+            PartitionSet::single(3)
+        );
         // Statement pinning both attrs hits exactly one rule... plus the
         // default because rule regions don't provably cover the pin? No —
         // both attrs pinned, one rule overlaps.

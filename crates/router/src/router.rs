@@ -165,9 +165,15 @@ mod tests {
         let s = ReplicationScheme::new(3);
         let db = MaterializedDb::new();
         let mut b = TxnBuilder::new(false);
-        b.read(TupleId::new(0, 0)).read(TupleId::new(0, 1)).read(TupleId::new(1, 5));
+        b.read(TupleId::new(0, 0))
+            .read(TupleId::new(0, 1))
+            .read(TupleId::new(1, 5));
         let p = route_transaction(&b.finish(), &s, &db);
-        assert!(p.set.is_single(), "read-only under replication is local: {:?}", p.set);
+        assert!(
+            p.set.is_single(),
+            "read-only under replication is local: {:?}",
+            p.set
+        );
         let mut b = TxnBuilder::new(false);
         b.write(TupleId::new(0, 0));
         let p = route_transaction(&b.finish(), &s, &db);

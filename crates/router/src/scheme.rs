@@ -29,11 +29,17 @@ pub struct Route {
 
 impl Route {
     pub fn must(targets: PartitionSet) -> Self {
-        Self { targets, any_one: false }
+        Self {
+            targets,
+            any_one: false,
+        }
     }
 
     pub fn any(targets: PartitionSet) -> Self {
-        Self { targets, any_one: true }
+        Self {
+            targets,
+            any_one: true,
+        }
     }
 }
 

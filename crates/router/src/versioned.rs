@@ -1,0 +1,189 @@
+//! Versioned scheme swap: correct routing *during* a live migration.
+//!
+//! While a migration plan executes, two placements are live at once: tuples
+//! not yet moved still live where the **old** scheme says, tuples already
+//! moved live where the **new** scheme says. [`VersionedScheme`] pairs the
+//! two schemes with a per-tuple moved-set and routes accordingly, the same
+//! way the lookup-table backends pair a [`crate::PartitionSet`] per row:
+//!
+//! - `locate_tuple` consults the moved-set and delegates to exactly one of
+//!   the two schemes, so a single-owner tuple has a single owner at every
+//!   instant of the migration (the property tests in the umbrella crate
+//!   prove this along full move sequences);
+//! - `route_statement` must be conservative — a predicate can match both
+//!   moved and unmoved tuples, so the route is the union of both schemes'
+//!   routes and stays `must`-semantics unless both sides allow any-one.
+//!
+//! The moved-set is interior-mutable (`RwLock`) because the router shares
+//! schemes as `&dyn Scheme`; marking a tuple moved is the commit point of
+//! its copy and is idempotent.
+
+use crate::pset::PartitionSet;
+use crate::scheme::{Complexity, Route, Scheme};
+use schism_sql::Statement;
+use schism_workload::{TupleId, TupleValues};
+use std::collections::HashSet;
+use std::sync::{Arc, RwLock};
+
+/// A scheme pair (old → new) plus the set of tuples already migrated.
+pub struct VersionedScheme {
+    old: Arc<dyn Scheme>,
+    new: Arc<dyn Scheme>,
+    moved: RwLock<HashSet<TupleId>>,
+}
+
+impl VersionedScheme {
+    /// Starts a migration epoch: everything still routes to `old`.
+    pub fn new(old: Arc<dyn Scheme>, new: Arc<dyn Scheme>) -> Self {
+        Self {
+            old,
+            new,
+            moved: RwLock::new(HashSet::new()),
+        }
+    }
+
+    /// Marks one tuple as moved (its copy on the new placement is now
+    /// authoritative). Idempotent; returns whether the tuple was newly
+    /// marked.
+    pub fn mark_moved(&self, t: TupleId) -> bool {
+        self.moved.write().expect("moved-set poisoned").insert(t)
+    }
+
+    /// Marks a whole batch as moved (one lock acquisition).
+    pub fn mark_batch<I: IntoIterator<Item = TupleId>>(&self, tuples: I) -> usize {
+        let mut set = self.moved.write().expect("moved-set poisoned");
+        tuples.into_iter().filter(|&t| set.insert(t)).count()
+    }
+
+    /// Whether `t` has been migrated.
+    pub fn is_moved(&self, t: TupleId) -> bool {
+        self.moved.read().expect("moved-set poisoned").contains(&t)
+    }
+
+    /// Number of tuples migrated so far.
+    pub fn moved_count(&self) -> usize {
+        self.moved.read().expect("moved-set poisoned").len()
+    }
+
+    /// Ends the epoch: the new scheme is authoritative for everything.
+    /// Callers swap the returned scheme into the router and drop `self`.
+    pub fn finalize(self) -> Arc<dyn Scheme> {
+        self.new
+    }
+
+    /// The old (pre-migration) scheme.
+    pub fn old_scheme(&self) -> &Arc<dyn Scheme> {
+        &self.old
+    }
+
+    /// The new (post-migration) scheme.
+    pub fn new_scheme(&self) -> &Arc<dyn Scheme> {
+        &self.new
+    }
+}
+
+impl Scheme for VersionedScheme {
+    fn name(&self) -> String {
+        format!("versioned({} -> {})", self.old.name(), self.new.name())
+    }
+
+    fn k(&self) -> u32 {
+        self.old.k().max(self.new.k())
+    }
+
+    fn complexity(&self) -> Complexity {
+        self.old.complexity().max(self.new.complexity())
+    }
+
+    fn locate_tuple(&self, t: TupleId, db: &dyn TupleValues) -> PartitionSet {
+        if self.is_moved(t) {
+            self.new.locate_tuple(t, db)
+        } else {
+            self.old.locate_tuple(t, db)
+        }
+    }
+
+    fn route_statement(&self, stmt: &Statement) -> Route {
+        let a = self.old.route_statement(stmt);
+        let b = self.new.route_statement(stmt);
+        Route {
+            targets: a.targets.union(&b.targets),
+            // Any-one is only safe if both epochs would allow it (a
+            // replicated read can be served anywhere in either placement).
+            any_one: a.any_one && b.any_one,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::HashScheme;
+    use crate::scheme::ReplicationScheme;
+    use schism_sql::{Predicate, Value};
+    use schism_workload::MaterializedDb;
+
+    fn hash_pair() -> (Arc<dyn Scheme>, Arc<dyn Scheme>) {
+        (
+            Arc::new(HashScheme::by_row_id(2)) as Arc<dyn Scheme>,
+            Arc::new(HashScheme::by_row_id(4)) as Arc<dyn Scheme>,
+        )
+    }
+
+    #[test]
+    fn routes_old_until_moved_then_new() {
+        let (old, new) = hash_pair();
+        let db = MaterializedDb::new();
+        let vs = VersionedScheme::new(old.clone(), new.clone());
+        let t = TupleId::new(0, 42);
+        assert_eq!(vs.locate_tuple(t, &db), old.locate_tuple(t, &db));
+        assert!(vs.mark_moved(t));
+        assert!(!vs.mark_moved(t), "second mark is a no-op");
+        assert_eq!(vs.locate_tuple(t, &db), new.locate_tuple(t, &db));
+        // Unmoved neighbors are untouched.
+        let u = TupleId::new(0, 43);
+        assert_eq!(vs.locate_tuple(u, &db), old.locate_tuple(u, &db));
+        assert_eq!(vs.moved_count(), 1);
+    }
+
+    #[test]
+    fn statement_route_covers_both_epochs() {
+        let (old, new) = hash_pair();
+        let vs = VersionedScheme::new(old.clone(), new.clone());
+        let stmt = Statement::select(0, Predicate::Eq(0, Value::Int(7)));
+        let r = vs.route_statement(&stmt);
+        let a = old.route_statement(&stmt);
+        let b = new.route_statement(&stmt);
+        assert_eq!(r.targets, a.targets.union(&b.targets));
+        assert!(!r.any_one, "point-lookup routes are must-routes");
+    }
+
+    #[test]
+    fn any_one_requires_both_epochs() {
+        let old: Arc<dyn Scheme> = Arc::new(ReplicationScheme::new(3));
+        let new: Arc<dyn Scheme> = Arc::new(ReplicationScheme::new(3));
+        let vs = VersionedScheme::new(old, new);
+        let read = Statement::select(0, Predicate::Eq(0, Value::Int(1)));
+        assert!(vs.route_statement(&read).any_one);
+        let write = Statement::update(0, Predicate::Eq(0, Value::Int(1)));
+        assert!(!vs.route_statement(&write).any_one);
+    }
+
+    #[test]
+    fn finalize_hands_back_new_scheme() {
+        let (old, new) = hash_pair();
+        let vs = VersionedScheme::new(old, new.clone());
+        vs.mark_batch([TupleId::new(0, 1), TupleId::new(0, 2)]);
+        let done = vs.finalize();
+        assert_eq!(done.name(), new.name());
+    }
+
+    #[test]
+    fn k_and_complexity_are_conservative() {
+        let (old, new) = hash_pair();
+        let vs = VersionedScheme::new(old, new);
+        assert_eq!(vs.k(), 4);
+        assert_eq!(vs.complexity(), Complexity::Hash);
+        assert!(vs.name().starts_with("versioned("));
+    }
+}

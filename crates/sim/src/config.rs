@@ -57,7 +57,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// The in-memory point-read configuration of §3 (Figure 1).
     pub fn figure1(num_servers: u32) -> Self {
-        Self { num_servers, ..Self::default() }
+        Self {
+            num_servers,
+            ..Self::default()
+        }
     }
 
     /// Disk-era TPC-C configuration for §6.3 (Figure 6): statements are an

@@ -160,9 +160,15 @@ impl<'a> Sim<'a> {
     }
 
     fn op_arrive(&mut self, id: TxnId) {
-        let Some(t) = self.active.get_mut(&id) else { return };
+        let Some(t) = self.active.get_mut(&id) else {
+            return;
+        };
         let op = t.txn.ops[t.next_op];
-        let mode = if op.write { LockMode::Exclusive } else { LockMode::Shared };
+        let mode = if op.write {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
         match self.locks[op.server as usize].acquire(id, op.key, mode, self.clock) {
             LockResult::Granted => {
                 let done = self.cpu(op.server, self.clock, self.cfg.stmt_cpu);
@@ -181,7 +187,9 @@ impl<'a> Sim<'a> {
     /// consume CPU.
     fn wake(&mut self, woken: Vec<TxnId>, server: u32) {
         for id in woken {
-            let Some(t) = self.active.get_mut(&id) else { continue };
+            let Some(t) = self.active.get_mut(&id) else {
+                continue;
+            };
             if !t.waiting {
                 continue; // stale wake (e.g. re-granted after abort raced)
             }
@@ -193,7 +201,9 @@ impl<'a> Sim<'a> {
     }
 
     fn op_done(&mut self, id: TxnId) {
-        let Some(t) = self.active.get_mut(&id) else { return };
+        let Some(t) = self.active.get_mut(&id) else {
+            return;
+        };
         t.next_op += 1;
         if t.next_op < t.txn.ops.len() {
             // Reply to client + next statement request.
@@ -223,7 +233,9 @@ impl<'a> Sim<'a> {
     }
 
     fn prepare_done(&mut self, id: TxnId, _server: u32) {
-        let Some(t) = self.active.get_mut(&id) else { return };
+        let Some(t) = self.active.get_mut(&id) else {
+            return;
+        };
         debug_assert_eq!(t.phase, Phase::Preparing);
         t.pending_acks -= 1;
         if t.pending_acks > 0 {
@@ -244,7 +256,9 @@ impl<'a> Sim<'a> {
     fn commit_done(&mut self, id: TxnId, server: u32) {
         let woken = self.locks[server as usize].release_all(id);
         self.wake(woken, server);
-        let Some(t) = self.active.get_mut(&id) else { return };
+        let Some(t) = self.active.get_mut(&id) else {
+            return;
+        };
         t.pending_acks -= 1;
         if t.pending_acks > 0 {
             return;
@@ -261,7 +275,9 @@ impl<'a> Sim<'a> {
     }
 
     fn lock_timeout(&mut self, id: TxnId, attempt: u32) {
-        let Some(t) = self.active.get(&id) else { return };
+        let Some(t) = self.active.get(&id) else {
+            return;
+        };
         if t.attempt != attempt || !t.waiting {
             return; // stale timeout
         }
@@ -274,7 +290,9 @@ impl<'a> Sim<'a> {
         if self.clock >= self.cfg.warmup {
             self.stats.aborts += 1;
         }
-        let Some(t) = self.active.get_mut(&id) else { return };
+        let Some(t) = self.active.get_mut(&id) else {
+            return;
+        };
         t.next_op = 0;
         t.attempt += 1;
         t.waiting = false;
@@ -296,15 +314,26 @@ mod tests {
         let mut pool = Vec::new();
         for i in 0..200u64 {
             let (s1, s2) = if distributed && servers > 1 {
-                ((i % servers as u64) as u32, ((i + 1) % servers as u64) as u32)
+                (
+                    (i % servers as u64) as u32,
+                    ((i + 1) % servers as u64) as u32,
+                )
             } else {
                 let s = (i % servers as u64) as u32;
                 (s, s)
             };
             pool.push(SimTxn {
                 ops: vec![
-                    SimOp { server: s1, key: (0, i * 2), write: false },
-                    SimOp { server: s2, key: (0, i * 2 + 1), write: false },
+                    SimOp {
+                        server: s1,
+                        key: (0, i * 2),
+                        write: false,
+                    },
+                    SimOp {
+                        server: s2,
+                        key: (0, i * 2 + 1),
+                        write: false,
+                    },
                 ],
             });
         }
@@ -313,7 +342,11 @@ mod tests {
 
     #[test]
     fn local_beats_distributed_by_about_2x() {
-        let cfg = SimConfig { num_servers: 3, num_clients: 90, ..SimConfig::figure1(3) };
+        let cfg = SimConfig {
+            num_servers: 3,
+            num_clients: 90,
+            ..SimConfig::figure1(3)
+        };
         let local = run(&cfg, &mut point_read_pool(3, false));
         let dist = run(&cfg, &mut point_read_pool(3, true));
         assert!(local.throughput > 0.0 && dist.throughput > 0.0);
@@ -335,11 +368,17 @@ mod tests {
     #[test]
     fn throughput_scales_with_servers_when_local() {
         let t1 = run(
-            &SimConfig { num_clients: 60, ..SimConfig::figure1(1) },
+            &SimConfig {
+                num_clients: 60,
+                ..SimConfig::figure1(1)
+            },
             &mut point_read_pool(1, false),
         );
         let t4 = run(
-            &SimConfig { num_clients: 240, ..SimConfig::figure1(4) },
+            &SimConfig {
+                num_clients: 240,
+                ..SimConfig::figure1(4)
+            },
             &mut point_read_pool(4, false),
         );
         let speedup = t4.throughput / t1.throughput;
@@ -356,19 +395,38 @@ mod tests {
         // not help.
         let hot = SimTxn {
             ops: vec![
-                SimOp { server: 0, key: (9, 0), write: true },
-                SimOp { server: 0, key: (0, 1), write: false },
+                SimOp {
+                    server: 0,
+                    key: (9, 0),
+                    write: true,
+                },
+                SimOp {
+                    server: 0,
+                    key: (0, 1),
+                    write: false,
+                },
             ],
         };
         let cold_pool: Vec<SimTxn> = (0..64)
             .map(|i| SimTxn {
                 ops: vec![
-                    SimOp { server: 0, key: (9, 1000 + i), write: true },
-                    SimOp { server: 0, key: (0, 2000 + i), write: false },
+                    SimOp {
+                        server: 0,
+                        key: (9, 1000 + i),
+                        write: true,
+                    },
+                    SimOp {
+                        server: 0,
+                        key: (0, 2000 + i),
+                        write: false,
+                    },
                 ],
             })
             .collect();
-        let cfg = SimConfig { num_clients: 40, ..SimConfig::figure1(1) };
+        let cfg = SimConfig {
+            num_clients: 40,
+            ..SimConfig::figure1(1)
+        };
         let hot_rep = run(&cfg, &mut PoolSource::new(vec![hot]));
         let cold_rep = run(&cfg, &mut PoolSource::new(cold_pool));
         assert!(
@@ -387,19 +445,33 @@ mod tests {
         let pool: Vec<SimTxn> = (0..8)
             .map(|i| SimTxn {
                 ops: vec![
-                    SimOp { server: 0, key: (0, i % 4), write: true },
-                    SimOp { server: 0, key: (0, 100 + i), write: true },
+                    SimOp {
+                        server: 0,
+                        key: (0, i % 4),
+                        write: true,
+                    },
+                    SimOp {
+                        server: 0,
+                        key: (0, 100 + i),
+                        write: true,
+                    },
                 ],
             })
             .collect();
-        let cfg = SimConfig { num_clients: 16, ..SimConfig::figure1(1) };
+        let cfg = SimConfig {
+            num_clients: 16,
+            ..SimConfig::figure1(1)
+        };
         let rep = run(&cfg, &mut PoolSource::new(pool));
         assert!(rep.completed > 100, "completed {}", rep.completed);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = SimConfig { num_clients: 30, ..SimConfig::figure1(2) };
+        let cfg = SimConfig {
+            num_clients: 30,
+            ..SimConfig::figure1(2)
+        };
         let a = run(&cfg, &mut point_read_pool(2, true));
         let b = run(&cfg, &mut point_read_pool(2, true));
         assert_eq!(a.completed, b.completed);

@@ -129,9 +129,7 @@ impl LockManager {
         while let Some(&(t, m, _)) = state.waiters.front() {
             let ok = match m {
                 LockMode::Exclusive => state.holders.is_empty(),
-                LockMode::Shared => {
-                    state.holders.iter().all(|&(_, hm)| hm == LockMode::Shared)
-                }
+                LockMode::Shared => state.holders.iter().all(|&(_, hm)| hm == LockMode::Shared),
             };
             if !ok {
                 break;
@@ -180,7 +178,10 @@ mod tests {
     #[test]
     fn exclusive_is_exclusive() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(1, K, LockMode::Exclusive, 0), LockResult::Granted);
+        assert_eq!(
+            lm.acquire(1, K, LockMode::Exclusive, 0),
+            LockResult::Granted
+        );
         assert_eq!(lm.acquire(2, K, LockMode::Shared, 0), LockResult::Queued);
         let woken = lm.release_all(1);
         assert_eq!(woken, vec![2]);
@@ -215,7 +216,10 @@ mod tests {
         assert_eq!(lm.acquire(1, K, LockMode::Shared, 0), LockResult::Granted);
         assert_eq!(lm.acquire(1, K, LockMode::Shared, 0), LockResult::Granted);
         // Sole holder upgrades.
-        assert_eq!(lm.acquire(1, K, LockMode::Exclusive, 0), LockResult::Granted);
+        assert_eq!(
+            lm.acquire(1, K, LockMode::Exclusive, 0),
+            LockResult::Granted
+        );
         assert_eq!(lm.acquire(2, K, LockMode::Shared, 0), LockResult::Queued);
     }
 
@@ -236,8 +240,17 @@ mod tests {
     #[test]
     fn independent_keys_do_not_interact() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(1, (0, 1), LockMode::Exclusive, 0), LockResult::Granted);
-        assert_eq!(lm.acquire(2, (0, 2), LockMode::Exclusive, 0), LockResult::Granted);
-        assert_eq!(lm.acquire(3, (1, 1), LockMode::Exclusive, 0), LockResult::Granted);
+        assert_eq!(
+            lm.acquire(1, (0, 1), LockMode::Exclusive, 0),
+            LockResult::Granted
+        );
+        assert_eq!(
+            lm.acquire(2, (0, 2), LockMode::Exclusive, 0),
+            LockResult::Granted
+        );
+        assert_eq!(
+            lm.acquire(3, (1, 1), LockMode::Exclusive, 0),
+            LockResult::Granted
+        );
     }
 }

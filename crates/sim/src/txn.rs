@@ -77,7 +77,11 @@ impl SimTxn {
             let pset = scheme.locate_tuple(t, db);
             if write {
                 for server in pset.iter() {
-                    ops.push(SimOp { server, key: (t.table, t.row), write: true });
+                    ops.push(SimOp {
+                        server,
+                        key: (t.table, t.row),
+                        write: true,
+                    });
                 }
             } else {
                 let server = pset
@@ -85,7 +89,11 @@ impl SimTxn {
                     .find(|s| used.contains(s))
                     .or_else(|| pset.first())
                     .unwrap_or(0);
-                ops.push(SimOp { server, key: (t.table, t.row), write: false });
+                ops.push(SimOp {
+                    server,
+                    key: (t.table, t.row),
+                    write: false,
+                });
                 if !used.contains(&server) {
                     used.push(server);
                 }
@@ -130,6 +138,67 @@ impl TxnSource for PoolSource {
     }
 }
 
+/// Interleaves live-migration traffic with a foreground workload source.
+///
+/// Every `inject_every`-th request (counted across all clients) is taken
+/// from the migration move queue instead of the foreground source: a move
+/// is a read on the source server plus a write on each destination server —
+/// a distributed transaction whenever source and destination differ, which
+/// is exactly how the throttled copy traffic of a migration plan taxes the
+/// cluster. When the queue drains, the source degrades to the foreground
+/// workload, so a single simulation run shows throughput dipping during the
+/// migration and recovering after it.
+pub struct MigrationSource<S: TxnSource> {
+    base: S,
+    moves: Vec<SimTxn>,
+    next_move: usize,
+    inject_every: u32,
+    since_injection: u32,
+}
+
+impl<S: TxnSource> MigrationSource<S> {
+    /// `inject_every = N` issues one migration move per `N` foreground
+    /// transactions (`N >= 1`; `1` alternates move/foreground).
+    pub fn new(base: S, moves: Vec<SimTxn>, inject_every: u32) -> Self {
+        assert!(inject_every >= 1, "inject_every must be >= 1");
+        Self {
+            base,
+            moves,
+            next_move: 0,
+            inject_every,
+            since_injection: 0,
+        }
+    }
+
+    /// Moves not yet handed to a client.
+    pub fn remaining_moves(&self) -> usize {
+        self.moves.len() - self.next_move
+    }
+
+    /// Whether the whole move queue has been issued.
+    pub fn drained(&self) -> bool {
+        self.next_move == self.moves.len()
+    }
+}
+
+impl<S: TxnSource> TxnSource for MigrationSource<S> {
+    fn next_txn(&mut self, client: u32, rng: &mut StdRng) -> SimTxn {
+        if self.next_move < self.moves.len() {
+            // A move is the (N+1)-th request after N foreground ones, so
+            // the documented 1-move-per-N-foreground ratio holds exactly
+            // (inject_every = 1 alternates move/foreground).
+            if self.since_injection >= self.inject_every {
+                self.since_injection = 0;
+                let m = self.moves[self.next_move].clone();
+                self.next_move += 1;
+                return m;
+            }
+            self.since_injection += 1;
+        }
+        self.base.next_txn(client, rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,10 +235,7 @@ mod tests {
         let db = MaterializedDb::new();
         let mut b = TxnBuilder::new(false);
         b.write(TupleId::new(0, 5));
-        let w_server = hash
-            .locate_tuple(TupleId::new(0, 5), &db)
-            .first()
-            .unwrap();
+        let w_server = hash.locate_tuple(TupleId::new(0, 5), &db).first().unwrap();
         let _ = PartitionSet::empty();
         let mut b2 = TxnBuilder::new(false);
         b2.write(TupleId::new(0, 5));
@@ -181,11 +247,105 @@ mod tests {
     }
 
     #[test]
+    fn migration_source_throttles_and_drains() {
+        use rand::SeedableRng;
+        let fg = SimTxn {
+            ops: vec![SimOp {
+                server: 0,
+                key: (0, 1),
+                write: false,
+            }],
+        };
+        let mv = SimTxn {
+            ops: vec![
+                SimOp {
+                    server: 0,
+                    key: (0, 9),
+                    write: false,
+                },
+                SimOp {
+                    server: 1,
+                    key: (0, 9),
+                    write: true,
+                },
+            ],
+        };
+        let mut src =
+            MigrationSource::new(PoolSource::new(vec![fg]), vec![mv.clone(), mv.clone()], 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut moves_seen = 0usize;
+        let mut order = Vec::new();
+        for _ in 0..12 {
+            let t = src.next_txn(0, &mut rng);
+            let is_move = t.ops.len() == 2;
+            moves_seen += usize::from(is_move);
+            order.push(is_move);
+        }
+        assert_eq!(moves_seen, 2, "queue must drain exactly once: {order:?}");
+        assert!(src.drained());
+        assert_eq!(src.remaining_moves(), 0);
+        // Throttle: exactly 3 foreground transactions precede each move.
+        assert_eq!(
+            &order[..8],
+            &[false, false, false, true, false, false, false, true],
+            "{order:?}"
+        );
+    }
+
+    #[test]
+    fn migration_source_inject_one_alternates() {
+        use rand::SeedableRng;
+        let fg = SimTxn {
+            ops: vec![SimOp {
+                server: 0,
+                key: (0, 1),
+                write: false,
+            }],
+        };
+        let mv = SimTxn {
+            ops: vec![
+                SimOp {
+                    server: 0,
+                    key: (0, 9),
+                    write: false,
+                },
+                SimOp {
+                    server: 1,
+                    key: (0, 9),
+                    write: true,
+                },
+            ],
+        };
+        let mut src = MigrationSource::new(PoolSource::new(vec![fg]), vec![mv; 3], 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let order: Vec<bool> = (0..6)
+            .map(|_| src.next_txn(0, &mut rng).ops.len() == 2)
+            .collect();
+        assert_eq!(
+            order,
+            vec![false, true, false, true, false, true],
+            "strict alternation"
+        );
+    }
+
+    #[test]
     fn pool_source_is_stationary() {
         use rand::SeedableRng;
         let pool = vec![
-            SimTxn { ops: vec![SimOp { server: 0, key: (0, 1), write: false }] },
-            SimTxn { ops: vec![SimOp { server: 1, key: (0, 2), write: false }] },
+            SimTxn {
+                ops: vec![SimOp {
+                    server: 0,
+                    key: (0, 1),
+                    write: false,
+                }],
+            },
+            SimTxn {
+                ops: vec![SimOp {
+                    server: 1,
+                    key: (0, 2),
+                    write: false,
+                }],
+            },
         ];
         let mut src = PoolSource::new(pool);
         let mut rng = StdRng::seed_from_u64(1);

@@ -145,7 +145,11 @@ mod tests {
         let mut s = Schema::new();
         s.add_table(
             "stock",
-            &[("s_i_id", ColumnType::Int), ("s_w_id", ColumnType::Int), ("s_qty", ColumnType::Int)],
+            &[
+                ("s_i_id", ColumnType::Int),
+                ("s_w_id", ColumnType::Int),
+                ("s_qty", ColumnType::Int),
+            ],
             &["s_i_id", "s_w_id"],
         );
         s

@@ -126,7 +126,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     out.push(Token::Ne);
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "stray '!'".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "stray '!'".into(),
+                    });
                 }
             }
             b'\'' => {
@@ -135,7 +138,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 let mut j = i + 1;
                 loop {
                     if j >= bytes.len() {
-                        return Err(LexError { offset: i, message: "unterminated string".into() });
+                        return Err(LexError {
+                            offset: i,
+                            message: "unterminated string".into(),
+                        });
                     }
                     if bytes[j] == b'\'' {
                         if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
@@ -184,7 +190,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 })
             }
             _ => {
-                return Err(LexError { offset: i, message: format!("unexpected byte 0x{c:02x}") })
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected byte 0x{c:02x}"),
+                })
             }
         }
     }

@@ -43,14 +43,20 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.to_string() }
+        ParseError {
+            message: e.to_string(),
+        }
     }
 }
 
 /// Parses one statement against `schema`.
 pub fn parse_statement(schema: &Schema, sql: &str) -> Result<Statement, ParseError> {
     let tokens = lex(sql)?;
-    let mut p = Parser { schema, tokens, pos: 0 };
+    let mut p = Parser {
+        schema,
+        tokens,
+        pos: 0,
+    };
     let stmt = p.statement()?;
     p.eat_optional_semicolon();
     if p.pos != p.tokens.len() {
@@ -222,7 +228,10 @@ impl<'a> Parser<'a> {
                 vals.len()
             )));
         }
-        Ok(Statement::insert(table, cols.into_iter().zip(vals).collect()))
+        Ok(Statement::insert(
+            table,
+            cols.into_iter().zip(vals).collect(),
+        ))
     }
 
     fn delete(&mut self) -> Result<Statement, ParseError> {
@@ -362,12 +371,20 @@ mod tests {
         let mut s = Schema::new();
         s.add_table(
             "account",
-            &[("id", ColumnType::Int), ("name", ColumnType::Str), ("bal", ColumnType::Int)],
+            &[
+                ("id", ColumnType::Int),
+                ("name", ColumnType::Str),
+                ("bal", ColumnType::Int),
+            ],
             &["id"],
         );
         s.add_table(
             "stock",
-            &[("s_i_id", ColumnType::Int), ("s_w_id", ColumnType::Int), ("s_qty", ColumnType::Int)],
+            &[
+                ("s_i_id", ColumnType::Int),
+                ("s_w_id", ColumnType::Int),
+                ("s_qty", ColumnType::Int),
+            ],
             &["s_i_id", "s_w_id"],
         );
         s
@@ -394,9 +411,11 @@ mod tests {
     #[test]
     fn parses_insert() {
         let s = schema();
-        let stmt =
-            parse_statement(&s, "INSERT INTO account (id, name, bal) VALUES (7, 'yang', -3)")
-                .unwrap();
+        let stmt = parse_statement(
+            &s,
+            "INSERT INTO account (id, name, bal) VALUES (7, 'yang', -3)",
+        )
+        .unwrap();
         assert_eq!(stmt.kind, StatementKind::Insert);
         assert_eq!(stmt.predicate.pinned_values(0), Some(vec![Value::Int(7)]));
         assert_eq!(stmt.predicate.pinned_values(2), Some(vec![Value::Int(-3)]));
@@ -435,8 +454,7 @@ mod tests {
     #[test]
     fn parses_qualified_columns() {
         let s = schema();
-        let stmt =
-            parse_statement(&s, "SELECT * FROM stock WHERE stock.s_w_id = 3").unwrap();
+        let stmt = parse_statement(&s, "SELECT * FROM stock WHERE stock.s_w_id = 3").unwrap();
         assert_eq!(stmt.predicate, Predicate::Eq(1, Value::Int(3)));
     }
 
@@ -451,10 +469,7 @@ mod tests {
         match &stmt.predicate {
             Predicate::And(parts) => {
                 assert!(matches!(parts[0], Predicate::Or(_)));
-                assert_eq!(
-                    parts[1],
-                    Predicate::Cmp(2, CmpOp::Ge, Value::Int(100))
-                );
+                assert_eq!(parts[1], Predicate::Cmp(2, CmpOp::Ge, Value::Int(100)));
             }
             other => panic!("expected AND, got {other:?}"),
         }

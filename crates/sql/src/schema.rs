@@ -75,12 +75,19 @@ impl Schema {
         );
         let cols: Vec<ColumnDef> = columns
             .iter()
-            .map(|(n, t)| ColumnDef { name: (*n).to_owned(), ty: *t })
+            .map(|(n, t)| ColumnDef {
+                name: (*n).to_owned(),
+                ty: *t,
+            })
             .collect();
         {
             let mut seen = std::collections::HashSet::new();
             for c in &cols {
-                assert!(seen.insert(&c.name), "duplicate column {} in {name}", c.name);
+                assert!(
+                    seen.insert(&c.name),
+                    "duplicate column {} in {name}",
+                    c.name
+                );
             }
         }
         let def = TableDef {
@@ -119,7 +126,10 @@ impl Schema {
 
     /// Iterates `(id, def)` pairs.
     pub fn tables(&self) -> impl Iterator<Item = (TableId, &TableDef)> {
-        self.tables.iter().enumerate().map(|(i, t)| (i as TableId, t))
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TableId, t))
     }
 }
 
@@ -132,7 +142,11 @@ mod tests {
         let mut s = Schema::new();
         let acc = s.add_table(
             "account",
-            &[("id", ColumnType::Int), ("name", ColumnType::Str), ("bal", ColumnType::Int)],
+            &[
+                ("id", ColumnType::Int),
+                ("name", ColumnType::Str),
+                ("bal", ColumnType::Int),
+            ],
             &["id"],
         );
         assert_eq!(s.table_id("account"), Some(acc));

@@ -38,21 +38,40 @@ pub struct Statement {
 
 impl Statement {
     pub fn select(table: TableId, predicate: Predicate) -> Self {
-        Self { kind: StatementKind::Select, table, predicate }
+        Self {
+            kind: StatementKind::Select,
+            table,
+            predicate,
+        }
     }
 
     pub fn update(table: TableId, predicate: Predicate) -> Self {
-        Self { kind: StatementKind::Update, table, predicate }
+        Self {
+            kind: StatementKind::Update,
+            table,
+            predicate,
+        }
     }
 
     pub fn delete(table: TableId, predicate: Predicate) -> Self {
-        Self { kind: StatementKind::Delete, table, predicate }
+        Self {
+            kind: StatementKind::Delete,
+            table,
+            predicate,
+        }
     }
 
     /// Builds an INSERT from `(column, value)` pairs.
     pub fn insert(table: TableId, values: Vec<(u16, Value)>) -> Self {
-        let preds = values.into_iter().map(|(c, v)| Predicate::Eq(c, v)).collect();
-        Self { kind: StatementKind::Insert, table, predicate: Predicate::and(preds) }
+        let preds = values
+            .into_iter()
+            .map(|(c, v)| Predicate::Eq(c, v))
+            .collect();
+        Self {
+            kind: StatementKind::Insert,
+            table,
+            predicate: Predicate::and(preds),
+        }
     }
 
     /// Renders the statement back to SQL text (used by trace tooling and
@@ -76,14 +95,17 @@ impl Statement {
             StatementKind::Update => {
                 // The updated columns are not tracked (routing only needs the
                 // WHERE clause); emit a marker assignment.
-                format!("UPDATE {} SET _ = _{}", t.name, where_clause(&self.predicate))
+                format!(
+                    "UPDATE {} SET _ = _{}",
+                    t.name,
+                    where_clause(&self.predicate)
+                )
             }
             StatementKind::Insert => {
                 let mut cols = Vec::new();
                 let mut vals = Vec::new();
                 flatten_insert(&self.predicate, &mut cols, &mut vals);
-                let names: Vec<&str> =
-                    cols.iter().map(|&c| t.column(c).name.as_str()).collect();
+                let names: Vec<&str> = cols.iter().map(|&c| t.column(c).name.as_str()).collect();
                 let rendered: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
                 format!(
                     "INSERT INTO {} ({}) VALUES ({})",
@@ -134,13 +156,11 @@ fn render_pred(p: &Predicate, table: TableId, schema: &Schema) -> String {
             format!("{} IN ({})", col(*c), inner.join(", "))
         }
         Predicate::And(ps) => {
-            let inner: Vec<String> =
-                ps.iter().map(|p| render_pred(p, table, schema)).collect();
+            let inner: Vec<String> = ps.iter().map(|p| render_pred(p, table, schema)).collect();
             format!("({})", inner.join(" AND "))
         }
         Predicate::Or(ps) => {
-            let inner: Vec<String> =
-                ps.iter().map(|p| render_pred(p, table, schema)).collect();
+            let inner: Vec<String> = ps.iter().map(|p| render_pred(p, table, schema)).collect();
             format!("({})", inner.join(" OR "))
         }
     }
@@ -155,7 +175,11 @@ mod tests {
         let mut s = Schema::new();
         s.add_table(
             "account",
-            &[("id", ColumnType::Int), ("name", ColumnType::Str), ("bal", ColumnType::Int)],
+            &[
+                ("id", ColumnType::Int),
+                ("name", ColumnType::Str),
+                ("bal", ColumnType::Int),
+            ],
             &["id"],
         );
         s
@@ -172,10 +196,7 @@ mod tests {
     #[test]
     fn insert_roundtrip_shape() {
         let s = schema();
-        let stmt = Statement::insert(
-            0,
-            vec![(0, Value::Int(9)), (1, Value::Str("carlo".into()))],
-        );
+        let stmt = Statement::insert(0, vec![(0, Value::Int(9)), (1, Value::Str("carlo".into()))]);
         assert_eq!(
             stmt.to_sql(&s),
             "INSERT INTO account (id, name) VALUES (9, 'carlo')"

@@ -24,7 +24,14 @@ impl Zipfian {
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Self { n, theta, alpha, zetan, eta, zeta2 }
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     /// YCSB-default skew.
@@ -73,7 +80,9 @@ pub struct ScrambledZipfian {
 
 impl ScrambledZipfian {
     pub fn new(n: u64, theta: f64) -> Self {
-        Self { inner: Zipfian::new(n, theta) }
+        Self {
+            inner: Zipfian::new(n, theta),
+        }
     }
 
     pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
@@ -124,7 +133,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max < min * 2, "theta=0 should be near-uniform: {min}..{max}");
+        assert!(
+            max < min * 2,
+            "theta=0 should be near-uniform: {min}..{max}"
+        );
     }
 
     #[test]
@@ -138,7 +150,11 @@ mod tests {
         // Hot ranks map to scattered keys; samples must not concentrate in
         // the low range the way plain Zipfian does.
         let low = hits.iter().filter(|&&k| k < 100).count();
-        assert!(low < hits.len() / 2, "hot keys not scrambled: {low}/{}", hits.len());
+        assert!(
+            low < hits.len() / 2,
+            "hot keys not scrambled: {low}/{}",
+            hits.len()
+        );
     }
 
     #[test]

@@ -147,8 +147,16 @@ impl TupleValues for EpinionsDb {
 /// `users`, `items`, `reviews`, `trust`.
 pub fn schema() -> Schema {
     let mut s = Schema::new();
-    s.add_table("users", &[("u_id", ColumnType::Int), ("name", ColumnType::Str)], &["u_id"]);
-    s.add_table("items", &[("i_id", ColumnType::Int), ("title", ColumnType::Str)], &["i_id"]);
+    s.add_table(
+        "users",
+        &[("u_id", ColumnType::Int), ("name", ColumnType::Str)],
+        &["u_id"],
+    );
+    s.add_table(
+        "items",
+        &[("i_id", ColumnType::Int), ("title", ColumnType::Str)],
+        &["i_id"],
+    );
     s.add_table(
         "reviews",
         &[
@@ -161,7 +169,11 @@ pub fn schema() -> Schema {
     );
     s.add_table(
         "trust",
-        &[("t_id", ColumnType::Int), ("src_u_id", ColumnType::Int), ("dst_u_id", ColumnType::Int)],
+        &[
+            ("t_id", ColumnType::Int),
+            ("src_u_id", ColumnType::Int),
+            ("dst_u_id", ColumnType::Int),
+        ],
         &["t_id"],
     );
     s
@@ -223,7 +235,12 @@ pub fn generate(cfg: &EpinionsConfig) -> Workload {
         trust_out[src as usize].push(t as u32);
     }
 
-    let db = EpinionsDb { review_user, review_item, trust_src, trust_dst };
+    let db = EpinionsDb {
+        review_user,
+        review_item,
+        trust_src,
+        trust_dst,
+    };
 
     // User activity is skewed (a few power users generate most profile
     // updates and trust changes); the permutation scatters the hot ranks
@@ -450,7 +467,6 @@ fn eq(col: u16, v: u64) -> Predicate {
     Predicate::Eq(col, Value::Int(v as i64))
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,7 +510,12 @@ mod tests {
     #[test]
     fn write_fraction_matches_mix() {
         let w = generate(&small());
-        let writers = w.trace.transactions.iter().filter(|t| !t.is_read_only()).count();
+        let writers = w
+            .trace
+            .transactions
+            .iter()
+            .filter(|t| !t.is_read_only())
+            .count();
         let frac = writers as f64 / w.trace.len() as f64;
         // Mix says 8% writes.
         assert!((0.05..=0.12).contains(&frac), "write fraction {frac}");

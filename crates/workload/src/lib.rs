@@ -11,6 +11,7 @@
 //! | [`tpce`] | TPC-E, 1000 customers (Figure 4; Table 1) |
 //! | [`epinions`] | Epinions.com social workload (Figure 4; Table 1) |
 //! | [`random`] | the "impossible" Random workload (Figure 4) |
+//! | [`drifting`] | hot-key drift across windows (incremental repartitioning) |
 //!
 //! Every generator returns a [`Workload`]: schema, transaction [`Trace`]
 //! (read/write sets, optional SQL statements), a [`TupleValues`] oracle for
@@ -18,6 +19,7 @@
 //! statistics. Generators are deterministic for a fixed seed.
 
 pub mod dist;
+pub mod drifting;
 pub mod epinions;
 pub mod random;
 pub mod simplecount;

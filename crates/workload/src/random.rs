@@ -22,7 +22,12 @@ pub struct RandomConfig {
 
 impl Default for RandomConfig {
     fn default() -> Self {
-        Self { records: 1_000_000, num_txns: 10_000, seed: 0, keep_statements: false }
+        Self {
+            records: 1_000_000,
+            num_txns: 10_000,
+            seed: 0,
+            keep_statements: false,
+        }
     }
 }
 
@@ -86,7 +91,11 @@ mod tests {
 
     #[test]
     fn every_txn_writes_two_distinct_tuples() {
-        let cfg = RandomConfig { records: 1000, num_txns: 500, ..Default::default() };
+        let cfg = RandomConfig {
+            records: 1000,
+            num_txns: 500,
+            ..Default::default()
+        };
         let w = generate(&cfg);
         for t in &w.trace.transactions {
             assert_eq!(t.writes.len(), 2);
@@ -97,7 +106,11 @@ mod tests {
 
     #[test]
     fn accesses_are_spread_out() {
-        let cfg = RandomConfig { records: 10_000, num_txns: 5_000, ..Default::default() };
+        let cfg = RandomConfig {
+            records: 10_000,
+            num_txns: 5_000,
+            ..Default::default()
+        };
         let w = generate(&cfg);
         let distinct = w.trace.distinct_tuples().len();
         // 10k draws over 10k keys: ~63% coverage expected; anything above

@@ -84,7 +84,10 @@ pub fn schema() -> Schema {
 pub fn generate(cfg: &SimpleCountConfig) -> Workload {
     assert!(cfg.servers >= 1);
     let rows = cfg.clients * cfg.rows_per_client;
-    assert!(rows >= 2 * cfg.servers as u64, "need at least 2 rows per server");
+    assert!(
+        rows >= 2 * cfg.servers as u64,
+        "need at least 2 rows per server"
+    );
     let schema = Arc::new(schema());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let range = rows / cfg.servers as u64;
@@ -210,7 +213,10 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let cfg = SimpleCountConfig { num_txns: 100, ..Default::default() };
+        let cfg = SimpleCountConfig {
+            num_txns: 100,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         for (x, y) in a.trace.transactions.iter().zip(&b.trace.transactions) {

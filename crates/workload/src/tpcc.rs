@@ -132,7 +132,7 @@ impl TpccConfig {
     /// in the TPC-C spec), and which warehouse (0-based) supplies it.
     pub fn line_supply(&self, order_row: u64, ol: u64, home_w: u64) -> u64 {
         let w = self.warehouses as u64;
-        if w <= 1 || mix(order_row, 0x2000 + ol) % 100 != 0 {
+        if w <= 1 || !mix(order_row, 0x2000 + ol).is_multiple_of(100) {
             return home_w;
         }
         (home_w + 1 + mix(order_row, 0x3000 + ol) % (w - 1)) % w
@@ -198,17 +198,32 @@ pub fn schema() -> Schema {
     s.add_table("warehouse", &[("w_id", Int), ("w_ytd", Int)], &["w_id"]);
     s.add_table(
         "district",
-        &[("d_w_id", Int), ("d_id", Int), ("d_next_o_id", Int), ("d_ytd", Int)],
+        &[
+            ("d_w_id", Int),
+            ("d_id", Int),
+            ("d_next_o_id", Int),
+            ("d_ytd", Int),
+        ],
         &["d_w_id", "d_id"],
     );
     s.add_table(
         "customer",
-        &[("c_w_id", Int), ("c_d_id", Int), ("c_id", Int), ("c_balance", Int)],
+        &[
+            ("c_w_id", Int),
+            ("c_d_id", Int),
+            ("c_id", Int),
+            ("c_balance", Int),
+        ],
         &["c_w_id", "c_d_id", "c_id"],
     );
     s.add_table(
         "history",
-        &[("h_w_id", Int), ("h_d_id", Int), ("h_c_id", Int), ("h_amount", Int)],
+        &[
+            ("h_w_id", Int),
+            ("h_d_id", Int),
+            ("h_c_id", Int),
+            ("h_amount", Int),
+        ],
         &["h_w_id", "h_d_id", "h_c_id"],
     );
     s.add_table(
@@ -218,7 +233,12 @@ pub fn schema() -> Schema {
     );
     s.add_table(
         "orders",
-        &[("o_w_id", Int), ("o_d_id", Int), ("o_id", Int), ("o_c_id", Int)],
+        &[
+            ("o_w_id", Int),
+            ("o_d_id", Int),
+            ("o_id", Int),
+            ("o_c_id", Int),
+        ],
         &["o_w_id", "o_d_id", "o_id"],
     );
     s.add_table(
@@ -354,8 +374,8 @@ impl<'a> Gen<'a> {
         });
         // 15% remote customer (the TPC-C spec's multi-warehouse payment).
         let (cw, cd) = if cfg.warehouses > 1 && self.rng.gen_bool(0.15) {
-            let other = (w + 1 + self.rng.gen_range(0..cfg.warehouses as u64 - 1))
-                % cfg.warehouses as u64;
+            let other =
+                (w + 1 + self.rng.gen_range(0..cfg.warehouses as u64 - 1)) % cfg.warehouses as u64;
             (other, self.rng.gen_range(0..cfg.districts_per_warehouse))
         } else {
             (w, d)
@@ -396,8 +416,9 @@ impl<'a> Gen<'a> {
             Statement::select(T_ORDERS, eq3(0, w + 1, 1, d + 1, 2, o + 1))
         });
         let lines = cfg.order_facts(or).lines;
-        let group: Vec<TupleId> =
-            (0..lines).map(|ol| TupleId::new(T_ORDER_LINE, or * MAX_LINES + ol)).collect();
+        let group: Vec<TupleId> = (0..lines)
+            .map(|ol| TupleId::new(T_ORDER_LINE, or * MAX_LINES + ol))
+            .collect();
         tb.scan(group);
         self.observe_eq(T_ORDER_LINE, &[0, 1, 2], tb, |_| {
             Statement::select(T_ORDER_LINE, eq3(0, w + 1, 1, d + 1, 2, o + 1))
@@ -430,7 +451,10 @@ impl<'a> Gen<'a> {
             self.observe_eq(T_ORDER_LINE, &[0, 1, 2], tb, |_| {
                 Statement::update(T_ORDER_LINE, eq3(0, w + 1, 1, d + 1, 2, cursor + 1))
             });
-            tb.write(TupleId::new(T_CUSTOMER, self.customer_row(w, d, facts.customer)));
+            tb.write(TupleId::new(
+                T_CUSTOMER,
+                self.customer_row(w, d, facts.customer),
+            ));
             self.observe_eq(T_CUSTOMER, &[0, 1, 2], tb, |_| {
                 Statement::update(T_CUSTOMER, eq3(0, w + 1, 1, d + 1, 2, facts.customer + 1))
             });
@@ -580,12 +604,17 @@ mod tests {
     #[test]
     fn multi_warehouse_fraction_near_paper() {
         // ~10.7% of transactions touch more than one warehouse (§6.1).
-        let cfg = TpccConfig { num_txns: 20_000, ..TpccConfig::small(4) };
+        let cfg = TpccConfig {
+            num_txns: 20_000,
+            ..TpccConfig::small(4)
+        };
         let w = generate(&cfg);
         let mut multi = 0usize;
         for t in &w.trace.transactions {
-            let mut ws: Vec<u64> =
-                t.accessed().filter_map(|tp| warehouse_of(&cfg, tp)).collect();
+            let mut ws: Vec<u64> = t
+                .accessed()
+                .filter_map(|tp| warehouse_of(&cfg, tp))
+                .collect();
             ws.sort_unstable();
             ws.dedup();
             if ws.len() > 1 {
@@ -605,7 +634,7 @@ mod tests {
         let w = generate(&cfg);
         let db = &w.db;
         // stock(w=2, i=5): row = 1*items + 4 for 0-based (w=1,i=4).
-        let row = 1 * cfg.items + 4;
+        let row = cfg.items + 4;
         assert_eq!(db.value(TupleId::new(T_STOCK, row), 0), Some(2));
         assert_eq!(db.value(TupleId::new(T_STOCK, row), 1), Some(5));
         // customer row roundtrip.
@@ -630,7 +659,10 @@ mod tests {
 
     #[test]
     fn transaction_mix_shape() {
-        let cfg = TpccConfig { num_txns: 10_000, ..TpccConfig::small(2) };
+        let cfg = TpccConfig {
+            num_txns: 10_000,
+            ..TpccConfig::small(2)
+        };
         let w = generate(&cfg);
         // new_order transactions write order lines; payments write history.
         let with_ol = w
@@ -648,18 +680,29 @@ mod tests {
         let no_frac = with_ol as f64 / 10_000.0;
         let pay_frac = with_hist as f64 / 10_000.0;
         // new_order 45% + delivery 4% carry order_line writes.
-        assert!((0.42..=0.56).contains(&no_frac), "order-line writers {no_frac}");
-        assert!((0.39..=0.48).contains(&pay_frac), "payment fraction {pay_frac}");
+        assert!(
+            (0.42..=0.56).contains(&no_frac),
+            "order-line writers {no_frac}"
+        );
+        assert!(
+            (0.39..=0.48).contains(&pay_frac),
+            "payment fraction {pay_frac}"
+        );
     }
 
     #[test]
     fn stock_level_scans_stay_home() {
-        let cfg = TpccConfig { num_txns: 5_000, ..TpccConfig::small(4) };
+        let cfg = TpccConfig {
+            num_txns: 5_000,
+            ..TpccConfig::small(4)
+        };
         let w = generate(&cfg);
         for t in &w.trace.transactions {
             for scan in &t.scans {
-                let mut ws: Vec<u64> =
-                    scan.iter().filter_map(|&tp| warehouse_of(&cfg, tp)).collect();
+                let mut ws: Vec<u64> = scan
+                    .iter()
+                    .filter_map(|&tp| warehouse_of(&cfg, tp))
+                    .collect();
                 ws.sort_unstable();
                 ws.dedup();
                 assert!(ws.len() <= 1, "scan crossed warehouses");
@@ -669,7 +712,10 @@ mod tests {
 
     #[test]
     fn frequent_attributes_include_warehouse_ids() {
-        let cfg = TpccConfig { num_txns: 5_000, ..TpccConfig::small(2) };
+        let cfg = TpccConfig {
+            num_txns: 5_000,
+            ..TpccConfig::small(2)
+        };
         let w = generate(&cfg);
         // Every stock statement constrains s_w_id and s_i_id.
         let freq = w.attr_stats.frequent_attributes(T_STOCK, 0.9);
@@ -683,10 +729,13 @@ mod tests {
     fn table_rows_match_scale() {
         let cfg = TpccConfig::full(50);
         // 25M+ tuples at 50 warehouses (Table 1 of the paper).
-        let total: u64 = generate(&TpccConfig { num_txns: 10, ..cfg.clone() })
-            .table_rows
-            .iter()
-            .sum();
+        let total: u64 = generate(&TpccConfig {
+            num_txns: 10,
+            ..cfg.clone()
+        })
+        .table_rows
+        .iter()
+        .sum();
         assert!(total > 25_000_000, "total {total}");
     }
 }

@@ -81,7 +81,10 @@ impl TpceConfig {
 
     /// Reduced scale for fast tests.
     pub fn small() -> Self {
-        Self { num_txns: 2_000, ..Self::with_customers(100) }
+        Self {
+            num_txns: 2_000,
+            ..Self::with_customers(100)
+        }
     }
 
     fn accounts(&self) -> u64 {
@@ -178,11 +181,31 @@ pub fn schema() -> Schema {
         &[("s_id", Int), ("s_co_id", Int), ("s_ex_id", Int)],
         &["s_id"],
     );
-    s.add_table("last_trade", &[("lt_s_id", Int), ("lt_price", Int)], &["lt_s_id"]);
-    s.add_table("trade", &[("t_id", Int), ("t_ca_id", Int), ("t_s_id", Int)], &["t_id"]);
-    s.add_table("trade_history", &[("th_t_id", Int), ("th_seq", Int)], &["th_t_id", "th_seq"]);
-    s.add_table("settlement", &[("se_t_id", Int), ("se_amt", Int)], &["se_t_id"]);
-    s.add_table("cash_transaction", &[("ct_t_id", Int), ("ct_amt", Int)], &["ct_t_id"]);
+    s.add_table(
+        "last_trade",
+        &[("lt_s_id", Int), ("lt_price", Int)],
+        &["lt_s_id"],
+    );
+    s.add_table(
+        "trade",
+        &[("t_id", Int), ("t_ca_id", Int), ("t_s_id", Int)],
+        &["t_id"],
+    );
+    s.add_table(
+        "trade_history",
+        &[("th_t_id", Int), ("th_seq", Int)],
+        &["th_t_id", "th_seq"],
+    );
+    s.add_table(
+        "settlement",
+        &[("se_t_id", Int), ("se_amt", Int)],
+        &["se_t_id"],
+    );
+    s.add_table(
+        "cash_transaction",
+        &[("ct_t_id", Int), ("ct_amt", Int)],
+        &["ct_t_id"],
+    );
     s.add_table(
         "holding_summary",
         &[("hs_ca_id", Int), ("hs_s_id", Int), ("hs_qty", Int)],
@@ -193,8 +216,16 @@ pub fn schema() -> Schema {
         &[("h_t_id", Int), ("h_ca_id", Int), ("h_s_id", Int)],
         &["h_t_id"],
     );
-    s.add_table("watch_list", &[("wl_id", Int), ("wl_c_id", Int)], &["wl_id"]);
-    s.add_table("watch_item", &[("wi_wl_id", Int), ("wi_s_id", Int)], &["wi_wl_id", "wi_s_id"]);
+    s.add_table(
+        "watch_list",
+        &[("wl_id", Int), ("wl_c_id", Int)],
+        &["wl_id"],
+    );
+    s.add_table(
+        "watch_item",
+        &[("wi_wl_id", Int), ("wi_s_id", Int)],
+        &["wi_wl_id", "wi_s_id"],
+    );
     s.add_table("exchange", &[("ex_id", Int)], &["ex_id"]);
     s.add_table("sector", &[("sc_id", Int)], &["sc_id"]);
     s.add_table("industry", &[("in_id", Int), ("in_sc_id", Int)], &["in_id"]);
@@ -240,8 +271,8 @@ impl Gen {
     fn trade_order(&mut self, tb: &mut TxnBuilder) {
         let cfg = self.cfg.clone();
         let cust = self.rng.gen_range(0..cfg.customers);
-        let acct = cust * cfg.accounts_per_customer
-            + self.rng.gen_range(0..cfg.accounts_per_customer);
+        let acct =
+            cust * cfg.accounts_per_customer + self.rng.gen_range(0..cfg.accounts_per_customer);
         let broker = mix(acct, 0xB) % cfg.brokers;
         let sec = self.rng.gen_range(0..cfg.securities);
         tb.read(TupleId::new(T_CUSTOMER, cust));
@@ -267,7 +298,9 @@ impl Gen {
     fn trade_result(&mut self, tb: &mut TxnBuilder) {
         let acct = self.random_account();
         let trades = self.recent_trades(acct, 1);
-        let Some(&t) = trades.first() else { return self.trade_order(tb) };
+        let Some(&t) = trades.first() else {
+            return self.trade_order(tb);
+        };
         let cfg = self.cfg.clone();
         let cust = acct / cfg.accounts_per_customer;
         let broker = mix(acct, 0xB) % cfg.brokers;
@@ -363,8 +396,10 @@ impl Gen {
             .take(10)
             .map(|&a| a as u64)
             .collect();
-        let group: Vec<TupleId> =
-            accounts.iter().map(|&a| TupleId::new(T_ACCOUNT, a)).collect();
+        let group: Vec<TupleId> = accounts
+            .iter()
+            .map(|&a| TupleId::new(T_ACCOUNT, a))
+            .collect();
         tb.scan(group);
         self.observe(T_ACCOUNT, &[2], tb, broker);
         let mut trades = Vec::new();
@@ -537,7 +572,11 @@ pub fn generate(cfg: &TpceConfig) -> Workload {
         name: "tpce".to_owned(),
         schema,
         trace: Trace { transactions: txns },
-        db: Arc::new(TpceDb { cfg: cfg.clone(), trade_acct: g.trade_acct, trade_sec: g.trade_sec }),
+        db: Arc::new(TpceDb {
+            cfg: cfg.clone(),
+            trade_acct: g.trade_acct,
+            trade_sec: g.trade_sec,
+        }),
         table_rows,
         attr_stats: g.stats,
     }
@@ -574,8 +613,16 @@ mod tests {
         assert_eq!(w.schema.num_tables(), 17);
         assert_eq!(w.trace.len(), 2_000);
         // Reads and writes both present; some transactions read-only.
-        let ro = w.trace.transactions.iter().filter(|t| t.is_read_only()).count();
-        assert!(ro > 1_000, "read-heavy workload expected, got {ro} read-only");
+        let ro = w
+            .trace
+            .transactions
+            .iter()
+            .filter(|t| t.is_read_only())
+            .count();
+        assert!(
+            ro > 1_000,
+            "read-heavy workload expected, got {ro} read-only"
+        );
         let writers = w.trace.len() - ro;
         assert!(writers > 300, "writers {writers}");
     }

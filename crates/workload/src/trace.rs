@@ -46,7 +46,12 @@ impl Trace {
                 test.push(t.clone());
             }
         }
-        (Trace { transactions: train }, Trace { transactions: test })
+        (
+            Trace {
+                transactions: train,
+            },
+            Trace { transactions: test },
+        )
     }
 
     /// Distinct tuples accessed anywhere in the trace.
@@ -117,16 +122,17 @@ mod tests {
 
     #[test]
     fn split_is_exhaustive_and_deterministic() {
-        let trace = Trace { transactions: (0..100).map(|i| txn(&[i])).collect() };
+        let trace = Trace {
+            transactions: (0..100).map(|i| txn(&[i])).collect(),
+        };
         let (tr1, te1) = trace.split(0.8, 42);
         let (tr2, te2) = trace.split(0.8, 42);
         assert_eq!(tr1.len(), 80);
         assert_eq!(te1.len(), 20);
         assert_eq!(tr1.len() + te1.len(), trace.len());
         // Determinism.
-        let ids = |t: &Trace| -> Vec<u64> {
-            t.transactions.iter().map(|x| x.reads[0].row).collect()
-        };
+        let ids =
+            |t: &Trace| -> Vec<u64> { t.transactions.iter().map(|x| x.reads[0].row).collect() };
         assert_eq!(ids(&tr1), ids(&tr2));
         assert_eq!(ids(&te1), ids(&te2));
         // Disjoint cover.
@@ -138,7 +144,9 @@ mod tests {
 
     #[test]
     fn split_edges() {
-        let trace = Trace { transactions: (0..10).map(|i| txn(&[i])).collect() };
+        let trace = Trace {
+            transactions: (0..10).map(|i| txn(&[i])).collect(),
+        };
         let (tr, te) = trace.split(1.0, 0);
         assert_eq!((tr.len(), te.len()), (10, 0));
         let (tr, te) = trace.split(0.0, 0);
@@ -147,7 +155,9 @@ mod tests {
 
     #[test]
     fn distinct_tuples_dedup_across_txns() {
-        let trace = Trace { transactions: vec![txn(&[1, 2]), txn(&[2, 3])] };
+        let trace = Trace {
+            transactions: vec![txn(&[1, 2]), txn(&[2, 3])],
+        };
         let d = trace.distinct_tuples();
         assert_eq!(d.len(), 3);
     }

@@ -69,7 +69,10 @@ pub struct TxnBuilder {
 
 impl TxnBuilder {
     pub fn new(keep_statements: bool) -> Self {
-        Self { keep_statements, ..Self::default() }
+        Self {
+            keep_statements,
+            ..Self::default()
+        }
     }
 
     /// Records a point read of `t`.

@@ -54,7 +54,10 @@ impl YcsbConfig {
     }
 
     pub fn workload_e() -> Self {
-        Self { workload: YcsbWorkload::E, ..Self::workload_a() }
+        Self {
+            workload: YcsbWorkload::E,
+            ..Self::workload_a()
+        }
     }
 }
 
@@ -113,8 +116,7 @@ pub fn generate(cfg: &YcsbConfig) -> Workload {
                     let start = zipf.sample(&mut rng);
                     let len = rng.gen_range(0..=cfg.scan_max);
                     let end = (start + len).min(cfg.records - 1);
-                    let tuples: Vec<TupleId> =
-                        (start..=end).map(|r| TupleId::new(0, r)).collect();
+                    let tuples: Vec<TupleId> = (start..=end).map(|r| TupleId::new(0, r)).collect();
                     tb.scan(tuples);
                     let stmt = Statement::select(
                         0,
@@ -153,7 +155,11 @@ mod tests {
 
     #[test]
     fn workload_a_is_single_tuple() {
-        let cfg = YcsbConfig { records: 1000, num_txns: 2000, ..YcsbConfig::workload_a() };
+        let cfg = YcsbConfig {
+            records: 1000,
+            num_txns: 2000,
+            ..YcsbConfig::workload_a()
+        };
         let w = generate(&cfg);
         let mut reads = 0usize;
         let mut writes = 0usize;
@@ -169,7 +175,11 @@ mod tests {
 
     #[test]
     fn workload_e_scans_are_contiguous() {
-        let cfg = YcsbConfig { records: 1000, num_txns: 2000, ..YcsbConfig::workload_e() };
+        let cfg = YcsbConfig {
+            records: 1000,
+            num_txns: 2000,
+            ..YcsbConfig::workload_e()
+        };
         let w = generate(&cfg);
         let mut scan_txns = 0usize;
         for t in &w.trace.transactions {
@@ -187,7 +197,11 @@ mod tests {
 
     #[test]
     fn zipfian_head_is_hot() {
-        let cfg = YcsbConfig { records: 10_000, num_txns: 5000, ..YcsbConfig::workload_a() };
+        let cfg = YcsbConfig {
+            records: 10_000,
+            num_txns: 5000,
+            ..YcsbConfig::workload_a()
+        };
         let w = generate(&cfg);
         let hot = w
             .trace
@@ -201,7 +215,11 @@ mod tests {
 
     #[test]
     fn stats_name_the_key_column() {
-        let cfg = YcsbConfig { records: 100, num_txns: 100, ..YcsbConfig::workload_e() };
+        let cfg = YcsbConfig {
+            records: 100,
+            num_txns: 100,
+            ..YcsbConfig::workload_e()
+        };
         let w = generate(&cfg);
         assert_eq!(w.attr_stats.frequent_attributes(0, 0.9), vec![0]);
         assert_eq!(w.name, "ycsb-e");

@@ -30,28 +30,52 @@ fn main() {
             conds: vec![(
                 0,
                 (p as u64 * stripe) as i64,
-                if p == servers - 1 { i64::MAX } else { ((p as u64 + 1) * stripe - 1) as i64 },
+                if p == servers - 1 {
+                    i64::MAX
+                } else {
+                    ((p as u64 + 1) * stripe - 1) as i64
+                },
             )],
             partitions: PartitionSet::single(p),
         })
         .collect();
     let aligned = RangeScheme::new(
         servers,
-        vec![TablePolicy::Rules { rules, default: PartitionSet::single(0) }],
+        vec![TablePolicy::Rules {
+            rules,
+            default: PartitionSet::single(0),
+        }],
     );
 
     // Scheme B: hash partitioning (scatters the co-accessed pairs).
     let hashed = HashScheme::by_row_id(servers);
 
     let sim_cfg = SimConfig::figure1(servers);
-    println!("simulating {} servers, {} clients, 10 simulated seconds each...\n", servers, sim_cfg.num_clients);
-    let a = run(&sim_cfg, &mut PoolSource::new(SimTxn::from_trace(&w.trace, &aligned, &*w.db)));
-    let b = run(&sim_cfg, &mut PoolSource::new(SimTxn::from_trace(&w.trace, &hashed, &*w.db)));
+    println!(
+        "simulating {} servers, {} clients, 10 simulated seconds each...\n",
+        servers, sim_cfg.num_clients
+    );
+    let a = run(
+        &sim_cfg,
+        &mut PoolSource::new(SimTxn::from_trace(&w.trace, &aligned, &*w.db)),
+    );
+    let b = run(
+        &sim_cfg,
+        &mut PoolSource::new(SimTxn::from_trace(&w.trace, &hashed, &*w.db)),
+    );
 
-    println!("aligned ranges : {:>7.0} txn/s, {:>5.2} ms mean latency, {:>4.1}% distributed",
-        a.throughput, a.mean_latency_ms, a.distributed_fraction * 100.0);
-    println!("hash partition : {:>7.0} txn/s, {:>5.2} ms mean latency, {:>4.1}% distributed",
-        b.throughput, b.mean_latency_ms, b.distributed_fraction * 100.0);
+    println!(
+        "aligned ranges : {:>7.0} txn/s, {:>5.2} ms mean latency, {:>4.1}% distributed",
+        a.throughput,
+        a.mean_latency_ms,
+        a.distributed_fraction * 100.0
+    );
+    println!(
+        "hash partition : {:>7.0} txn/s, {:>5.2} ms mean latency, {:>4.1}% distributed",
+        b.throughput,
+        b.mean_latency_ms,
+        b.distributed_fraction * 100.0
+    );
     println!(
         "\npartitioning aligned with co-access gives {:.2}x the throughput of hashing —\n\
          this is exactly the gap Schism's graph partitioning recovers automatically.",

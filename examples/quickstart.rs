@@ -20,14 +20,22 @@ fn main() {
     let mut schema = Schema::new();
     let t_account = schema.add_table(
         "account",
-        &[("id", ColumnType::Int), ("name", ColumnType::Str), ("bal", ColumnType::Int)],
+        &[
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("bal", ColumnType::Int),
+        ],
         &["id"],
     );
     let n_accounts = 400u64;
     let mut db = MaterializedDb::new();
     let t = db.add_table(3);
     db.set_column(t, 0, (0..n_accounts as i64).collect());
-    db.set_column(t, 2, (0..n_accounts as i64).map(|i| 1_000 + i * 7).collect());
+    db.set_column(
+        t,
+        2,
+        (0..n_accounts as i64).map(|i| 1_000 + i * 7).collect(),
+    );
 
     // --- The workload: transfers stay within the low half or the high
     //     half of the id space (two natural partitions), but every
@@ -36,7 +44,9 @@ fn main() {
     let mut txns = Vec::new();
     let mut rng_state = 42u64;
     let mut next = |m: u64| {
-        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng_state >> 33) % m
     };
     for i in 0..4_000 {
@@ -56,7 +66,10 @@ fn main() {
                 Predicate::Eq(0, Value::Int(id as i64)),
             ));
         }
-        stats.observe(&Statement::select(t_account, Predicate::Eq(0, Value::Int(0))));
+        stats.observe(&Statement::select(
+            t_account,
+            Predicate::Eq(0, Value::Int(0)),
+        ));
         txns.push(tb.finish());
     }
 

@@ -28,7 +28,9 @@ fn main() {
     let mut scfg = SchismConfig::new(2);
     scfg.partitioner.epsilon = 0.1;
     let schism = Schism::new(scfg.clone());
-    let (train, test) = workload.trace.split(scfg.train_fraction, scfg.seed ^ 0x7E57);
+    let (train, test) = workload
+        .trace
+        .split(scfg.train_fraction, scfg.seed ^ 0x7E57);
     let rec = schism.run_split(&workload, &train, &test);
     println!("{rec}");
 
@@ -53,7 +55,10 @@ fn main() {
             let h = |x: u64| PartitionSet::single((x % 2) as u32);
             match t.table {
                 T_ITEMS => h(t.row),
-                T_REVIEWS => db.value(t, 2).map(|i| h(i as u64)).unwrap_or(PartitionSet::all(2)),
+                T_REVIEWS => db
+                    .value(t, 2)
+                    .map(|i| h(i as u64))
+                    .unwrap_or(PartitionSet::all(2)),
                 _ => PartitionSet::all(2),
             }
         }

@@ -15,7 +15,11 @@ fn main() {
     let mut schema = Schema::new();
     schema.add_table(
         "account",
-        &[("id", ColumnType::Int), ("name", ColumnType::Str), ("bal", ColumnType::Int)],
+        &[
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("bal", ColumnType::Int),
+        ],
         &["id"],
     );
 
@@ -65,8 +69,14 @@ fn main() {
         2,
         vec![TablePolicy::Rules {
             rules: vec![
-                RangeRule { conds: vec![(0, i64::MIN, 3)], partitions: PartitionSet::single(0) },
-                RangeRule { conds: vec![(0, 4, i64::MAX)], partitions: PartitionSet::single(1) },
+                RangeRule {
+                    conds: vec![(0, i64::MIN, 3)],
+                    partitions: PartitionSet::single(0),
+                },
+                RangeRule {
+                    conds: vec![(0, 4, i64::MAX)],
+                    partitions: PartitionSet::single(1),
+                },
             ],
             default: PartitionSet::single(0),
         }],
@@ -79,7 +89,11 @@ fn main() {
             "  {:<55} -> partitions {:?}{}",
             sql,
             route.targets,
-            if route.targets.len() > 1 { "  (broadcast/multi)" } else { "" }
+            if route.targets.len() > 1 {
+                "  (broadcast/multi)"
+            } else {
+                ""
+            }
         );
     }
     println!();

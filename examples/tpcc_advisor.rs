@@ -11,13 +11,20 @@ use schism_workload::tpcc::{self, TpccConfig};
 
 fn main() {
     let warehouses = 4;
-    let tcfg = TpccConfig { num_txns: 30_000, ..TpccConfig::full(warehouses) };
+    let tcfg = TpccConfig {
+        num_txns: 30_000,
+        ..TpccConfig::full(warehouses)
+    };
     println!(
         "generating TPC-C: {} warehouses, {} items, {} transactions ({} tuples total)",
         tcfg.warehouses,
         tcfg.items,
         tcfg.num_txns,
-        tpcc::generate(&TpccConfig { num_txns: 1, ..tcfg.clone() }).total_tuples(),
+        tpcc::generate(&TpccConfig {
+            num_txns: 1,
+            ..tcfg.clone()
+        })
+        .total_tuples(),
     );
     let workload = tpcc::generate(&tcfg);
 

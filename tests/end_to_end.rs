@@ -10,7 +10,11 @@ use schism_workload::ycsb::{self, YcsbConfig};
 
 #[test]
 fn ycsb_a_chooses_hashing_at_zero_cost() {
-    let w = ycsb::generate(&YcsbConfig { records: 2_000, num_txns: 4_000, ..YcsbConfig::workload_a() });
+    let w = ycsb::generate(&YcsbConfig {
+        records: 2_000,
+        num_txns: 4_000,
+        ..YcsbConfig::workload_a()
+    });
     let rec = Schism::new(SchismConfig::new(2)).run(&w);
     assert_eq!(rec.chosen(), "hashing");
     assert!(rec.chosen_fraction() < 0.01, "{}", rec.chosen_fraction());
@@ -18,7 +22,11 @@ fn ycsb_a_chooses_hashing_at_zero_cost() {
 
 #[test]
 fn ycsb_e_scans_defeat_hashing() {
-    let w = ycsb::generate(&YcsbConfig { records: 5_000, num_txns: 6_000, ..YcsbConfig::workload_e() });
+    let w = ycsb::generate(&YcsbConfig {
+        records: 5_000,
+        num_txns: 6_000,
+        ..YcsbConfig::workload_e()
+    });
     let rec = Schism::new(SchismConfig::new(2)).run(&w);
     // Ranges (or lookup) near zero; hashing pays for almost every scan.
     assert!(rec.chosen_fraction() < 0.05, "{}", rec.chosen_fraction());
@@ -29,10 +37,21 @@ fn ycsb_e_scans_defeat_hashing() {
 
 #[test]
 fn tpcc_derives_warehouse_partitioning() {
-    let w = tpcc::generate(&TpccConfig { num_txns: 12_000, ..TpccConfig::small(2) });
+    let w = tpcc::generate(&TpccConfig {
+        num_txns: 12_000,
+        ..TpccConfig::small(2)
+    });
     let rec = Schism::new(SchismConfig::new(2)).run(&w);
-    assert_eq!(rec.chosen(), "range-predicates", "candidates: {:?}",
-        rec.validation.candidates.iter().map(|c| (c.name.clone(), c.fraction())).collect::<Vec<_>>());
+    assert_eq!(
+        rec.chosen(),
+        "range-predicates",
+        "candidates: {:?}",
+        rec.validation
+            .candidates
+            .iter()
+            .map(|c| (c.name.clone(), c.fraction()))
+            .collect::<Vec<_>>()
+    );
     // Cost ~= the multi-warehouse fraction (10.7%), far below hashing.
     assert!(
         (0.06..=0.2).contains(&rec.chosen_fraction()),
@@ -66,16 +85,31 @@ fn epinions_lookup_beats_all_simple_schemes() {
     let mut cfg = SchismConfig::new(2);
     cfg.partitioner.epsilon = 0.1;
     let rec = Schism::new(cfg).run(&w);
-    assert_eq!(rec.chosen(), "lookup-table", "candidates: {:?}",
-        rec.validation.candidates.iter().map(|c| (c.name.clone(), c.fraction())).collect::<Vec<_>>());
+    assert_eq!(
+        rec.chosen(),
+        "lookup-table",
+        "candidates: {:?}",
+        rec.validation
+            .candidates
+            .iter()
+            .map(|c| (c.name.clone(), c.fraction()))
+            .collect::<Vec<_>>()
+    );
     let lookup = rec.fraction_of("lookup-table").unwrap();
     let replication = rec.fraction_of("replication").unwrap();
-    assert!(lookup < replication, "lookup {lookup} vs replication {replication}");
+    assert!(
+        lookup < replication,
+        "lookup {lookup} vs replication {replication}"
+    );
 }
 
 #[test]
 fn random_falls_back_to_hash() {
-    let w = random::generate(&RandomConfig { records: 20_000, num_txns: 8_000, ..Default::default() });
+    let w = random::generate(&RandomConfig {
+        records: 20_000,
+        num_txns: 8_000,
+        ..Default::default()
+    });
     let rec = Schism::new(SchismConfig::new(2)).run(&w);
     assert_eq!(rec.chosen(), "hashing");
     assert!((0.4..=0.6).contains(&rec.chosen_fraction()));
@@ -86,21 +120,24 @@ fn tpce_runs_end_to_end() {
     // TPC-E is the stress test for schema complexity (17 tables, 10 txn
     // types). The join-based explanation of §5.2 is not implemented, so we
     // only assert the pipeline completes and beats hashing soundly.
-    let w = tpce::generate(&TpceConfig { num_txns: 8_000, ..TpceConfig::small() });
+    let w = tpce::generate(&TpceConfig {
+        num_txns: 8_000,
+        ..TpceConfig::small()
+    });
     let rec = Schism::new(SchismConfig::new(2)).run(&w);
     let chosen = rec.chosen_fraction();
-    let hash = schism_router::evaluate(
-        &schism_router::HashScheme::by_row_id(2),
-        &w.trace,
-        &*w.db,
-    )
-    .distributed_fraction();
+    let hash = schism_router::evaluate(&schism_router::HashScheme::by_row_id(2), &w.trace, &*w.db)
+        .distributed_fraction();
     assert!(chosen < hash * 0.6, "chosen {chosen} vs hash {hash}");
 }
 
 #[test]
 fn deterministic_recommendations() {
-    let w = ycsb::generate(&YcsbConfig { records: 1_000, num_txns: 2_000, ..YcsbConfig::workload_e() });
+    let w = ycsb::generate(&YcsbConfig {
+        records: 1_000,
+        num_txns: 2_000,
+        ..YcsbConfig::workload_e()
+    });
     let a = Schism::new(SchismConfig::new(2)).run(&w);
     let b = Schism::new(SchismConfig::new(2)).run(&w);
     assert_eq!(a.chosen(), b.chosen());

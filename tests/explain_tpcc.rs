@@ -9,7 +9,10 @@ use schism_workload::tpcc::{self, TpccConfig, T_STOCK};
 
 #[test]
 fn stock_rules_split_on_warehouse_id() {
-    let w = tpcc::generate(&TpccConfig { num_txns: 12_000, ..TpccConfig::small(2) });
+    let w = tpcc::generate(&TpccConfig {
+        num_txns: 12_000,
+        ..TpccConfig::small(2)
+    });
     let rec = Schism::new(SchismConfig::new(2)).run(&w);
 
     let stock = rec
@@ -29,12 +32,21 @@ fn stock_rules_split_on_warehouse_id() {
 
     match &stock.policy {
         TablePolicy::Rules { rules, .. } => {
-            assert_eq!(rules.len(), 2, "two warehouses -> two rules: {:?}", stock.rules_rendered);
+            assert_eq!(
+                rules.len(),
+                2,
+                "two warehouses -> two rules: {:?}",
+                stock.rules_rendered
+            );
             // Both rules must condition on s_w_id (col 0) and map to
             // different single partitions.
             let mut targets = Vec::new();
             for r in rules {
-                assert!(r.conds.iter().any(|&(c, _, _)| c == 0), "{:?}", stock.rules_rendered);
+                assert!(
+                    r.conds.iter().any(|&(c, _, _)| c == 0),
+                    "{:?}",
+                    stock.rules_rendered
+                );
                 assert!(r.partitions.is_single());
                 targets.push(r.partitions.first().unwrap());
             }
@@ -42,11 +54,20 @@ fn stock_rules_split_on_warehouse_id() {
             assert_eq!(targets, vec![0, 1]);
             // The boundary must sit between warehouse 1 and 2.
             let lo_rule = rules.iter().find(|r| {
-                r.conds.iter().any(|&(c, lo, hi)| c == 0 && lo <= 1 && hi == 1)
+                r.conds
+                    .iter()
+                    .any(|&(c, lo, hi)| c == 0 && lo <= 1 && hi == 1)
             });
-            assert!(lo_rule.is_some(), "expected `s_w_id <= 1` rule: {:?}", stock.rules_rendered);
+            assert!(
+                lo_rule.is_some(),
+                "expected `s_w_id <= 1` rule: {:?}",
+                stock.rules_rendered
+            );
         }
-        other => panic!("expected rules for stock, got {other:?} ({:?})", stock.rules_rendered),
+        other => panic!(
+            "expected rules for stock, got {other:?} ({:?})",
+            stock.rules_rendered
+        ),
     }
     // Paper-style rendering shows up in the report too.
     let text = rec.to_string();
@@ -55,7 +76,10 @@ fn stock_rules_split_on_warehouse_id() {
 
 #[test]
 fn whole_database_policy_is_warehouse_aligned() {
-    let tcfg = TpccConfig { num_txns: 12_000, ..TpccConfig::small(2) };
+    let tcfg = TpccConfig {
+        num_txns: 12_000,
+        ..TpccConfig::small(2)
+    };
     let w = tpcc::generate(&tcfg);
     let rec = Schism::new(SchismConfig::new(2)).run(&w);
     // Every warehouse-keyed table must have produced range rules (not a

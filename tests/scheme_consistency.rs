@@ -66,9 +66,18 @@ fn range_scheme_routes_cover_placement() {
         3,
         vec![TablePolicy::Rules {
             rules: vec![
-                RangeRule { conds: vec![(0, i64::MIN, 199)], partitions: PartitionSet::single(0) },
-                RangeRule { conds: vec![(0, 200, 399)], partitions: PartitionSet::single(1) },
-                RangeRule { conds: vec![(0, 400, i64::MAX)], partitions: PartitionSet::single(2) },
+                RangeRule {
+                    conds: vec![(0, i64::MIN, 199)],
+                    partitions: PartitionSet::single(0),
+                },
+                RangeRule {
+                    conds: vec![(0, 200, 399)],
+                    partitions: PartitionSet::single(1),
+                },
+                RangeRule {
+                    conds: vec![(0, 400, i64::MAX)],
+                    partitions: PartitionSet::single(2),
+                },
             ],
             default: PartitionSet::single(0),
         }],

@@ -13,12 +13,22 @@ fn stripes(rows: u64, servers: u32) -> RangeScheme {
             conds: vec![(
                 0,
                 (p as u64 * stripe) as i64,
-                if p == servers - 1 { i64::MAX } else { ((p as u64 + 1) * stripe - 1) as i64 },
+                if p == servers - 1 {
+                    i64::MAX
+                } else {
+                    ((p as u64 + 1) * stripe - 1) as i64
+                },
             )],
             partitions: PartitionSet::single(p),
         })
         .collect();
-    RangeScheme::new(servers, vec![TablePolicy::Rules { rules, default: PartitionSet::single(0) }])
+    RangeScheme::new(
+        servers,
+        vec![TablePolicy::Rules {
+            rules,
+            default: PartitionSet::single(0),
+        }],
+    )
 }
 
 #[test]
@@ -44,7 +54,11 @@ fn distributed_transactions_halve_throughput() {
         results.push(run(&cfg, &mut PoolSource::new(pool)));
     }
     let (single, dist) = (&results[0], &results[1]);
-    assert!(single.completed > 1_000, "single completed {}", single.completed);
+    assert!(
+        single.completed > 1_000,
+        "single completed {}",
+        single.completed
+    );
     let ratio = single.throughput / dist.throughput;
     assert!(
         (1.6..=2.8).contains(&ratio),

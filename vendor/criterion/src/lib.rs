@@ -1,0 +1,262 @@
+//! A vendored, offline, API-compatible subset of `criterion`.
+//!
+//! Provides the handful of entry points the workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, the `criterion_group!`/`criterion_main!`
+//! macros) backed by a simple wall-clock loop: a short warm-up, then timed
+//! batches until a time budget is spent, reporting the mean per-iteration
+//! time. No bootstrap statistics, plots, or baselines — the goal is that
+//! `cargo bench` runs and prints comparable numbers without network access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque benchmark parameter label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        Self {
+            label: p.to_string(),
+        }
+    }
+
+    pub fn new<S: Into<String>, P: Display>(function_name: S, p: P) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), p),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Re-export of the standard opaque-value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// `(total elapsed, iterations)` of the measured phase.
+    result: (Duration, u64),
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            budget,
+            result: (Duration::ZERO, 0),
+        }
+    }
+
+    /// Times `f`: warm-up for ~10% of the budget, then measure batches
+    /// until the budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup_end = Instant::now() + self.budget / 10;
+        while Instant::now() < warmup_end {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let deadline = start + self.budget;
+        loop {
+            // Batches amortize the clock reads for sub-microsecond bodies.
+            for _ in 0..16 {
+                black_box(f());
+            }
+            iters += 16;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.result = (start.elapsed(), iters);
+    }
+
+    /// `iter_batched` degrades to per-iteration setup (adequate for a
+    /// harness without statistics).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch sizing hint (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, mut f: F) {
+    let mut b = Bencher::new(budget);
+    f(&mut b);
+    let (elapsed, iters) = b.result;
+    if iters == 0 {
+        println!("{name:<40} (no iterations measured)");
+    } else {
+        let per = elapsed / iters as u32;
+        println!("{name:<40} {:>12}/iter  ({iters} iters)", human(per));
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI configuration is ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.budget = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.budget, f);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            _parent: self,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count is meaningless without statistics; kept for API parity.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.budget = t;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.budget, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.budget, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.result.1 > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10)
+            .bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+        g.finish();
+    }
+}

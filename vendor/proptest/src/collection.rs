@@ -1,0 +1,55 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A `Vec` of values from `element`, with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = rng.gen_range(self.size.clone());
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` built from `size`-many draws of `element` (duplicates
+/// collapse, matching the real crate's "size is the number of attempts"
+/// behavior closely enough for tests).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = rng.gen_range(self.size.clone());
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,137 @@
+//! A vendored, offline, API-compatible subset of `proptest`.
+//!
+//! Supports the surface the workspace's property tests use: the `proptest!`
+//! macro (with an optional `#![proptest_config(..)]` header), range and
+//! tuple strategies, `prop::collection::{vec, btree_set}`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros. Cases are generated from a
+//! deterministic per-test RNG; there is **no shrinking** — a failing case
+//! is reported with its inputs via the panic message instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::…` path mirror (the real crate exposes strategies under both
+/// `proptest::collection` and the `prop` alias used in `prelude`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Expands each `fn name(binding in strategy, ..) { body }` item into a
+/// plain `#[test]` that samples `cases` inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Per-test deterministic seed: derived from the test name so
+                // adding tests does not perturb existing ones.
+                let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    __seed = (__seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::new(
+                        __seed.wrapping_add(__case as u64),
+                    );
+                    let mut __inputs = format!("case #{}:", __case);
+                    $(
+                        let __value = $crate::strategy::Strategy::sample(
+                            &($strat), &mut __rng,
+                        );
+                        __inputs.push_str(&format!(
+                            " {} = {:?},", stringify!($arg), &__value,
+                        ));
+                        let $arg = __value;
+                    )*
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(e) = __result {
+                        eprintln!("proptest failure [{}]", __inputs);
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0..10u32, 5..8u64), c in 1..=3i64) {
+            prop_assert!(a < 10);
+            prop_assert!((5..8).contains(&b));
+            prop_assert!((1..=3).contains(&c));
+        }
+
+        #[test]
+        fn collections(
+            v in prop::collection::vec((0..5u32, 0..5u32), 1..20),
+            s in prop::collection::btree_set(0..100u64, 0..10),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(s.len() < 10);
+            for (x, y) in v {
+                prop_assert!(x < 5 && y < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0..1000u32, 5..10);
+        let a = strat.sample(&mut crate::test_runner::TestRng::new(42));
+        let b = strat.sample(&mut crate::test_runner::TestRng::new(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,47 @@
+//! Concrete generators.
+
+use crate::{seed_mix, RngCore, SeedableRng};
+
+/// Deterministic xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+///
+/// Seeded from a single `u64` by four rounds of splitmix64, as the xoshiro
+/// authors recommend. Passes BigCrush; not cryptographically secure (neither
+/// use exists in this workspace).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut x = state;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = seed_mix(&mut x);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias: consumers occasionally name `SmallRng`; same engine here.
+pub type SmallRng = StdRng;
