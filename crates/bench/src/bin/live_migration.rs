@@ -1,0 +1,193 @@
+//! **Live-migration executor benchmark** — the full `drift → detect →
+//! plan → execute → flip` loop against in-memory shard stores, reporting
+//! *executed* migration throughput (rows/bytes actually copied and
+//! verified, per tick) and the foreground latency tax while batches are in
+//! flight (mid-migration p99).
+//!
+//! Two measurements:
+//!
+//! 1. **standalone executor** — the plan runs back to back (one tick = one
+//!    batch lifecycle: copy, verify, flip); wall-clock gives copy
+//!    throughput in rows/s and MiB/s.
+//! 2. **in-simulation** — the same plan's copy traffic is injected into
+//!    the discrete-event cluster, gated on executor acknowledgements, and
+//!    compared against a quiet run of the same foreground workload.
+//!
+//! ```text
+//! cargo run --release -p schism-bench --bin live_migration [--full]
+//! ```
+
+use schism_bench::table::Table;
+use schism_core::{build_graph, build_lookup_scheme, run_partition_phase, SchismConfig};
+use schism_migrate::{ControllerConfig, MigrationController, StepOutcome, Tick};
+use schism_router::{Scheme, VersionedScheme};
+use schism_sim::{run, MigrationSource, PoolSource, SimConfig, SimTxn};
+use schism_store::{load_assignment, MemStore};
+use schism_workload::drifting::{self, DriftingConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let full = schism_bench::full_scale();
+    let k = 8u32;
+    let dcfg = DriftingConfig {
+        records: if full { 16_000 } else { 3_200 },
+        num_txns: if full { 20_000 } else { 5_000 },
+        drift_blocks_per_window: if full { 80 } else { 16 },
+        ..Default::default()
+    };
+
+    // Bootstrap placement + physical shards from window 0.
+    let w0 = drifting::window(&dcfg, 0);
+    let cfg = SchismConfig::new(k);
+    let wg = build_graph(&w0, &w0.trace, &cfg);
+    let placement = run_partition_phase(&wg, &cfg).assignment;
+    println!(
+        "bootstrap on {}: {} tuples over {k} shards",
+        w0.name,
+        placement.len()
+    );
+
+    // Drift to window 3 → plan. Batch budget sized so the plan spans many
+    // ticks (one tick = one copy/verify/flip lifecycle).
+    let mut ccfg = ControllerConfig::new(k);
+    ccfg.plan.max_rows_per_batch = if full { 256 } else { 64 };
+    let mut ctl = MigrationController::with_assignment(&w0, placement.clone(), ccfg);
+    let w3 = drifting::window(&dcfg, 3);
+    let outcome = match ctl.observe(&w3) {
+        Tick::Migrate(m) => m,
+        Tick::Stable(r) => panic!("drift missed: {}", r.distance),
+    };
+    println!(
+        "drift {:.3} → plan: {} moves, {} batches, {:.1} KiB\n",
+        outcome.report.distance,
+        outcome.plan.total_moves,
+        outcome.plan.batches.len(),
+        outcome.plan.total_bytes as f64 / 1024.0
+    );
+
+    let old_scheme =
+        || -> Arc<dyn Scheme> { Arc::new(build_lookup_scheme(&w0, &w0.trace, &placement, k)) };
+    let new_scheme = || -> Arc<dyn Scheme> {
+        Arc::new(build_lookup_scheme(&w3, &w3.trace, ctl.assignment(), k))
+    };
+
+    // ---- 1. Standalone executor throughput (one tick = one batch). ----
+    let store = MemStore::new(k);
+    load_assignment(&store, &placement, &*w3.db).expect("seed shards");
+    let vs = VersionedScheme::new(old_scheme(), new_scheme());
+    let mut exec = outcome.executor(&store, &vs);
+    let t0 = Instant::now();
+    assert_eq!(exec.run_to_completion(), StepOutcome::Done);
+    let wall = t0.elapsed();
+    let report = exec.report();
+
+    let mut ticks = Table::new(&["tick", "tuples", "rows", "KiB", "drops", "retries"]);
+    let shown = exec.batch_reports().len().min(12);
+    for b in &exec.batch_reports()[..shown] {
+        ticks.row(vec![
+            format!("{}", b.batch),
+            format!("{}", b.tuples),
+            format!("{}", b.rows_copied),
+            format!("{:.1}", b.bytes_copied as f64 / 1024.0),
+            format!("{}", b.rows_dropped),
+            format!("{}", b.retries),
+        ]);
+    }
+    println!(
+        "per-tick executed batches (first {shown} of {}):",
+        report.batches_flipped
+    );
+    println!("{}", ticks.render());
+    let secs = wall.as_secs_f64().max(1e-9);
+    println!(
+        "executor: {} rows / {:.1} KiB copied+verified in {:.1} ms → {:.0} rows/s, {:.1} MiB/s\n",
+        report.rows_copied,
+        report.bytes_copied as f64 / 1024.0,
+        wall.as_secs_f64() * 1e3,
+        report.rows_copied as f64 / secs,
+        report.bytes_copied as f64 / (1 << 20) as f64 / secs,
+    );
+
+    // ---- 2. Mid-migration QoS in the simulator. ----
+    let inject_every = 1u32;
+    let sim_cfg = SimConfig {
+        num_servers: k,
+        num_clients: if full { 160 } else { 80 },
+        duration: if full { 8_000_000 } else { 4_000_000 },
+        warmup: 1_000_000,
+        ..SimConfig::default()
+    };
+    let fg_scheme = new_scheme();
+    let pool = SimTxn::from_trace(&w3.trace, &*fg_scheme, &*w3.db);
+    let quiet = run(&sim_cfg, &mut PoolSource::new(pool.clone()));
+
+    // Mid-migration window: sized (from quiet throughput) so the
+    // acknowledged-batch copy stream is in flight for the whole measured
+    // interval — these percentiles are *mid-migration*, not diluted by a
+    // long post-drain tail.
+    let copy_txns: usize = outcome.plan.sim_txn_batches().iter().map(Vec::len).sum();
+    let span_us = (copy_txns as f64 * (1.0 + inject_every as f64) / quiet.throughput.max(1.0)
+        * 1_000_000.0) as u64;
+    let mid_cfg = SimConfig {
+        warmup: (span_us / 4).max(50_000),
+        duration: (span_us * 3 / 4).max(100_000),
+        ..sim_cfg.clone()
+    };
+    // Same short window without the migration: the fair p99 baseline.
+    let quiet_mid = run(&mid_cfg, &mut PoolSource::new(pool.clone()));
+    let run_migrating = |cfg: &SimConfig| {
+        // Fresh store/scheme pair per run: the executor re-runs inside the
+        // sim, its acknowledgements gating each batch's copy traffic.
+        let store = MemStore::new(k);
+        load_assignment(&store, &placement, &*w3.db).expect("seed shards");
+        let vs = VersionedScheme::new(old_scheme(), new_scheme());
+        let mut exec = outcome.executor(&store, &vs);
+        let mut source = MigrationSource::batched(
+            PoolSource::new(pool.clone()),
+            outcome.plan.sim_txn_batches(),
+            inject_every,
+            Some(Box::new(|_| matches!(exec.step(), StepOutcome::Flipped(_)))),
+        );
+        let report = run(cfg, &mut source);
+        let issued = source.batches_issued();
+        drop(source);
+        assert_eq!(
+            vs.flipped_batches(),
+            issued as u64,
+            "moved-set must track acknowledged batches exactly"
+        );
+        (report, issued)
+    };
+    let (mid, mid_issued) = run_migrating(&mid_cfg);
+    let (drained, drained_issued) = run_migrating(&sim_cfg);
+
+    let mut qos = Table::new(&["run", "thr (txn/s)", "mean ms", "p95 ms", "p99 ms", "acked"]);
+    let total = outcome.plan.batches.len();
+    for (name, r, acked) in [
+        ("quiet (mid window)", &quiet_mid, None),
+        ("mid-migration", &mid, Some(mid_issued)),
+        ("quiet (full window)", &quiet, None),
+        ("full-run", &drained, Some(drained_issued)),
+    ] {
+        qos.row(vec![
+            name.to_string(),
+            format!("{:.0}", r.throughput),
+            format!("{:.2}", r.mean_latency_ms),
+            format!("{:.2}", r.p95_latency_ms),
+            format!("{:.2}", r.p99_latency_ms),
+            match acked {
+                Some(a) => format!("{a}/{total}"),
+                None => "-".to_string(),
+            },
+        ]);
+    }
+    println!("{}", qos.render());
+    println!(
+        "mid-migration p99 {:.2} ms vs same-window quiet {:.2} ms ({:+.0}%); full run recovers to {:.0} txn/s with {drained_issued}/{total} batches acknowledged",
+        mid.p99_latency_ms,
+        quiet_mid.p99_latency_ms,
+        100.0 * (mid.p99_latency_ms / quiet_mid.p99_latency_ms.max(1e-9) - 1.0),
+        drained.throughput,
+    );
+}

@@ -14,7 +14,7 @@ fn splitmix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// The expert TPC-C strategy ([21], §5.2): partition every table by
+/// The expert TPC-C strategy (\[21\], §5.2): partition every table by
 /// warehouse (warehouses spread evenly over partitions) and replicate the
 /// `item` table.
 pub struct ManualTpcc {

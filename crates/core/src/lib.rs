@@ -17,7 +17,7 @@
 //! 4. **Explanation** ([`explain`]) — a C4.5-style decision tree over
 //!    frequently-queried attributes turns the per-tuple assignment into
 //!    range predicates (with CFS attribute selection and cross-validation).
-//! 5. **Final validation** ([`validate`]) — lookup tables vs. range
+//! 5. **Final validation** ([`validate`](mod@validate)) — lookup tables vs. range
 //!    predicates vs. hashing vs. full replication, by distributed
 //!    transactions on a held-out test trace; ties go to the simpler scheme.
 //!

@@ -1,4 +1,4 @@
-//! Human-readable rendering of a [`Recommendation`](crate::Recommendation)
+//! Human-readable rendering of a [`crate::Recommendation`]
 //! — the report a DBA would read, mirroring the paper's presentation
 //! (per-table rules with prediction errors, per-strategy distributed
 //! transaction percentages, and the final choice).

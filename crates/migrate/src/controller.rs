@@ -5,15 +5,20 @@
 //! a [`DriftDetector`] rebased on every repartition, the current per-tuple
 //! placement, and the planner budgets — and exposes a single
 //! [`observe`](MigrationController::observe) entry point per window. The
-//! caller executes the returned plan at its own pace (batch by batch,
-//! marking progress in a [`schism_router::VersionedScheme`]) and keeps
-//! serving traffic meanwhile.
+//! caller executes the returned plan at its own pace: build a
+//! [`MigrationExecutor`] via [`MigrationOutcome::executor`] over the live
+//! [`schism_store::ShardStore`] and a [`schism_router::VersionedScheme`],
+//! then [`step`](MigrationExecutor::step) it between foreground work.
+//! Routing flips only on each batch's verified-copy acknowledgement, so
+//! traffic keeps being served correctly for the whole migration.
 
 use crate::drift::{DriftConfig, DriftDetector, DriftReport};
+use crate::executor::{ExecutorConfig, MigrationExecutor};
 use crate::incremental::{rerun_incremental, RepartitionOutcome};
 use crate::plan::{plan_migration, MigrationPlan, PlanConfig};
 use schism_core::{build_graph, run_partition_phase, Schism, SchismConfig};
-use schism_router::PartitionSet;
+use schism_router::{PartitionSet, VersionedScheme};
+use schism_store::ShardStore;
 use schism_workload::{TupleId, Workload};
 use std::collections::HashMap;
 
@@ -23,6 +28,8 @@ pub struct ControllerConfig {
     pub schism: SchismConfig,
     pub drift: DriftConfig,
     pub plan: PlanConfig,
+    /// Defaults for executors built via [`MigrationOutcome::executor`].
+    pub executor: ExecutorConfig,
 }
 
 impl ControllerConfig {
@@ -31,6 +38,7 @@ impl ControllerConfig {
             schism: SchismConfig::new(k),
             drift: DriftConfig::default(),
             plan: PlanConfig::default(),
+            executor: ExecutorConfig::default(),
         }
     }
 }
@@ -51,6 +59,21 @@ pub struct MigrationOutcome {
     pub report: DriftReport,
     pub repartition: RepartitionOutcome,
     pub plan: MigrationPlan,
+    /// Executor defaults inherited from the controller's config.
+    pub executor_cfg: ExecutorConfig,
+}
+
+impl MigrationOutcome {
+    /// Builds the executor for this outcome's plan: `store` holds the
+    /// physical shards, `scheme` is the fresh old→new epoch whose moved-set
+    /// the executor will advance batch by batch.
+    pub fn executor<'a>(
+        &'a self,
+        store: &'a dyn ShardStore,
+        scheme: &'a VersionedScheme,
+    ) -> MigrationExecutor<'a> {
+        MigrationExecutor::new(&self.plan, store, scheme, self.executor_cfg.clone())
+    }
 }
 
 /// Drift-detect → warm repartition → relabel → plan, with state carried
@@ -120,6 +143,7 @@ impl MigrationController {
             report,
             repartition,
             plan,
+            executor_cfg: self.cfg.executor.clone(),
         })
     }
 }

@@ -1,0 +1,699 @@
+//! The migration executor: runs a [`MigrationPlan`] against physical
+//! shard stores, batch by batch, and drives routing from acknowledgements.
+//!
+//! Each batch walks the lifecycle
+//!
+//! ```text
+//! planned ──► copying ──► verifying ──► flipped
+//!                ▲            │
+//!                └── retry ◄──┤ (checksum/count mismatch, ≤ max_retries)
+//!                             └──► aborted (rollback: copied rows deleted)
+//! ```
+//!
+//! - **copy** reads every moved row from its source shard and writes it to
+//!   each shard gaining a copy (one atomic [`ShardStore::apply_batch`] per
+//!   destination shard);
+//! - **verify** re-reads both sides and compares row count and checksum —
+//!   a mismatch re-copies the batch up to [`ExecutorConfig::max_retries`]
+//!   times, then aborts;
+//! - **flip** is the only point routing changes: the batch is acknowledged
+//!   into the [`VersionedScheme`] moved-set via the sequenced
+//!   [`VersionedScheme::flip_batch`] API, after which (and only after
+//!   which) the shards dropping a copy delete theirs.
+//!
+//! Because a batch either flips completely or is rolled back completely,
+//! aborting at any batch boundary leaves every key with exactly one owner
+//! and the stores bit-identical to the pre-migration state for all
+//! unflipped batches — the property test in the umbrella crate drives
+//! random plans through random abort points to prove it.
+
+use crate::plan::{MigrationPlan, TupleMove};
+use schism_router::{FlipError, VersionedScheme};
+use schism_store::{ShardId, ShardStore, StoreError, WriteOp};
+use schism_workload::TupleId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Executor tuning knobs.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutorConfig {
+    /// Copy re-attempts per batch after a failed verification (0 = a
+    /// single verify failure aborts the migration).
+    pub max_retries: u32,
+    /// Fault injection for tests and chaos runs: on attempt `a` of batch
+    /// `b`, every `(b, a)` listed here makes the copy write a corrupted
+    /// payload for the batch's first copied row, which verification then
+    /// catches.
+    pub corrupt_copies: Vec<(usize, u32)>,
+}
+
+/// Why a migration stopped making progress.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The backend failed.
+    Store(StoreError),
+    /// A moved tuple has no source shard holding its row.
+    MissingSource(TupleId),
+    /// Copy verification kept failing after all retries.
+    VerifyFailed { batch: usize, attempts: u32 },
+    /// The routing layer rejected the batch acknowledgement.
+    Flip(FlipError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Store(e) => write!(f, "store error: {e}"),
+            ExecError::MissingSource(t) => write!(f, "no source copy for tuple {t}"),
+            ExecError::VerifyFailed { batch, attempts } => {
+                write!(f, "batch {batch} failed verification {attempts} time(s)")
+            }
+            ExecError::Flip(e) => write!(f, "flip rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StoreError> for ExecError {
+    fn from(e: StoreError) -> Self {
+        ExecError::Store(e)
+    }
+}
+
+/// Lifecycle state of one batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchState {
+    Planned,
+    Copying,
+    Verifying,
+    Flipped,
+    Aborted,
+}
+
+/// What one flipped batch actually did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Batch index in the plan (= flip sequence number).
+    pub batch: usize,
+    /// Tuples processed (including drop-only moves).
+    pub tuples: usize,
+    /// Row copies written to destination shards.
+    pub rows_copied: u64,
+    /// Payload bytes written, measured from the rows themselves (not the
+    /// plan's estimate).
+    pub bytes_copied: u64,
+    /// Replica copies deleted after the flip.
+    pub rows_dropped: u64,
+    /// Copy re-attempts this batch needed before verification passed.
+    pub retries: u32,
+}
+
+/// Result of one [`MigrationExecutor::step`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The next batch copied, verified, and flipped.
+    Flipped(BatchReport),
+    /// The executor is paused; nothing happened.
+    Paused,
+    /// No batches remain (all flipped, or the migration was aborted).
+    Done,
+    /// This batch could not be completed; its copies were rolled back and
+    /// the migration stopped.
+    Aborted { batch: usize, error: ExecError },
+}
+
+/// Totals across the executed prefix of the plan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorReport {
+    pub batches_flipped: usize,
+    pub tuples_moved: usize,
+    pub rows_copied: u64,
+    pub bytes_copied: u64,
+    pub rows_dropped: u64,
+    pub retries: u32,
+}
+
+/// Executes a [`MigrationPlan`] against a [`ShardStore`], flipping routing
+/// in a [`VersionedScheme`] one acknowledged batch at a time.
+///
+/// The executor is deliberately synchronous and single-stepped: callers
+/// (the simulator loop, the bench bin, a future real server) own the
+/// pacing, interleaving foreground work between steps and pausing,
+/// resuming, or aborting at batch boundaries.
+pub struct MigrationExecutor<'a> {
+    plan: &'a MigrationPlan,
+    store: &'a dyn ShardStore,
+    scheme: &'a VersionedScheme,
+    cfg: ExecutorConfig,
+    states: Vec<BatchState>,
+    next: usize,
+    paused: bool,
+    aborted: bool,
+    reports: Vec<BatchReport>,
+}
+
+impl<'a> MigrationExecutor<'a> {
+    /// Prepares to execute `plan`. The scheme must be at the start of its
+    /// epoch (no batches flipped yet).
+    pub fn new(
+        plan: &'a MigrationPlan,
+        store: &'a dyn ShardStore,
+        scheme: &'a VersionedScheme,
+        cfg: ExecutorConfig,
+    ) -> Self {
+        assert_eq!(
+            scheme.flipped_batches(),
+            0,
+            "executor requires a fresh migration epoch"
+        );
+        Self {
+            states: vec![BatchState::Planned; plan.batches.len()],
+            plan,
+            store,
+            scheme,
+            cfg,
+            next: 0,
+            paused: false,
+            aborted: false,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Lifecycle state of batch `i`.
+    pub fn batch_state(&self, i: usize) -> BatchState {
+        self.states[i]
+    }
+
+    /// Reports for the batches flipped so far, in order.
+    pub fn batch_reports(&self) -> &[BatchReport] {
+        &self.reports
+    }
+
+    /// `(flipped, total)` batch counts.
+    pub fn progress(&self) -> (usize, usize) {
+        (self.next, self.plan.batches.len())
+    }
+
+    /// Whether every batch has flipped.
+    pub fn is_complete(&self) -> bool {
+        !self.aborted && self.next == self.plan.batches.len()
+    }
+
+    /// Whether the migration was aborted (by [`abort`](Self::abort) or a
+    /// failed batch).
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Stops issuing batches until [`resume`](Self::resume). In-flight
+    /// state is untouched: pausing is only observable at batch boundaries.
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    pub fn resume(&mut self) {
+        self.paused = false;
+    }
+
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Aborts the migration at the current batch boundary: all remaining
+    /// batches are marked [`BatchState::Aborted`] and will never execute.
+    /// Already-flipped batches stay flipped (the new placement owns them);
+    /// unexecuted batches never touched the stores, so no rollback is
+    /// needed here — mid-batch failures roll themselves back inside
+    /// [`step`](Self::step).
+    pub fn abort(&mut self) {
+        self.aborted = true;
+        for s in &mut self.states[self.next..] {
+            *s = BatchState::Aborted;
+        }
+    }
+
+    /// Aggregated totals over the executed prefix.
+    pub fn report(&self) -> ExecutorReport {
+        let mut r = ExecutorReport {
+            batches_flipped: self.reports.len(),
+            ..Default::default()
+        };
+        for b in &self.reports {
+            r.tuples_moved += b.tuples;
+            r.rows_copied += b.rows_copied;
+            r.bytes_copied += b.bytes_copied;
+            r.rows_dropped += b.rows_dropped;
+            r.retries += b.retries;
+        }
+        r
+    }
+
+    /// Runs every remaining batch; stops early on pause or abort.
+    pub fn run_to_completion(&mut self) -> StepOutcome {
+        loop {
+            match self.step() {
+                StepOutcome::Flipped(_) => continue,
+                other => return other,
+            }
+        }
+    }
+
+    /// Executes the next batch through copy → verify → flip.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.aborted || self.next >= self.plan.batches.len() {
+            return StepOutcome::Done;
+        }
+        if self.paused {
+            return StepOutcome::Paused;
+        }
+        let i = self.next;
+        match self.execute_batch(i) {
+            Ok(report) => {
+                self.states[i] = BatchState::Flipped;
+                self.next += 1;
+                self.reports.push(report.clone());
+                StepOutcome::Flipped(report)
+            }
+            Err((error, flipped)) => {
+                if flipped {
+                    // The flip landed before the failure (post-flip drop
+                    // cleanup): the new placement owns this batch, so it
+                    // must count as flipped — rolling it back now would
+                    // contradict the moved-set.
+                    self.states[i] = BatchState::Flipped;
+                    self.next = i + 1;
+                } else {
+                    // Pre-flip failure: execute_batch rolled the batch's
+                    // copies back, so the stores match pre-batch state.
+                    self.states[i] = BatchState::Aborted;
+                }
+                self.abort();
+                StepOutcome::Aborted { batch: i, error }
+            }
+        }
+    }
+
+    /// The error flag reports whether the batch had already flipped when
+    /// the failure happened (post-flip failures must not roll back).
+    fn execute_batch(&mut self, i: usize) -> Result<BatchReport, (ExecError, bool)> {
+        let moves = &self.plan.batches[i].moves;
+        let mut retries = 0u32;
+        let (rows_copied, bytes_copied) = loop {
+            let attempt = retries;
+            self.states[i] = BatchState::Copying;
+            let copied = match self.copy_batch(i, attempt) {
+                Ok(c) => c,
+                Err(e) => return Err((self.rolled_back(i, e), false)),
+            };
+            self.states[i] = BatchState::Verifying;
+            match self.verify_batch(moves) {
+                Ok(true) => break copied,
+                Ok(false) if attempt >= self.cfg.max_retries => {
+                    let e = ExecError::VerifyFailed {
+                        batch: i,
+                        attempts: attempt + 1,
+                    };
+                    return Err((self.rolled_back(i, e), false));
+                }
+                Ok(false) => retries += 1,
+                Err(e) => return Err((self.rolled_back(i, e), false)),
+            }
+        };
+        // The acknowledgement: routing flips only now, and only in order.
+        if let Err(e) = self
+            .scheme
+            .flip_batch(i as u64, moves.iter().map(|m| m.tuple))
+        {
+            return Err((self.rolled_back(i, ExecError::Flip(e)), false));
+        }
+        // Post-flip cleanup: shards losing a copy drop theirs. Routing
+        // already points elsewhere, so this can never orphan a key.
+        let mut rows_dropped = 0u64;
+        for m in moves {
+            for shard in m.copies_dropped().iter() {
+                match self.store.delete(shard, m.tuple) {
+                    Ok(true) => rows_dropped += 1,
+                    Ok(false) => {}
+                    Err(e) => return Err((ExecError::Store(e), true)),
+                }
+            }
+        }
+        Ok(BatchReport {
+            batch: i,
+            tuples: moves.len(),
+            rows_copied,
+            bytes_copied,
+            rows_dropped,
+            retries,
+        })
+    }
+
+    /// Rolls batch `i`'s destination copies back and returns the error to
+    /// report: `cause`, unless the rollback itself failed — a store that
+    /// can no longer be written is the graver fault.
+    fn rolled_back(&self, i: usize, cause: ExecError) -> ExecError {
+        match self.rollback_batch(i) {
+            Ok(()) => cause,
+            Err(e) => e,
+        }
+    }
+
+    /// Copies every row of batch `i` to its gaining shards; one atomic
+    /// write batch per destination shard. Returns `(rows, bytes)` written.
+    fn copy_batch(&self, i: usize, attempt: u32) -> Result<(u64, u64), ExecError> {
+        let moves = &self.plan.batches[i].moves;
+        let corrupt = self.cfg.corrupt_copies.contains(&(i, attempt));
+        let mut per_shard: HashMap<ShardId, Vec<WriteOp>> = HashMap::new();
+        let mut rows = 0u64;
+        let mut bytes = 0u64;
+        let mut corrupted_one = false;
+        for m in moves {
+            let added = m.copies_added();
+            if added.is_empty() {
+                continue; // drop-only move: nothing to copy
+            }
+            let src = m.from.first().ok_or(ExecError::MissingSource(m.tuple))?;
+            let row = self
+                .store
+                .get(src, m.tuple)?
+                .ok_or(ExecError::MissingSource(m.tuple))?;
+            for shard in added.iter() {
+                let mut payload = row.clone();
+                if corrupt && !corrupted_one {
+                    corrupted_one = true;
+                    match payload.first_mut() {
+                        Some(b) => *b = b.wrapping_add(1),
+                        None => payload.push(0xff),
+                    }
+                }
+                rows += 1;
+                bytes += payload.len() as u64;
+                per_shard
+                    .entry(shard)
+                    .or_default()
+                    .push(WriteOp::Put(m.tuple, payload));
+            }
+        }
+        for (shard, ops) in per_shard {
+            self.store.apply_batch(shard, &ops)?;
+        }
+        Ok((rows, bytes))
+    }
+
+    /// Count + checksum verification: every destination shard must hold
+    /// every copied row with the source's checksum.
+    fn verify_batch(&self, moves: &[TupleMove]) -> Result<bool, ExecError> {
+        for m in moves {
+            let added = m.copies_added();
+            if added.is_empty() {
+                continue;
+            }
+            let src = m.from.first().ok_or(ExecError::MissingSource(m.tuple))?;
+            let want = self
+                .store
+                .checksum(src, m.tuple)?
+                .ok_or(ExecError::MissingSource(m.tuple))?;
+            for shard in added.iter() {
+                if self.store.checksum(shard, m.tuple)? != Some(want) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Deletes whatever the in-flight batch copied to destination shards,
+    /// restoring them to their pre-batch contents (a gaining shard never
+    /// held the row before this batch — `copies_added = to \ from`).
+    fn rollback_batch(&self, i: usize) -> Result<(), ExecError> {
+        let mut per_shard: HashMap<ShardId, Vec<WriteOp>> = HashMap::new();
+        for m in &self.plan.batches[i].moves {
+            for shard in m.copies_added().iter() {
+                per_shard
+                    .entry(shard)
+                    .or_default()
+                    .push(WriteOp::Delete(m.tuple));
+            }
+        }
+        for (shard, ops) in per_shard {
+            self.store.apply_batch(shard, &ops)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{plan_migration, PlanConfig};
+    use schism_router::{PartitionSet, Scheme};
+    use schism_store::{load_assignment, MemStore};
+    use schism_workload::MaterializedDb;
+    use std::collections::HashMap as Map;
+    use std::sync::Arc;
+
+    fn asg(pairs: &[(u64, u32)]) -> Map<TupleId, PartitionSet> {
+        pairs
+            .iter()
+            .map(|&(r, p)| (TupleId::new(0, r), PartitionSet::single(p)))
+            .collect()
+    }
+
+    fn scheme_for(asg: &Map<TupleId, PartitionSet>, k: u32) -> Arc<dyn Scheme> {
+        let entries: Vec<(u64, PartitionSet)> = asg.iter().map(|(t, &p)| (t.row, p)).collect();
+        Arc::new(schism_router::LookupScheme::new(
+            k,
+            vec![Some(Box::new(schism_router::IndexBackend::new(entries))
+                as Box<dyn schism_router::LookupBackend>)],
+            vec![None],
+            schism_router::MissPolicy::HashRow,
+        ))
+    }
+
+    /// Store seeded from `old`, scheme pair over `old`/`new`, plan between
+    /// them.
+    fn fixture(
+        old: &Map<TupleId, PartitionSet>,
+        new: &Map<TupleId, PartitionSet>,
+        k: u32,
+        rows_per_batch: usize,
+    ) -> (MemStore, VersionedScheme, MigrationPlan) {
+        let db = MaterializedDb::new();
+        let store = MemStore::new(k);
+        load_assignment(&store, old, &db).unwrap();
+        let vs = VersionedScheme::new(scheme_for(old, k), scheme_for(new, k));
+        let plan = plan_migration(
+            old,
+            new,
+            &db,
+            &PlanConfig {
+                max_rows_per_batch: rows_per_batch,
+                ..Default::default()
+            },
+        );
+        (store, vs, plan)
+    }
+
+    #[test]
+    fn full_run_converges_store_and_routing() {
+        let old = asg(&[(0, 0), (1, 0), (2, 1), (3, 1), (4, 2)]);
+        let new = asg(&[(0, 1), (1, 0), (2, 2), (3, 0), (4, 2)]);
+        let (store, vs, plan) = fixture(&old, &new, 3, 2);
+        let db = MaterializedDb::new();
+        let mut exec = MigrationExecutor::new(&plan, &store, &vs, ExecutorConfig::default());
+        assert_eq!(exec.run_to_completion(), StepOutcome::Done);
+        assert!(exec.is_complete());
+        let report = exec.report();
+        assert_eq!(report.batches_flipped, plan.batches.len());
+        assert_eq!(report.tuples_moved, plan.total_moves);
+        assert_eq!(
+            report.bytes_copied, plan.total_bytes,
+            "64B rows, 1 copy each"
+        );
+        assert_eq!(report.rows_dropped, report.rows_copied);
+        // Store and routing agree: the row lives exactly where the scheme
+        // says, and nowhere else.
+        for (&t, pset) in &new {
+            assert_eq!(vs.locate_tuple(t, &db), *pset);
+            for shard in 0..3u32 {
+                assert_eq!(
+                    store.get(shard, t).unwrap().is_some(),
+                    pset.contains(shard),
+                    "tuple {t} on shard {shard}"
+                );
+            }
+        }
+        assert_eq!(store.total_rows(), new.len() as u64);
+    }
+
+    #[test]
+    fn replication_grow_and_shrink_execute() {
+        let mut old = Map::new();
+        old.insert(TupleId::new(0, 0), PartitionSet::single(0));
+        old.insert(
+            TupleId::new(0, 1),
+            [0u32, 1, 2].into_iter().collect::<PartitionSet>(),
+        );
+        let mut new = Map::new();
+        new.insert(
+            TupleId::new(0, 0),
+            [0u32, 1].into_iter().collect::<PartitionSet>(),
+        );
+        new.insert(TupleId::new(0, 1), PartitionSet::single(2));
+        let (store, vs, plan) = fixture(&old, &new, 3, 10);
+        let mut exec = MigrationExecutor::new(&plan, &store, &vs, ExecutorConfig::default());
+        assert!(matches!(exec.step(), StepOutcome::Flipped(_)));
+        // Grow: copy on shard 1; shrink: only shard 2 keeps tuple 1.
+        assert!(store.get(1, TupleId::new(0, 0)).unwrap().is_some());
+        assert!(store.get(0, TupleId::new(0, 1)).unwrap().is_none());
+        assert!(store.get(1, TupleId::new(0, 1)).unwrap().is_none());
+        assert!(store.get(2, TupleId::new(0, 1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn pause_blocks_resume_continues() {
+        let old = asg(&(0..6).map(|r| (r, 0)).collect::<Vec<_>>());
+        let new = asg(&(0..6).map(|r| (r, 1)).collect::<Vec<_>>());
+        let (store, vs, plan) = fixture(&old, &new, 2, 2);
+        let mut exec = MigrationExecutor::new(&plan, &store, &vs, ExecutorConfig::default());
+        assert!(matches!(exec.step(), StepOutcome::Flipped(_)));
+        exec.pause();
+        assert_eq!(exec.step(), StepOutcome::Paused);
+        assert_eq!(exec.progress(), (1, 3));
+        assert_eq!(vs.flipped_batches(), 1, "pause froze the moved-set");
+        exec.resume();
+        assert_eq!(exec.run_to_completion(), StepOutcome::Done);
+        assert!(exec.is_complete());
+    }
+
+    #[test]
+    fn transient_corruption_is_retried_and_healed() {
+        let old = asg(&[(0, 0), (1, 0)]);
+        let new = asg(&[(0, 1), (1, 1)]);
+        let (store, vs, plan) = fixture(&old, &new, 2, 10);
+        let cfg = ExecutorConfig {
+            max_retries: 2,
+            corrupt_copies: vec![(0, 0), (0, 1)], // first two attempts bad
+        };
+        let mut exec = MigrationExecutor::new(&plan, &store, &vs, cfg);
+        let report = match exec.step() {
+            StepOutcome::Flipped(r) => r,
+            other => panic!("expected flip after retries, got {other:?}"),
+        };
+        assert_eq!(report.retries, 2);
+        assert!(exec.is_complete());
+        // Healed: destination bytes equal the deterministic seed payload.
+        let want = schism_store::seed_row(TupleId::new(0, 0), 64);
+        assert_eq!(store.get(1, TupleId::new(0, 0)).unwrap(), Some(want));
+    }
+
+    #[test]
+    fn persistent_corruption_aborts_with_rollback() {
+        let old = asg(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let new = asg(&[(0, 1), (1, 1), (2, 1), (3, 1)]);
+        let (store, vs, plan) = fixture(&old, &new, 2, 2);
+        let cfg = ExecutorConfig {
+            max_retries: 1,
+            corrupt_copies: vec![(1, 0), (1, 1)], // batch 1 never verifies
+        };
+        let mut exec = MigrationExecutor::new(&plan, &store, &vs, cfg);
+        assert!(matches!(exec.step(), StepOutcome::Flipped(_)));
+        match exec.step() {
+            StepOutcome::Aborted { batch, error } => {
+                assert_eq!(batch, 1);
+                assert_eq!(
+                    error,
+                    ExecError::VerifyFailed {
+                        batch: 1,
+                        attempts: 2
+                    }
+                );
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert!(exec.is_aborted());
+        assert_eq!(exec.step(), StepOutcome::Done, "aborted executor is done");
+        assert_eq!(vs.flipped_batches(), 1, "only the verified batch flipped");
+        // Batch 0's tuples moved; batch 1's were rolled back to shard 0.
+        let db = MaterializedDb::new();
+        for m in plan.batches[0].moves.iter() {
+            assert!(store.get(1, m.tuple).unwrap().is_some());
+            assert!(store.get(0, m.tuple).unwrap().is_none());
+            assert_eq!(vs.locate_tuple(m.tuple, &db), PartitionSet::single(1));
+        }
+        for m in plan.batches[1].moves.iter() {
+            assert!(store.get(0, m.tuple).unwrap().is_some(), "source intact");
+            assert!(store.get(1, m.tuple).unwrap().is_none(), "copy rolled back");
+            assert_eq!(vs.locate_tuple(m.tuple, &db), PartitionSet::single(0));
+        }
+    }
+
+    #[test]
+    fn rejected_flip_rolls_copies_back() {
+        let old = asg(&[(0, 0), (1, 0)]);
+        let new = asg(&[(0, 1), (1, 1)]);
+        let (store, vs, plan) = fixture(&old, &new, 2, 10);
+        let mut exec = MigrationExecutor::new(&plan, &store, &vs, ExecutorConfig::default());
+        // An out-of-band flip desynchronizes the sequence: the executor's
+        // own flip of batch 0 is now rejected, and the already-copied rows
+        // must be rolled back off the destination shards.
+        vs.flip_batch(0, []).unwrap();
+        match exec.step() {
+            StepOutcome::Aborted { batch, error } => {
+                assert_eq!(batch, 0);
+                assert_eq!(
+                    error,
+                    ExecError::Flip(FlipError {
+                        expected: 1,
+                        got: 0
+                    })
+                );
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        for t in [TupleId::new(0, 0), TupleId::new(0, 1)] {
+            assert!(store.get(0, t).unwrap().is_some(), "source intact");
+            assert!(store.get(1, t).unwrap().is_none(), "copy rolled back");
+        }
+        assert_eq!(exec.batch_state(0), BatchState::Aborted);
+    }
+
+    #[test]
+    fn missing_source_row_aborts_cleanly() {
+        let old = asg(&[(0, 0)]);
+        let new = asg(&[(0, 1)]);
+        let db = MaterializedDb::new();
+        let store = MemStore::new(2); // never loaded: source row absent
+        let vs = VersionedScheme::new(scheme_for(&old, 2), scheme_for(&new, 2));
+        let plan = plan_migration(&old, &new, &db, &PlanConfig::default());
+        let mut exec = MigrationExecutor::new(&plan, &store, &vs, ExecutorConfig::default());
+        match exec.step() {
+            StepOutcome::Aborted { error, .. } => {
+                assert_eq!(error, ExecError::MissingSource(TupleId::new(0, 0)));
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert_eq!(vs.flipped_batches(), 0);
+        assert_eq!(store.total_rows(), 0);
+    }
+
+    #[test]
+    fn abort_at_boundary_freezes_remaining_batches() {
+        let old = asg(&(0..9).map(|r| (r, 0)).collect::<Vec<_>>());
+        let new = asg(&(0..9).map(|r| (r, 1)).collect::<Vec<_>>());
+        let (store, vs, plan) = fixture(&old, &new, 2, 3);
+        let mut exec = MigrationExecutor::new(&plan, &store, &vs, ExecutorConfig::default());
+        assert!(matches!(exec.step(), StepOutcome::Flipped(_)));
+        exec.abort();
+        assert_eq!(exec.step(), StepOutcome::Done);
+        assert_eq!(exec.batch_state(0), BatchState::Flipped);
+        assert_eq!(exec.batch_state(1), BatchState::Aborted);
+        assert_eq!(exec.batch_state(2), BatchState::Aborted);
+        // Unexecuted batches never touched the store.
+        for m in plan.batches[1].moves.iter().chain(&plan.batches[2].moves) {
+            assert!(store.get(0, m.tuple).unwrap().is_some());
+            assert!(store.get(1, m.tuple).unwrap().is_none());
+        }
+    }
+}

@@ -10,15 +10,19 @@
 //! |--------|------|
 //! | [`drift`] | windowed access histograms + distribution-distance trigger |
 //! | [`incremental`] | warm-started re-partition and the from-scratch baseline |
-//! | [`relabel`] | Hungarian matching of new→old partition ids to minimize movement |
+//! | [`relabel`](mod@relabel) | Hungarian matching of new→old partition ids to minimize movement |
 //! | [`plan`] | diff two placements into throttled, batched tuple moves |
+//! | [`executor`] | run a plan against [`schism_store`] shards: copy → verify → flip per batch |
 //! | [`controller`] | the loop: state, trigger, repartition, plan hand-off |
 //!
 //! Mid-migration routing correctness lives in
 //! [`schism_router::VersionedScheme`] (old/new scheme pair + moved-set);
-//! the migration's throughput tax is simulated by feeding
-//! [`plan::MigrationPlan::sim_txns`] into
-//! [`schism_sim::MigrationSource`].
+//! the [`executor`] owns each batch's copy/verify lifecycle against a
+//! [`schism_store::ShardStore`] and advances that moved-set only on
+//! acknowledgement ([`schism_router::VersionedScheme::flip_batch`]). The
+//! migration's throughput tax is simulated by feeding the plan's batches
+//! into [`schism_sim::MigrationSource`], whose injection is gated on the
+//! same acknowledgements.
 //!
 //! ```
 //! use schism_migrate::controller::{ControllerConfig, MigrationController, Tick};
@@ -38,6 +42,7 @@
 
 pub mod controller;
 pub mod drift;
+pub mod executor;
 pub mod incremental;
 pub mod plan;
 pub mod relabel;
@@ -45,6 +50,10 @@ pub mod relabel;
 pub use controller::{ControllerConfig, MigrationController, MigrationOutcome, Tick};
 pub use drift::{
     split_windows, AccessHistogram, DistanceMetric, DriftConfig, DriftDetector, DriftReport,
+};
+pub use executor::{
+    BatchReport, BatchState, ExecError, ExecutorConfig, ExecutorReport, MigrationExecutor,
+    StepOutcome,
 };
 pub use incremental::{distributed_fraction, rerun_incremental, rerun_scratch, RepartitionOutcome};
 pub use plan::{plan_migration, MigrationBatch, MigrationPlan, PlanConfig, TupleMove};

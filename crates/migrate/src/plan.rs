@@ -92,26 +92,61 @@ impl MigrationPlan {
     /// gains a copy — a distributed transaction whenever the two differ,
     /// which is precisely the migration's 2PC tax on the cluster.
     pub fn sim_txns(&self) -> Vec<SimTxn> {
-        self.moves()
-            .filter_map(|m| {
-                let src = m.from.first()?;
-                let key = (m.tuple.table, m.tuple.row);
-                let mut ops = vec![SimOp {
-                    server: src,
-                    key,
-                    write: false,
-                }];
-                for dst in m.copies_added().iter() {
-                    ops.push(SimOp {
-                        server: dst,
-                        key,
-                        write: true,
-                    });
-                }
-                (ops.len() > 1).then_some(SimTxn { ops })
-            })
+        self.batches
+            .iter()
+            .flat_map(|b| txns_for(&b.moves))
             .collect()
     }
+
+    /// The same rendering, preserving batch boundaries: element `i` holds
+    /// batch `i`'s copy transactions (possibly empty for drop-only
+    /// batches). This is the shape [`schism_sim::MigrationSource::batched`]
+    /// takes, so the simulator's injection gates on exactly the batches the
+    /// executor acknowledges.
+    pub fn sim_txn_batches(&self) -> Vec<Vec<SimTxn>> {
+        self.batches.iter().map(|b| txns_for(&b.moves)).collect()
+    }
+}
+
+/// Copy transactions for one batch's moves (drop-only moves render to
+/// nothing: no bytes cross the wire).
+///
+/// Ops are emitted in ascending server order — the same per-key order
+/// foreground replica writes use ([`SimTxn::from_transaction`] fans a
+/// write out over `pset.iter()`, which ascends) — so a copy and a
+/// foreground write to the same tuple can never acquire its per-server
+/// locks in opposite orders. Emitting the source read first looks natural
+/// but deadlocks: a copy holding `S key@3` waiting on `X key@1` while a
+/// replica write holds `X key@1` waiting on `key@3` is a cycle the
+/// simulator can only break by lock timeout, and it re-forms on exactly
+/// the hot tuples a drifted plan moves.
+fn txns_for(moves: &[TupleMove]) -> Vec<SimTxn> {
+    moves
+        .iter()
+        .filter_map(|m| {
+            let added = m.copies_added();
+            if added.is_empty() {
+                return None;
+            }
+            let src = m.from.first()?;
+            let key = (m.tuple.table, m.tuple.row);
+            let mut ops: Vec<SimOp> = added
+                .iter()
+                .map(|dst| SimOp {
+                    server: dst,
+                    key,
+                    write: true,
+                })
+                .collect();
+            ops.push(SimOp {
+                server: src,
+                key,
+                write: false,
+            });
+            ops.sort_unstable_by_key(|o| o.server);
+            Some(SimTxn { ops })
+        })
+        .collect()
 }
 
 /// Diffs `old` against `new` and packs the changed tuples into batches.
@@ -280,6 +315,24 @@ mod tests {
             ]
         );
         assert!(txns[0].is_distributed());
+    }
+
+    #[test]
+    fn sim_txn_batches_align_with_plan_batches() {
+        let old = asg(&(0..5).map(|r| (r, 0)).collect::<Vec<_>>());
+        let new = asg(&(0..5).map(|r| (r, 1)).collect::<Vec<_>>());
+        let cfg = PlanConfig {
+            max_rows_per_batch: 2,
+            ..Default::default()
+        };
+        let plan = plan_migration(&old, &new, &MaterializedDb::new(), &cfg);
+        let batched = plan.sim_txn_batches();
+        assert_eq!(batched.len(), plan.batches.len());
+        for (b, txns) in plan.batches.iter().zip(&batched) {
+            assert_eq!(b.moves.len(), txns.len());
+        }
+        let flat: Vec<SimTxn> = batched.into_iter().flatten().collect();
+        assert_eq!(flat.len(), plan.sim_txns().len());
     }
 
     #[test]

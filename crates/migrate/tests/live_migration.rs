@@ -1,12 +1,15 @@
 //! End-to-end: a drifting workload drives the controller, the resulting
-//! plan is executed against a versioned scheme while the simulator shows
-//! the migration's throughput tax.
+//! plan is executed against in-memory shard stores while the simulator
+//! shows the migration's throughput tax — with routing flips driven by
+//! batch acknowledgements, never ahead of them.
 
 use schism_core::{build_graph, run_partition_phase, SchismConfig};
-use schism_migrate::{ControllerConfig, MigrationController, Tick};
-use schism_router::Scheme;
+use schism_migrate::{ControllerConfig, MigrationController, StepOutcome, Tick};
+use schism_router::{Scheme, VersionedScheme};
 use schism_sim::{run, MigrationSource, PoolSource, SimConfig, SimTxn};
+use schism_store::{load_assignment, MemStore, ShardStore};
 use schism_workload::drifting::{self, DriftingConfig};
+use std::sync::Arc;
 
 const K: u32 = 4;
 
@@ -65,15 +68,26 @@ fn migration_traffic_costs_throughput_then_recovers() {
         busy.throughput,
         quiet.throughput
     );
+    assert!(
+        busy.p99_latency_ms > 0.0 && busy.p99_latency_ms >= busy.p95_latency_ms,
+        "mid-migration p99 must be reported: {busy:?}"
+    );
 }
 
-#[test]
-fn executed_plan_converges_router_to_new_placement() {
-    use schism_router::VersionedScheme;
-    use std::sync::Arc;
+type Placement = std::collections::HashMap<schism_workload::TupleId, schism_router::PartitionSet>;
+type Fixture = (
+    schism_migrate::MigrationOutcome,
+    Placement,
+    Arc<dyn Scheme>,
+    Arc<dyn Scheme>,
+    schism_workload::Workload,
+);
 
+/// Builds the drift → plan fixture: outcome, pre-migration placement, and
+/// the old/new lookup schemes.
+fn drifted_fixture(num_txns: usize) -> Fixture {
     let dcfg = DriftingConfig {
-        num_txns: 1_500,
+        num_txns,
         ..Default::default()
     };
     let w0 = drifting::window(&dcfg, 0);
@@ -95,24 +109,113 @@ fn executed_plan_converges_router_to_new_placement() {
         ctl.assignment(),
         K,
     ));
+    (outcome, prev, old, new, w3)
+}
+
+#[test]
+fn executed_plan_converges_store_and_router() {
+    let (outcome, prev, old, new, w3) = drifted_fixture(1_500);
+
+    // Physical shards hold the pre-migration placement.
+    let store = MemStore::new(K);
+    load_assignment(&store, &prev, &*w3.db).expect("seed store");
+    let rows_before = store.total_rows();
+
     let vs = VersionedScheme::new(old, new.clone());
+    let mut exec = outcome.executor(&store, &vs);
+    assert_eq!(exec.run_to_completion(), StepOutcome::Done);
+    assert!(exec.is_complete());
 
-    // Execute batch by batch; the moved-set grows monotonically.
-    let mut done = 0usize;
-    for batch in &outcome.plan.batches {
-        done += vs.mark_batch(batch.moves.iter().map(|m| m.tuple));
-        assert_eq!(vs.moved_count(), done);
-    }
-    assert_eq!(done, outcome.plan.total_moves);
+    let report = exec.report();
+    assert_eq!(report.batches_flipped, outcome.plan.batches.len());
+    assert_eq!(report.tuples_moved, outcome.plan.total_moves);
+    assert_eq!(report.bytes_copied, outcome.plan.total_bytes);
+    assert_eq!(vs.moved_count(), outcome.plan.total_moves);
+    assert_eq!(vs.flipped_batches(), outcome.plan.batches.len() as u64);
 
-    // After the last batch every moved tuple resolves through the new
-    // scheme; finalize hands the new scheme back for the swap.
+    // Store contents and routing agree for every migrated tuple: the row
+    // lives on exactly the shards the new placement names, nowhere else,
+    // and the versioned scheme resolves to the new epoch.
     for m in outcome.plan.moves() {
         assert_eq!(
             vs.locate_tuple(m.tuple, &*w3.db),
             new.locate_tuple(m.tuple, &*w3.db)
         );
+        for shard in 0..K {
+            assert_eq!(
+                store.get(shard, m.tuple).unwrap().is_some(),
+                m.to.contains(shard),
+                "tuple {} on shard {shard}",
+                m.tuple
+            );
+        }
     }
+    // Single-primary placements: copies added == copies dropped, so the
+    // store's total row count is preserved by a completed migration.
+    let copies_delta: i64 = outcome
+        .plan
+        .moves()
+        .map(|m| i64::from(m.copies_added().len()) - i64::from(m.copies_dropped().len()))
+        .sum();
+    assert_eq!(store.total_rows() as i64, rows_before as i64 + copies_delta);
+
     let finalized = vs.finalize();
     assert_eq!(finalized.name(), new.name());
+}
+
+/// Regression for the optimistic moved-set advance: with the
+/// acknowledgement-gated source, routing flips happen *inside* the batch
+/// acknowledgement, so the moved-set can never lead the copy traffic the
+/// cluster has actually absorbed.
+#[test]
+fn moved_set_never_leads_acknowledged_batches() {
+    let (outcome, prev, old, new, w3) = drifted_fixture(1_000);
+
+    let store = MemStore::new(K);
+    load_assignment(&store, &prev, &*w3.db).expect("seed store");
+    let vs = VersionedScheme::new(old, new);
+    let mut exec = outcome.executor(&store, &vs);
+
+    // Foreground traffic routed through the versioned scheme (the live
+    // epoch), plus the plan's copy batches gated on executor progress.
+    let pool = SimTxn::from_trace(&w3.trace, &vs, &*w3.db);
+    let batches = outcome.plan.sim_txn_batches();
+    let total_batches = batches.len();
+    let mut source = MigrationSource::batched(
+        PoolSource::new(pool),
+        batches,
+        1,
+        Some(Box::new(|b| {
+            // The invariant under test: when batch b's traffic has just
+            // been issued, exactly b batches have been acknowledged.
+            assert_eq!(
+                vs.flipped_batches(),
+                b as u64,
+                "moved-set led the acknowledgement at batch {b}"
+            );
+            let flipped = matches!(exec.step(), StepOutcome::Flipped(_));
+            assert!(flipped, "batch {b} must execute cleanly");
+            assert_eq!(vs.flipped_batches(), b as u64 + 1);
+            true
+        })),
+    );
+    let sim_cfg = SimConfig {
+        num_servers: K,
+        num_clients: 40,
+        duration: 8_000_000,
+        warmup: 500_000,
+        ..SimConfig::default()
+    };
+    let report = run(&sim_cfg, &mut source);
+    assert!(report.completed > 0);
+
+    // However far the run got, flips equal acknowledged batches exactly.
+    let issued = source.batches_issued();
+    assert_eq!(vs.flipped_batches(), issued as u64);
+    assert!(
+        issued > 0,
+        "sim run must make migration progress (plan has {total_batches} batches)"
+    );
+    drop(source);
+    assert_eq!(exec.progress().0, issued);
 }

@@ -1,6 +1,6 @@
 //! # schism-ml
 //!
-//! The machine-learning substrate the Schism paper obtains from Weka [9]:
+//! The machine-learning substrate the Schism paper obtains from Weka \[9\]:
 //! a C4.5-style decision tree (Weka's J48), rule extraction, stratified
 //! cross-validation, and correlation-based feature selection (CFS).
 //!

@@ -27,4 +27,4 @@ pub use pset::{PartitionSet, MAX_PARTITIONS};
 pub use range::{RangeRule, RangeScheme, TablePolicy};
 pub use router::{route_transaction, Participants};
 pub use scheme::{Complexity, ReplicationScheme, Route, Scheme};
-pub use versioned::VersionedScheme;
+pub use versioned::{FlipError, VersionedScheme};

@@ -17,19 +17,63 @@
 //! The moved-set is interior-mutable (`RwLock`) because the router shares
 //! schemes as `&dyn Scheme`; marking a tuple moved is the commit point of
 //! its copy and is idempotent.
+//!
+//! ## Acknowledgement-driven flips
+//!
+//! The executor-facing API is [`flip_batch`](VersionedScheme::flip_batch):
+//! batches flip strictly in plan order, each flip carrying the sequence
+//! number of the batch whose copy was verified — the acknowledgement. An
+//! out-of-order or duplicate flip is rejected with [`FlipError`] instead of
+//! silently advancing the moved-set, so routing can never *lead* the bytes:
+//! a tuple routes to the new placement only after its batch's copy has been
+//! acknowledged. [`mark_moved`](VersionedScheme::mark_moved) and
+//! [`mark_batch`](VersionedScheme::mark_batch) remain as the low-level,
+//! unsequenced primitives (single-tuple tests, replays); they deliberately
+//! do not advance the batch cursor.
 
 use crate::pset::PartitionSet;
 use crate::scheme::{Complexity, Route, Scheme};
 use schism_sql::Statement;
 use schism_workload::{TupleId, TupleValues};
 use std::collections::HashSet;
+use std::fmt;
 use std::sync::{Arc, RwLock};
+
+/// An out-of-order or duplicate batch flip: the moved-set only advances on
+/// the acknowledgement of the next expected batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlipError {
+    /// The sequence number the scheme expected next.
+    pub expected: u64,
+    /// The sequence number the caller tried to flip.
+    pub got: u64,
+}
+
+impl fmt::Display for FlipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch flip out of order: expected seq {}, got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for FlipError {}
+
+#[derive(Default)]
+struct MovedState {
+    set: HashSet<TupleId>,
+    /// Number of batches flipped through the sequenced API; also the next
+    /// expected sequence number.
+    flipped_batches: u64,
+}
 
 /// A scheme pair (old → new) plus the set of tuples already migrated.
 pub struct VersionedScheme {
     old: Arc<dyn Scheme>,
     new: Arc<dyn Scheme>,
-    moved: RwLock<HashSet<TupleId>>,
+    moved: RwLock<MovedState>,
 }
 
 impl VersionedScheme {
@@ -38,7 +82,7 @@ impl VersionedScheme {
         Self {
             old,
             new,
-            moved: RwLock::new(HashSet::new()),
+            moved: RwLock::new(MovedState::default()),
         }
     }
 
@@ -46,23 +90,64 @@ impl VersionedScheme {
     /// authoritative). Idempotent; returns whether the tuple was newly
     /// marked.
     pub fn mark_moved(&self, t: TupleId) -> bool {
-        self.moved.write().expect("moved-set poisoned").insert(t)
+        self.moved
+            .write()
+            .expect("moved-set poisoned")
+            .set
+            .insert(t)
     }
 
-    /// Marks a whole batch as moved (one lock acquisition).
+    /// Marks a whole batch as moved (one lock acquisition), without
+    /// advancing the batch cursor. Prefer
+    /// [`flip_batch`](Self::flip_batch) when executing a plan.
     pub fn mark_batch<I: IntoIterator<Item = TupleId>>(&self, tuples: I) -> usize {
-        let mut set = self.moved.write().expect("moved-set poisoned");
-        tuples.into_iter().filter(|&t| set.insert(t)).count()
+        let mut state = self.moved.write().expect("moved-set poisoned");
+        tuples.into_iter().filter(|&t| state.set.insert(t)).count()
+    }
+
+    /// Flips batch `seq` on acknowledgement of its verified copy. Batches
+    /// flip strictly in order: `seq` must equal
+    /// [`flipped_batches`](Self::flipped_batches), otherwise nothing
+    /// changes and a [`FlipError`] reports the expected sequence. The flip
+    /// is atomic — a concurrent reader sees the whole batch moved or none
+    /// of it. Returns the number of newly moved tuples.
+    pub fn flip_batch<I: IntoIterator<Item = TupleId>>(
+        &self,
+        seq: u64,
+        tuples: I,
+    ) -> Result<usize, FlipError> {
+        let mut state = self.moved.write().expect("moved-set poisoned");
+        if seq != state.flipped_batches {
+            return Err(FlipError {
+                expected: state.flipped_batches,
+                got: seq,
+            });
+        }
+        state.flipped_batches += 1;
+        Ok(tuples.into_iter().filter(|&t| state.set.insert(t)).count())
+    }
+
+    /// Number of batches flipped through [`flip_batch`](Self::flip_batch);
+    /// equivalently, the next expected sequence number.
+    pub fn flipped_batches(&self) -> u64 {
+        self.moved
+            .read()
+            .expect("moved-set poisoned")
+            .flipped_batches
     }
 
     /// Whether `t` has been migrated.
     pub fn is_moved(&self, t: TupleId) -> bool {
-        self.moved.read().expect("moved-set poisoned").contains(&t)
+        self.moved
+            .read()
+            .expect("moved-set poisoned")
+            .set
+            .contains(&t)
     }
 
     /// Number of tuples migrated so far.
     pub fn moved_count(&self) -> usize {
-        self.moved.read().expect("moved-set poisoned").len()
+        self.moved.read().expect("moved-set poisoned").set.len()
     }
 
     /// Ends the epoch: the new scheme is authoritative for everything.
@@ -167,6 +252,53 @@ mod tests {
         assert!(vs.route_statement(&read).any_one);
         let write = Statement::update(0, Predicate::Eq(0, Value::Int(1)));
         assert!(!vs.route_statement(&write).any_one);
+    }
+
+    #[test]
+    fn flip_batches_in_order_only() {
+        let (old, new) = hash_pair();
+        let db = MaterializedDb::new();
+        let vs = VersionedScheme::new(old.clone(), new.clone());
+        let b0 = [TupleId::new(0, 1), TupleId::new(0, 2)];
+        let b1 = [TupleId::new(0, 3)];
+        assert_eq!(vs.flipped_batches(), 0);
+        // Flipping batch 1 before batch 0 is rejected and changes nothing.
+        let err = vs.flip_batch(1, b1).unwrap_err();
+        assert_eq!(
+            err,
+            FlipError {
+                expected: 0,
+                got: 1
+            }
+        );
+        assert_eq!(vs.moved_count(), 0);
+        assert_eq!(
+            vs.locate_tuple(TupleId::new(0, 3), &db),
+            old.locate_tuple(TupleId::new(0, 3), &db),
+            "rejected flip must not affect routing"
+        );
+        // In order: both flips land, routing follows.
+        assert_eq!(vs.flip_batch(0, b0).unwrap(), 2);
+        assert_eq!(vs.flip_batch(1, b1).unwrap(), 1);
+        assert_eq!(vs.flipped_batches(), 2);
+        assert_eq!(
+            vs.locate_tuple(TupleId::new(0, 3), &db),
+            new.locate_tuple(TupleId::new(0, 3), &db)
+        );
+        // Replaying an already-flipped batch is rejected (duplicate ack).
+        let dup = vs.flip_batch(0, b0).unwrap_err();
+        assert_eq!(dup.expected, 2);
+        assert_eq!(vs.moved_count(), 3);
+    }
+
+    #[test]
+    fn mark_batch_does_not_advance_flip_cursor() {
+        let (old, new) = hash_pair();
+        let vs = VersionedScheme::new(old, new);
+        vs.mark_batch([TupleId::new(0, 9)]);
+        assert_eq!(vs.flipped_batches(), 0, "unsequenced marks are not acks");
+        assert_eq!(vs.flip_batch(0, [TupleId::new(0, 9)]).unwrap(), 0);
+        assert_eq!(vs.flipped_batches(), 1);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub use schism_ml as ml;
 pub use schism_router as router;
 pub use schism_sim as sim;
 pub use schism_sql as sql;
+pub use schism_store as store;
 pub use schism_workload as workload;
 
 pub use schism_core::{Recommendation, Schism, SchismConfig};

@@ -23,4 +23,4 @@ pub use config::{Micros, SimConfig};
 pub use engine::run;
 pub use locks::{Key, LockManager, LockMode, LockResult};
 pub use metrics::{SimReport, SimStats};
-pub use txn::{MigrationSource, PoolSource, SimOp, SimTxn, TxnSource};
+pub use txn::{BatchAckFn, MigrationSource, PoolSource, SimOp, SimTxn, TxnSource};

@@ -30,6 +30,9 @@ pub struct SimReport {
     pub mean_latency_ms: f64,
     /// 95th percentile latency in milliseconds.
     pub p95_latency_ms: f64,
+    /// 99th percentile latency in milliseconds — the number a live
+    /// migration's QoS is judged on.
+    pub p99_latency_ms: f64,
     pub completed: u64,
     pub aborts: u64,
     pub distributed_fraction: f64,
@@ -44,15 +47,19 @@ impl SimReport {
         } else {
             stats.latencies.iter().sum::<u64>() as f64 / n as f64 / 1_000.0
         };
-        let p95 = if n == 0 {
-            0.0
-        } else {
-            stats.latencies[(n as f64 * 0.95) as usize % n] as f64 / 1_000.0
+        let pct = |q: f64| {
+            if n == 0 {
+                0.0
+            } else {
+                stats.latencies[(n as f64 * q) as usize % n] as f64 / 1_000.0
+            }
         };
+        let (p95, p99) = (pct(0.95), pct(0.99));
         SimReport {
             throughput: stats.completed as f64 / (window as f64 / 1_000_000.0),
             mean_latency_ms: mean,
             p95_latency_ms: p95,
+            p99_latency_ms: p99,
             completed: stats.completed,
             aborts: stats.aborts,
             distributed_fraction: if stats.completed == 0 {
@@ -80,6 +87,8 @@ mod tests {
         assert!((r.mean_latency_ms - 2.5).abs() < 1e-9);
         assert!((r.distributed_fraction - 0.5).abs() < 1e-9);
         assert_eq!(r.aborts, 2);
+        assert!((r.p99_latency_ms - 4.0).abs() < 1e-9);
+        assert!(r.p99_latency_ms >= r.p95_latency_ms);
     }
 
     #[test]

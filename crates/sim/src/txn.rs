@@ -138,59 +138,142 @@ impl TxnSource for PoolSource {
     }
 }
 
-/// Interleaves live-migration traffic with a foreground workload source.
+/// Called when a batch has fully issued; returns whether the batch is
+/// *acknowledged* (copied, verified, and flipped), allowing the next batch
+/// to start. Returning `false` halts injection — the migration paused or
+/// aborted, and its remaining traffic must never reach the cluster.
+pub type BatchAckFn<'a> = Box<dyn FnMut(usize) -> bool + 'a>;
+
+/// Interleaves live-migration copy traffic with a foreground workload
+/// source, one *acknowledged batch* at a time.
 ///
 /// Every `inject_every`-th request (counted across all clients) is taken
-/// from the migration move queue instead of the foreground source: a move
-/// is a read on the source server plus a write on each destination server —
-/// a distributed transaction whenever source and destination differ, which
-/// is exactly how the throttled copy traffic of a migration plan taxes the
-/// cluster. When the queue drains, the source degrades to the foreground
-/// workload, so a single simulation run shows throughput dipping during the
-/// migration and recovering after it.
-pub struct MigrationSource<S: TxnSource> {
+/// from the current migration batch instead of the foreground source: a
+/// move is a read on the source server plus a write on each destination
+/// server — a distributed transaction whenever source and destination
+/// differ, which is exactly how the throttled copy traffic of a migration
+/// plan taxes the cluster.
+///
+/// Batches gate on acknowledgements: when batch `k`'s last move has been
+/// issued, the `on_batch_issued` callback fires with `k` — this is where
+/// the caller executes the batch against real stores (copy, verify) and
+/// flips routing. Batch `k + 1` starts **only if the callback returned
+/// `true`**; otherwise injection halts for good. The previous model
+/// advanced the moved-set optimistically while a fixed 1-in-N stream
+/// drained, so routing could lead the bytes; with the gate, copy traffic is
+/// driven by actually executed batches and the moved-set can never lead an
+/// acknowledgement. When all batches are acknowledged the source degrades
+/// to the foreground workload, so a single simulation run shows throughput
+/// dipping during the migration and recovering after it.
+pub struct MigrationSource<'a, S: TxnSource> {
     base: S,
-    moves: Vec<SimTxn>,
-    next_move: usize,
+    batches: Vec<Vec<SimTxn>>,
+    batch: usize,
+    pos: usize,
     inject_every: u32,
     since_injection: u32,
+    halted: bool,
+    on_batch_issued: Option<BatchAckFn<'a>>,
 }
 
-impl<S: TxnSource> MigrationSource<S> {
-    /// `inject_every = N` issues one migration move per `N` foreground
-    /// transactions (`N >= 1`; `1` alternates move/foreground).
+impl<S: TxnSource> MigrationSource<'static, S> {
+    /// Single unacknowledged batch: the whole queue issues at the throttle
+    /// with no execution gate (models a long-running copy stream whose tax
+    /// is being measured, not a plan being executed). `inject_every = N`
+    /// issues one migration move per `N` foreground transactions
+    /// (`N >= 1`; `1` alternates move/foreground).
     pub fn new(base: S, moves: Vec<SimTxn>, inject_every: u32) -> Self {
+        Self::batched(base, vec![moves], inject_every, None)
+    }
+}
+
+impl<'a, S: TxnSource> MigrationSource<'a, S> {
+    /// Acknowledgement-gated batches, aligned 1:1 with a migration plan's
+    /// batches (the callback argument is the batch index = flip sequence
+    /// number). Empty batches (e.g. all drop-only moves) are acknowledged
+    /// immediately without issuing traffic, keeping sequence numbers
+    /// aligned.
+    pub fn batched(
+        base: S,
+        batches: Vec<Vec<SimTxn>>,
+        inject_every: u32,
+        on_batch_issued: Option<BatchAckFn<'a>>,
+    ) -> Self {
         assert!(inject_every >= 1, "inject_every must be >= 1");
         Self {
             base,
-            moves,
-            next_move: 0,
+            batches,
+            batch: 0,
+            pos: 0,
             inject_every,
             since_injection: 0,
+            halted: false,
+            on_batch_issued,
         }
     }
 
-    /// Moves not yet handed to a client.
+    /// Moves not yet handed to a client (0 when halted: a halted source
+    /// will never issue its remaining moves).
     pub fn remaining_moves(&self) -> usize {
-        self.moves.len() - self.next_move
+        if self.halted || self.batch >= self.batches.len() {
+            return 0;
+        }
+        (self.batches[self.batch].len() - self.pos)
+            + self.batches[self.batch + 1..]
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>()
     }
 
-    /// Whether the whole move queue has been issued.
+    /// Whether every batch has been issued and acknowledged.
     pub fn drained(&self) -> bool {
-        self.next_move == self.moves.len()
+        !self.halted && self.batch == self.batches.len()
+    }
+
+    /// Batches fully issued so far (acknowledged or halted-on).
+    pub fn batches_issued(&self) -> usize {
+        self.batch
+    }
+
+    /// Whether a batch acknowledgement came back negative and injection
+    /// stopped.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Fires the issued callback for batch `b` and advances past it.
+    fn finish_batch(&mut self, b: usize) {
+        let acked = match &mut self.on_batch_issued {
+            Some(cb) => cb(b),
+            None => true,
+        };
+        self.batch += 1;
+        self.pos = 0;
+        if !acked {
+            self.halted = true;
+        }
     }
 }
 
-impl<S: TxnSource> TxnSource for MigrationSource<S> {
+impl<S: TxnSource> TxnSource for MigrationSource<'_, S> {
     fn next_txn(&mut self, client: u32, rng: &mut StdRng) -> SimTxn {
-        if self.next_move < self.moves.len() {
+        // Batches with no copy traffic complete (and gate) without
+        // consuming an injection slot.
+        while !self.halted && self.batch < self.batches.len() && self.batches[self.batch].is_empty()
+        {
+            self.finish_batch(self.batch);
+        }
+        if !self.halted && self.batch < self.batches.len() {
             // A move is the (N+1)-th request after N foreground ones, so
             // the documented 1-move-per-N-foreground ratio holds exactly
             // (inject_every = 1 alternates move/foreground).
             if self.since_injection >= self.inject_every {
                 self.since_injection = 0;
-                let m = self.moves[self.next_move].clone();
-                self.next_move += 1;
+                let m = self.batches[self.batch][self.pos].clone();
+                self.pos += 1;
+                if self.pos == self.batches[self.batch].len() {
+                    self.finish_batch(self.batch);
+                }
                 return m;
             }
             self.since_injection += 1;
@@ -326,6 +409,150 @@ mod tests {
             vec![false, true, false, true, false, true],
             "strict alternation"
         );
+    }
+
+    #[test]
+    fn batched_source_gates_on_acknowledgement() {
+        use rand::SeedableRng;
+        use std::cell::RefCell;
+        let fg = SimTxn {
+            ops: vec![SimOp {
+                server: 0,
+                key: (0, 1),
+                write: false,
+            }],
+        };
+        // Batch 0 moves rows 10, 11; batch 1 moves row 12 — distinguishable
+        // by key so the issue order can be audited.
+        let mv = |row: u64| SimTxn {
+            ops: vec![
+                SimOp {
+                    server: 0,
+                    key: (0, row),
+                    write: false,
+                },
+                SimOp {
+                    server: 1,
+                    key: (0, row),
+                    write: true,
+                },
+            ],
+        };
+        let acks: RefCell<Vec<usize>> = RefCell::new(Vec::new());
+        let mut src = MigrationSource::batched(
+            PoolSource::new(vec![fg]),
+            vec![vec![mv(10), mv(11)], vec![mv(12)]],
+            1,
+            Some(Box::new(|b| {
+                acks.borrow_mut().push(b);
+                true
+            })),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut issued_moves = Vec::new();
+        for _ in 0..8 {
+            let t = src.next_txn(0, &mut rng);
+            if t.ops.len() == 2 {
+                // Batch 1's move must never be issued before ack(0) fired.
+                if t.ops[0].key.1 == 12 {
+                    assert_eq!(acks.borrow().first(), Some(&0), "batch 1 led its gate");
+                }
+                issued_moves.push(t.ops[0].key.1);
+            }
+        }
+        assert_eq!(issued_moves, vec![10, 11, 12]);
+        assert_eq!(*acks.borrow(), vec![0, 1]);
+        assert!(src.drained());
+        assert_eq!(src.batches_issued(), 2);
+    }
+
+    #[test]
+    fn negative_acknowledgement_halts_injection() {
+        use rand::SeedableRng;
+        let fg = SimTxn {
+            ops: vec![SimOp {
+                server: 0,
+                key: (0, 1),
+                write: false,
+            }],
+        };
+        let mv = SimTxn {
+            ops: vec![
+                SimOp {
+                    server: 0,
+                    key: (0, 9),
+                    write: false,
+                },
+                SimOp {
+                    server: 1,
+                    key: (0, 9),
+                    write: true,
+                },
+            ],
+        };
+        let mut src = MigrationSource::batched(
+            PoolSource::new(vec![fg]),
+            vec![vec![mv.clone()], vec![mv.clone(), mv]],
+            1,
+            Some(Box::new(|_| false)), // executor aborted batch 0
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let moves: usize = (0..20)
+            .filter(|_| src.next_txn(0, &mut rng).ops.len() == 2)
+            .count();
+        assert_eq!(moves, 1, "only the rejected batch's traffic was issued");
+        assert!(src.is_halted());
+        assert!(!src.drained(), "a halted migration never drains");
+        assert_eq!(
+            src.remaining_moves(),
+            0,
+            "halted source issues nothing more"
+        );
+    }
+
+    #[test]
+    fn empty_batches_acknowledge_without_traffic() {
+        use rand::SeedableRng;
+        use std::cell::RefCell;
+        let fg = SimTxn {
+            ops: vec![SimOp {
+                server: 0,
+                key: (0, 1),
+                write: false,
+            }],
+        };
+        let mv = SimTxn {
+            ops: vec![
+                SimOp {
+                    server: 0,
+                    key: (0, 9),
+                    write: false,
+                },
+                SimOp {
+                    server: 1,
+                    key: (0, 9),
+                    write: true,
+                },
+            ],
+        };
+        let acks: RefCell<Vec<usize>> = RefCell::new(Vec::new());
+        // Batch 0 is drop-only (no copy txns); batch 1 has one move.
+        let mut src = MigrationSource::batched(
+            PoolSource::new(vec![fg]),
+            vec![vec![], vec![mv]],
+            1,
+            Some(Box::new(|b| {
+                acks.borrow_mut().push(b);
+                true
+            })),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let moves: usize = (0..6)
+            .filter(|_| src.next_txn(0, &mut rng).ops.len() == 2)
+            .count();
+        assert_eq!(moves, 1);
+        assert_eq!(*acks.borrow(), vec![0, 1], "empty batch still sequenced");
+        assert!(src.drained());
     }
 
     #[test]
