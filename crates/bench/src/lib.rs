@@ -15,7 +15,53 @@ pub mod table;
 
 /// Returns true when `--full` was passed (paper-scale runs).
 pub fn full_scale() -> bool {
-    std::env::args().any(|a| a == "--full")
+    flag("--full")
+}
+
+/// Returns true when the bare flag `name` was passed.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Value of `--name value` or `--name=value`, if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Parses `--backend mem|log` (default `mem`), panicking with the usage
+/// string on an unknown value — bench binaries want loud misconfiguration.
+pub fn backend_kind() -> schism_store::BackendKind {
+    match arg_value("--backend") {
+        Some(v) => v.parse().unwrap_or_else(|e| panic!("{e}")),
+        None => schism_store::BackendKind::Mem,
+    }
+}
+
+/// Opens a fresh store of the requested kind: `Mem` in memory, `Log` in a
+/// new uniquely named subdirectory of `dir` (one bench run opens several
+/// independent stores; each needs its own segment files).
+pub fn open_backend(
+    kind: schism_store::BackendKind,
+    num_shards: u32,
+    dir: &schism_store::tempdir::TempDir,
+    run: &str,
+) -> Box<dyn schism_store::ShardStore> {
+    match kind {
+        schism_store::BackendKind::Mem => Box::new(schism_store::MemStore::new(num_shards)),
+        schism_store::BackendKind::Log => Box::new(
+            schism_store::LogStore::open(dir.path().join(run), num_shards)
+                .expect("open LogStore under temp dir"),
+        ),
+    }
 }
 
 /// Approximate values decoded from the paper's Figure 4 bar chart

@@ -5,25 +5,101 @@
 //! *placements* (which partition owns which tuple); this crate holds the
 //! partitions themselves, so the migration executor in `schism-migrate`
 //! can copy real rows, verify them (count + checksum), and only then flip
-//! routing — and so the simulator's cost model can one day be calibrated
-//! against measured copy rates instead of assumed ones.
+//! routing — and so the simulator's migration cost model is calibrated
+//! against measured copy rates instead of assumed ones (`live_migration
+//! --calibrate` in `schism-bench`).
+//!
+//! Two backends implement the one [`ShardStore`] contract:
+//!
+//! | backend | durability | layout | when |
+//! |---------|------------|--------|------|
+//! | [`MemStore`] | volatile | one ordered map per shard behind a lock | tests, simulation, baselines |
+//! | [`LogStore`] | persistent | one append-only, checksummed segment file per shard; in-memory index rebuilt on open; torn tails truncated; size-triggered compaction | measured copy rates, crash-recovery, anything that must survive the process |
+//!
+//! They are **observationally equivalent** — property tests in the
+//! umbrella crate (`tests/store_backends.rs`) drive random op
+//! interleavings, executor runs, and kill-at-any-byte-offset recoveries
+//! through both and require identical answers. The contract itself
+//! (atomicity, visibility, accounting, error surface) and the `LogStore`
+//! record format are documented in `docs/STORES.md`, the storage chapter
+//! of the architecture book.
 //!
 //! | item | role |
 //! |------|------|
 //! | [`ShardStore`] | the backend trait: get/put/delete, range scans, atomic per-shard batches, byte accounting |
-//! | [`MemStore`] | in-memory sharded backend (one ordered map per shard behind a lock) |
+//! | [`MemStore`] / [`LogStore`] | the two backends; [`BackendKind`] parses `--backend mem\|log` |
 //! | [`load_assignment`] | seed a store from a per-tuple placement, one deterministic row per copy |
 //! | [`seed_row`] / [`fnv1a`] | deterministic row payloads and the checksum used by copy verification |
+//! | [`tempdir::TempDir`] | self-cleaning scratch directories for tests and benches |
 //!
 //! Backends are shared by reference (`&dyn ShardStore`) between the
 //! executor and any concurrent readers, so all mutation goes through
 //! interior mutability; implementations must make
 //! [`apply_batch`](ShardStore::apply_batch) atomic per shard — the
-//! executor relies on that for clean abort-with-rollback.
+//! executor relies on that for clean abort-with-rollback, and `LogStore`
+//! extends the same guarantee across a crash: a batch is either wholly
+//! visible after reopen or wholly discarded.
+//!
+//! ```
+//! use schism_store::{tempdir::TempDir, LogStore, ShardStore, WriteOp};
+//! use schism_workload::TupleId;
+//!
+//! let dir = TempDir::new("schism-store-doc")?;
+//! let a = TupleId::new(0, 1);
+//! let b = TupleId::new(0, 2);
+//! {
+//!     let store = LogStore::open(dir.path(), 2)?;
+//!     store.apply_batch(0, &[
+//!         WriteOp::Put(a, b"alpha".to_vec()),
+//!         WriteOp::Put(b, b"beta".to_vec()),
+//!     ])?;
+//! } // dropped: all state now lives in the segment files
+//! let store = LogStore::open(dir.path(), 2)?; // replays the log
+//! assert_eq!(store.get(0, a)?, Some(b"alpha".to_vec()));
+//! assert_eq!(store.get(0, b)?, Some(b"beta".to_vec()));
+//! assert_eq!(store.stats(0)?.rows, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
+pub mod log;
 pub mod mem;
+pub mod tempdir;
 
+pub use log::{LogStore, LogStoreConfig};
 pub use mem::MemStore;
+
+use std::str::FromStr;
+
+/// Which [`ShardStore`] implementation to construct — the `--backend`
+/// flag of the bench/example binaries parses into this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// [`MemStore`]: volatile, ordered map per shard.
+    Mem,
+    /// [`LogStore`]: persistent, one append-only segment file per shard.
+    Log,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::Mem => "mem",
+            BackendKind::Log => "log",
+        })
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mem" => Ok(BackendKind::Mem),
+            "log" => Ok(BackendKind::Log),
+            other => Err(format!("unknown backend {other:?} (expected mem|log)")),
+        }
+    }
+}
 
 use schism_router::PartitionSet;
 use schism_sql::TableId;
@@ -43,6 +119,9 @@ pub enum StoreError {
     NoSuchShard(ShardId),
     /// A row that must exist (e.g. a migration copy source) is missing.
     NotFound { shard: ShardId, tuple: TupleId },
+    /// A persistent backend failed at the filesystem layer (the message
+    /// carries the `std::io::Error` and the path involved).
+    Io(String),
 }
 
 impl fmt::Display for StoreError {
@@ -52,6 +131,7 @@ impl fmt::Display for StoreError {
             StoreError::NotFound { shard, tuple } => {
                 write!(f, "tuple {tuple} not found on shard {shard}")
             }
+            StoreError::Io(msg) => write!(f, "storage i/o: {msg}"),
         }
     }
 }

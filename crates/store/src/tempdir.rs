@@ -1,0 +1,70 @@
+//! Self-cleaning temporary directories for store tests, benches, and
+//! doctests — no external crate, honors `TMPDIR` so CI can point the
+//! (write-heavy) [`crate::LogStore`] tests at a tmpfs.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under [`std::env::temp_dir`], removed
+/// (recursively) on drop. Dropping never panics: cleanup failure of a
+/// temp path is not worth failing a test run over.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `$TMPDIR/<prefix>-<pid>-<n>`, unique within this process.
+    /// Uses `create_dir` (not `create_dir_all`) and skips to the next
+    /// counter on collision: a directory leaked by a killed earlier run
+    /// under a recycled pid must never be silently adopted — its stale
+    /// contents (e.g. a `LogStore` MANIFEST and segments) would leak into
+    /// a store the caller believes is fresh.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        let base = std::env::temp_dir();
+        std::fs::create_dir_all(&base)?;
+        loop {
+            let path = base.join(format!(
+                "{prefix}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return Ok(Self { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = TempDir::new("schism-tempdir-test").unwrap();
+        let b = TempDir::new("schism-tempdir-test").unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(kept.join("f"), b"x").unwrap();
+        drop(a);
+        assert!(!kept.exists(), "dropped TempDir removes its tree");
+        assert!(b.path().is_dir(), "sibling untouched");
+    }
+}

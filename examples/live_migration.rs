@@ -1,25 +1,34 @@
 //! Live migration, end to end: drift → detect → plan → execute → flip.
 //!
-//! A drifting hot-key workload is bootstrapped onto in-memory shard
-//! stores. When the hot spot rotates, the [`MigrationController`] detects
-//! the drift, re-partitions warm, and emits a batched move plan; a
-//! [`MigrationExecutor`] then runs that plan against the shards — copying
-//! each batch's rows, verifying count + checksum, and flipping routing in
-//! the [`VersionedScheme`] only on the verified acknowledgement. At the
-//! end, routing and physical bytes agree, shard by shard.
+//! A drifting hot-key workload is bootstrapped onto physical shard stores
+//! — in-memory by default, or the persistent log-structured [`LogStore`]
+//! with `--backend log`. When the hot spot rotates, the
+//! [`MigrationController`] detects the drift, re-partitions warm, and
+//! emits a batched move plan; a [`MigrationExecutor`] then runs that plan
+//! against the shards — copying each batch's rows, verifying count +
+//! checksum, and flipping routing in the [`VersionedScheme`] only on the
+//! verified acknowledgement. At the end, routing and physical bytes
+//! agree, shard by shard (and with `--backend log`, survive the process).
 //!
 //! ```text
-//! cargo run --release -p schism --example live_migration
+//! cargo run --release -p schism --example live_migration [-- --backend mem|log]
 //! ```
 
 use schism::core::{build_graph, build_lookup_scheme, run_partition_phase, SchismConfig};
 use schism::migrate::{ControllerConfig, MigrationController, StepOutcome, Tick};
 use schism::router::{Scheme, VersionedScheme};
-use schism::store::{load_assignment, MemStore, ShardStore};
+use schism::store::{
+    load_assignment, tempdir::TempDir, BackendKind, LogStore, MemStore, ShardStore,
+};
 use schism::workload::drifting::{self, DriftingConfig};
 use std::sync::Arc;
 
 fn main() {
+    let backend: BackendKind = std::env::args()
+        .skip_while(|a| a != "--backend")
+        .nth(1)
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or(BackendKind::Mem);
     let k = 4u32;
     let dcfg = DriftingConfig {
         records: 3_200,
@@ -33,12 +42,13 @@ fn main() {
     let cfg = SchismConfig::new(k);
     let wg = build_graph(&w0, &w0.trace, &cfg);
     let placement = run_partition_phase(&wg, &cfg).assignment;
-    let store = MemStore::new(k);
-    let seeded = load_assignment(&store, &placement, &*w0.db).expect("seed shards");
-    println!(
-        "bootstrap: {} tuples placed on {k} in-memory shards",
-        seeded
-    );
+    let store_dir = TempDir::new("schism-example-live-migration").expect("temp dir");
+    let store: Box<dyn ShardStore> = match backend {
+        BackendKind::Mem => Box::new(MemStore::new(k)),
+        BackendKind::Log => Box::new(LogStore::open(store_dir.path(), k).expect("open LogStore")),
+    };
+    let seeded = load_assignment(&*store, &placement, &*w0.db).expect("seed shards");
+    println!("bootstrap: {seeded} tuples placed on {k} {backend} shards");
     for shard in 0..k {
         let s = store.stats(shard).unwrap();
         println!("  shard {shard}: {:>5} rows, {:>6} bytes", s.rows, s.bytes);
@@ -66,7 +76,7 @@ fn main() {
     let old: Arc<dyn Scheme> = Arc::new(build_lookup_scheme(&w0, &w0.trace, &placement, k));
     let new: Arc<dyn Scheme> = Arc::new(build_lookup_scheme(&w3, &w3.trace, ctl.assignment(), k));
     let vs = VersionedScheme::new(old, new.clone());
-    let mut exec = outcome.executor(&store, &vs);
+    let mut exec = outcome.executor(&*store, &vs);
     loop {
         match exec.step() {
             StepOutcome::Flipped(b) => println!(
@@ -117,4 +127,28 @@ fn main() {
         "\nepoch finalized: router now serves \"{}\"",
         finalized.name()
     );
+
+    // With the persistent backend, the migrated bytes outlive the store
+    // handle: drop it, reopen the same segment files, and re-check a moved
+    // tuple's new home.
+    if backend == BackendKind::Log {
+        drop(store);
+        let reopened = LogStore::open(store_dir.path(), k).expect("reopen LogStore");
+        let mut survived = 0usize;
+        for m in outcome.plan.moves() {
+            for shard in 0..k {
+                assert_eq!(
+                    reopened.get(shard, m.tuple).unwrap().is_some(),
+                    m.to.contains(shard),
+                    "tuple {} on shard {shard} after reopen",
+                    m.tuple
+                );
+            }
+            survived += 1;
+        }
+        println!(
+            "reopened {} segment files: all {survived} moved tuples still in their new homes",
+            k
+        );
+    }
 }
