@@ -9,10 +9,15 @@
 //! here is purely the warm start keeping data pinned.
 //!
 //! ```text
-//! cargo run --release -p schism-bench --bin drift_migration [--full]
+//! cargo run --release -p schism-bench --bin drift_migration \
+//!     [--full] [--threads N] [--inject-every N]
 //! ```
 //!
 //! `--full` uses more windows and a bigger trace (slower; same shapes).
+//! `--threads N` sizes the partitioner's worker pool for both the warm and
+//! cold re-runs (0/absent = auto via `SCHISM_THREADS` or hardware); the
+//! partitions are bit-identical whatever the value. `--inject-every N`
+//! sets the plan's copy-stream pacing (`PlanConfig::inject_every`).
 
 use schism_bench::table::Table;
 use schism_core::{build_graph, run_partition_phase, Schism, SchismConfig};
@@ -33,6 +38,15 @@ fn main() {
 
     let mut cfg = SchismConfig::new(k);
     cfg.seed = 1;
+    cfg.threads = schism_bench::arg_value("--threads")
+        .map(|v| v.parse().expect("--threads takes a non-negative integer"))
+        .unwrap_or(0);
+    let plan_cfg = PlanConfig {
+        inject_every: schism_bench::arg_value("--inject-every")
+            .map(|v| v.parse().expect("--inject-every takes a positive integer"))
+            .unwrap_or(1),
+        ..PlanConfig::default()
+    };
     let schism = Schism::new(cfg.clone());
 
     let w0 = drifting::window(&dcfg, 0);
@@ -77,7 +91,7 @@ fn main() {
         let (train, test) = wl.trace.split(0.8, w ^ 42);
         let dist_inc = distributed_fraction(&wl, &train, &test, &inc.assignment, k);
         let dist_scr = distributed_fraction(&wl, &train, &test, &scr.assignment, k);
-        let plan = plan_migration(&prev, &inc.assignment, &*wl.db, &PlanConfig::default());
+        let plan = plan_migration(&prev, &inc.assignment, &*wl.db, &plan_cfg);
 
         let ratio = if scr.relabeling.moved > 0 {
             inc.relabeling.moved as f64 / scr.relabeling.moved as f64
@@ -104,6 +118,12 @@ fn main() {
     }
 
     println!("{}", table.render());
+    println!(
+        "partitioner threads: {} ({}); plan throttle: 1 move per {} foreground txns",
+        schism_par::resolve_threads(cfg.threads),
+        if cfg.threads == 0 { "auto" } else { "explicit" },
+        plan_cfg.inject_every
+    );
     println!("moved(x): tuples whose primary partition changes, after relabeling");
     println!("ratio   : moved(inc) / moved(scr) — the acceptance bar is < 0.50");
     println!("dist(x) : distributed-txn fraction on a held-out slice of the window");

@@ -1,13 +1,27 @@
 //! **Figure 5 + §6.2** — graph partitioner scalability: running time for a
 //! growing number of partitions (2..=512) on the three evaluation graphs
-//! of Table 1 (Epinions, TPC-C 50W, TPC-E).
+//! of Table 1 (Epinions, TPC-C 50W, TPC-E), plus thread-scaling of the
+//! parallel multilevel pipeline.
 //!
 //! The paper's observations to reproduce: partitioning time grows only
 //! mildly with k but roughly linearly with the number of edges.
 //!
 //! ```text
-//! cargo run --release -p schism-bench --bin fig5_partitioner_scaling [--full]
+//! cargo run --release -p schism-bench --bin fig5_partitioner_scaling \
+//!     [--full] [--threads N] [--speedup-only]
 //! ```
+//!
+//! `--threads N` sizes the partitioner's worker pool for the k sweep
+//! (0/absent = auto via `SCHISM_THREADS` or hardware) **and** enables the
+//! thread-scaling measurement: the largest graph is partitioned at every
+//! power-of-two thread count up to `N`, wall-clocks and speedup ratios are
+//! printed, and the result is recorded in `crates/bench/BENCH_partition.json`
+//! together with the host's core count (speedups are only meaningful when
+//! the host actually has that many cores). Partitions are asserted
+//! bit-identical across thread counts while measuring — the determinism
+//! contract, enforced where the speedup is claimed.
+//!
+//! `--speedup-only` skips the k sweep (CI smoke).
 
 use schism_bench::table::Table;
 use schism_core::{build_graph, SchismConfig};
@@ -56,40 +70,158 @@ fn build(name: &str, full: bool) -> (String, CsrGraph) {
     )
 }
 
+/// Partition the largest graph at 1, 2, ..., `max_threads` (powers of two)
+/// and record wall-clocks + speedups. Panics if any thread count changes
+/// the labels or cut — thread scaling is only worth reporting if the
+/// determinism contract holds on the graph being timed.
+fn thread_scaling(graph: &CsrGraph, label: &str, k: u32, max_threads: usize, full: bool) {
+    let mut counts = vec![1usize];
+    while counts.last().unwrap() * 2 <= max_threads {
+        counts.push(counts.last().unwrap() * 2);
+    }
+    let host_cores = schism_par::available_parallelism();
+    println!("=== thread scaling on the largest graph ({label}), k={k} ===");
+    println!("host cores: {host_cores}\n");
+
+    let mut baseline: Option<(f64, Vec<u32>, u64)> = None;
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new(); // (threads, secs, speedup)
+    let mut table = Table::new(&["threads", "wall (s)", "speedup", "cut"]);
+    for &t in &counts {
+        let cfg = PartitionerConfig {
+            k,
+            threads: t,
+            ..PartitionerConfig::with_k(k)
+        };
+        let t0 = Instant::now();
+        let p = partition(graph, &cfg);
+        let dt = t0.elapsed().as_secs_f64();
+        match &baseline {
+            None => baseline = Some((dt, p.assignment.clone(), p.edge_cut)),
+            Some((_, labels, cut)) => {
+                assert_eq!(
+                    &p.assignment, labels,
+                    "threads={t} changed partition labels — determinism contract broken"
+                );
+                assert_eq!(p.edge_cut, *cut, "threads={t} changed the cut");
+            }
+        }
+        let speedup = baseline.as_ref().unwrap().0 / dt.max(1e-9);
+        rows.push((t, dt, speedup));
+        table.row(vec![
+            format!("{t}"),
+            format!("{dt:.2}"),
+            format!("{speedup:.2}x"),
+            format!("{}", p.edge_cut),
+        ]);
+    }
+    println!("{}", table.render());
+    if host_cores < max_threads {
+        println!(
+            "note: host has only {host_cores} core(s); speedups at > {host_cores} threads \
+             measure scheduling overhead, not scaling. Re-run on a {max_threads}-core host \
+             for the real curve."
+        );
+    }
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(t, dt, sp)| {
+            format!("    {{ \"threads\": {t}, \"wall_s\": {dt:.3}, \"speedup_vs_1\": {sp:.3} }}")
+        })
+        .collect();
+    let note = if host_cores < max_threads {
+        format!(
+            "host has {host_cores} core(s) for {max_threads} threads: ratios measure \
+             oversubscription overhead, not scaling; re-measure on a >= {max_threads}-core host"
+        )
+    } else {
+        "speedups measured with dedicated cores per thread".to_string()
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"fig5_partitioner_scaling --threads {max_threads}\",\n  \
+         \"graph\": \"{label}\",\n  \"nodes\": {nodes},\n  \"edges\": {edges},\n  \
+         \"k\": {k},\n  \"full\": {full},\n  \"host_cores\": {host_cores},\n  \
+         \"note\": \"{note}\",\n  \
+         \"deterministic_across_threads\": true,\n  \"runs\": [\n{runs}\n  ]\n}}\n",
+        nodes = graph.num_vertices(),
+        edges = graph.num_edges(),
+        runs = entries.join(",\n"),
+    );
+    let out = if std::path::Path::new("crates/bench").is_dir() {
+        "crates/bench/BENCH_partition.json"
+    } else {
+        "BENCH_partition.json"
+    };
+    std::fs::write(out, &json).expect("write BENCH_partition.json");
+    println!("wrote {out}");
+}
+
 fn main() {
     let full = schism_bench::full_scale();
-    println!("=== Figure 5: partitioning time vs number of partitions ===\n");
-    let ks = [2u32, 4, 8, 16, 32, 64, 128, 256, 512];
+    let threads: usize = schism_bench::arg_value("--threads")
+        .map(|v| v.parse().expect("--threads takes a non-negative integer"))
+        .unwrap_or(0);
+    let speedup_only = schism_bench::flag("--speedup-only");
 
-    let mut table = Table::new(&["k", "epinions (s)", "tpcc-50w (s)", "tpce (s)"]);
-    let graphs: Vec<(String, CsrGraph)> = ["epinions", "tpcc-50w", "tpce"]
-        .iter()
-        .map(|n| build(n, full))
-        .collect();
+    // The k sweep needs all three evaluation graphs; the thread-scaling
+    // measurement only times the largest (tpce), so the smoke path skips
+    // the other two builds.
+    let names: &[&str] = if speedup_only {
+        &["tpce"]
+    } else {
+        &["epinions", "tpcc-50w", "tpce"]
+    };
+    let graphs: Vec<(String, CsrGraph)> = names.iter().map(|n| build(n, full)).collect();
     for (label, _) in &graphs {
         println!("graph {label}");
     }
     println!();
 
-    let mut rows: Vec<Vec<String>> = ks.iter().map(|k| vec![k.to_string()]).collect();
-    for (_, graph) in &graphs {
-        for (i, &k) in ks.iter().enumerate() {
-            let cfg = PartitionerConfig::with_k(k);
-            let t0 = Instant::now();
-            let p = partition(graph, &cfg);
-            let dt = t0.elapsed().as_secs_f64();
-            rows[i].push(format!("{dt:.2}"));
-            eprintln!(
-                "[fig5] k={k}: {dt:.2}s cut={} imbalance={:.3}",
-                p.edge_cut,
-                p.imbalance()
-            );
+    if !speedup_only {
+        println!("=== Figure 5: partitioning time vs number of partitions ===\n");
+        let ks = [2u32, 4, 8, 16, 32, 64, 128, 256, 512];
+        let mut table = Table::new(&["k", "epinions (s)", "tpcc-50w (s)", "tpce (s)"]);
+        let mut rows: Vec<Vec<String>> = ks.iter().map(|k| vec![k.to_string()]).collect();
+        for (_, graph) in &graphs {
+            for (i, &k) in ks.iter().enumerate() {
+                let cfg = PartitionerConfig {
+                    threads,
+                    ..PartitionerConfig::with_k(k)
+                };
+                let t0 = Instant::now();
+                let p = partition(graph, &cfg);
+                let dt = t0.elapsed().as_secs_f64();
+                rows[i].push(format!("{dt:.2}"));
+                eprintln!(
+                    "[fig5] k={k}: {dt:.2}s cut={} imbalance={:.3}",
+                    p.edge_cut,
+                    p.imbalance()
+                );
+            }
         }
+        for r in rows {
+            table.row(r);
+        }
+        println!("{}", table.render());
+        println!("paper: time grows slightly with k (2..512 spans ~2-4x) and roughly");
+        println!("       linearly with graph size; largest graph partitions in tens of seconds.");
+        println!();
     }
-    for r in rows {
-        table.row(r);
+
+    // Thread scaling on the largest graph (by edge count), recorded to
+    // BENCH_partition.json. Opt-in via `--threads N` (or `--speedup-only`)
+    // so a plain Figure-5 reproduction never overwrites the committed
+    // record as a side effect.
+    if threads > 1 || speedup_only {
+        let max_threads = if threads > 0 {
+            threads
+        } else {
+            schism_par::resolve_threads(0)
+        };
+        let (label, graph) = graphs
+            .iter()
+            .max_by_key(|(_, g)| g.num_edges())
+            .expect("at least one graph");
+        thread_scaling(graph, label, 8, max_threads.max(2), full);
     }
-    println!("{}", table.render());
-    println!("paper: time grows slightly with k (2..512 spans ~2-4x) and roughly");
-    println!("       linearly with graph size; largest graph partitions in tens of seconds.");
 }

@@ -20,8 +20,11 @@
 //!
 //! ```text
 //! cargo run --release -p schism-bench --bin live_migration \
-//!     [--full] [--backend mem|log] [--calibrate]
+//!     [--full] [--backend mem|log] [--calibrate] [--inject-every N]
 //! ```
+//!
+//! `--inject-every N` paces the copy stream at one move per `N` foreground
+//! transactions (the `PlanConfig::inject_every` QoS knob; default 1).
 //!
 //! `--backend log` runs every store in this benchmark on the persistent
 //! [`LogStore`](schism_store::LogStore) (segment files under a temp dir,
@@ -69,6 +72,12 @@ fn main() {
     // ticks (one tick = one copy/verify/flip lifecycle).
     let mut ccfg = ControllerConfig::new(k);
     ccfg.plan.max_rows_per_batch = if full { 256 } else { 64 };
+    // Copy-stream pacing: one move per foreground txn (the aggressive end
+    // of the throttle — worst-case mid-migration tax). Overridable now
+    // that it is a PlanConfig knob instead of a constant in the source.
+    ccfg.plan.inject_every = schism_bench::arg_value("--inject-every")
+        .map(|v| v.parse().expect("--inject-every takes a positive integer"))
+        .unwrap_or(1);
     let mut ctl = MigrationController::with_assignment(&w0, placement.clone(), ccfg);
     let w3 = drifting::window(&dcfg, 3);
     let outcome = match ctl.observe(&w3) {
@@ -142,7 +151,7 @@ fn main() {
     );
 
     // ---- 2. Mid-migration QoS in the simulator. ----
-    let inject_every = 1u32;
+    let inject_every = outcome.inject_every;
     let sim_cfg = SimConfig {
         num_servers: k,
         num_clients: if full { 160 } else { 80 },

@@ -19,6 +19,11 @@ pub struct SchismConfig {
     pub k: u32,
     /// Master seed (graph sampling, partitioner, cross-validation).
     pub seed: u64,
+    /// Worker threads for the parallel partitioning phase (cold and warm).
+    /// `0` = auto: the `SCHISM_THREADS` environment variable if set,
+    /// otherwise all hardware threads. Results are bit-identical for every
+    /// value — this knob only trades wall-clock, never output.
+    pub threads: usize,
 
     // --- graph representation (§4.1) ---
     /// Enable tuple-level replication via star explosion.
@@ -76,6 +81,7 @@ impl SchismConfig {
         Self {
             k,
             seed: 0,
+            threads: 0,
             replication: true,
             replication_min_accesses: 2,
             node_weight: NodeWeight::Workload,

@@ -30,6 +30,7 @@ pub fn run_partition_phase(wg: &WorkloadGraph, cfg: &SchismConfig) -> PartitionP
     let mut pcfg = cfg.partitioner.clone();
     pcfg.k = cfg.k;
     pcfg.seed = cfg.seed;
+    pcfg.threads = cfg.threads;
     let start = Instant::now();
     let partitioning = schism_graph::partition(&wg.graph, &pcfg);
     resolve_phase(wg, partitioning, start.elapsed())
@@ -48,6 +49,7 @@ pub fn run_partition_phase_warm(
     let mut pcfg = cfg.partitioner.clone();
     pcfg.k = cfg.k;
     pcfg.seed = cfg.seed;
+    pcfg.threads = cfg.threads;
     let start = Instant::now();
     let partitioning = schism_graph::partition_warm(&wg.graph, initial, &pcfg);
     resolve_phase(wg, partitioning, start.elapsed())

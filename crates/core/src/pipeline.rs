@@ -148,6 +148,11 @@ impl Schism {
     /// lightest partition before refinement; everything else starts where
     /// it already lives, so only balance- or cut-improving moves relocate
     /// data.
+    ///
+    /// The warm partitioner honors [`SchismConfig::threads`]
+    /// (`SCHISM_THREADS` when 0) exactly like the cold path, so a rerun
+    /// racing a drift window — typically on the migration controller's
+    /// critical path — uses every core without changing its output.
     pub fn rerun(
         &self,
         workload: &Workload,

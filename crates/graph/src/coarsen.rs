@@ -5,8 +5,18 @@
 //! summed weights; edges interior to a pair vanish. The mapping from fine to
 //! coarse vertex ids is retained so partitions can be projected back during
 //! uncoarsening.
+//!
+//! The expensive part — building the coarse adjacency, O(E) — is
+//! parallelized over *coarse* vertex ranges: each chunk accumulates its
+//! vertices' merged neighbor lists into private buffers with a private
+//! timestamped scratch table, and a sequential stitch concatenates them
+//! with offset fixups. Because every coarse vertex's adjacency is emitted
+//! by exactly one chunk and emission order within a vertex only depends on
+//! fine-edge order, the stitched CSR is **byte-identical to the sequential
+//! build** for any pool size.
 
 use crate::csr::{CsrGraph, NodeId};
+use schism_par::Pool;
 
 /// One level of the multilevel hierarchy.
 #[derive(Clone, Debug)]
@@ -18,12 +28,14 @@ pub struct CoarseLevel {
 }
 
 /// Contracts `g` according to `mate` (as produced by
-/// [`crate::matching::heavy_edge_matching`]).
-pub fn contract(g: &CsrGraph, mate: &[NodeId]) -> CoarseLevel {
+/// [`crate::matching::heavy_edge_matching`]), sharing the adjacency build
+/// across `pool`.
+pub fn contract(g: &CsrGraph, mate: &[NodeId], pool: &Pool) -> CoarseLevel {
     let n = g.num_vertices();
     debug_assert_eq!(mate.len(), n);
 
-    // Assign coarse ids: the lower-numbered endpoint of each pair owns the id.
+    // Assign coarse ids: the lower-numbered endpoint of each pair owns the
+    // id. Sequential O(n) — a prefix-sum dependency not worth sharding.
     let mut map = vec![NodeId::MAX; n];
     let mut next: NodeId = 0;
     for v in 0..n {
@@ -36,59 +48,82 @@ pub fn contract(g: &CsrGraph, mate: &[NodeId]) -> CoarseLevel {
     }
     let cn = next as usize;
 
-    // Coarse vertex weights.
+    // Coarse vertex weights, and the owner (emitting) fine vertex of each
+    // coarse vertex — the lower endpoint of its pair.
     let mut cvwgt = vec![0u64; cn];
+    let mut owner = vec![0 as NodeId; cn];
     for v in 0..n {
         cvwgt[map[v] as usize] += g.vertex_weight(v as NodeId) as u64;
+        if mate[v] as usize >= v {
+            owner[map[v] as usize] = v as NodeId;
+        }
     }
 
-    // Build coarse adjacency with a timestamped scratch table so each coarse
-    // vertex accumulates its neighbors in O(sum of fine degrees).
+    // Parallel adjacency build over coarse-vertex chunks. Each chunk owns
+    // a contiguous id range, so concatenating chunk outputs in order
+    // reproduces the sequential emission exactly.
+    struct ChunkAdj {
+        degrees: Vec<u32>,
+        adjncy: Vec<NodeId>,
+        adjwgt: Vec<u32>,
+    }
+    // One chunk per worker (static split): the scratch tables below are
+    // O(cn) each, so fine-grained chunking would spend more on re-zeroing
+    // `stamp` than on merging edges.
+    let chunk = cn.div_ceil(pool.threads()).max(1024);
+    let parts: Vec<ChunkAdj> = pool.scope_chunks(cn, chunk, |range| {
+        // slot[c] = index into the chunk-local adjacency being built, valid
+        // when stamp[c] == the coarse vertex currently being emitted.
+        let mut slot = vec![0u32; cn];
+        let mut stamp = vec![NodeId::MAX; cn];
+        let mut out = ChunkAdj {
+            degrees: Vec::with_capacity(range.len()),
+            adjncy: Vec::new(),
+            adjwgt: Vec::new(),
+        };
+        for cv in range {
+            let cv = cv as NodeId;
+            let begin = out.adjncy.len();
+            let mut emit = |fine: NodeId| {
+                for (u, w) in g.edges(fine) {
+                    let cu = map[u as usize];
+                    if cu == cv {
+                        continue; // interior edge of the pair
+                    }
+                    if stamp[cu as usize] == cv {
+                        let s = slot[cu as usize] as usize;
+                        out.adjwgt[s] = out.adjwgt[s].saturating_add(w);
+                    } else {
+                        stamp[cu as usize] = cv;
+                        slot[cu as usize] = out.adjncy.len() as u32;
+                        out.adjncy.push(cu);
+                        out.adjwgt.push(w);
+                    }
+                }
+            };
+            let v = owner[cv as usize];
+            emit(v);
+            let m = mate[v as usize];
+            if m != v {
+                emit(m);
+            }
+            out.degrees.push((out.adjncy.len() - begin) as u32);
+        }
+        out
+    });
+
+    // Sequential stitch: chunk outputs are already in coarse-id order.
+    let total_adj: usize = parts.iter().map(|p| p.adjncy.len()).sum();
     let mut xadj = Vec::with_capacity(cn + 1);
     xadj.push(0u32);
-    let mut adjncy: Vec<NodeId> = Vec::with_capacity(g.num_edges());
-    let mut adjwgt: Vec<u32> = Vec::with_capacity(g.num_edges());
-    // slot[c] = index into the adjacency currently being built, valid when
-    // stamp[c] == current vertex marker.
-    let mut slot = vec![0u32; cn];
-    let mut stamp = vec![NodeId::MAX; cn];
-
-    for v in 0..n {
-        let cv = map[v];
-        // Each coarse vertex is emitted exactly once, by its owner fine
-        // vertex (the one with the smaller id in the pair).
-        if (mate[v] as usize) < v {
-            continue;
+    let mut adjncy: Vec<NodeId> = Vec::with_capacity(total_adj);
+    let mut adjwgt: Vec<u32> = Vec::with_capacity(total_adj);
+    for p in parts {
+        for d in p.degrees {
+            xadj.push(xadj.last().expect("non-empty") + d);
         }
-        let begin = adjncy.len();
-        let emit = |fine: NodeId,
-                    adjncy: &mut Vec<NodeId>,
-                    adjwgt: &mut Vec<u32>,
-                    slot: &mut [u32],
-                    stamp: &mut [NodeId]| {
-            for (u, w) in g.edges(fine) {
-                let cu = map[u as usize];
-                if cu == cv {
-                    continue; // interior edge of the pair
-                }
-                if stamp[cu as usize] == cv {
-                    let s = slot[cu as usize] as usize;
-                    adjwgt[s] = adjwgt[s].saturating_add(w);
-                } else {
-                    stamp[cu as usize] = cv;
-                    slot[cu as usize] = adjncy.len() as u32;
-                    adjncy.push(cu);
-                    adjwgt.push(w);
-                }
-            }
-        };
-        emit(v as NodeId, &mut adjncy, &mut adjwgt, &mut slot, &mut stamp);
-        let m = mate[v];
-        if m as usize != v {
-            emit(m, &mut adjncy, &mut adjwgt, &mut slot, &mut stamp);
-        }
-        debug_assert!(adjncy.len() >= begin);
-        xadj.push(adjncy.len() as u32);
+        adjncy.extend_from_slice(&p.adjncy);
+        adjwgt.extend_from_slice(&p.adjwgt);
     }
 
     let cvwgt: Vec<u32> = cvwgt
@@ -120,7 +155,7 @@ mod tests {
         b.add_edge(3, 0, 1);
         let g = b.build();
         let mate = vec![1, 0, 3, 2];
-        let lvl = contract(&g, &mate);
+        let lvl = contract(&g, &mate, &Pool::new(1));
         lvl.graph.validate().unwrap();
         assert_eq!(lvl.graph.num_vertices(), 2);
         assert_eq!(lvl.graph.num_edges(), 1);
@@ -135,7 +170,7 @@ mod tests {
         b.add_edge(0, 1, 1);
         let g = b.build();
         let mate = vec![1, 0, 2];
-        let lvl = contract(&g, &mate);
+        let lvl = contract(&g, &mate, &Pool::new(1));
         assert_eq!(lvl.graph.num_vertices(), 2);
         assert_eq!(lvl.graph.num_edges(), 0);
         assert_eq!(lvl.graph.vertex_weight(lvl.map[2] as NodeId), 1);
@@ -153,7 +188,7 @@ mod tests {
         }
         let g = b.build();
         let mate = heavy_edge_matching(&g, &mut rng);
-        let lvl = contract(&g, &mate);
+        let lvl = contract(&g, &mate, &Pool::new(1));
         lvl.graph.validate().unwrap();
         assert_eq!(lvl.graph.total_vertex_weight(), g.total_vertex_weight());
         assert!(lvl.graph.num_vertices() < g.num_vertices());
@@ -171,5 +206,34 @@ mod tests {
             lvl.graph.total_edge_weight(),
             g.total_edge_weight() - interior
         );
+    }
+
+    #[test]
+    fn contraction_identical_across_pool_sizes() {
+        let mut b = GraphBuilder::new(500);
+        let mut rng = StdRng::seed_from_u64(11);
+        use rand::Rng;
+        for _ in 0..1_500 {
+            let u = rng.gen_range(0..500u32);
+            let v = rng.gen_range(0..500u32);
+            b.add_edge(u, v, rng.gen_range(1..9));
+        }
+        let g = b.build();
+        let mate = heavy_edge_matching(&g, &mut rng);
+        let base = contract(&g, &mate, &Pool::new(1));
+        base.graph.validate().unwrap();
+        for t in [2, 4] {
+            let lvl = contract(&g, &mate, &Pool::new(t));
+            assert_eq!(lvl.map, base.map, "pool size {t} changed the map");
+            // CSR must be byte-identical: compare per-vertex adjacency.
+            assert_eq!(lvl.graph.num_vertices(), base.graph.num_vertices());
+            for v in 0..base.graph.num_vertices() as NodeId {
+                assert_eq!(
+                    lvl.graph.edges(v).collect::<Vec<_>>(),
+                    base.graph.edges(v).collect::<Vec<_>>(),
+                    "pool size {t} changed adjacency of {v}"
+                );
+            }
+        }
     }
 }

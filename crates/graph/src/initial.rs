@@ -4,10 +4,20 @@
 //! keeping the best cut, followed by Fiduccia–Mattheyses (FM) boundary
 //! refinement. k-way = recursive bisection with weight-proportional targets
 //! so any `k` (not just powers of two) yields balanced parts.
+//!
+//! The independent growing attempts are embarrassingly parallel: each try
+//! draws its RNG seed from the caller's stream **up front** (so the
+//! caller's RNG advances identically whatever the pool size), runs
+//! grow+FM on its own `StdRng`, and the winner is selected by scanning
+//! results in try order with the same cut-then-balance rule the
+//! sequential loop used — first-best wins, so the choice is independent
+//! of which worker finished first.
 
 use crate::csr::{CsrGraph, NodeId};
 use crate::refine::fm_bisection;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use schism_par::Pool;
 
 /// A bisection: `side[v] ∈ {0, 1}`.
 pub type Side = Vec<u8>;
@@ -80,8 +90,17 @@ fn greedy_grow<R: Rng>(g: &CsrGraph, target0: u64, rng: &mut R) -> Side {
 
 /// Bisects `g` so that side 0 holds approximately `target0` of the total
 /// vertex weight (side 1 gets the rest). Runs `tries` independent greedy
-/// growths, FM-refines each, and returns the best (cut, then balance).
-pub fn bisect<R: Rng>(g: &CsrGraph, target0: u64, epsilon: f64, tries: usize, rng: &mut R) -> Side {
+/// growths **concurrently over `pool`**, FM-refines each, and returns the
+/// best (cut, then balance, then earliest try — the sequential loop's
+/// first-best rule, preserved by reducing in try order).
+pub fn bisect<R: Rng>(
+    g: &CsrGraph,
+    target0: u64,
+    epsilon: f64,
+    tries: usize,
+    rng: &mut R,
+    pool: &Pool,
+) -> Side {
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -89,15 +108,28 @@ pub fn bisect<R: Rng>(g: &CsrGraph, target0: u64, epsilon: f64, tries: usize, rn
     let total = g.total_vertex_weight();
     let target1 = total - target0;
 
+    // Seeds are drawn sequentially from the caller's RNG so its state
+    // advances the same way regardless of parallelism.
+    let tries = tries.max(1);
+    let seeds: Vec<u64> = (0..tries).map(|_| rng.gen()).collect();
+
+    let attempts: Vec<(u64, u64, Side)> = pool
+        .scope_chunks(tries, 1, |r| {
+            let mut trng = StdRng::seed_from_u64(seeds[r.start]);
+            let mut side = greedy_grow(g, target0, &mut trng);
+            let cut = fm_bisection(g, &mut side, target0, epsilon, 8);
+            let w0: u64 = (0..n)
+                .filter(|&v| side[v] == 0)
+                .map(|v| g.vertex_weight(v as NodeId) as u64)
+                .sum();
+            let err = w0.abs_diff(target0) + (total - w0).abs_diff(target1);
+            (cut, err, side)
+        })
+        .into_iter()
+        .collect();
+
     let mut best: Option<(u64, u64, Side)> = None; // (cut, balance_err, side)
-    for _ in 0..tries.max(1) {
-        let mut side = greedy_grow(g, target0, rng);
-        let cut = fm_bisection(g, &mut side, target0, epsilon, 8);
-        let w0: u64 = (0..n)
-            .filter(|&v| side[v] == 0)
-            .map(|v| g.vertex_weight(v as NodeId) as u64)
-            .sum();
-        let err = w0.abs_diff(target0) + (total - w0).abs_diff(target1);
+    for (cut, err, side) in attempts {
         let better = match &best {
             None => true,
             Some((bc, be, _)) => cut < *bc || (cut == *bc && err < *be),
@@ -151,6 +183,7 @@ pub fn recursive_bisection<R: Rng>(
     epsilon: f64,
     tries: usize,
     rng: &mut R,
+    pool: &Pool,
 ) -> Vec<u32> {
     let mut assignment = vec![0u32; g.num_vertices()];
     if k <= 1 {
@@ -185,7 +218,7 @@ pub fn recursive_bisection<R: Rng>(
         let k0 = k / 2;
         let k1 = k - k0;
         let target0 = g_mul_frac(graph.total_vertex_weight(), k0 as u64, k as u64);
-        let side = bisect(&graph, target0, epsilon, tries, rng);
+        let side = bisect(&graph, target0, epsilon, tries, rng, pool);
         let (g0, o0) = induced_subgraph(&graph, &side, 0);
         let (g1, o1) = induced_subgraph(&graph, &side, 1);
         let orig0: Vec<NodeId> = o0.iter().map(|&l| orig[l as usize]).collect();
@@ -227,7 +260,14 @@ mod tests {
         // cut exactly that bridge.
         let g = gen::two_cliques(8, 1);
         let mut rng = StdRng::seed_from_u64(42);
-        let side = bisect(&g, g.total_vertex_weight() / 2, 0.05, 4, &mut rng);
+        let side = bisect(
+            &g,
+            g.total_vertex_weight() / 2,
+            0.05,
+            4,
+            &mut rng,
+            &Pool::new(1),
+        );
         let assign: Vec<u32> = side.iter().map(|&s| s as u32).collect();
         assert_eq!(edge_cut(&g, &assign), 1);
         let w = part_weights(&g, &assign, 2);
@@ -256,7 +296,7 @@ mod tests {
     fn recursive_bisection_balances_odd_k() {
         let g = gen::grid(10, 9); // 90 unit-weight vertices
         let mut rng = StdRng::seed_from_u64(7);
-        let assign = recursive_bisection(&g, 3, 0.05, 4, &mut rng);
+        let assign = recursive_bisection(&g, 3, 0.05, 4, &mut rng, &Pool::new(1));
         let w = part_weights(&g, &assign, 3);
         assert!(
             imbalance(&w) < 1.15,
@@ -271,6 +311,26 @@ mod tests {
     }
 
     #[test]
+    fn bisect_identical_across_pool_sizes() {
+        let g = gen::grid(12, 12);
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(21);
+            bisect(
+                &g,
+                g.total_vertex_weight() / 2,
+                0.05,
+                4,
+                &mut rng,
+                &Pool::new(threads),
+            )
+        };
+        let base = run(1);
+        for t in [2, 4] {
+            assert_eq!(run(t), base, "pool size {t} changed the bisection");
+        }
+    }
+
+    #[test]
     fn grow_handles_disconnected() {
         // Two disjoint triangles; ask for 50% of the weight.
         let mut b = GraphBuilder::new(6);
@@ -279,7 +339,7 @@ mod tests {
         }
         let g = b.build();
         let mut rng = StdRng::seed_from_u64(3);
-        let side = bisect(&g, 3, 0.05, 4, &mut rng);
+        let side = bisect(&g, 3, 0.05, 4, &mut rng, &Pool::new(1));
         let assign: Vec<u32> = side.iter().map(|&s| s as u32).collect();
         assert_eq!(
             edge_cut(&g, &assign),

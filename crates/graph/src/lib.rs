@@ -10,6 +10,15 @@
 //! fixed seed and enforces a configurable balance constraint
 //! `max_part <= (1 + epsilon) * total / k`.
 //!
+//! All phases run data-parallel over a [`schism_par::Pool`] sized by
+//! [`PartitionerConfig::threads`] (default: `SCHISM_THREADS` or all
+//! hardware threads), with a hard determinism contract: partition labels
+//! and edge cut are **bit-identical for every thread count** — matching
+//! uses propose/mutual-accept rounds with a sequential tie-break pass,
+//! contraction stitches chunk-built adjacency in coarse-id order, and
+//! refinement scans the boundary in parallel but serializes only the
+//! conflict set of candidate moves.
+//!
 //! ```
 //! use schism_graph::{gen, partition, PartitionerConfig};
 //!

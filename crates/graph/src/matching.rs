@@ -1,102 +1,84 @@
-//! Randomized heavy-edge matching (HEM) for the coarsening phase.
+//! Parallel heavy-edge matching (HEM) for the coarsening phase.
 //!
-//! Vertices are visited in random order; each unmatched vertex is matched to
-//! the unmatched neighbor reachable over the heaviest edge. Heavy edges are
-//! collapsed first so the coarse graph preserves as much of the cut structure
-//! as possible — the classic Karypis–Kumar heuristic ("A fast and high
-//! quality multilevel scheme for partitioning irregular graphs").
+//! The classic Karypis–Kumar heuristic ("A fast and high quality multilevel
+//! scheme for partitioning irregular graphs") visits vertices in random
+//! order and matches each to its heaviest available neighbor. That
+//! formulation is inherently sequential — every decision depends on all
+//! earlier ones — so this module uses the standard parallel reformulation
+//! (the mt-METIS family): **propose rounds with mutual acceptance**.
+//!
+//! Each round runs two phases:
+//!
+//! 1. **Propose** (parallel over vertex chunks): every unmatched vertex
+//!    computes its preferred partner — the unmatched neighbor with the
+//!    heaviest edge, ties broken by a seed-derived per-vertex priority —
+//!    against the *frozen* matching state of the round start. Pure function
+//!    of `(graph, mate, seed)`, so chunk decomposition cannot change it.
+//! 2. **Resolve** (sequential, O(n)): mutual proposals (`prop[v] == u` and
+//!    `prop[u] == v`) become matches. This is the deterministic cross-chunk
+//!    conflict tie-break: one-sided proposals simply lose the round and
+//!    retry against the shrunken candidate set next round.
+//!
+//! Rounds repeat until no pair matches; a sequential greedy **cleanup** pass
+//! in seeded random order then guarantees maximality (the leftover set is
+//! small, so this costs little), and the METIS-style **two-hop** pass pairs
+//! the leaves of hub-and-spoke structures — Schism's replication stars —
+//! that no direct matching can reduce.
+//!
+//! Determinism contract: for a fixed `(graph, rng state)` the returned
+//! matching is bit-identical for every pool size, because the parallel
+//! phase is pure and every tie-break is a total order independent of
+//! scheduling.
 
 use crate::csr::{CsrGraph, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use schism_par::{chunk_size, Pool};
 
 /// Sentinel meaning "not matched yet" during the algorithm. In the returned
 /// vector every vertex is matched (unmatched vertices are matched to
 /// themselves), so the sentinel never escapes.
 const UNMATCHED: NodeId = NodeId::MAX;
 
-/// Computes a heavy-edge matching.
+/// Sentinel for "no eligible partner" in a proposal vector.
+const NO_PROPOSAL: NodeId = NodeId::MAX;
+
+/// Propose rounds before falling back to the sequential cleanup. Random
+/// priorities match an expected constant fraction of eligible pairs per
+/// round, so eight rounds leave only a thin remainder.
+const PROPOSE_ROUNDS: usize = 8;
+
+/// SplitMix64 — the per-vertex tie-break priority. Seeded per matching call
+/// so repeated levels explore different orders, like the shuffle used to.
+#[inline]
+fn prio(seed: u64, v: NodeId) -> u64 {
+    let mut z = seed.wrapping_add((v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Computes a heavy-edge matching with a single-threaded pool.
 ///
 /// Returns `mate` with `mate[v] == v` for vertices left unmatched (isolated
 /// vertices or odd leftovers) and `mate[v] == u`, `mate[u] == v` for matched
 /// pairs.
 pub fn heavy_edge_matching<R: Rng>(g: &CsrGraph, rng: &mut R) -> Vec<NodeId> {
-    heavy_edge_matching_capped(g, u64::MAX, rng)
+    heavy_edge_matching_capped(g, u64::MAX, rng, &Pool::new(1))
 }
 
 /// [`heavy_edge_matching`] with a cap on the combined weight of a matched
-/// pair. The multilevel driver uses this to stop vertices from snowballing
-/// past the point where a balanced partition is impossible (a coarse vertex
-/// heavier than a partition's capacity can never be placed without
-/// overflowing it).
+/// pair, parallelized over `pool`. The multilevel driver uses the cap to
+/// stop vertices from snowballing past the point where a balanced partition
+/// is impossible (a coarse vertex heavier than a partition's capacity can
+/// never be placed without overflowing it).
 pub fn heavy_edge_matching_capped<R: Rng>(
     g: &CsrGraph,
     max_pair_weight: u64,
     rng: &mut R,
+    pool: &Pool,
 ) -> Vec<NodeId> {
-    let n = g.num_vertices();
-    let mut mate = vec![UNMATCHED; n];
-    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-    order.shuffle(rng);
-
-    for &v in &order {
-        if mate[v as usize] != UNMATCHED {
-            continue;
-        }
-        let vw = g.vertex_weight(v) as u64;
-        let mut best: Option<(NodeId, u32)> = None;
-        for (u, w) in g.edges(v) {
-            if mate[u as usize] == UNMATCHED
-                && u != v
-                && vw + g.vertex_weight(u) as u64 <= max_pair_weight
-            {
-                match best {
-                    Some((_, bw)) if bw >= w => {}
-                    _ => best = Some((u, w)),
-                }
-            }
-        }
-        match best {
-            Some((u, _)) => {
-                mate[v as usize] = u;
-                mate[u as usize] = v;
-            }
-            None => mate[v as usize] = v,
-        }
-    }
-
-    // Second pass: two-hop matching (METIS's fix for star/power-law
-    // graphs). Hub-and-spoke structures — Schism's replication stars and
-    // hot-tuple cliques — leave most leaves unmatched after HEM because
-    // their only neighbor (the hub) is already taken, stalling coarsening.
-    // Leaves hanging off the same already-matched vertex are near-duplicates
-    // structurally, so pairing them is quality-safe.
-    let mut scratch: Vec<NodeId> = Vec::new();
-    for &v in &order {
-        if mate[v as usize] != v {
-            continue; // only self-matched leftovers
-        }
-        let vw = g.vertex_weight(v) as u64;
-        scratch.clear();
-        'outer: for (u, _) in g.edges(v) {
-            // Bound the scan so huge hubs don't make this quadratic.
-            for (w2, _) in g.edges(u).take(32) {
-                if w2 != v
-                    && mate[w2 as usize] == w2
-                    && vw + g.vertex_weight(w2) as u64 <= max_pair_weight
-                {
-                    mate[v as usize] = w2;
-                    mate[w2 as usize] = v;
-                    break 'outer;
-                }
-            }
-            scratch.push(u);
-            if scratch.len() >= 16 {
-                break;
-            }
-        }
-    }
-    mate
+    hem(g, None, max_pair_weight, rng, pool)
 }
 
 /// [`heavy_edge_matching_capped`] restricted to pairs with equal `labels`.
@@ -112,55 +94,120 @@ pub fn heavy_edge_matching_labeled<R: Rng>(
     labels: &[u32],
     max_pair_weight: u64,
     rng: &mut R,
+    pool: &Pool,
+) -> Vec<NodeId> {
+    debug_assert_eq!(labels.len(), g.num_vertices());
+    hem(g, Some(labels), max_pair_weight, rng, pool)
+}
+
+fn hem<R: Rng>(
+    g: &CsrGraph,
+    labels: Option<&[u32]>,
+    max_pair_weight: u64,
+    rng: &mut R,
+    pool: &Pool,
 ) -> Vec<NodeId> {
     let n = g.num_vertices();
-    debug_assert_eq!(labels.len(), n);
     let mut mate = vec![UNMATCHED; n];
+    // One seed draw and one shuffle: the rng advances by the same amount
+    // whatever the pool size, so downstream consumers see identical state.
+    let seed: u64 = rng.gen();
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
     order.shuffle(rng);
 
+    let eligible = |v: NodeId, u: NodeId, vw: u64, mate: &[NodeId]| -> bool {
+        u != v
+            && mate[u as usize] == UNMATCHED
+            && vw + g.vertex_weight(u) as u64 <= max_pair_weight
+            && labels.is_none_or(|l| l[u as usize] == l[v as usize])
+    };
+
+    // Heaviest eligible neighbor; ties by seeded priority, then id — a
+    // total order, so the proposal is unique.
+    let best_partner = |v: NodeId, mate: &[NodeId]| -> NodeId {
+        let vw = g.vertex_weight(v) as u64;
+        let mut best: Option<(u32, u64, NodeId)> = None;
+        for (u, w) in g.edges(v) {
+            if !eligible(v, u, vw, mate) {
+                continue;
+            }
+            let key = (w, prio(seed, u), u);
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
+            }
+        }
+        best.map_or(NO_PROPOSAL, |(_, _, u)| u)
+    };
+
+    let chunk = chunk_size(n, pool.threads());
+    for _ in 0..PROPOSE_ROUNDS {
+        // Phase 1: propose against the frozen `mate` (parallel, pure).
+        let proposals: Vec<Vec<NodeId>> = pool.scope_chunks(n, chunk, |r| {
+            r.map(|v| {
+                if mate[v] != UNMATCHED {
+                    NO_PROPOSAL
+                } else {
+                    best_partner(v as NodeId, &mate)
+                }
+            })
+            .collect()
+        });
+        let prop: Vec<NodeId> = proposals.into_iter().flatten().collect();
+
+        // Phase 2: deterministic conflict resolution — mutual proposals
+        // match, everyone else retries next round.
+        let mut matched = 0usize;
+        for v in 0..n {
+            let u = prop[v];
+            if u == NO_PROPOSAL || (u as usize) <= v {
+                continue;
+            }
+            if prop[u as usize] == v as NodeId {
+                mate[v] = u;
+                mate[u as usize] = v as NodeId;
+                matched += 1;
+            }
+        }
+        if matched == 0 {
+            break;
+        }
+    }
+
+    // Cleanup: greedy maximal matching over the remainder, in the seeded
+    // random visit order the sequential algorithm used. Vertices with no
+    // eligible partner self-match.
     for &v in &order {
         if mate[v as usize] != UNMATCHED {
             continue;
         }
-        let vw = g.vertex_weight(v) as u64;
-        let vl = labels[v as usize];
-        let mut best: Option<(NodeId, u32)> = None;
-        for (u, w) in g.edges(v) {
-            if mate[u as usize] == UNMATCHED
-                && u != v
-                && labels[u as usize] == vl
-                && vw + g.vertex_weight(u) as u64 <= max_pair_weight
-            {
-                match best {
-                    Some((_, bw)) if bw >= w => {}
-                    _ => best = Some((u, w)),
-                }
-            }
-        }
-        match best {
-            Some((u, _)) => {
-                mate[v as usize] = u;
-                mate[u as usize] = v;
-            }
-            None => mate[v as usize] = v,
+        let u = best_partner(v, &mate);
+        if u == NO_PROPOSAL {
+            mate[v as usize] = v;
+        } else {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
         }
     }
 
-    // Two-hop pass (see above), also label-restricted.
+    // Two-hop pass (METIS's fix for star/power-law graphs). Hub-and-spoke
+    // structures — Schism's replication stars and hot-tuple cliques — leave
+    // most leaves self-matched because their only neighbor (the hub) is
+    // taken, stalling coarsening. Leaves hanging off the same matched
+    // vertex are near-duplicates structurally, so pairing them is
+    // quality-safe. Bounded scans keep huge hubs from making this
+    // quadratic.
     for &v in &order {
         if mate[v as usize] != v {
-            continue;
+            continue; // only self-matched leftovers
         }
         let vw = g.vertex_weight(v) as u64;
-        let vl = labels[v as usize];
         let mut scanned = 0usize;
         'outer: for (u, _) in g.edges(v) {
             for (w2, _) in g.edges(u).take(32) {
                 if w2 != v
                     && mate[w2 as usize] == w2
-                    && labels[w2 as usize] == vl
                     && vw + g.vertex_weight(w2) as u64 <= max_pair_weight
+                    && labels.is_none_or(|l| l[w2 as usize] == l[v as usize])
                 {
                     mate[v as usize] = w2;
                     mate[w2 as usize] = v;
@@ -208,9 +255,9 @@ mod tests {
 
     #[test]
     fn prefers_heavy_edges() {
-        // Triangle with weights 0-1: 1, 0-2: 100, 1-2: 50. Whichever vertex
-        // is visited first, its heaviest available neighbor is chosen, so
-        // the weight-1 edge can never be the matched edge.
+        // Triangle with weights 0-1: 1, 0-2: 100, 1-2: 50. The mutual
+        // proposal 0<->2 always wins round one, so the weight-1 edge can
+        // never be the matched edge.
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1, 1);
         b.add_edge(0, 2, 100);
@@ -233,9 +280,10 @@ mod tests {
         b.set_vertex_weight(0, 100);
         b.set_vertex_weight(1, 100);
         let g = b.build();
-        let mate = heavy_edge_matching_capped(&g, 150, &mut StdRng::seed_from_u64(0));
+        let pool = Pool::new(1);
+        let mate = heavy_edge_matching_capped(&g, 150, &mut StdRng::seed_from_u64(0), &pool);
         assert_eq!(mate, vec![0, 1], "pair exceeding cap must stay unmatched");
-        let mate = heavy_edge_matching_capped(&g, 200, &mut StdRng::seed_from_u64(0));
+        let mate = heavy_edge_matching_capped(&g, 200, &mut StdRng::seed_from_u64(0), &pool);
         assert_eq!(mate, vec![1, 0]);
     }
 
@@ -263,6 +311,7 @@ mod tests {
                 &labels,
                 u64::MAX,
                 &mut StdRng::seed_from_u64(seed),
+                &Pool::new(1),
             );
             check_is_matching(&g, &mate);
             for v in 0..4usize {
@@ -284,10 +333,50 @@ mod tests {
         for seed in 0..5 {
             let mate = heavy_edge_matching(&g, &mut StdRng::seed_from_u64(seed));
             check_is_matching(&g, &mate);
-            // A path of 101 vertices admits at most 50 pairs; HEM on a path
-            // finds a near-maximal matching.
+            // A path of 101 vertices admits at most 50 pairs; the cleanup
+            // pass guarantees maximality, and a maximal matching on a path
+            // has at least ceil((n-1)/3) pairs.
             let pairs = matched_pairs(&mate);
-            assert!(pairs >= 30, "suspiciously small matching: {pairs}");
+            assert!(pairs >= 34, "suspiciously small matching: {pairs}");
+        }
+    }
+
+    #[test]
+    fn identical_across_pool_sizes() {
+        // 600-edge random-ish graph: the matching must be bit-identical for
+        // 1, 2, and 4 worker threads.
+        let mut b = GraphBuilder::new(300);
+        let mut state = 5u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..900 {
+            let u = (next() % 300) as NodeId;
+            let v = (next() % 300) as NodeId;
+            b.add_edge(u, v, 1 + (next() % 7) as u32);
+        }
+        let g = b.build();
+        let run = |threads: usize| {
+            heavy_edge_matching_capped(
+                &g,
+                u64::MAX,
+                &mut StdRng::seed_from_u64(99),
+                &Pool::new(threads),
+            )
+        };
+        let base = run(1);
+        // Symmetry only: the two-hop pass may legitimately pair
+        // non-adjacent leaves of a shared hub.
+        for v in 0..g.num_vertices() {
+            let m = base[v];
+            assert_ne!(m, UNMATCHED);
+            assert_eq!(base[m as usize], v as NodeId, "matching must be symmetric");
+        }
+        for t in [2, 4] {
+            assert_eq!(run(t), base, "pool size {t} changed the matching");
         }
     }
 }

@@ -10,6 +10,16 @@
 //!    (greedy graph growing + FM).
 //! 3. **Uncoarsen**: project the partition one level up and run greedy
 //!    k-way boundary refinement (with a balance-enforcement pre-pass).
+//!
+//! Every phase is parallelized over a [`schism_par::Pool`] sized by
+//! [`PartitionerConfig::threads`]: matching proposes partners over vertex
+//! chunks, contraction builds coarse adjacency over coarse-vertex chunks,
+//! refinement scans the boundary over vertex chunks, initial bisection
+//! runs its seeded attempts concurrently, and the `ncuts` independent runs
+//! execute side by side (the pool budget splits between the two levels).
+//! Every component is deterministic for a fixed seed **independent of the
+//! thread count** — labels and cut are bit-identical for `threads ∈ {1, 2,
+//! 4, ...}` — so parallelism is purely a wall-clock knob.
 
 use crate::coarsen::{contract, CoarseLevel};
 use crate::csr::CsrGraph;
@@ -19,6 +29,7 @@ use crate::metrics::{edge_cut, part_weights};
 use crate::refine::{enforce_balance, kway_greedy_refine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use schism_par::Pool;
 
 /// Tuning knobs for [`partition`]. `Default` gives METIS-like settings with
 /// a 5% balance tolerance.
@@ -29,7 +40,8 @@ pub struct PartitionerConfig {
     /// Allowed load imbalance: every partition weight must stay below
     /// `(1 + epsilon) * total / k`.
     pub epsilon: f64,
-    /// RNG seed; the partitioner is fully deterministic given a seed.
+    /// RNG seed; the partitioner is fully deterministic given a seed,
+    /// whatever `threads` is.
     pub seed: u64,
     /// Stop coarsening when at most this many vertices remain.
     /// `0` means auto (`max(128, 24 * k)`).
@@ -42,6 +54,11 @@ pub struct PartitionerConfig {
     /// `ncuts`). Multilevel partitioning has run-to-run variance on hub-
     /// heavy graphs; two runs cut the tail risk dramatically.
     pub ncuts: usize,
+    /// Worker threads for all parallel phases. `0` = auto: the
+    /// `SCHISM_THREADS` environment variable if set, otherwise all
+    /// hardware threads (see [`schism_par::resolve_threads`]). The output
+    /// is identical for every value; this only trades wall-clock.
+    pub threads: usize,
 }
 
 impl Default for PartitionerConfig {
@@ -54,6 +71,7 @@ impl Default for PartitionerConfig {
             init_tries: 4,
             refine_passes: 6,
             ncuts: 2,
+            threads: 0,
         }
     }
 }
@@ -98,13 +116,18 @@ impl Partitioning {
 
 /// Partitions `g` into `cfg.k` balanced parts minimizing edge cut.
 ///
-/// Runs `cfg.ncuts` independent multilevel passes and returns the best
-/// (lowest cut, then lowest imbalance). Deterministic for a fixed
-/// `(graph, config)` pair.
+/// Runs `cfg.ncuts` independent multilevel passes — concurrently when the
+/// thread budget allows — and returns the best (lowest cut, then lowest
+/// imbalance, then earliest run). Deterministic for a fixed
+/// `(graph, config)` pair regardless of `cfg.threads`.
 pub fn partition(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
     let runs = cfg.ncuts.max(1);
-    let mut best: Option<Partitioning> = None;
-    for i in 0..runs {
+    let pool = Pool::new(schism_par::resolve_threads(cfg.threads));
+    // Split the budget: independent runs outside, phase parallelism inside.
+    let (outer, inner) = pool.split(runs);
+
+    let results: Vec<Partitioning> = outer.scope_chunks(runs, 1, |r| {
+        let i = r.start;
         let run_cfg = PartitionerConfig {
             seed: cfg
                 .seed
@@ -114,7 +137,11 @@ pub fn partition(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
             ncuts: 1,
             ..cfg.clone()
         };
-        let p = partition_once(g, &run_cfg);
+        partition_once(g, &run_cfg, &inner)
+    });
+
+    let mut best: Option<Partitioning> = None;
+    for p in results {
         let better = match &best {
             None => true,
             Some(b) => {
@@ -144,7 +171,9 @@ pub fn partition(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
 ///
 /// Labels `>= k` are wrapped. Vertices keep their partition unless a
 /// balance or cut-improving move evicts them, which is what bounds data
-/// movement when the workload changed only incrementally.
+/// movement when the workload changed only incrementally. Parallelized
+/// over `cfg.threads` like the cold path, with the same determinism
+/// contract.
 pub fn partition_warm(g: &CsrGraph, initial: &[u32], cfg: &PartitionerConfig) -> Partitioning {
     assert!(cfg.k >= 1, "k must be at least 1");
     assert_eq!(
@@ -157,13 +186,14 @@ pub fn partition_warm(g: &CsrGraph, initial: &[u32], cfg: &PartitionerConfig) ->
     if k == 1 || g.num_vertices() == 0 {
         return finish(g, labels, k);
     }
+    let pool = Pool::new(schism_par::resolve_threads(cfg.threads));
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x57A2_7ED0);
     // Two V-cycles: the first rebalances the drifted seed at cluster
     // granularity; the second re-coarsens along the *new* labels, letting
     // clusters the first round had to split re-merge and move as a unit
     // (METIS runs repeated V-cycles for the same reason).
     for _ in 0..2 {
-        labels = warm_vcycle(g, labels, cfg, &mut rng);
+        labels = warm_vcycle(g, labels, cfg, &mut rng, &pool);
     }
     finish(g, labels, k)
 }
@@ -173,6 +203,7 @@ fn warm_vcycle(
     mut labels: Vec<u32>,
     cfg: &PartitionerConfig,
     rng: &mut StdRng,
+    pool: &Pool,
 ) -> Vec<u32> {
     let k = cfg.k;
     let total = g.total_vertex_weight();
@@ -188,12 +219,13 @@ fn warm_vcycle(
     let mut levels: Vec<CoarseLevel> = Vec::new();
     let mut current: CsrGraph = g.clone();
     while current.num_vertices() > k as usize {
-        let mate = crate::matching::heavy_edge_matching_labeled(&current, &labels, max_pair, rng);
+        let mate =
+            crate::matching::heavy_edge_matching_labeled(&current, &labels, max_pair, rng, pool);
         let pairs = matched_pairs(&mate);
         if (pairs as f64) < 0.02 * current.num_vertices() as f64 {
             break;
         }
-        let level = contract(&current, &mate);
+        let level = contract(&current, &mate, pool);
         // Project labels onto the coarse graph: both members of a matched
         // pair share a label by construction.
         let mut coarse_labels = vec![0u32; level.graph.num_vertices()];
@@ -210,14 +242,14 @@ fn warm_vcycle(
 
     // --- Rebalance + refine the seed on the coarsest graph. ---
     let mut assignment = labels;
-    enforce_balance(&current, &mut assignment, k, max_part, rng);
+    enforce_balance(&current, &mut assignment, k, max_part, pool);
     kway_greedy_refine(
         &current,
         &mut assignment,
         k,
         max_part,
         cfg.refine_passes,
-        rng,
+        pool,
     );
 
     // --- Uncoarsen with refinement, as in the cold path. ---
@@ -229,21 +261,21 @@ fn warm_vcycle(
         }
         assignment = fine_assignment;
         let fine_graph: &CsrGraph = if idx == 0 { g } else { &levels[idx - 1].graph };
-        enforce_balance(fine_graph, &mut assignment, k, max_part, rng);
+        enforce_balance(fine_graph, &mut assignment, k, max_part, pool);
         kway_greedy_refine(
             fine_graph,
             &mut assignment,
             k,
             max_part,
             cfg.refine_passes,
-            rng,
+            pool,
         );
     }
 
     assignment
 }
 
-fn partition_once(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
+fn partition_once(g: &CsrGraph, cfg: &PartitionerConfig, pool: &Pool) -> Partitioning {
     assert!(cfg.k >= 1, "k must be at least 1");
     assert!(cfg.epsilon >= 0.0, "epsilon must be non-negative");
     let n = g.num_vertices();
@@ -271,13 +303,13 @@ fn partition_once(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
     let mut levels: Vec<CoarseLevel> = Vec::new();
     let mut current: CsrGraph = g.clone();
     while current.num_vertices() > coarsen_target {
-        let mate = heavy_edge_matching_capped(&current, max_pair, &mut rng);
+        let mate = heavy_edge_matching_capped(&current, max_pair, &mut rng, pool);
         let pairs = matched_pairs(&mate);
         // Stop if the graph stops shrinking meaningfully (< 2% reduction).
         if (pairs as f64) < 0.02 * current.num_vertices() as f64 {
             break;
         }
-        let level = contract(&current, &mate);
+        let level = contract(&current, &mate, pool);
         current = level.graph.clone();
         levels.push(level);
         if levels.len() > 64 {
@@ -286,15 +318,16 @@ fn partition_once(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
     }
 
     // --- Initial partitioning on the coarsest graph ---
-    let mut assignment = recursive_bisection(&current, k, cfg.epsilon, cfg.init_tries, &mut rng);
-    enforce_balance(&current, &mut assignment, k, max_part, &mut rng);
+    let mut assignment =
+        recursive_bisection(&current, k, cfg.epsilon, cfg.init_tries, &mut rng, pool);
+    enforce_balance(&current, &mut assignment, k, max_part, pool);
     kway_greedy_refine(
         &current,
         &mut assignment,
         k,
         max_part,
         cfg.refine_passes,
-        &mut rng,
+        pool,
     );
 
     // --- Uncoarsening with refinement ---
@@ -315,14 +348,14 @@ fn partition_once(g: &CsrGraph, cfg: &PartitionerConfig) -> Partitioning {
                 .expect("present");
             &levels[idx - 1].graph
         };
-        enforce_balance(fine_graph, &mut assignment, k, max_part, &mut rng);
+        enforce_balance(fine_graph, &mut assignment, k, max_part, pool);
         kway_greedy_refine(
             fine_graph,
             &mut assignment,
             k,
             max_part,
             cfg.refine_passes,
-            &mut rng,
+            pool,
         );
     }
 
@@ -442,6 +475,48 @@ mod tests {
         let p2 = partition(&g, &cfg);
         assert_eq!(p1.assignment, p2.assignment);
         assert_eq!(p1.edge_cut, p2.edge_cut);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        // The headline contract: labels and cut are bit-identical for
+        // threads 1, 2, and 4, cold and warm.
+        let g = gen::planted_partition(3, 120, 900, 80, 13);
+        let run = |threads: usize| {
+            partition(
+                &g,
+                &PartitionerConfig {
+                    k: 3,
+                    seed: 5,
+                    threads,
+                    ..Default::default()
+                },
+            )
+        };
+        let base = run(1);
+        for t in [2, 4] {
+            let p = run(t);
+            assert_eq!(p.assignment, base.assignment, "threads {t} changed labels");
+            assert_eq!(p.edge_cut, base.edge_cut, "threads {t} changed the cut");
+        }
+        let warm = |threads: usize| {
+            partition_warm(
+                &g,
+                &base.assignment,
+                &PartitionerConfig {
+                    k: 3,
+                    seed: 5,
+                    threads,
+                    ..Default::default()
+                },
+            )
+        };
+        let wbase = warm(1);
+        for t in [2, 4] {
+            let p = warm(t);
+            assert_eq!(p.assignment, wbase.assignment, "warm threads {t} differs");
+            assert_eq!(p.edge_cut, wbase.edge_cut);
+        }
     }
 
     #[test]

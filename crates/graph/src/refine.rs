@@ -5,14 +5,22 @@
 //! - [`fm_bisection`]: Fiduccia–Mattheyses refinement of a 2-way partition
 //!   with hill-climbing (negative-gain moves are allowed, the best prefix of
 //!   the move sequence is kept). Used on the coarsest graph where quality
-//!   matters most.
+//!   matters most; stays sequential (it runs on thousands of vertices).
 //! - [`kway_greedy_refine`] + [`enforce_balance`]: the greedy boundary
 //!   k-way refinement used at every uncoarsening step, as in k-way METIS.
+//!
+//! The k-way refiners are parallelized as **scan/apply passes**: the O(E)
+//! boundary scan — finding movable vertices and their gains — runs over
+//! vertex chunks against the frozen pass-start state (a pure function, so
+//! chunking cannot change it), and only the *conflict set* (the candidate
+//! moves, a small fraction of the graph) is serialized: candidates are
+//! ordered by a deterministic key and re-validated one at a time against
+//! the live assignment before applying. Results are therefore bit-identical
+//! for every pool size.
 
 use crate::csr::{CsrGraph, NodeId};
 use crate::metrics::edge_cut;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use schism_par::{chunk_size, Pool};
 use std::collections::BinaryHeap;
 
 /// One FM pass moves each vertex at most once; hill-climbing stops after
@@ -139,19 +147,83 @@ pub fn fm_bisection(
     cut
 }
 
-/// Greedy k-way boundary refinement (the METIS "greedy refinement" variant).
+/// A candidate move weighed against a (frozen or live) state: the gain and
+/// destination of `v`'s best admissible move, or `None` for interior /
+/// immovable vertices. `conn` is a zeroed k-sized scratch buffer that is
+/// re-zeroed (via the touched list) before returning, so callers can reuse
+/// it across vertices without O(k) resets.
+fn weigh_move(
+    g: &CsrGraph,
+    assignment: &[u32],
+    weights: &[u64],
+    max_part_weight: u64,
+    v: NodeId,
+    conn: &mut [u64],
+    touched: &mut Vec<u32>,
+) -> Option<(i64, u32)> {
+    let own = assignment[v as usize];
+    touched.clear();
+    for (u, w) in g.edges(v) {
+        let p = assignment[u as usize];
+        if conn[p as usize] == 0 {
+            touched.push(p);
+        }
+        conn[p as usize] += w as u64;
+    }
+    let result = (|| {
+        if touched.len() <= 1 && touched.first() == Some(&own) {
+            return None; // interior vertex
+        }
+        let own_conn = conn[own as usize];
+        let vw = g.vertex_weight(v) as u64;
+        let mut best: Option<(i64, u32)> = None;
+        for &p in touched.iter() {
+            if p == own {
+                continue;
+            }
+            let gain = conn[p as usize] as i64 - own_conn as i64;
+            let fits = weights[p as usize] + vw <= max_part_weight;
+            let rebalances = weights[own as usize] > max_part_weight
+                && weights[p as usize] + vw < weights[own as usize];
+            if !(fits || rebalances) {
+                continue;
+            }
+            let improves_balance = weights[p as usize] + vw < weights[own as usize];
+            let take = gain > 0 || (gain == 0 && improves_balance);
+            if take {
+                match best {
+                    Some((bg, bp))
+                        if bg > gain
+                            || (bg == gain && weights[bp as usize] <= weights[p as usize]) => {}
+                    _ => best = Some((gain, p)),
+                }
+            }
+        }
+        best
+    })();
+    for &p in touched.iter() {
+        conn[p as usize] = 0;
+    }
+    result
+}
+
+/// Greedy k-way boundary refinement (the METIS "greedy refinement" variant),
+/// parallelized as scan/apply passes over `pool`.
 ///
-/// For up to `passes` rounds, boundary vertices are visited in random order
-/// and moved to the adjacent partition with the largest positive gain that
-/// respects `max_part_weight`; zero-gain moves that improve balance are also
-/// taken. Returns the number of moves performed.
-pub fn kway_greedy_refine<R: Rng>(
+/// Each pass first scans every vertex **in parallel** against the frozen
+/// pass-start state, collecting candidate moves with positive gain (or
+/// zero gain that improves balance). The candidates — the conflict set —
+/// are then ordered deterministically (largest frozen gain first, vertex id
+/// as tie-break) and re-validated sequentially against the live assignment
+/// before applying, so stale gains never corrupt the cut and the result is
+/// independent of the pool size. Returns the number of moves performed.
+pub fn kway_greedy_refine(
     g: &CsrGraph,
     assignment: &mut [u32],
     k: u32,
     max_part_weight: u64,
     passes: usize,
-    rng: &mut R,
+    pool: &Pool,
 ) -> usize {
     let n = g.num_vertices();
     let kk = k as usize;
@@ -160,74 +232,61 @@ pub fn kway_greedy_refine<R: Rng>(
         weights[assignment[v] as usize] += g.vertex_weight(v as NodeId) as u64;
     }
 
-    // Timestamped scratch for per-vertex partition connectivity.
-    let mut conn = vec![0u64; kk];
-    let mut stamp = vec![u32::MAX; kk];
-    let mut touched: Vec<u32> = Vec::with_capacity(16);
-
-    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    let chunk = chunk_size(n, pool.threads());
     let mut total_moves = 0usize;
 
-    for pass in 0..passes {
-        order.shuffle(rng);
+    for _pass in 0..passes {
+        // --- Scan (parallel, frozen state): the boundary + its gains. ---
+        let frozen_assignment: &[u32] = assignment;
+        let frozen_weights: &[u64] = &weights;
+        let candidates: Vec<Vec<(i64, NodeId)>> = pool.scope_chunks(n, chunk, |range| {
+            let mut conn = vec![0u64; kk];
+            let mut touched: Vec<u32> = Vec::with_capacity(16);
+            range
+                .filter_map(|v| {
+                    weigh_move(
+                        g,
+                        frozen_assignment,
+                        frozen_weights,
+                        max_part_weight,
+                        v as NodeId,
+                        &mut conn,
+                        &mut touched,
+                    )
+                    .map(|(gain, _)| (gain, v as NodeId))
+                })
+                .collect()
+        });
+        let mut cands: Vec<(i64, NodeId)> = candidates.into_iter().flatten().collect();
+        if cands.is_empty() {
+            break;
+        }
+        // Deterministic application order: best frozen gain first; vertex id
+        // breaks ties into a total order.
+        cands.sort_unstable_by_key(|&(gain, v)| (std::cmp::Reverse(gain), v));
+
+        // --- Apply (sequential): re-validate each candidate live. ---
+        let mut conn = vec![0u64; kk];
+        let mut touched: Vec<u32> = Vec::with_capacity(16);
         let mut moves = 0usize;
-        for &v in &order {
-            let own = assignment[v as usize];
-            // Gather connectivity to adjacent partitions.
-            touched.clear();
-            let mark = pass as u32; // unique per (pass); cleared via touched list
-            for (u, w) in g.edges(v) {
-                let p = assignment[u as usize];
-                if stamp[p as usize] != mark || !touched.contains(&p) {
-                    // `stamp` alone is not unique across vertices in a pass,
-                    // so connectivity is reset through the touched list.
-                }
-                if !touched.contains(&p) {
-                    touched.push(p);
-                    conn[p as usize] = 0;
-                    stamp[p as usize] = mark;
-                }
-                conn[p as usize] += w as u64;
-            }
-            if touched.len() <= 1 && touched.first() == Some(&own) {
-                continue; // interior vertex
-            }
-            let own_conn = if touched.contains(&own) {
-                conn[own as usize]
-            } else {
-                0
+        for (_, v) in cands {
+            let Some((_, p)) = weigh_move(
+                g,
+                assignment,
+                &weights,
+                max_part_weight,
+                v,
+                &mut conn,
+                &mut touched,
+            ) else {
+                continue;
             };
+            let own = assignment[v as usize];
             let vw = g.vertex_weight(v) as u64;
-            // Pick the best feasible destination.
-            let mut best: Option<(i64, u32)> = None;
-            for &p in &touched {
-                if p == own {
-                    continue;
-                }
-                let gain = conn[p as usize] as i64 - own_conn as i64;
-                let fits = weights[p as usize] + vw <= max_part_weight;
-                let rebalances = weights[own as usize] > max_part_weight
-                    && weights[p as usize] + vw < weights[own as usize];
-                if !(fits || rebalances) {
-                    continue;
-                }
-                let improves_balance = weights[p as usize] + vw < weights[own as usize];
-                let take = gain > 0 || (gain == 0 && improves_balance);
-                if take {
-                    match best {
-                        Some((bg, bp))
-                            if bg > gain
-                                || (bg == gain && weights[bp as usize] <= weights[p as usize]) => {}
-                        _ => best = Some((gain, p)),
-                    }
-                }
-            }
-            if let Some((_, p)) = best {
-                weights[own as usize] -= vw;
-                weights[p as usize] += vw;
-                assignment[v as usize] = p;
-                moves += 1;
-            }
+            weights[own as usize] -= vw;
+            weights[p as usize] += vw;
+            assignment[v as usize] = p;
+            moves += 1;
         }
         total_moves += moves;
         if moves == 0 {
@@ -247,14 +306,17 @@ pub fn kway_greedy_refine<R: Rng>(
 /// keeps warm-started repartitioning from shredding cliques the refiner
 /// can never reassemble. [`kway_greedy_refine`] runs afterwards to repair
 /// what damage was unavoidable.
-pub fn enforce_balance<R: Rng>(
+///
+/// The scoring sweep — the O(E) part — runs in parallel over vertex
+/// chunks; candidates come back in vertex order regardless of pool size,
+/// and the eviction loop (sorted, re-validated per move) stays sequential.
+pub fn enforce_balance(
     g: &CsrGraph,
     assignment: &mut [u32],
     k: u32,
     max_part_weight: u64,
-    rng: &mut R,
+    pool: &Pool,
 ) {
-    let _ = rng; // deterministic; kept for signature stability
     let n = g.num_vertices();
     let kk = k as usize;
     let mut weights = vec![0u64; kk];
@@ -264,6 +326,7 @@ pub fn enforce_balance<R: Rng>(
     if !weights.iter().any(|&w| w > max_part_weight) {
         return;
     }
+    let chunk = chunk_size(n, pool.threads());
     let mut conn = vec![0u64; kk];
     // Bounded sweeps: stale scores self-correct next sweep, and the bound
     // avoids thrashing on impossible instances (e.g. one vertex heavier
@@ -275,25 +338,32 @@ pub fn enforce_balance<R: Rng>(
         // Score every vertex of an overweight partition: (delta, v) with
         // delta = conn(own) - best conn among all other partitions. The
         // destination is re-chosen at move time against fresh weights.
-        let mut cands: Vec<(i64, NodeId)> = Vec::new();
-        for v in 0..n as NodeId {
-            let own = assignment[v as usize] as usize;
-            if weights[own] <= max_part_weight {
-                continue;
-            }
-            conn.iter_mut().for_each(|c| *c = 0);
-            for (u, w) in g.edges(v) {
-                conn[assignment[u as usize] as usize] += w as u64;
-            }
-            let best_other = conn
-                .iter()
-                .enumerate()
-                .filter(|&(p, _)| p != own)
-                .map(|(_, &c)| c)
-                .max()
-                .unwrap_or(0);
-            cands.push((conn[own] as i64 - best_other as i64, v));
-        }
+        let frozen_assignment: &[u32] = assignment;
+        let frozen_weights: &[u64] = &weights;
+        let scored: Vec<Vec<(i64, NodeId)>> = pool.scope_chunks(n, chunk, |range| {
+            let mut conn = vec![0u64; kk];
+            range
+                .filter_map(|v| {
+                    let own = frozen_assignment[v] as usize;
+                    if frozen_weights[own] <= max_part_weight {
+                        return None;
+                    }
+                    conn.iter_mut().for_each(|c| *c = 0);
+                    for (u, w) in g.edges(v as NodeId) {
+                        conn[frozen_assignment[u as usize] as usize] += w as u64;
+                    }
+                    let best_other = conn
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, _)| p != own)
+                        .map(|(_, &c)| c)
+                        .max()
+                        .unwrap_or(0);
+                    Some((conn[own] as i64 - best_other as i64, v as NodeId))
+                })
+                .collect()
+        });
+        let mut cands: Vec<(i64, NodeId)> = scored.into_iter().flatten().collect();
         if cands.is_empty() {
             break;
         }
@@ -362,7 +432,7 @@ mod tests {
         let mut assign: Vec<u32> = (0..g.num_vertices()).map(|_| rng.gen_range(0..4)).collect();
         let before = edge_cut(&g, &assign);
         let cap = (g.total_vertex_weight() as f64 * 1.05 / 4.0).ceil() as u64;
-        kway_greedy_refine(&g, &mut assign, 4, cap, 10, &mut rng);
+        kway_greedy_refine(&g, &mut assign, 4, cap, 10, &Pool::new(1));
         let after = edge_cut(&g, &assign);
         assert!(after < before, "refinement failed: {before} -> {after}");
         let w = part_weights(&g, &assign, 4);
@@ -370,13 +440,47 @@ mod tests {
     }
 
     #[test]
+    fn kway_refine_identical_across_pool_sizes() {
+        let g = gen::grid(16, 16);
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(4);
+        let start: Vec<u32> = (0..g.num_vertices()).map(|_| rng.gen_range(0..4)).collect();
+        let cap = (g.total_vertex_weight() as f64 * 1.05 / 4.0).ceil() as u64;
+        let run = |threads: usize| {
+            let mut a = start.clone();
+            kway_greedy_refine(&g, &mut a, 4, cap, 10, &Pool::new(threads));
+            a
+        };
+        let base = run(1);
+        for t in [2, 4] {
+            assert_eq!(run(t), base, "pool size {t} changed refinement");
+        }
+    }
+
+    #[test]
     fn enforce_balance_moves_overflow() {
         let g = gen::grid(8, 8); // 64 vertices
         let mut assign = vec![0u32; 64];
-        let mut rng = StdRng::seed_from_u64(1);
         let cap = 40;
-        enforce_balance(&g, &mut assign, 2, cap, &mut rng);
+        enforce_balance(&g, &mut assign, 2, cap, &Pool::new(1));
         let w = part_weights(&g, &assign, 2);
         assert!(w[0] <= cap && w[1] <= cap, "still overweight: {w:?}");
+    }
+
+    #[test]
+    fn enforce_balance_identical_across_pool_sizes() {
+        let g = gen::grid(10, 10);
+        let cap = 60;
+        let run = |threads: usize| {
+            let mut a = vec![0u32; 100];
+            enforce_balance(&g, &mut a, 3, cap, &Pool::new(threads));
+            a
+        };
+        let base = run(1);
+        let w = part_weights(&g, &base, 3);
+        assert!(w.iter().all(|&x| x <= cap), "still overweight: {w:?}");
+        for t in [2, 4] {
+            assert_eq!(run(t), base, "pool size {t} changed balance enforcement");
+        }
     }
 }

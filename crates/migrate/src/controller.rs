@@ -44,6 +44,9 @@ impl ControllerConfig {
 }
 
 /// What one observed window produced.
+// One `Tick` exists per observed window and is consumed immediately, so
+// the size gap between the variants never multiplies across a collection.
+#[allow(clippy::large_enum_variant)]
 pub enum Tick {
     /// No repartition: the window matches the reference distribution (or
     /// is too small to trust).
@@ -61,6 +64,11 @@ pub struct MigrationOutcome {
     pub plan: MigrationPlan,
     /// Executor defaults inherited from the controller's config.
     pub executor_cfg: ExecutorConfig,
+    /// Copy-stream pacing ([`PlanConfig::inject_every`]) inherited from the
+    /// controller's plan config: callers injecting this outcome's plan into
+    /// live traffic (e.g. [`schism_sim::MigrationSource::batched`]) should
+    /// pass it through rather than hardcode a rate.
+    pub inject_every: u32,
 }
 
 impl MigrationOutcome {
@@ -144,6 +152,7 @@ impl MigrationController {
             repartition,
             plan,
             executor_cfg: self.cfg.executor.clone(),
+            inject_every: self.cfg.plan.inject_every,
         })
     }
 }

@@ -42,7 +42,8 @@ impl TupleMove {
     }
 }
 
-/// Throttle budgets for one batch.
+/// Throttle budgets for one batch, plus the injection-rate QoS knob for
+/// executing the plan against live traffic.
 #[derive(Clone, Copy, Debug)]
 pub struct PlanConfig {
     /// Maximum tuples per batch.
@@ -50,6 +51,14 @@ pub struct PlanConfig {
     /// Maximum payload bytes per batch (a tuple's bytes count once per
     /// receiving partition).
     pub max_bytes_per_batch: u64,
+    /// Copy-stream pacing when the plan runs alongside foreground traffic:
+    /// one migration move is issued per `inject_every` foreground
+    /// transactions (`1` alternates move/foreground; larger values tax the
+    /// cluster less but stretch the migration). This is the knob
+    /// [`schism_sim::MigrationSource`] previously hardcoded; surfacing it
+    /// here is the first step of the adaptive-QoS roadmap item — a future
+    /// controller can raise it when simulated p99 degrades. Must be `>= 1`.
+    pub inject_every: u32,
 }
 
 impl Default for PlanConfig {
@@ -57,6 +66,7 @@ impl Default for PlanConfig {
         Self {
             max_rows_per_batch: 1_000,
             max_bytes_per_batch: 16 << 20,
+            inject_every: 1,
         }
     }
 }
@@ -91,6 +101,7 @@ impl PlanConfig {
         Self {
             max_rows_per_batch: max_rows,
             max_bytes_per_batch: max_bytes,
+            ..Self::default()
         }
     }
 }
@@ -196,6 +207,7 @@ pub fn plan_migration(
 ) -> MigrationPlan {
     assert!(cfg.max_rows_per_batch >= 1);
     assert!(cfg.max_bytes_per_batch >= 1);
+    assert!(cfg.inject_every >= 1, "inject_every must be >= 1");
     let mut moves: Vec<TupleMove> = new
         .iter()
         .filter_map(|(&t, &to)| {
@@ -276,6 +288,7 @@ mod tests {
         let cfg = PlanConfig {
             max_rows_per_batch: 1_000,
             max_bytes_per_batch: 250,
+            ..Default::default()
         };
         let plan = plan_migration(&old, &new, &db, &cfg);
         for b in &plan.batches {

@@ -1,0 +1,270 @@
+//! # schism-par
+//!
+//! A scoped work-sharing thread pool for data-parallel loops over index
+//! ranges, built entirely on `std::thread::scope` — no external
+//! dependencies, honoring the workspace's offline-vendor constraint.
+//!
+//! The design goal is **determinism before speed**: every operation is
+//! specified so its result is bit-identical regardless of the number of
+//! worker threads. The multilevel graph partitioner leans on this to keep
+//! its "same seed, same partition" contract while coarsening, refinement,
+//! and initial-partition seeding all run in parallel.
+//!
+//! How determinism is achieved:
+//!
+//! - Work is split into **chunks of consecutive indices** whose boundaries
+//!   depend only on `(len, chunk)` — never on the thread count.
+//! - Workers *share* work dynamically (an atomic cursor hands out the next
+//!   chunk), but each chunk's result is stored in a slot keyed by chunk
+//!   index, so scheduling order is invisible to the caller.
+//! - [`Pool::reduce_chunks`] folds the slots **in chunk order** — an
+//!   ordered reduce — so even non-commutative combines are stable.
+//!
+//! The one rule callers must follow: the per-chunk closure must be a pure
+//! function of the chunk's input range (plus captured immutable state). If
+//! it needs randomness, derive a seed from the chunk index — never pull
+//! from a shared RNG inside a worker.
+//!
+//! ```
+//! use schism_par::Pool;
+//!
+//! // A non-commutative fold (string concatenation) over 1000 items comes
+//! // out identical on 1 thread and 4 threads, because the reduce is
+//! // performed in chunk order regardless of which worker ran which chunk.
+//! let render = |pool: &Pool| {
+//!     pool.reduce_chunks(
+//!         1000,
+//!         64,
+//!         |range| range.map(|i| i.to_string()).collect::<Vec<_>>().join(","),
+//!         String::new(),
+//!         |acc, part| acc + &part + ";",
+//!     )
+//! };
+//! assert_eq!(render(&Pool::new(1)), render(&Pool::new(4)));
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of hardware threads the host reports (at least 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a thread-count knob: `requested > 0` wins, otherwise the
+/// `SCHISM_THREADS` environment variable (if set to a positive integer),
+/// otherwise [`available_parallelism`].
+///
+/// This is the single resolution point every `threads` config field in the
+/// workspace funnels through, so `SCHISM_THREADS=4 cargo test` exercises
+/// the whole stack at 4 threads without touching any call site.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("SCHISM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    available_parallelism()
+}
+
+/// A work-sharing pool of `threads` workers.
+///
+/// The pool is just a thread budget: each parallel call spawns scoped
+/// workers (`std::thread::scope`), so borrows of caller state flow into the
+/// closures without `Arc` or `'static` bounds, and no worker outlives the
+/// call. A pool of 1 runs everything inline on the caller's thread with
+/// zero spawn overhead — the sequential and parallel paths execute the
+/// same chunk decomposition, which is what makes them bit-compatible.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with the given thread budget (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`resolve_threads`]`(0)`: the `SCHISM_THREADS`
+    /// override if present, otherwise all hardware threads.
+    pub fn auto() -> Self {
+        Self::new(resolve_threads(0))
+    }
+
+    /// This pool's thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits the budget between an outer loop of `ways` independent tasks
+    /// and the work inside each task: returns `(outer_pool, inner_pool)`
+    /// with `outer.threads * inner.threads <= max(threads, ways)`. Used by
+    /// the partitioner to run its `ncuts` independent attempts concurrently
+    /// while each attempt still parallelizes its own coarsening.
+    pub fn split(&self, ways: usize) -> (Pool, Pool) {
+        let outer = self.threads.min(ways.max(1));
+        let inner = (self.threads / outer.max(1)).max(1);
+        (Pool::new(outer), Pool::new(inner))
+    }
+
+    /// Maps `f` over `0..len` in chunks of `chunk` consecutive indices and
+    /// returns the per-chunk results **in chunk order**.
+    ///
+    /// Chunk boundaries depend only on `(len, chunk)`; workers pull chunks
+    /// from a shared atomic cursor (work sharing), and each result lands in
+    /// the slot of its chunk index, so the output is independent of both
+    /// the thread count and the scheduling order. `f` must be a pure
+    /// function of its range for the determinism contract to hold.
+    pub fn scope_chunks<T, F>(&self, len: usize, chunk: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let chunk = chunk.max(1);
+        let n_chunks = len.div_ceil(chunk);
+        let bounds = |i: usize| i * chunk..((i + 1) * chunk).min(len);
+        if self.threads <= 1 || n_chunks <= 1 {
+            return (0..n_chunks).map(|i| f(bounds(i))).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..self.threads.min(n_chunks) {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_chunks {
+                        break;
+                    }
+                    let out = f(bounds(i));
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every chunk slot")
+            })
+            .collect()
+    }
+
+    /// [`Pool::scope_chunks`] followed by an **ordered reduce**: the chunk
+    /// results are folded left-to-right in chunk index order, so the
+    /// combine need not be commutative (first-wins tie-breaks, "best by
+    /// earliest seed" selections, and concatenations all stay exact).
+    pub fn reduce_chunks<T, A, F, R>(&self, len: usize, chunk: usize, map: F, init: A, fold: R) -> A
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+        R: FnMut(A, T) -> A,
+    {
+        self.scope_chunks(len, chunk, map)
+            .into_iter()
+            .fold(init, fold)
+    }
+}
+
+/// A chunk size that amortizes scheduling overhead for `len` items across
+/// `threads` workers: aims for ~4 chunks per worker (dynamic sharing can
+/// still rebalance skew), floored so tiny inputs become a single chunk.
+pub fn chunk_size(len: usize, threads: usize) -> usize {
+    let target_chunks = threads.max(1) * 4;
+    (len.div_ceil(target_chunks)).max(1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_chunk_order() {
+        let pool = Pool::new(4);
+        let got = pool.scope_chunks(10, 3, |r| (r.start, r.end));
+        assert_eq!(got, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let pool = Pool::new(4);
+        let got: Vec<usize> = pool.scope_chunks(0, 8, |r| r.len());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        // Sum of hashes — and the hash of the *ordered* concatenation, which
+        // is sensitive to any reordering.
+        let run = |threads: usize| {
+            let pool = Pool::new(threads);
+            pool.reduce_chunks(
+                10_000,
+                97,
+                |r| {
+                    r.map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                        .fold(0u64, u64::wrapping_add)
+                },
+                0u64,
+                |acc, s| acc.rotate_left(7) ^ s,
+            )
+        };
+        let base = run(1);
+        for t in [2, 3, 4, 8] {
+            assert_eq!(run(t), base, "thread count {t} changed the reduction");
+        }
+    }
+
+    #[test]
+    fn work_sharing_covers_skewed_chunks() {
+        // One chunk is 1000x more expensive; all chunks must still complete
+        // and land in order.
+        let pool = Pool::new(4);
+        let got = pool.scope_chunks(64, 1, |r| {
+            let mut x = r.start as u64;
+            let iters = if r.start == 0 { 100_000 } else { 100 };
+            for _ in 0..iters {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (r.start, x)
+        });
+        assert_eq!(got.len(), 64);
+        for (i, &(start, _)) in got.iter().enumerate() {
+            assert_eq!(start, i);
+        }
+    }
+
+    #[test]
+    fn split_budgets_multiply_within_bound() {
+        let (o, i) = Pool::new(4).split(2);
+        assert_eq!((o.threads(), i.threads()), (2, 2));
+        let (o, i) = Pool::new(1).split(8);
+        assert_eq!((o.threads(), i.threads()), (1, 1));
+        let (o, i) = Pool::new(8).split(3);
+        assert_eq!((o.threads(), i.threads()), (3, 2));
+    }
+
+    #[test]
+    fn resolve_threads_explicit_wins() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn chunk_size_is_sane() {
+        assert_eq!(chunk_size(100, 4), 1024); // floored
+        assert!(chunk_size(1_000_000, 4) >= 1024);
+        assert!(chunk_size(1_000_000, 4) <= 1_000_000);
+    }
+}

@@ -19,6 +19,7 @@ pub use schism_core as core;
 pub use schism_graph as graph;
 pub use schism_migrate as migrate;
 pub use schism_ml as ml;
+pub use schism_par as par;
 pub use schism_router as router;
 pub use schism_sim as sim;
 pub use schism_sql as sql;

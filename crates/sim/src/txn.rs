@@ -152,7 +152,9 @@ pub type BatchAckFn<'a> = Box<dyn FnMut(usize) -> bool + 'a>;
 /// move is a read on the source server plus a write on each destination
 /// server — a distributed transaction whenever source and destination
 /// differ, which is exactly how the throttled copy traffic of a migration
-/// plan taxes the cluster.
+/// plan taxes the cluster. The rate is a caller-supplied QoS knob — plans
+/// produced by `schism-migrate` carry it as `PlanConfig::inject_every`
+/// rather than hardcoding a constant here.
 ///
 /// Batches gate on acknowledgements: when batch `k`'s last move has been
 /// issued, the `on_batch_issued` callback fires with `k` — this is where

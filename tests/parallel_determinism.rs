@@ -1,0 +1,133 @@
+//! The parallel partitioner's determinism pin: partition labels and edge
+//! cut must be **bit-identical for every thread count** — on seeded
+//! generated graphs, on the TPC-C workload-builder graph, cold and warm,
+//! and through the full `schism-core` partition phase (per-tuple partition
+//! sets included). `SCHISM_THREADS` only trades wall-clock, never output;
+//! CI runs the whole suite at 1 and at 4 threads on top of these explicit
+//! pins.
+
+use schism_core::{build_graph, run_partition_phase, run_partition_phase_warm, SchismConfig};
+use schism_graph::{gen, partition, partition_warm, PartitionerConfig, Partitioning};
+use schism_workload::tpcc::{self, TpccConfig};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn cold(g: &schism_graph::CsrGraph, k: u32, seed: u64, threads: usize) -> Partitioning {
+    partition(
+        g,
+        &PartitionerConfig {
+            k,
+            seed,
+            threads,
+            ..Default::default()
+        },
+    )
+}
+
+fn assert_identical(name: &str, runs: &[Partitioning]) {
+    let base = &runs[0];
+    for (i, p) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            p.assignment, base.assignment,
+            "{name}: threads={} changed partition labels",
+            THREAD_COUNTS[i]
+        );
+        assert_eq!(
+            p.edge_cut, base.edge_cut,
+            "{name}: threads={} changed the cut",
+            THREAD_COUNTS[i]
+        );
+        assert_eq!(p.part_weights, base.part_weights);
+    }
+}
+
+#[test]
+fn generated_graphs_cold_and_warm() {
+    let graphs = [
+        ("planted", gen::planted_partition(4, 150, 1200, 90, 21)),
+        ("grid", gen::grid(24, 24)),
+        ("two_cliques", gen::two_cliques(24, 1)),
+    ];
+    for (name, g) in &graphs {
+        let cold_runs: Vec<Partitioning> =
+            THREAD_COUNTS.iter().map(|&t| cold(g, 4, 9, t)).collect();
+        assert_identical(&format!("{name} (cold)"), &cold_runs);
+
+        // Warm-start from the cold result, as the incremental path does.
+        let seed_labels = &cold_runs[0].assignment;
+        let warm_runs: Vec<Partitioning> = THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                partition_warm(
+                    g,
+                    seed_labels,
+                    &PartitionerConfig {
+                        k: 4,
+                        seed: 9,
+                        threads: t,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        assert_identical(&format!("{name} (warm)"), &warm_runs);
+    }
+}
+
+#[test]
+fn tpcc_builder_graph() {
+    // The real thing: the workload graph the pipeline builds from a TPC-C
+    // trace (clique edges, replication stars, coalesced groups) — exactly
+    // the graph family `fig5_partitioner_scaling` times.
+    let w = tpcc::generate(&TpccConfig {
+        num_txns: 4_000,
+        ..TpccConfig::small(2)
+    });
+    let cfg = SchismConfig::new(4);
+    let wg = build_graph(&w, &w.trace, &cfg);
+    let runs: Vec<Partitioning> = THREAD_COUNTS
+        .iter()
+        .map(|&t| cold(&wg.graph, 4, 3, t))
+        .collect();
+    assert_identical("tpcc builder graph", &runs);
+    assert!(runs[0].edge_cut > 0, "sanity: non-trivial graph");
+}
+
+#[test]
+fn partition_phase_and_warm_rerun() {
+    // Through schism-core: the resolved per-tuple partition sets (including
+    // replication resolution) must match, cold and warm, for any
+    // `SchismConfig::threads`.
+    let w = tpcc::generate(&TpccConfig {
+        num_txns: 3_000,
+        ..TpccConfig::small(2)
+    });
+    let mk = |threads: usize| {
+        let mut c = SchismConfig::new(4);
+        c.seed = 7;
+        c.threads = threads;
+        c
+    };
+    let wg = build_graph(&w, &w.trace, &mk(1));
+
+    let base = run_partition_phase(&wg, &mk(1));
+    for t in [2usize, 4] {
+        let p = run_partition_phase(&wg, &mk(t));
+        assert_eq!(p.edge_cut, base.edge_cut, "threads={t} changed the cut");
+        assert_eq!(
+            p.assignment, base.assignment,
+            "threads={t} changed per-tuple partition sets"
+        );
+    }
+
+    let initial = wg.seed_assignment(&base.assignment, 4);
+    let warm_base = run_partition_phase_warm(&wg, &mk(1), &initial);
+    for t in [2usize, 4] {
+        let p = run_partition_phase_warm(&wg, &mk(t), &initial);
+        assert_eq!(p.edge_cut, warm_base.edge_cut, "warm threads={t} cut");
+        assert_eq!(
+            p.assignment, warm_base.assignment,
+            "warm threads={t} changed per-tuple partition sets"
+        );
+    }
+}
