@@ -1,10 +1,26 @@
 //! **Table 1 + §6.2** — graph sizes for the three largest evaluation
 //! datasets: tuples in the database, transactions in the trace, and
-//! resulting graph nodes/edges (after the §5.1 heuristics).
+//! resulting graph nodes/edges (after the §5.1 heuristics) — plus
+//! thread-scaling of the streaming parallel graph build.
 //!
 //! ```text
-//! cargo run --release -p schism-bench --bin table1_graph_sizes [--full]
+//! cargo run --release -p schism-bench --bin table1_graph_sizes \
+//!     [--full] [--threads N] [--scaling-only]
 //! ```
+//!
+//! `--threads N` (any `N >= 1`) sizes the builder's worker pool for the
+//! size table **and** enables the thread-scaling measurement: the largest
+//! trace (TPC-C 50W) is ingested at every power-of-two thread count up to
+//! `N`, plus `N` itself when it is not one — asserting the built graphs
+//! bit-identical via [`schism_core::WorkloadGraph::digest`] while timing —
+//! plus once more through the chunked streaming source (`tpcc::stream`),
+//! and the result is recorded in
+//! `crates/bench/BENCH_graph.json` together with the host's core count
+//! (speedups are only meaningful when the host actually has that many
+//! cores; a 1-core container measures oversubscription, not scaling, and
+//! the JSON says so).
+//!
+//! `--scaling-only` skips the other two dataset builds (CI smoke).
 
 use schism_bench::table::Table;
 use schism_core::SchismConfig;
@@ -12,80 +28,239 @@ use schism_workload::epinions::{self, EpinionsConfig};
 use schism_workload::tpcc::{self, TpccConfig};
 use schism_workload::tpce::{self, TpceConfig};
 use schism_workload::Workload;
+use std::time::Instant;
 
-struct Row {
+struct Row<'a> {
     name: &'static str,
     paper: (&'static str, &'static str, &'static str, &'static str),
-    workload: Workload,
+    workload: &'a Workload,
     cfg: SchismConfig,
+}
+
+/// The TPC-C 50W configuration (the largest trace; what the thread-scaling
+/// measurement ingests).
+fn tpcc_cfg(full: bool) -> TpccConfig {
+    TpccConfig {
+        num_txns: if full { 100_000 } else { 40_000 },
+        ..TpccConfig::full(50)
+    }
+}
+
+/// Ingest the largest trace at 1, 2, 4, ..., `max_threads` (powers of two,
+/// plus `max_threads` itself when it is not one) and through the chunked
+/// streaming source, asserting every build digests identically, and record
+/// wall-clocks + speedups in BENCH_graph.json.
+fn thread_scaling(w: &Workload, wcfg: &TpccConfig, full: bool, max_threads: usize) {
+    let mut counts = vec![1usize];
+    while counts.last().unwrap() * 2 <= max_threads {
+        counts.push(counts.last().unwrap() * 2);
+    }
+    if *counts.last().unwrap() != max_threads {
+        counts.push(max_threads); // non-power-of-two budgets are measured too
+    }
+    let host_cores = schism_par::available_parallelism();
+
+    let mut cfg = SchismConfig::new(10);
+    cfg.tuple_sample = 0.05;
+    println!(
+        "=== graph-build thread scaling on the largest trace (tpcc-50w, {} txns) ===",
+        w.trace.len()
+    );
+    println!("host cores: {host_cores}\n");
+
+    let mut baseline: Option<(f64, u64)> = None;
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut table = Table::new(&[
+        "ingestion",
+        "threads",
+        "wall (s)",
+        "speedup",
+        "nodes",
+        "edges",
+    ]);
+    let mut stats = None;
+    for &t in &counts {
+        cfg.threads = t;
+        let t0 = Instant::now();
+        let wg = schism_core::build_graph(w, &w.trace, &cfg);
+        let dt = t0.elapsed().as_secs_f64();
+        match &baseline {
+            None => baseline = Some((dt, wg.digest())),
+            Some((_, digest)) => assert_eq!(
+                wg.digest(),
+                *digest,
+                "threads={t} changed the workload graph — determinism contract broken"
+            ),
+        }
+        let speedup = baseline.as_ref().unwrap().0 / dt.max(1e-9);
+        rows.push((format!("whole/{t}"), dt, speedup));
+        table.row(vec![
+            "whole-trace".into(),
+            t.to_string(),
+            format!("{dt:.2}"),
+            format!("{speedup:.2}x"),
+            wg.stats.nodes.to_string(),
+            wg.stats.edges.to_string(),
+        ]);
+        stats = Some(wg.stats);
+    }
+
+    // Chunked ingestion through the scripted streaming source, at the full
+    // budget: same graph, no materialized trace.
+    cfg.threads = max_threads;
+    let src = tpcc::stream(wcfg);
+    let t0 = Instant::now();
+    let wg = schism_core::build_graph_source(w, &src, &cfg);
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        wg.digest(),
+        baseline.as_ref().unwrap().1,
+        "chunked streaming ingestion changed the workload graph"
+    );
+    let speedup = baseline.as_ref().unwrap().0 / dt.max(1e-9);
+    rows.push((format!("streamed/{max_threads}"), dt, speedup));
+    table.row(vec![
+        "streamed".into(),
+        max_threads.to_string(),
+        format!("{dt:.2}"),
+        format!("{speedup:.2}x"),
+        wg.stats.nodes.to_string(),
+        wg.stats.edges.to_string(),
+    ]);
+    println!("{}", table.render());
+    if host_cores < max_threads {
+        println!(
+            "note: host has only {host_cores} core(s); speedups at > {host_cores} threads \
+             measure scheduling overhead, not scaling. Re-run on a {max_threads}-core host \
+             for the real curve."
+        );
+    }
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(label, dt, sp)| {
+            format!(
+                "    {{ \"run\": \"{label}\", \"wall_s\": {dt:.3}, \"speedup_vs_1\": {sp:.3} }}"
+            )
+        })
+        .collect();
+    let note = if host_cores < max_threads {
+        format!(
+            "host has {host_cores} core(s) for {max_threads} threads: ratios measure \
+             oversubscription overhead, not scaling; re-measure on a >= {max_threads}-core host"
+        )
+    } else {
+        "speedups measured with dedicated cores per thread".to_string()
+    };
+    let stats = stats.expect("at least one build ran");
+    let json = format!(
+        "{{\n  \"bench\": \"table1_graph_sizes --threads {max_threads}\",\n  \
+         \"workload\": \"tpcc-50w (5% tuples)\",\n  \"txns\": {txns},\n  \
+         \"nodes\": {nodes},\n  \"edges\": {edges},\n  \"full\": {full},\n  \
+         \"host_cores\": {host_cores},\n  \"note\": \"{note}\",\n  \
+         \"deterministic_across_threads\": true,\n  \
+         \"chunked_equals_whole\": true,\n  \"runs\": [\n{runs}\n  ]\n}}\n",
+        txns = w.trace.len(),
+        nodes = stats.nodes,
+        edges = stats.edges,
+        runs = entries.join(",\n"),
+    );
+    let out = if std::path::Path::new("crates/bench").is_dir() {
+        "crates/bench/BENCH_graph.json"
+    } else {
+        "BENCH_graph.json"
+    };
+    std::fs::write(out, &json).expect("write BENCH_graph.json");
+    println!("wrote {out}");
 }
 
 fn main() {
     let full = schism_bench::full_scale();
+    let threads: usize = schism_bench::arg_value("--threads")
+        .map(|v| v.parse().expect("--threads takes a non-negative integer"))
+        .unwrap_or(0);
+    let scaling_only = schism_bench::flag("--scaling-only");
     let scale = |small: usize, paper: usize| if full { paper } else { small };
 
-    println!("=== Table 1: graph sizes ===");
-    println!("(paper columns in parentheses; our datasets are scaled-down substitutions,");
-    println!(" so absolute sizes differ while node/edge-per-transaction ratios match)\n");
+    // The largest trace; shared by the Table-1 row and the thread-scaling
+    // measurement so the most expensive generation runs once.
+    let tpcc_wcfg = tpcc_cfg(full);
+    let tpcc_w = tpcc::generate(&tpcc_wcfg);
 
-    let mut rows = Vec::new();
-    {
-        let w = epinions::generate(&EpinionsConfig {
+    if !scaling_only {
+        println!("=== Table 1: graph sizes ===");
+        println!("(paper columns in parentheses; our datasets are scaled-down substitutions,");
+        println!(" so absolute sizes differ while node/edge-per-transaction ratios match)\n");
+
+        let epinions_w = epinions::generate(&EpinionsConfig {
             num_txns: scale(30_000, 100_000),
             ..Default::default()
         });
-        rows.push(Row {
-            name: "epinions",
-            paper: ("2.5M", "100k", "0.6M", "5M"),
-            workload: w,
-            cfg: SchismConfig::new(2),
-        });
-    }
-    {
-        let mut cfg = SchismConfig::new(10);
-        cfg.tuple_sample = 0.05;
-        let w = tpcc::generate(&TpccConfig {
-            num_txns: scale(40_000, 100_000),
-            ..TpccConfig::full(50)
-        });
-        rows.push(Row {
-            name: "tpcc-50w",
-            paper: ("25.0M", "100k", "2.5M", "65M"),
-            workload: w,
-            cfg,
-        });
-    }
-    {
-        let w = tpce::generate(&TpceConfig {
+        let tpce_w = tpce::generate(&TpceConfig {
             num_txns: scale(30_000, 100_000),
             ..TpceConfig::with_customers(1_000)
         });
-        rows.push(Row {
-            name: "tpce",
-            paper: ("2.0M", "100k", "3.0M", "100M"),
-            workload: w,
-            cfg: SchismConfig::new(2),
-        });
+        let tpcc_row_cfg = {
+            let mut cfg = SchismConfig::new(10);
+            cfg.tuple_sample = 0.05;
+            cfg
+        };
+        let rows = vec![
+            Row {
+                name: "epinions",
+                paper: ("2.5M", "100k", "0.6M", "5M"),
+                workload: &epinions_w,
+                cfg: SchismConfig::new(2),
+            },
+            Row {
+                name: "tpcc-50w",
+                paper: ("25.0M", "100k", "2.5M", "65M"),
+                workload: &tpcc_w,
+                cfg: tpcc_row_cfg,
+            },
+            Row {
+                name: "tpce",
+                paper: ("2.0M", "100k", "3.0M", "100M"),
+                workload: &tpce_w,
+                cfg: SchismConfig::new(2),
+            },
+        ];
+
+        let mut table = Table::new(&[
+            "dataset", "tuples", "(paper)", "txns", "(paper)", "nodes", "(paper)", "edges",
+            "(paper)",
+        ]);
+        for row in rows {
+            let mut cfg = row.cfg;
+            cfg.threads = threads;
+            let wg = schism_core::build_graph(row.workload, &row.workload.trace, &cfg);
+            table.row(vec![
+                row.name.to_string(),
+                human(row.workload.total_tuples()),
+                row.paper.0.to_string(),
+                human(row.workload.trace.len() as u64),
+                row.paper.1.to_string(),
+                human(wg.stats.nodes as u64),
+                row.paper.2.to_string(),
+                human(wg.stats.edges as u64),
+                row.paper.3.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
     }
 
-    let mut table = Table::new(&[
-        "dataset", "tuples", "(paper)", "txns", "(paper)", "nodes", "(paper)", "edges", "(paper)",
-    ]);
-    for row in rows {
-        let wg = schism_core::build_graph(&row.workload, &row.workload.trace, &row.cfg);
-        table.row(vec![
-            row.name.to_string(),
-            human(row.workload.total_tuples()),
-            row.paper.0.to_string(),
-            human(row.workload.trace.len() as u64),
-            row.paper.1.to_string(),
-            human(wg.stats.nodes as u64),
-            row.paper.2.to_string(),
-            human(wg.stats.edges as u64),
-            row.paper.3.to_string(),
-        ]);
+    // Thread scaling on the largest trace, recorded to BENCH_graph.json.
+    // Opt-in via `--threads N` (any N >= 1; a 1-thread record is a valid
+    // single-run baseline) or `--scaling-only`, so a plain Table-1
+    // reproduction never overwrites the committed record as a side effect.
+    if threads > 0 || scaling_only {
+        let max_threads = if threads > 0 {
+            threads
+        } else {
+            schism_par::resolve_threads(0)
+        };
+        thread_scaling(&tpcc_w, &tpcc_wcfg, full, max_threads);
     }
-    println!("{}", table.render());
 }
 
 fn human(n: u64) -> String {

@@ -19,11 +19,25 @@ pub struct SchismConfig {
     pub k: u32,
     /// Master seed (graph sampling, partitioner, cross-validation).
     pub seed: u64,
-    /// Worker threads for the parallel partitioning phase (cold and warm).
+    /// Worker threads for the parallel phases: graph building (both passes
+    /// of [`crate::build_graph`]) and partitioning (cold and warm).
     /// `0` = auto: the `SCHISM_THREADS` environment variable if set,
     /// otherwise all hardware threads. Results are bit-identical for every
     /// value — this knob only trades wall-clock, never output.
     pub threads: usize,
+    /// Edge-buffer compaction threshold for the streaming graph build: once
+    /// buffered (pre-merge) edge insertions exceed this count, duplicates
+    /// are eagerly merged to bound peak memory. One buffered insertion is
+    /// 12 bytes, so the default of `1 << 23` (~8.4M) means ~100 MiB of
+    /// buffered edges. Chunk buffers — all of which are held until the
+    /// stitch consumes them — each compact at `compact_every / n_chunks`,
+    /// keeping the *aggregate* ceiling near `compact_every` as the build
+    /// fans out. The ceiling is soft: a buffer whose deduplicated edge set
+    /// exceeds its share keeps it (and then only re-compacts after
+    /// doubling, to avoid quadratic re-sorting). Purely a memory/speed
+    /// trade — any value produces the identical graph (duplicate-edge
+    /// merging is associative), smaller values re-sort more often.
+    pub compact_every: usize,
 
     // --- graph representation (§4.1) ---
     /// Enable tuple-level replication via star explosion.
@@ -82,6 +96,7 @@ impl SchismConfig {
             k,
             seed: 0,
             threads: 0,
+            compact_every: 1 << 23,
             replication: true,
             replication_min_accesses: 2,
             node_weight: NodeWeight::Workload,

@@ -1,14 +1,38 @@
-//! From trace to graph (§4.1) with the scalability heuristics of §5.1.
+//! From trace to graph (§4.1) with the scalability heuristics of §5.1 — as
+//! a streaming, parallel, deterministic pipeline.
 //!
-//! Pass 1 walks the (transaction-sampled) trace applying tuple sampling,
-//! blanket-statement filtering and relevance filtering, counting accesses
-//! and writes per surviving tuple and accumulating the coalescing
-//! signature. Pass 2 materializes graph nodes — one per tuple *group*, plus
-//! replica stars for exploded groups — and transaction clique edges.
+//! The trace is consumed through [`TraceSource`] in transaction chunks, so
+//! generators can feed the builder without materializing a
+//! `Vec<Transaction>`, and both passes fan out over `schism-par`:
+//!
+//! - **Pass 1** (filter + count): each chunk builds a partial
+//!   `TupleId → TupleStats` map — transaction sampling, blanket-statement
+//!   filtering, access/write counts and the coalescing signature — and the
+//!   partials are merged in chunk order. Counts merge by addition; the
+//!   coalescing signature is a **commutative** sum of per-access hashes
+//!   (see `TupleStats::signature`), so the merged map is independent of
+//!   chunking. Tuple sampling and relevance filtering then prune the merged
+//!   map, and coalescing groups tuples over the sorted survivor list.
+//! - **Pass 2** (nodes + edges): each chunk emits its transaction-clique
+//!   edges into a chunk-local [`EdgeBuffer`], allocating replica-star nodes
+//!   *chunk-locally* (an encoded id per allocation). The stitch walks the
+//!   buffers in chunk order, resolving each allocation to
+//!   `replica_base[group] + n` where `n` counts prior allocations of that
+//!   group — exactly the ids a sequential trace walk would hand out — and
+//!   the `GraphBuilder` merge/CSR path dedups the concatenated edges.
+//!
+//! **Determinism contract:** the resulting [`WorkloadGraph`] — tuples,
+//! groups, CSR edges, weights, [`BuildStats`] — is bit-identical for every
+//! thread count and for chunked vs. whole-trace ingestion (pinned by
+//! `tests/parallel_determinism.rs` and [`WorkloadGraph::digest`]).
+//! [`SchismConfig::threads`] and [`SchismConfig::compact_every`] trade
+//! wall-clock and memory only, never output.
 
 use crate::config::{NodeWeight, SchismConfig};
-use schism_graph::{CsrGraph, GraphBuilder, NodeId};
-use schism_workload::{Trace, TupleId, Workload};
+use schism_graph::{CsrGraph, EdgeBuffer, GraphBuilder, NodeId};
+use schism_par::{chunk_size, resolve_threads, Pool};
+use schism_workload::{Trace, TraceSource, TupleId, Workload};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 fn splitmix(mut x: u64) -> u64 {
@@ -52,10 +76,54 @@ fn keep_txn(idx: usize, p: f64, seed: u64) -> bool {
 struct TupleStats {
     accesses: u32,
     writes: u32,
-    /// Order-sensitive hash of the (transaction, kind) access sequence;
-    /// tuples accessed by exactly the same transactions in the same way
-    /// collide, which is what coalescing wants.
+    /// Hash of the (transaction, kind) access **multiset**: the wrapping
+    /// sum of one SplitMix hash per access. Tuples accessed by exactly the
+    /// same transactions in the same way collide, which is what coalescing
+    /// wants. The sum (rather than the old hash *chain*) makes the
+    /// signature independent of accumulation order, so per-chunk partial
+    /// signatures merge associatively — duplicate accesses still count
+    /// (`2h ≠ h`), unlike an XOR, which would cancel them.
     signature: u64,
+}
+
+impl TupleStats {
+    fn absorb(&mut self, other: &TupleStats) {
+        self.accesses += other.accesses;
+        self.writes += other.writes;
+        self.signature = self.signature.wrapping_add(other.signature);
+    }
+}
+
+/// The per-access signature contribution of transaction `idx` accessing a
+/// tuple as a read (`write = false`) or write.
+fn access_token(idx: usize, write: bool) -> u64 {
+    splitmix(((idx as u64) << 1 | u64::from(write)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn visit_tuple(map: &mut HashMap<TupleId, TupleStats>, t: TupleId, write: bool, idx: usize) {
+    let e = map.entry(t).or_default();
+    e.accesses += 1;
+    if write {
+        e.writes += 1;
+    }
+    e.signature = e.signature.wrapping_add(access_token(idx, write));
+}
+
+/// One chunk's share of pass 1.
+#[derive(Default)]
+struct Pass1Partial {
+    stats: HashMap<TupleId, TupleStats>,
+    sampled_txns: usize,
+    dropped_scans: usize,
+}
+
+/// One chunk's share of pass 2: clique edges with chunk-locally encoded
+/// replica ids, plus the allocation log that resolves them.
+struct Pass2Partial {
+    /// Group of the `i`-th chunk-local replica allocation; edge endpoints
+    /// `>= num_groups` encode an index into this log.
+    alloc: Vec<NodeId>,
+    edges: EdgeBuffer,
 }
 
 /// The workload graph plus everything needed to map a partitioning back to
@@ -68,8 +136,14 @@ pub struct WorkloadGraph {
     group_of: Vec<NodeId>,
     /// Number of groups; node ids `>= num_groups` are replica nodes.
     num_groups: usize,
-    /// For every replica node (id - num_groups): its group.
-    replica_group: Vec<NodeId>,
+    /// For every *planned* replica node (id - num_groups): its group.
+    /// Replica ids are clustered per group — group `g`'s star occupies the
+    /// contiguous id range its access count reserved.
+    replica_owner: Vec<NodeId>,
+    /// Whether the planned replica was actually allocated by a sampled
+    /// transaction (unused slots stay isolated with weight 1 and do not
+    /// contribute to a tuple's partition set).
+    replica_used: Vec<bool>,
     /// Per-group write count (for diagnostics).
     group_writes: Vec<u32>,
     /// Per-group access count (training-set weighting in the explanation
@@ -80,7 +154,7 @@ pub struct WorkloadGraph {
 }
 
 /// Size/shape accounting (reported in Table 1 style output).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BuildStats {
     pub sampled_txns: usize,
     pub distinct_tuples: usize,
@@ -106,7 +180,10 @@ impl WorkloadGraph {
         for g in 0..self.num_groups {
             per_group[g].push(assignment[g]);
         }
-        for (ri, &g) in self.replica_group.iter().enumerate() {
+        for (ri, &g) in self.replica_owner.iter().enumerate() {
+            if !self.replica_used[ri] {
+                continue;
+            }
             let node = self.num_groups + ri;
             per_group[g as usize].push(assignment[node]);
         }
@@ -139,10 +216,60 @@ impl WorkloadGraph {
         if node < self.num_groups {
             Some(node)
         } else {
-            self.replica_group
+            self.replica_owner
                 .get(node - self.num_groups)
                 .map(|&g| g as usize)
         }
+    }
+
+    /// Order-sensitive 64-bit digest of everything the build produced:
+    /// tuples, grouping, replica plan and usage, per-group counters, vertex
+    /// weights, the full CSR adjacency, and [`BuildStats`]. Two builds are
+    /// bit-identical iff their digests match (up to hash collisions); the
+    /// determinism tests and the graph-build benchmark compare digests
+    /// across thread counts and ingestion modes.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0x53_43_48_49_53_4D_47_52u64;
+        let mut put = |x: u64| h = splitmix(h.rotate_left(1) ^ x);
+        put(self.num_groups as u64);
+        for t in &self.tuples {
+            put(t.table as u64);
+            put(t.row);
+        }
+        for &g in &self.group_of {
+            put(g as u64);
+        }
+        for &g in &self.replica_owner {
+            put(g as u64);
+        }
+        for &u in &self.replica_used {
+            put(u as u64);
+        }
+        for &w in &self.group_writes {
+            put(w as u64);
+        }
+        for &a in &self.group_accesses {
+            put(a as u64);
+        }
+        let s = &self.stats;
+        for x in [
+            s.sampled_txns,
+            s.distinct_tuples,
+            s.groups,
+            s.exploded_groups,
+            s.nodes,
+            s.edges,
+            s.dropped_scans,
+        ] {
+            put(x as u64);
+        }
+        for v in 0..self.graph.num_vertices() {
+            put(u64::from(self.graph.vertex_weight(v as NodeId)));
+            for (u, w) in self.graph.edges(v as NodeId) {
+                put((u64::from(u)) << 32 | u64::from(w));
+            }
+        }
+        h
     }
 
     /// Builds a per-node initial assignment from a previous per-tuple
@@ -230,56 +357,82 @@ impl WorkloadGraph {
         }
         let mut assignment = Vec::with_capacity(self.graph.num_vertices());
         assignment.extend_from_slice(&labels);
-        for &g in &self.replica_group {
+        // Every planned replica — allocated or not — starts on its group's
+        // label; unused slots are isolated, so the refiner is free to move
+        // them for balance.
+        for &g in &self.replica_owner {
             assignment.push(labels[g as usize]);
         }
-        // Replica ids that were planned but never allocated sit between the
-        // allocated ones and num_vertices; park them on partition 0.
-        assignment.resize(self.graph.num_vertices(), 0);
+        debug_assert_eq!(assignment.len(), self.graph.num_vertices());
         assignment
     }
 }
 
-/// Builds the workload graph from the training trace.
+/// Builds the workload graph from the training trace (the whole-trace
+/// ingestion path; see [`build_graph_source`] for streaming sources).
 pub fn build_graph(workload: &Workload, trace: &Trace, cfg: &SchismConfig) -> WorkloadGraph {
+    build_graph_source(workload, trace, cfg)
+}
+
+/// Builds the workload graph from any [`TraceSource`], consuming it in
+/// transaction chunks across [`SchismConfig::threads`] workers.
+///
+/// The output is bit-identical for every thread count and for any chunking
+/// of the source — see the module docs for how each pass earns that.
+pub fn build_graph_source<S>(workload: &Workload, source: &S, cfg: &SchismConfig) -> WorkloadGraph
+where
+    S: TraceSource + ?Sized,
+{
     let db = &*workload.db;
     let seed = cfg.seed ^ 0x5C41_53A7;
+    let n_txns = source.len();
+    let pool = Pool::new(resolve_threads(cfg.threads));
+    let chunk = chunk_size(n_txns, pool.threads());
 
-    // --- Pass 1: filter + count. ---
-    let mut stats_map: HashMap<TupleId, TupleStats> = HashMap::new();
-    let mut sampled_txns = 0usize;
-    let mut dropped_scans = 0usize;
-    let visit_tuple =
-        |t: TupleId, write: bool, txn_idx: usize, map: &mut HashMap<TupleId, TupleStats>| {
-            let e = map.entry(t).or_default();
-            e.accesses += 1;
-            if write {
-                e.writes += 1;
+    // --- Pass 1: filter + count, one partial stats map per chunk. ---
+    let partials = pool.scope_chunks(n_txns, chunk, |range| {
+        let mut p = Pass1Partial::default();
+        source.for_chunk(range, &mut |idx, txn| {
+            if !keep_txn(idx, cfg.txn_sample, seed) {
+                return;
             }
-            e.signature = splitmix(
-                e.signature
-                    ^ ((txn_idx as u64) << 1 | u64::from(write))
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-        };
-    for (idx, txn) in trace.transactions.iter().enumerate() {
-        if !keep_txn(idx, cfg.txn_sample, seed) {
-            continue;
-        }
-        sampled_txns += 1;
-        for &t in &txn.reads {
-            visit_tuple(t, false, idx, &mut stats_map);
-        }
-        for &t in &txn.writes {
-            visit_tuple(t, true, idx, &mut stats_map);
-        }
-        for scan in &txn.scans {
-            if scan.len() > cfg.blanket_threshold {
-                dropped_scans += 1;
-                continue;
+            p.sampled_txns += 1;
+            for &t in &txn.reads {
+                visit_tuple(&mut p.stats, t, false, idx);
             }
-            for &t in scan {
-                visit_tuple(t, false, idx, &mut stats_map);
+            for &t in &txn.writes {
+                visit_tuple(&mut p.stats, t, true, idx);
+            }
+            for scan in &txn.scans {
+                if scan.len() > cfg.blanket_threshold {
+                    p.dropped_scans += 1;
+                    continue;
+                }
+                for &t in scan {
+                    visit_tuple(&mut p.stats, t, false, idx);
+                }
+            }
+        });
+        p
+    });
+
+    // Ordered reduce over the chunk partials. Every merged quantity is
+    // commutative (sums — including the reformulated signature), so the
+    // result is independent of the chunk decomposition too.
+    let mut partials = partials.into_iter();
+    let first = partials.next().unwrap_or_default();
+    let mut stats_map = first.stats;
+    let mut sampled_txns = first.sampled_txns;
+    let mut dropped_scans = first.dropped_scans;
+    for p in partials {
+        sampled_txns += p.sampled_txns;
+        dropped_scans += p.dropped_scans;
+        for (t, s) in p.stats {
+            match stats_map.entry(t) {
+                Entry::Occupied(e) => e.into_mut().absorb(&s),
+                Entry::Vacant(v) => {
+                    v.insert(s);
+                }
             }
         }
     }
@@ -318,21 +471,123 @@ pub fn build_graph(workload: &Workload, trace: &Trace, cfg: &SchismConfig) -> Wo
     }
     let num_groups = groups.len();
 
-    // --- Explosion plan: groups accessed often enough get replica stars. ---
+    // --- Explosion plan: groups accessed often enough get replica stars.
+    // Each exploded group reserves a contiguous replica-id range sized by
+    // its access count (a transaction allocates at most one replica per
+    // group per transaction, so the access count bounds the allocations);
+    // `replica_base[g]` is the first id of group `g`'s range. Chunk-local
+    // allocations resolve against these bases during the stitch, which is
+    // what lets pass 2 run without cross-chunk coordination.
     let exploded: Vec<bool> = groups
         .iter()
         .map(|g| cfg.replication && g.0 >= cfg.replication_min_accesses)
         .collect();
-    let total_replicas: usize = groups
-        .iter()
-        .zip(&exploded)
-        .filter(|&(_, &e)| e)
-        .map(|(g, _)| g.0 as usize)
-        .sum();
     let exploded_groups = exploded.iter().filter(|&&e| e).count();
+    let mut replica_base = vec![0 as NodeId; num_groups];
+    let mut next_base = num_groups as u64;
+    for (g, grp) in groups.iter().enumerate() {
+        replica_base[g] = next_base as NodeId;
+        if exploded[g] {
+            next_base += grp.0 as u64;
+        }
+    }
+    assert!(next_base <= u32::MAX as u64, "too many nodes for u32 ids");
+    let n_nodes = next_base as usize;
+    let total_replicas = n_nodes - num_groups;
+    let mut replica_owner = vec![0 as NodeId; total_replicas];
+    for (g, grp) in groups.iter().enumerate() {
+        if exploded[g] {
+            let base = replica_base[g] as usize - num_groups;
+            replica_owner[base..base + grp.0 as usize].fill(g as NodeId);
+        }
+    }
 
-    // --- Pass 2: nodes + edges. ---
-    let n_nodes = num_groups + total_replicas;
+    // --- Pass 2: edge emission into chunk-local buffers. ---
+    let tuple_index: HashMap<TupleId, usize> =
+        tuples.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let num_groups_u32 = num_groups as NodeId;
+    // Every chunk buffer is retained until the stitch consumes it, so the
+    // per-buffer threshold divides `compact_every` by the chunk count to
+    // keep the *aggregate* buffered-edge ceiling near `compact_every`
+    // (soft: a chunk whose deduplicated edges exceed its share keeps
+    // them). Compaction never changes the final graph — only peak memory.
+    let n_chunks = n_txns.div_ceil(chunk);
+    let local_compact = (cfg.compact_every / n_chunks.max(1)).max(1 << 16);
+    let parts = pool.scope_chunks_with(
+        n_txns,
+        chunk,
+        || Vec::<NodeId>::with_capacity(64),
+        |members, range| {
+            let mut out = Pass2Partial {
+                alloc: Vec::new(),
+                edges: EdgeBuffer::new(),
+            };
+            // Length after the last compaction: once the deduplicated edge
+            // set itself exceeds the threshold, re-compact only after the
+            // buffer doubles — compaction can no longer shrink it below the
+            // threshold, and re-sorting per transaction would be O(n²).
+            let mut compacted_len = 0usize;
+            source.for_chunk(range, &mut |idx, txn| {
+                if !keep_txn(idx, cfg.txn_sample, seed) {
+                    return;
+                }
+                members.clear();
+                {
+                    let mut add = |t: TupleId| {
+                        if let Some(&ti) = tuple_index.get(&t) {
+                            members.push(group_of[ti]);
+                        }
+                    };
+                    for &t in &txn.reads {
+                        add(t);
+                    }
+                    for &t in &txn.writes {
+                        add(t);
+                    }
+                    for scan in &txn.scans {
+                        if scan.len() > cfg.blanket_threshold {
+                            continue;
+                        }
+                        for &t in scan {
+                            add(t);
+                        }
+                    }
+                }
+                // One member per distinct group per transaction.
+                members.sort_unstable();
+                members.dedup();
+                // Exploded groups contribute a fresh replica node; encode
+                // it as `num_groups + <chunk-local allocation index>` and
+                // log the owning group — the stitch resolves real ids.
+                for m in members.iter_mut() {
+                    if exploded[*m as usize] {
+                        let local = num_groups_u32 + out.alloc.len() as NodeId;
+                        out.alloc.push(*m);
+                        *m = local;
+                    }
+                }
+                // Transaction clique (§4.1; Appendix B prefers cliques
+                // over stars for transactions).
+                for i in 0..members.len() {
+                    for j in i + 1..members.len() {
+                        out.edges.push(members[i], members[j], 1);
+                    }
+                }
+                if out.edges.len() > local_compact && out.edges.len() >= 2 * compacted_len {
+                    out.edges.compact();
+                    compacted_len = out.edges.len();
+                }
+            });
+            out.edges.compact();
+            out
+        },
+    );
+
+    // --- Stitch: resolve allocations and concatenate buffers in chunk
+    // order. A replica allocation's global id is `replica_base[g] + n`
+    // where `n` counts the group's prior allocations across all earlier
+    // chunks (and earlier transactions of this chunk) — exactly the rank a
+    // sequential walk would assign, so the graph is chunking-independent.
     let mut gb = GraphBuilder::new(n_nodes);
     // Node weights. Exploded groups spread their weight over replicas; the
     // center is a zero-weight anchor.
@@ -347,113 +602,64 @@ pub fn build_graph(workload: &Workload, trace: &Trace, cfg: &SchismConfig) -> Wo
             gb.set_vertex_weight(gid as NodeId, weight.clamp(1, u32::MAX as u64) as u32);
         }
     }
-
-    let tuple_index: HashMap<TupleId, usize> =
-        tuples.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-    let mut next_replica: NodeId = num_groups as NodeId;
-    let mut replica_group: Vec<NodeId> = Vec::with_capacity(total_replicas);
-    // Per-group replica weights, assigned per access below.
-    let mut members: Vec<NodeId> = Vec::with_capacity(64);
-    // To avoid a group contributing two members when a transaction touches
-    // two coalesced tuples of the same group, track last-touch stamps.
-    let mut group_stamp: Vec<u64> = vec![u64::MAX; num_groups];
-
-    const COMPACT_EVERY: usize = 1 << 23; // merge duplicate edges past ~8M buffered
-
-    for (idx, txn) in trace.transactions.iter().enumerate() {
-        if !keep_txn(idx, cfg.txn_sample, seed) {
-            continue;
-        }
-        members.clear();
-        let add_member = |t: TupleId,
-                          members: &mut Vec<NodeId>,
-                          gb: &mut GraphBuilder,
-                          replica_group: &mut Vec<NodeId>,
-                          next_replica: &mut NodeId,
-                          group_stamp: &mut Vec<u64>| {
-            let Some(&ti) = tuple_index.get(&t) else {
-                return;
-            };
-            let gid = group_of[ti] as usize;
-            if group_stamp[gid] == idx as u64 {
-                return; // group already represented in this transaction
-            }
-            group_stamp[gid] = idx as u64;
-            if exploded[gid] {
-                // Fresh replica node for this transaction.
-                let r = *next_replica;
-                *next_replica += 1;
-                replica_group.push(gid as NodeId);
-                let g = &groups[gid];
+    let mut alloc_count = vec![0u32; num_groups];
+    let mut replica_used = vec![false; total_replicas];
+    let mut map_local: Vec<NodeId> = Vec::new();
+    let mut gb_compacted_len = 0usize;
+    for part in parts {
+        map_local.clear();
+        map_local.reserve(part.alloc.len());
+        for &gid in &part.alloc {
+            let g = gid as usize;
+            let grp = &groups[g];
+            let node = if alloc_count[g] < grp.0 {
+                let node = replica_base[g] + alloc_count[g];
+                alloc_count[g] += 1;
+                replica_used[node as usize - num_groups] = true;
                 let weight = match cfg.node_weight {
                     NodeWeight::Workload => 1u64,
-                    NodeWeight::DataSize => (g.2 / g.0.max(1) as u64).max(1),
+                    NodeWeight::DataSize => (grp.2 / grp.0.max(1) as u64).max(1),
                 };
-                gb.set_vertex_weight(r, weight.clamp(1, u32::MAX as u64) as u32);
+                gb.set_vertex_weight(node, weight.clamp(1, u32::MAX as u64) as u32);
                 // Star edge to the center, weighted by the update cost
                 // (§4.1: the number of transactions that update the tuple).
                 // The floor of 1 mirrors METIS's requirement of positive
                 // edge weights: replicating even a read-only tuple costs a
                 // token amount, so replicas do not scatter on zero-gain
                 // balance moves.
-                gb.add_edge(gid as NodeId, r, g.1.max(1));
-                members.push(r);
+                gb.add_edge(gid, node, grp.1.max(1));
+                node
             } else {
-                members.push(gid as NodeId);
+                // Star capacity exhausted — only reachable if a signature
+                // collision coalesced tuples with different access sets.
+                // Fall back to the group center (still deterministic).
+                gid
+            };
+            map_local.push(node);
+        }
+        let resolve = |e: NodeId| {
+            if e < num_groups_u32 {
+                e
+            } else {
+                map_local[(e - num_groups_u32) as usize]
             }
         };
-
-        for &t in &txn.reads {
-            add_member(
-                t,
-                &mut members,
-                &mut gb,
-                &mut replica_group,
-                &mut next_replica,
-                &mut group_stamp,
-            );
-        }
-        for &t in &txn.writes {
-            add_member(
-                t,
-                &mut members,
-                &mut gb,
-                &mut replica_group,
-                &mut next_replica,
-                &mut group_stamp,
-            );
-        }
-        for scan in &txn.scans {
-            if scan.len() > cfg.blanket_threshold {
-                continue;
-            }
-            for &t in scan {
-                add_member(
-                    t,
-                    &mut members,
-                    &mut gb,
-                    &mut replica_group,
-                    &mut next_replica,
-                    &mut group_stamp,
-                );
-            }
-        }
-
-        // Transaction clique (§4.1; Appendix B prefers cliques over stars
-        // for transactions).
-        for i in 0..members.len() {
-            for j in i + 1..members.len() {
-                gb.add_edge(members[i], members[j], 1);
-            }
-        }
-        if gb.pending_edges() > COMPACT_EVERY {
+        gb.append_edges(
+            part.edges
+                .into_edges()
+                .into_iter()
+                .map(|(u, v, w)| (resolve(u), resolve(v), w)),
+        );
+        // Same doubling guard as the chunk buffers: once the merged edge
+        // set exceeds the threshold, only re-compact after 2x growth.
+        if gb.pending_edges() > cfg.compact_every && gb.pending_edges() >= 2 * gb_compacted_len {
             gb.compact();
+            gb_compacted_len = gb.pending_edges();
         }
     }
 
     // Replicas may be fewer than planned if sampling hid some accesses;
-    // unused pre-allocated ids simply stay isolated with weight 1. Shrink
-    // bookkeeping to what was actually allocated.
+    // unused planned ids simply stay isolated with weight 1.
     let graph = gb.build();
     let stats = BuildStats {
         sampled_txns,
@@ -471,7 +677,8 @@ pub fn build_graph(workload: &Workload, trace: &Trace, cfg: &SchismConfig) -> Wo
         tuples,
         group_of,
         num_groups,
-        replica_group,
+        replica_owner,
+        replica_used,
         group_writes,
         group_accesses,
         stats,
@@ -597,6 +804,46 @@ mod tests {
         let plain = build_graph(&w, &trace, &no_coalesce);
         assert_eq!(plain.stats.groups, 40);
         assert_eq!(plain.graph.num_edges(), 20);
+    }
+
+    #[test]
+    fn chunked_source_equals_whole_trace_at_one_thread() {
+        // The threads=1 equivalence pin for the signature reformulation and
+        // the chunk-local replica allocation: ingesting a streaming source
+        // chunk by chunk must produce the bit-identical graph to ingesting
+        // its materialized whole trace.
+        use schism_workload::drifting::{self, DriftingConfig};
+        let dcfg = DriftingConfig {
+            num_txns: 2_000,
+            ..Default::default()
+        };
+        let w = drifting::generate(&dcfg);
+        let src = drifting::stream(&dcfg);
+        let whole = src.materialize();
+        for threads in [1usize, 3] {
+            let mut cfg = base_cfg();
+            cfg.threads = threads;
+            let from_source = build_graph_source(&w, &src, &cfg);
+            let from_trace = build_graph(&w, &whole, &cfg);
+            assert_eq!(from_source.stats, from_trace.stats);
+            assert_eq!(from_source.digest(), from_trace.digest());
+            assert_eq!(from_source.graph, from_trace.graph);
+        }
+    }
+
+    #[test]
+    fn compact_threshold_never_changes_the_graph() {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 500,
+            num_txns: 1_000,
+            ..YcsbConfig::workload_a()
+        });
+        let base = build_graph(&w, &w.trace, &base_cfg());
+        let mut tiny = base_cfg();
+        tiny.compact_every = 1; // compacts constantly (floored per chunk)
+        let compacted = build_graph(&w, &w.trace, &tiny);
+        assert_eq!(base.digest(), compacted.digest());
+        assert_eq!(base.graph, compacted.graph);
     }
 
     #[test]

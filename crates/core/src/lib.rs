@@ -11,7 +11,10 @@
 //! 2. **Graph creation** ([`graph_builder`]) — a node per tuple (or
 //!    coalesced tuple group), clique edges between co-accessed tuples,
 //!    star-shaped replication sub-graphs, with transaction/tuple sampling,
-//!    blanket-statement filtering and relevance filtering (§5.1).
+//!    blanket-statement filtering and relevance filtering (§5.1). The
+//!    build streams the trace in chunks ([`build_graph_source`] over any
+//!    [`schism_workload::TraceSource`]) across [`SchismConfig::threads`]
+//!    workers, with bit-identical output for every thread count.
 //! 3. **Graph partitioning** ([`partition_phase`]) — balanced min-cut via
 //!    the multilevel partitioner in [`schism_graph`].
 //! 4. **Explanation** ([`explain`]) — a C4.5-style decision tree over
@@ -40,7 +43,7 @@ pub mod validate;
 
 pub use config::{NodeWeight, SchismConfig};
 pub use explain::{Explanation, TableExplanation};
-pub use graph_builder::{build_graph, BuildStats, WorkloadGraph};
+pub use graph_builder::{build_graph, build_graph_source, BuildStats, WorkloadGraph};
 pub use partition_phase::{run_partition_phase, run_partition_phase_warm, PartitionPhase};
 pub use pipeline::{
     build_lookup_scheme, hash_on_frequent_attributes, Recommendation, RerunOutcome, Schism,

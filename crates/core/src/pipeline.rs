@@ -95,7 +95,9 @@ impl Schism {
         let cfg = &self.cfg;
         let t0 = Instant::now();
 
-        // Steps 1-2: read/write sets are already in the trace; build graph.
+        // Steps 1-2: read/write sets are already in the trace; build the
+        // graph (streaming parallel — `cfg.threads` workers, bit-identical
+        // output at any count).
         let wg = build_graph(workload, train, cfg);
         let graph_build_time = t0.elapsed();
 
@@ -149,10 +151,11 @@ impl Schism {
     /// it already lives, so only balance- or cut-improving moves relocate
     /// data.
     ///
-    /// The warm partitioner honors [`SchismConfig::threads`]
-    /// (`SCHISM_THREADS` when 0) exactly like the cold path, so a rerun
-    /// racing a drift window — typically on the migration controller's
-    /// critical path — uses every core without changing its output.
+    /// Both the graph rebuild and the warm partitioner honor
+    /// [`SchismConfig::threads`] (`SCHISM_THREADS` when 0) exactly like the
+    /// cold path, so a rerun racing a drift window — typically on the
+    /// migration controller's critical path — uses every core without
+    /// changing its output.
     pub fn rerun(
         &self,
         workload: &Workload,

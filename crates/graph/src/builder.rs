@@ -7,6 +7,14 @@
 //! a single edge whose weight is the sum — exactly the accumulation the
 //! paper's edge weights require ("edge weights account for the number of
 //! transactions that co-access a pair of tuples").
+//!
+//! Sharded builds (the parallel graph builder in `schism-core`) accumulate
+//! edges per chunk in standalone [`EdgeBuffer`]s, then stitch them into one
+//! [`GraphBuilder`] in chunk order via [`GraphBuilder::append_edges`]. The
+//! final sort-and-merge is insensitive to buffer concatenation order
+//! (duplicate weights are summed, and saturating u32 sums are
+//! order-independent), which is what makes the sharded build bit-identical
+//! to a sequential one.
 
 use crate::csr::{CsrGraph, NodeId};
 
@@ -78,15 +86,19 @@ impl GraphBuilder {
     /// constantly) call this periodically to bound peak memory; `build`
     /// performs the same merge at the end regardless.
     pub fn compact(&mut self) {
-        self.edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
-        self.edges.dedup_by(|cur, acc| {
-            if acc.0 == cur.0 && acc.1 == cur.1 {
-                acc.2 = acc.2.saturating_add(cur.2);
-                true
-            } else {
-                false
-            }
-        });
+        compact_triples(&mut self.edges);
+    }
+
+    /// Appends a batch of undirected edges — the stitch half of a sharded
+    /// build. Each edge goes through the same canonicalization as
+    /// [`GraphBuilder::add_edge`] (self loops and zero weights dropped,
+    /// endpoints ordered), so a sequence of `append_edges` calls followed by
+    /// [`GraphBuilder::build`] yields exactly the graph the equivalent
+    /// `add_edge` stream would.
+    pub fn append_edges(&mut self, edges: impl IntoIterator<Item = (NodeId, NodeId, u32)>) {
+        for (u, v, w) in edges {
+            self.add_edge(u, v, w);
+        }
     }
 
     /// Sorts, merges duplicates, and emits the CSR graph.
@@ -135,6 +147,74 @@ impl GraphBuilder {
         }
 
         CsrGraph::from_parts(xadj, adjncy, adjwgt, self.vwgt)
+    }
+}
+
+/// Sorts `(u, v, w)` triples by endpoint pair and merges duplicate pairs by
+/// (saturating) weight sum.
+fn compact_triples(edges: &mut Vec<(NodeId, NodeId, u32)>) {
+    edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    edges.dedup_by(|cur, acc| {
+        if acc.0 == cur.0 && acc.1 == cur.1 {
+            acc.2 = acc.2.saturating_add(cur.2);
+            true
+        } else {
+            false
+        }
+    });
+}
+
+/// A standalone edge-accumulation buffer for the chunk half of a sharded
+/// graph build.
+///
+/// Worker chunks push edges here (canonicalized, self loops and zero
+/// weights dropped — the same normalization as [`GraphBuilder::add_edge`]),
+/// periodically [`EdgeBuffer::compact`]ing to bound memory, and the
+/// stitching pass drains the buffers into a [`GraphBuilder`] in chunk
+/// order. Unlike the builder there is **no vertex-range check**: chunk
+/// buffers may hold caller-encoded ids (e.g. chunk-local replica indices)
+/// that are remapped to real node ids during the stitch.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeBuffer {
+    edges: Vec<(NodeId, NodeId, u32)>,
+}
+
+impl EdgeBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes an undirected edge; self loops and zero weights are dropped,
+    /// endpoints are stored `(min, max)`.
+    pub fn push(&mut self, u: NodeId, v: NodeId, w: u32) {
+        if u == v || w == 0 {
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, w));
+    }
+
+    /// Number of buffered (pre-merge) insertions.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Merges duplicate endpoint pairs in place (weights summed,
+    /// saturating). Safe to call at any time: compaction never changes the
+    /// graph the buffered edges describe.
+    pub fn compact(&mut self) {
+        compact_triples(&mut self.edges);
+    }
+
+    /// Consumes the buffer, returning the canonicalized triples.
+    pub fn into_edges(self) -> Vec<(NodeId, NodeId, u32)> {
+        self.edges
     }
 }
 
@@ -190,5 +270,48 @@ mod tests {
     fn rejects_out_of_range() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 5, 1);
+    }
+
+    #[test]
+    fn edge_buffer_normalizes_like_the_builder() {
+        let mut buf = EdgeBuffer::new();
+        buf.push(1, 0, 2);
+        buf.push(0, 1, 3);
+        buf.push(2, 2, 9); // self loop dropped
+        buf.push(0, 2, 0); // zero weight dropped
+        assert_eq!(buf.len(), 2);
+        buf.compact();
+        assert_eq!(buf.len(), 1);
+        let edges = buf.into_edges();
+        assert_eq!(edges, vec![(0, 1, 5)]);
+    }
+
+    #[test]
+    fn append_edges_matches_add_edge_stream() {
+        let build = |chunked: bool| {
+            let mut b = GraphBuilder::new(4);
+            let edges = [(0u32, 1u32, 2u32), (1, 0, 1), (2, 3, 4), (1, 2, 1)];
+            if chunked {
+                let mut first = EdgeBuffer::new();
+                let mut second = EdgeBuffer::new();
+                for &(u, v, w) in &edges[..2] {
+                    first.push(u, v, w);
+                }
+                for &(u, v, w) in &edges[2..] {
+                    second.push(u, v, w);
+                }
+                first.compact();
+                b.append_edges(first.into_edges());
+                b.append_edges(second.into_edges());
+            } else {
+                for (u, v, w) in edges {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        };
+        let a = build(false);
+        let b = build(true);
+        assert_eq!(a, b, "sharded build must equal the sequential one");
     }
 }

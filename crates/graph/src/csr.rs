@@ -19,7 +19,7 @@ pub type NodeId = u32;
 /// - adjacency is symmetric: `v ∈ adj(u)` with weight `w` iff `u ∈ adj(v)`
 ///   with weight `w`
 /// - no self loops
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CsrGraph {
     xadj: Vec<u32>,
     adjncy: Vec<NodeId>,

@@ -38,7 +38,7 @@ pub mod metrics;
 pub mod partition;
 pub mod refine;
 
-pub use builder::GraphBuilder;
+pub use builder::{EdgeBuffer, GraphBuilder};
 pub use components::{connected_components, UnionFind};
 pub use csr::{CsrGraph, NodeId};
 pub use metrics::{boundary_size, edge_cut, imbalance, part_weights};

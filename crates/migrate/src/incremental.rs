@@ -13,6 +13,11 @@
 //! random-permutation bound — the gap between the two is the entire point
 //! of incremental repartitioning (SWORD makes the same argument for
 //! hypergraph containers).
+//!
+//! Both paths honor `SchismConfig::threads` end to end: the per-window
+//! graph rebuild (the streaming parallel `build_graph`) and the warm/cold
+//! partition run on the same worker pool, so a rerun racing a drift window
+//! uses every core without changing its output.
 
 use crate::relabel::{apply_relabel, relabel, Relabeling};
 use schism_core::{build_graph, run_partition_phase, Schism};

@@ -19,6 +19,9 @@
 //!   index, so scheduling order is invisible to the caller.
 //! - [`Pool::reduce_chunks`] folds the slots **in chunk order** — an
 //!   ordered reduce — so even non-commutative combines are stable.
+//! - [`Pool::scope_chunks_with`] adds reusable per-worker scratch buffers
+//!   (allocated once per worker, not once per chunk) without weakening the
+//!   contract: results must stay pure functions of the chunk range.
 //!
 //! The one rule callers must follow: the per-chunk closure must be a pure
 //! function of the chunk's input range (plus captured immutable state). If
@@ -131,23 +134,54 @@ impl Pool {
         T: Send,
         F: Fn(Range<usize>) -> T + Sync,
     {
+        self.scope_chunks_with(len, chunk, || (), |(), range| f(range))
+    }
+
+    /// [`Pool::scope_chunks`] with reusable **per-worker scratch state**:
+    /// `scratch()` is called once per worker (once total on the sequential
+    /// path), and the same `&mut S` is handed to every chunk that worker
+    /// pulls. Use it for working buffers a per-chunk closure would
+    /// otherwise re-allocate (hash maps, member lists) — the streaming
+    /// graph builder's edge-emission pass leans on this.
+    ///
+    /// The determinism contract tightens accordingly: the chunk result must
+    /// be a pure function of the chunk's *range* (plus captured immutable
+    /// state). Scratch is scratch — any information it carries from one
+    /// chunk into the next worker-local chunk must not be observable in the
+    /// output, because which chunks share a scratch depends on scheduling.
+    pub fn scope_chunks_with<S, T, I, F>(
+        &self,
+        len: usize,
+        chunk: usize,
+        scratch: I,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, Range<usize>) -> T + Sync,
+    {
         let chunk = chunk.max(1);
         let n_chunks = len.div_ceil(chunk);
         let bounds = |i: usize| i * chunk..((i + 1) * chunk).min(len);
         if self.threads <= 1 || n_chunks <= 1 {
-            return (0..n_chunks).map(|i| f(bounds(i))).collect();
+            let mut s = scratch();
+            return (0..n_chunks).map(|i| f(&mut s, bounds(i))).collect();
         }
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for _ in 0..self.threads.min(n_chunks) {
-                s.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_chunks {
-                        break;
+                s.spawn(|| {
+                    let mut state = scratch();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_chunks {
+                            break;
+                        }
+                        let out = f(&mut state, bounds(i));
+                        *slots[i].lock().expect("result slot poisoned") = Some(out);
                     }
-                    let out = f(bounds(i));
-                    *slots[i].lock().expect("result slot poisoned") = Some(out);
                 });
             }
         });
@@ -242,6 +276,40 @@ mod tests {
         assert_eq!(got.len(), 64);
         for (i, &(start, _)) in got.iter().enumerate() {
             assert_eq!(start, i);
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_invisible_in_output() {
+        use std::sync::atomic::AtomicUsize;
+        let run = |threads: usize| {
+            let inits = AtomicUsize::new(0);
+            let got = Pool::new(threads).scope_chunks_with(
+                1_000,
+                37,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<u64>::new()
+                },
+                |buf, r| {
+                    // Reuse the buffer across chunks; result depends only on
+                    // the range.
+                    buf.clear();
+                    buf.extend(r.map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)));
+                    buf.iter().fold(0u64, |a, &x| a.rotate_left(5) ^ x)
+                },
+            );
+            (got, inits.load(Ordering::Relaxed))
+        };
+        let (base, seq_inits) = run(1);
+        assert_eq!(seq_inits, 1, "sequential path builds one scratch");
+        for t in [2, 4, 8] {
+            let (got, inits) = run(t);
+            assert_eq!(got, base, "threads={t} changed chunk results");
+            assert!(
+                inits >= 1 && inits <= t,
+                "one scratch per worker, got {inits}"
+            );
         }
     }
 

@@ -17,6 +17,11 @@
 //! (read/write sets, optional SQL statements), a [`TupleValues`] oracle for
 //! tuple attribute values, per-table row counts, and WHERE-clause attribute
 //! statistics. Generators are deterministic for a fixed seed.
+//!
+//! Traces can also be consumed without materializing them: [`TraceSource`]
+//! is the chunked-iteration abstraction the streaming graph builder
+//! ingests, implemented by the in-memory [`Trace`] and by the streaming
+//! generator paths (`drifting::stream`, `ycsb::stream`, `tpcc::stream`).
 
 pub mod dist;
 pub mod drifting;
@@ -31,6 +36,6 @@ pub mod txn;
 pub mod ycsb;
 
 pub use dist::{ScrambledZipfian, Zipfian};
-pub use trace::{Trace, Workload};
+pub use trace::{Trace, TraceSource, Workload};
 pub use tuple::{MaterializedDb, TupleId, TupleValues};
 pub use txn::{Transaction, TxnBuilder};

@@ -1,5 +1,5 @@
 //! Workload traces: schema + transactions + tuple-value access, with
-//! train/test splitting.
+//! train/test splitting and chunked streaming via [`TraceSource`].
 
 use crate::tuple::{TupleId, TupleValues};
 use crate::txn::Transaction;
@@ -7,7 +7,85 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use schism_sql::{AttributeStats, Schema, TableId};
+use std::ops::Range;
 use std::sync::Arc;
+
+/// A source of transactions consumed in contiguous index chunks, so large
+/// traces never have to be materialized as one `Vec<Transaction>`.
+///
+/// This is the ingestion abstraction of the streaming graph builder: pass 1
+/// and pass 2 each walk the source in transaction chunks (possibly from
+/// several worker threads at once, hence the `Sync` bound), and generators
+/// can produce each chunk on demand instead of holding the whole trace in
+/// memory.
+///
+/// # Contract
+///
+/// A source is an immutable, indexable sequence of [`Transaction`]s:
+///
+/// - [`TraceSource::for_chunk`] must visit exactly the transactions with
+///   global indices in `range`, in ascending order, and the transaction
+///   yielded for index `i` must be identical on every call — regardless of
+///   how the full range `0..len()` is cut into chunks and regardless of
+///   which thread asks. Chunked and whole-trace ingestion are therefore
+///   indistinguishable to a consumer, which is what lets the graph builder
+///   promise bit-identical output for both.
+/// - `len()` is the fixed number of transactions; out-of-range chunks are a
+///   caller bug (implementations may panic).
+///
+/// The in-memory [`Trace`] implements it by slicing; the drifting, YCSB and
+/// TPC-C generators implement it by regenerating transactions per index
+/// (see `drifting::stream`, `ycsb::stream`, `tpcc::stream`).
+pub trait TraceSource: Sync {
+    /// Total number of transactions in the source.
+    fn len(&self) -> usize;
+
+    /// Whether the source has no transactions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits the transactions with indices in `range`, in ascending index
+    /// order, passing each transaction's global index alongside it.
+    fn for_chunk(&self, range: Range<usize>, visit: &mut dyn FnMut(usize, &Transaction));
+
+    /// Materializes the whole source into an in-memory [`Trace`] (the
+    /// whole-trace path; tests use it to pin chunked == whole).
+    fn materialize(&self) -> Trace {
+        let mut transactions = Vec::with_capacity(self.len());
+        self.for_chunk(0..self.len(), &mut |_, t| transactions.push(t.clone()));
+        Trace { transactions }
+    }
+}
+
+/// splitmix64 of `seed ^ f(idx)`: one independent RNG seed per transaction
+/// index. Shared by the streaming generator paths (`drifting::stream`,
+/// `ycsb::stream`) so any chunk regenerates its transactions in isolation.
+pub(crate) fn txn_stream_seed(seed: u64, idx: usize) -> u64 {
+    let mut x = seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl TraceSource for Trace {
+    fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    fn for_chunk(&self, range: Range<usize>, visit: &mut dyn FnMut(usize, &Transaction)) {
+        let start = range.start;
+        for (i, t) in self.transactions[range].iter().enumerate() {
+            visit(start + i, t);
+        }
+    }
+
+    fn materialize(&self) -> Trace {
+        self.clone()
+    }
+}
 
 /// A transaction trace.
 #[derive(Clone, Debug, Default)]
@@ -160,5 +238,38 @@ mod tests {
         };
         let d = trace.distinct_tuples();
         assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn trace_source_chunks_cover_in_order() {
+        let trace = Trace {
+            transactions: (0..10).map(|i| txn(&[i])).collect(),
+        };
+        // Any chunking yields the same (index, row) sequence as the whole.
+        let collect = |chunks: Vec<Range<usize>>| -> Vec<(usize, u64)> {
+            let mut out = Vec::new();
+            for c in chunks {
+                trace.for_chunk(c, &mut |i, t| out.push((i, t.reads[0].row)));
+            }
+            out
+        };
+        let mut whole = Vec::new();
+        trace.for_chunk(0..10, &mut |i, t| whole.push((i, t.reads[0].row)));
+        assert_eq!(whole, (0..10).map(|i| (i as usize, i)).collect::<Vec<_>>());
+        assert_eq!(collect(vec![0..3, 3..7, 7..10]), whole);
+        assert_eq!(TraceSource::len(&trace), 10);
+        assert!(!TraceSource::is_empty(&trace));
+    }
+
+    #[test]
+    fn trace_source_materialize_roundtrips() {
+        let trace = Trace {
+            transactions: (0..5).map(|i| txn(&[i, i + 1])).collect(),
+        };
+        let m = trace.materialize();
+        assert_eq!(m.len(), trace.len());
+        for (a, b) in m.transactions.iter().zip(&trace.transactions) {
+            assert_eq!(a.reads, b.reads);
+        }
     }
 }

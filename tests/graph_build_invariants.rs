@@ -1,0 +1,111 @@
+//! Property pins for the streaming graph builder's sampling heuristics
+//! (§5.1) and its ingestion contract:
+//!
+//! - transaction/tuple sampling may only *shrink* the node set — every
+//!   tuple surviving a sampled build exists in the full build;
+//! - `BuildStats` bookkeeping (`sampled_txns`, `dropped_scans`) and the
+//!   whole graph are identical between chunked (streaming-source) and
+//!   whole-trace ingestion, for any sampling rate and seed.
+
+use proptest::prelude::*;
+use schism_core::{build_graph, build_graph_source, SchismConfig};
+use schism_workload::drifting::{self, DriftingConfig};
+use schism_workload::ycsb::{self, YcsbConfig};
+use schism_workload::TraceSource;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// A sampled build's node set is a subset of the full build's, and the
+    /// sampled transaction count never exceeds the trace.
+    #[test]
+    fn sampling_yields_a_subset_of_the_full_node_set(
+        txn_pct in 20..=100u32,
+        tuple_pct in 20..=100u32,
+        seed in 0..20u64,
+    ) {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 600,
+            num_txns: 800,
+            seed,
+            ..YcsbConfig::workload_e()
+        });
+        let mut full_cfg = SchismConfig::new(2);
+        full_cfg.seed = seed;
+        let full = build_graph(&w, &w.trace, &full_cfg);
+
+        let mut sampled_cfg = full_cfg.clone();
+        sampled_cfg.txn_sample = f64::from(txn_pct) / 100.0;
+        sampled_cfg.tuple_sample = f64::from(tuple_pct) / 100.0;
+        let sampled = build_graph(&w, &w.trace, &sampled_cfg);
+
+        let full_set: HashSet<_> = full.tuples().iter().copied().collect();
+        for t in sampled.tuples() {
+            prop_assert!(
+                full_set.contains(t),
+                "sampled build invented tuple {t:?} absent from the full build"
+            );
+        }
+        prop_assert!(sampled.stats.sampled_txns <= w.trace.len());
+        prop_assert!(sampled.stats.distinct_tuples <= full.stats.distinct_tuples);
+    }
+
+    /// Chunked (streaming-source) and whole-trace ingestion agree on the
+    /// graph and on `BuildStats` — including under transaction sampling and
+    /// a blanket filter tight enough to drop scans.
+    #[test]
+    fn chunked_and_whole_trace_stats_are_consistent(
+        txn_pct in 30..=100u32,
+        seed in 0..20u64,
+        threads in 1..=4usize,
+    ) {
+        let dcfg = DriftingConfig {
+            num_txns: 600,
+            seed,
+            ..Default::default()
+        };
+        let w = drifting::generate(&dcfg);
+        let src = drifting::stream(&dcfg);
+
+        let mut cfg = SchismConfig::new(2);
+        cfg.seed = seed;
+        cfg.threads = threads;
+        cfg.txn_sample = f64::from(txn_pct) / 100.0;
+
+        let chunked = build_graph_source(&w, &src, &cfg);
+        let whole = build_graph(&w, &src.materialize(), &cfg);
+        prop_assert_eq!(chunked.stats.sampled_txns, whole.stats.sampled_txns);
+        prop_assert_eq!(chunked.stats.dropped_scans, whole.stats.dropped_scans);
+        prop_assert_eq!(chunked.stats, whole.stats);
+        prop_assert_eq!(chunked.digest(), whole.digest());
+    }
+
+    /// Scan-dropping accounting survives chunking too: a strict blanket
+    /// threshold drops the same scans on both ingestion paths.
+    #[test]
+    fn blanket_filter_consistent_across_ingestion(
+        seed in 0..10u64,
+        threads in 1..=4usize,
+    ) {
+        let ycfg = YcsbConfig {
+            records: 400,
+            num_txns: 500,
+            seed,
+            scan_max: 9,
+            ..YcsbConfig::workload_e()
+        };
+        let w = ycsb::generate(&ycfg);
+        let src = ycsb::stream(&ycfg);
+        let mut cfg = SchismConfig::new(2);
+        cfg.seed = seed;
+        cfg.threads = threads;
+        cfg.blanket_threshold = 4;
+
+        let chunked = build_graph_source(&w, &src, &cfg);
+        let whole = build_graph(&w, &src.materialize(), &cfg);
+        prop_assert!(chunked.stats.dropped_scans > 0, "threshold too lax for the pin");
+        prop_assert_eq!(chunked.stats, whole.stats);
+        prop_assert_eq!(chunked.digest(), whole.digest());
+    }
+}

@@ -1,14 +1,21 @@
-//! The parallel partitioner's determinism pin: partition labels and edge
-//! cut must be **bit-identical for every thread count** — on seeded
-//! generated graphs, on the TPC-C workload-builder graph, cold and warm,
-//! and through the full `schism-core` partition phase (per-tuple partition
-//! sets included). `SCHISM_THREADS` only trades wall-clock, never output;
-//! CI runs the whole suite at 1 and at 4 threads on top of these explicit
-//! pins.
+//! The parallel determinism pins: partition labels and edge cut — and, as
+//! of the streaming graph builder, the **entire workload graph** (tuples,
+//! groups, CSR edges, weights, `BuildStats`) — must be **bit-identical for
+//! every thread count and for chunked vs. whole-trace ingestion** — on
+//! seeded generated graphs, on the TPC-C workload-builder graph, cold and
+//! warm, and through the full `schism-core` partition phase (per-tuple
+//! partition sets included). `SCHISM_THREADS` only trades wall-clock,
+//! never output; CI runs the whole suite at 1 and at 4 threads on top of
+//! these explicit pins.
 
-use schism_core::{build_graph, run_partition_phase, run_partition_phase_warm, SchismConfig};
+use schism_core::{
+    build_graph, build_graph_source, run_partition_phase, run_partition_phase_warm, SchismConfig,
+};
 use schism_graph::{gen, partition, partition_warm, PartitionerConfig, Partitioning};
+use schism_workload::drifting::{self, DriftingConfig};
 use schism_workload::tpcc::{self, TpccConfig};
+use schism_workload::ycsb::{self, YcsbConfig};
+use schism_workload::TraceSource;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -91,6 +98,79 @@ fn tpcc_builder_graph() {
         .collect();
     assert_identical("tpcc builder graph", &runs);
     assert!(runs[0].edge_cut > 0, "sanity: non-trivial graph");
+}
+
+/// Graph-build half of the contract, mirroring the partitioner's: the
+/// workload graph is bit-identical at threads 1/2/4, and streaming a
+/// generator source chunk by chunk equals building from its materialized
+/// whole trace.
+#[test]
+fn build_graph_identical_across_threads_and_ingestion() {
+    let mk = |threads: usize| {
+        let mut c = SchismConfig::new(4);
+        c.seed = 11;
+        c.threads = threads;
+        c
+    };
+
+    // Generated (YCSB-E: scans exercise the blanket filter), TPC-C (cliques,
+    // stars, coalesced groups), and drifting (hot-block clusters) traces.
+    let ycsb_w = ycsb::generate(&YcsbConfig {
+        records: 2_000,
+        num_txns: 3_000,
+        ..YcsbConfig::workload_e()
+    });
+    let tpcc_w = tpcc::generate(&TpccConfig {
+        num_txns: 4_000,
+        ..TpccConfig::small(2)
+    });
+    let drift_cfg = DriftingConfig {
+        num_txns: 3_000,
+        ..Default::default()
+    };
+    let drift_w = drifting::generate(&drift_cfg);
+
+    for (name, w) in [
+        ("ycsb-e", &ycsb_w),
+        ("tpcc", &tpcc_w),
+        ("drifting", &drift_w),
+    ] {
+        let base = build_graph(w, &w.trace, &mk(1));
+        base.graph.validate().unwrap();
+        for t in THREAD_COUNTS.into_iter().skip(1) {
+            let g = build_graph(w, &w.trace, &mk(t));
+            assert_eq!(
+                g.stats, base.stats,
+                "{name}: threads={t} changed BuildStats"
+            );
+            assert_eq!(
+                g.digest(),
+                base.digest(),
+                "{name}: threads={t} changed the workload graph"
+            );
+            assert_eq!(g.graph, base.graph, "{name}: threads={t} changed the CSR");
+        }
+    }
+
+    // Chunked (streaming source) vs whole-trace ingestion, at every thread
+    // count: TPC-C's scripted source and the drifting per-index source.
+    let tpcc_cfg = TpccConfig {
+        num_txns: 4_000,
+        ..TpccConfig::small(2)
+    };
+    let tpcc_src = tpcc::stream(&tpcc_cfg);
+    let drift_src = drifting::stream(&drift_cfg);
+    for t in THREAD_COUNTS {
+        let chunked = build_graph_source(&tpcc_w, &tpcc_src, &mk(t));
+        let whole = build_graph(&tpcc_w, &tpcc_src.materialize(), &mk(t));
+        assert_eq!(chunked.stats, whole.stats, "tpcc chunked vs whole stats");
+        assert_eq!(chunked.digest(), whole.digest(), "tpcc chunked vs whole");
+
+        let chunked = build_graph_source(&drift_w, &drift_src, &mk(t));
+        let whole = build_graph(&drift_w, &drift_src.materialize(), &mk(t));
+        assert_eq!(chunked.stats, whole.stats, "drift chunked vs whole stats");
+        assert_eq!(chunked.digest(), whole.digest(), "drift chunked vs whole");
+    }
 }
 
 #[test]
