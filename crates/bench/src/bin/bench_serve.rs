@@ -1,0 +1,476 @@
+//! **Closed-loop serving benchmark** — N concurrent clients issue SQL
+//! text at a [`Server`] front door, each waiting for
+//! its result before sending the next statement (closed loop), while the
+//! driver measures per-statement latency percentiles and steady-state
+//! throughput. Two scenarios:
+//!
+//! 1. **steady** — a static hash scheme; the baseline serving cost of
+//!    parse → route → shard-queue → execute → gather.
+//! 2. **mid-migration** — the same workload over a
+//!    [`VersionedScheme`] while a
+//!    [`MigrationExecutor`] copies,
+//!    verifies, and flips every key to a new placement under the clients;
+//!    the run must finish with zero routing/serving errors.
+//!
+//! The op mix is point-heavy OLTP: 70% point SELECT, 25% point UPDATE, 5%
+//! three-key IN SELECT. No DELETEs run mid-migration (a deleted copy
+//! source aborts the executor — the documented serving limitation).
+//!
+//! ```text
+//! cargo run --release -p schism-bench --bin bench_serve \
+//!     [--smoke] [--full] [--clients N] [--seconds S] [--backend mem|log]
+//! ```
+//!
+//! `--smoke` runs a short CI-sized pass and skips the JSON report;
+//! otherwise results land in `crates/bench/BENCH_serve.json`. Latency
+//! percentiles exclude a 10% warm-up ramp. `host_cores` is recorded
+//! honestly: on a 1-core container the client count measures
+//! oversubscribed queueing, not parallel speedup, and the JSON says so.
+
+use schism_migrate::{plan_migration, ExecutorConfig, MigrationExecutor, PlanConfig, StepOutcome};
+use schism_router::{
+    HashScheme, IndexBackend, LookupBackend, LookupScheme, MissPolicy, PartitionSet, RowKey,
+    Scheme, VersionedScheme,
+};
+use schism_serve::{load_table, PkValues, RouteKind, ServeConfig, Server};
+use schism_sql::{ColumnType, Schema, Value};
+use schism_store::{tempdir::TempDir, ShardStore};
+use schism_workload::{TupleId, TupleValues};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SHARDS: u32 = 8;
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Minimal deterministic per-client RNG (no external crates in bins).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(1);
+        splitmix(self.0)
+    }
+}
+
+fn schema() -> Arc<Schema> {
+    let mut s = Schema::new();
+    s.add_table(
+        "account",
+        &[
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("bal", ColumnType::Int),
+        ],
+        &["id"],
+    );
+    Arc::new(s)
+}
+
+/// Per-run aggregate a client thread hands back.
+#[derive(Default)]
+struct ClientStats {
+    latencies_us: Vec<u64>,
+    ops: u64,
+    errors: u64,
+    point: u64,
+    multi: u64,
+    broadcast: u64,
+}
+
+/// One closed-loop client: issue, wait, record, repeat until `deadline`.
+fn run_client(
+    server: &Server,
+    seed: u64,
+    rows: u64,
+    rampup_until: Instant,
+    deadline: Instant,
+    live_ops: &AtomicU64,
+) -> ClientStats {
+    let mut rng = Rng(seed);
+    let mut stats = ClientStats::default();
+    while Instant::now() < deadline {
+        let key = rng.next() % rows;
+        let roll = rng.next() % 100;
+        let sql = if roll < 70 {
+            format!("SELECT * FROM account WHERE id = {key}")
+        } else if roll < 95 {
+            format!(
+                "UPDATE account SET bal = {} WHERE id = {key}",
+                (rng.next() % 100_000) as i64
+            )
+        } else {
+            let k2 = rng.next() % rows;
+            let k3 = rng.next() % rows;
+            format!("SELECT * FROM account WHERE id IN ({key}, {k2}, {k3})")
+        };
+        let started = Instant::now();
+        match server.execute_sql(&sql) {
+            Ok(out) => {
+                match out.metrics.route {
+                    RouteKind::Point => stats.point += 1,
+                    RouteKind::Multi => stats.multi += 1,
+                    RouteKind::Broadcast => stats.broadcast += 1,
+                }
+                if started >= rampup_until {
+                    stats
+                        .latencies_us
+                        .push(started.elapsed().as_micros() as u64);
+                    stats.ops += 1;
+                    live_ops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) => {
+                eprintln!("serve error: {e} (statement: {sql})");
+                stats.errors += 1;
+            }
+        }
+    }
+    stats
+}
+
+struct RunResult {
+    name: &'static str,
+    ops: u64,
+    errors: u64,
+    throughput: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    point: u64,
+    multi: u64,
+    broadcast: u64,
+    batches_flipped: usize,
+    rows_migrated: usize,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scenario(
+    name: &'static str,
+    store: Arc<dyn ShardStore>,
+    serve_scheme: Arc<dyn Scheme>,
+    migration: Option<(&VersionedScheme, Arc<dyn Scheme>)>,
+    schema: &Arc<Schema>,
+    rows: u64,
+    clients: u32,
+    seconds: f64,
+) -> RunResult {
+    let db: Arc<dyn TupleValues> = Arc::new(PkValues::from_schema(schema));
+    let exec_store = Arc::clone(&store);
+    let server = Server::new(
+        Arc::clone(schema),
+        store,
+        serve_scheme,
+        Arc::clone(&db),
+        ServeConfig::default(),
+    );
+    let start = Instant::now();
+    let rampup_until = start + Duration::from_secs_f64(seconds * 0.1);
+    let deadline = start + Duration::from_secs_f64(seconds);
+    let live_ops = AtomicU64::new(0);
+    let mut batches_flipped = 0usize;
+    let mut rows_migrated = 0usize;
+
+    let mut per_client: Vec<ClientStats> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (server, live_ops) = (&server, &live_ops);
+                s.spawn(move || {
+                    run_client(
+                        server,
+                        0xC0FFEE ^ (u64::from(c) << 32),
+                        rows,
+                        rampup_until,
+                        deadline,
+                        live_ops,
+                    )
+                })
+            })
+            .collect();
+        // The migration scenario flips every batch while the clients run,
+        // then cuts the server over to the finalized scheme.
+        let mig = migration.map(|(vs, new_scheme)| {
+            let (server, exec_store) = (&server, &exec_store);
+            s.spawn(move || {
+                let plan = build_plan(vs, &*db, rows);
+                let mut exec = MigrationExecutor::new(
+                    &plan,
+                    &**exec_store,
+                    vs,
+                    ExecutorConfig {
+                        // Foreground writes racing a batch copy fail its
+                        // checksum verification; each failure re-copies.
+                        max_retries: 1_000_000,
+                        ..ExecutorConfig::default()
+                    },
+                );
+                loop {
+                    match exec.step() {
+                        StepOutcome::Flipped(_) => {}
+                        StepOutcome::Paused => {}
+                        StepOutcome::Done => break,
+                        StepOutcome::Aborted { batch, error } => {
+                            panic!("migration aborted at batch {batch}: {error}")
+                        }
+                    }
+                }
+                server.install_scheme(new_scheme);
+                let r = exec.report();
+                (r.batches_flipped, r.tuples_moved)
+            })
+        });
+        per_client = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        if let Some(h) = mig {
+            let (b, t) = h.join().unwrap();
+            batches_flipped = b;
+            rows_migrated = t;
+        }
+    });
+    let measured_s = seconds * 0.9;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut result = RunResult {
+        name,
+        ops: 0,
+        errors: 0,
+        throughput: 0.0,
+        p50_us: 0,
+        p95_us: 0,
+        p99_us: 0,
+        point: 0,
+        multi: 0,
+        broadcast: 0,
+        batches_flipped,
+        rows_migrated,
+    };
+    for c in per_client {
+        latencies.extend(c.latencies_us);
+        result.ops += c.ops;
+        result.errors += c.errors;
+        result.point += c.point;
+        result.multi += c.multi;
+        result.broadcast += c.broadcast;
+    }
+    latencies.sort_unstable();
+    result.throughput = result.ops as f64 / measured_s;
+    result.p50_us = percentile(&latencies, 0.50);
+    result.p95_us = percentile(&latencies, 0.95);
+    result.p99_us = percentile(&latencies, 0.99);
+    assert_eq!(live_ops.load(Ordering::Relaxed), result.ops);
+    println!(
+        "{name}: {} ops in {measured_s:.1}s ({:.0} ops/s), p50 {}us p95 {}us p99 {}us, \
+         {} point / {} multi / {} broadcast, {} errors",
+        result.ops,
+        result.throughput,
+        result.p50_us,
+        result.p95_us,
+        result.p99_us,
+        result.point,
+        result.multi,
+        result.broadcast,
+        result.errors
+    );
+    if batches_flipped > 0 {
+        println!("{name}: migration flipped {batches_flipped} batches, {rows_migrated} rows moved");
+    }
+    result
+}
+
+/// A migration plan rotating every key's owner to the next shard.
+fn build_plan(
+    vs: &VersionedScheme,
+    db: &dyn TupleValues,
+    rows: u64,
+) -> schism_migrate::MigrationPlan {
+    let old_asg: HashMap<TupleId, PartitionSet> = (0..rows)
+        .map(|r| {
+            let t = TupleId::new(0, r);
+            (t, vs.old_scheme().locate_tuple(t, db))
+        })
+        .collect();
+    let new_asg: HashMap<TupleId, PartitionSet> = (0..rows)
+        .map(|r| {
+            let t = TupleId::new(0, r);
+            (t, vs.new_scheme().locate_tuple(t, db))
+        })
+        .collect();
+    plan_migration(
+        &old_asg,
+        &new_asg,
+        db,
+        &PlanConfig {
+            max_rows_per_batch: 256,
+            ..PlanConfig::default()
+        },
+    )
+}
+
+/// The rotate-by-one lookup scheme every key migrates to.
+fn rotated_scheme(old: &dyn Scheme, db: &dyn TupleValues, rows: u64) -> Arc<dyn Scheme> {
+    let entries: Vec<(u64, PartitionSet)> = (0..rows)
+        .map(|r| {
+            let from = old.locate_tuple(TupleId::new(0, r), db).first().unwrap();
+            (r, PartitionSet::single((from + 1) % SHARDS))
+        })
+        .collect();
+    Arc::new(LookupScheme::new(
+        SHARDS,
+        vec![Some(
+            Box::new(IndexBackend::new(entries)) as Box<dyn LookupBackend>
+        )],
+        vec![Some(RowKey { col: 0, offset: 0 })],
+        MissPolicy::HashRow,
+    ))
+}
+
+fn main() {
+    let smoke = schism_bench::flag("--smoke");
+    let full = schism_bench::full_scale();
+    let backend = schism_bench::backend_kind();
+    let clients: u32 = schism_bench::arg_value("--clients")
+        .map(|v| v.parse().expect("--clients takes a positive integer"))
+        .unwrap_or(if smoke { 4 } else { 8 });
+    let seconds: f64 = schism_bench::arg_value("--seconds")
+        .map(|v| v.parse().expect("--seconds takes a float"))
+        .unwrap_or(if smoke { 1.0 } else { 5.0 });
+    let rows: u64 = if full {
+        100_000
+    } else if smoke {
+        2_000
+    } else {
+        20_000
+    };
+    let schema = schema();
+    let db = PkValues::from_schema(&schema);
+    let dir = TempDir::new("schism-bench-serve").expect("temp dir for stores");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_serve: {rows} rows over {SHARDS} shards, {clients} closed-loop clients, \
+         {seconds:.1}s per run, backend {backend}, {host_cores} host core(s)"
+    );
+
+    let old: Arc<dyn Scheme> = Arc::new(HashScheme::by_attrs(SHARDS, vec![Some(0)]));
+    let table_rows =
+        |n: u64| (0..n).map(|i| vec![Value::Int(i as i64), Value::Null, Value::Int(0)]);
+
+    // Run 1: steady state under the static hash scheme.
+    let store1: Arc<dyn ShardStore> =
+        Arc::from(schism_bench::open_backend(backend, SHARDS, &dir, "steady"));
+    load_table(&*store1, &*old, &db, &schema, 0, table_rows(rows)).expect("load steady store");
+    let steady = run_scenario(
+        "steady",
+        store1,
+        Arc::clone(&old),
+        None,
+        &schema,
+        rows,
+        clients,
+        seconds,
+    );
+
+    // Run 2: the same closed loop while every key migrates to a rotated
+    // placement; the server starts on the versioned scheme and is cut over
+    // to the finalized scheme when the executor finishes.
+    let store2: Arc<dyn ShardStore> = Arc::from(schism_bench::open_backend(
+        backend,
+        SHARDS,
+        &dir,
+        "migration",
+    ));
+    load_table(&*store2, &*old, &db, &schema, 0, table_rows(rows)).expect("load migration store");
+    let new = rotated_scheme(&*old, &db, rows);
+    let vs = Arc::new(VersionedScheme::new(Arc::clone(&old), Arc::clone(&new)));
+    let migration = run_scenario(
+        "mid-migration",
+        store2,
+        Arc::clone(&vs) as Arc<dyn Scheme>,
+        Some((&vs, new)),
+        &schema,
+        rows,
+        clients,
+        seconds,
+    );
+
+    let total_errors = steady.errors + migration.errors;
+    assert_eq!(total_errors, 0, "a serving run must complete error-free");
+    assert!(
+        steady.ops > 0 && migration.ops > 0,
+        "clients must make progress"
+    );
+    assert!(
+        migration.batches_flipped > 0,
+        "the migration scenario must flip at least one batch under load"
+    );
+
+    if smoke {
+        println!("smoke OK: both scenarios served with zero errors");
+        return;
+    }
+
+    let note = if host_cores < clients as usize {
+        format!(
+            "host has {host_cores} core(s) for {clients} clients: latencies measure \
+             oversubscribed closed-loop queueing, not parallel scaling; re-measure on a \
+             >= {clients}-core host"
+        )
+    } else {
+        "clients measured with dedicated cores".to_string()
+    };
+    let runs = [&steady, &migration]
+        .iter()
+        .map(|r| {
+            let mig = if r.batches_flipped > 0 {
+                format!(
+                    ", \"batches_flipped\": {}, \"rows_migrated\": {}",
+                    r.batches_flipped, r.rows_migrated
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "    {{ \"run\": \"{}\", \"ops\": {}, \"throughput_ops_s\": {:.0}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"point\": {}, \
+                 \"multi\": {}, \"broadcast\": {}{mig} }}",
+                r.name,
+                r.ops,
+                r.throughput,
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+                r.point,
+                r.multi,
+                r.broadcast
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"bench_serve --clients {clients} --seconds {seconds}\",\n  \
+         \"workload\": \"point-heavy SQL (70% point SELECT, 25% point UPDATE, 5% 3-key IN)\",\n  \
+         \"rows\": {rows},\n  \"shards\": {SHARDS},\n  \"clients\": {clients},\n  \
+         \"backend\": \"{backend}\",\n  \"full\": {full},\n  \"host_cores\": {host_cores},\n  \
+         \"note\": \"{note}\",\n  \"errors\": {total_errors},\n  \"runs\": [\n{runs}\n  ]\n}}\n"
+    );
+    let out = if std::path::Path::new("crates/bench").is_dir() {
+        "crates/bench/BENCH_serve.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    std::fs::write(out, &json).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

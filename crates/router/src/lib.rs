@@ -26,5 +26,7 @@ pub use lookup::{
 pub use pset::{PartitionSet, MAX_PARTITIONS};
 pub use range::{RangeRule, RangeScheme, TablePolicy};
 pub use router::{route_transaction, Participants};
-pub use scheme::{Complexity, ReplicationScheme, Route, Scheme};
+pub use scheme::{
+    pick_any, statement_salt, Complexity, ReplicationScheme, Route, RouteDecision, Scheme,
+};
 pub use versioned::{FlipError, VersionedScheme};

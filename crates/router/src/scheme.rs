@@ -17,6 +17,73 @@ pub enum Complexity {
     Lookup = 3,
 }
 
+/// Collapsed routing verdict for one statement: the shape the serving
+/// layer dispatches on, produced by [`Scheme::route_predicate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Exactly one partition serves the statement (a point route, or a
+    /// replicated read collapsed to one chosen replica).
+    Single(u32),
+    /// A strict subset of the partitions must all participate.
+    Multi(PartitionSet),
+    /// Every partition must participate: nothing in the WHERE clause is
+    /// routable under this scheme.
+    Broadcast(PartitionSet),
+}
+
+impl RouteDecision {
+    /// The partitions involved.
+    pub fn targets(&self) -> PartitionSet {
+        match self {
+            RouteDecision::Single(p) => PartitionSet::single(*p),
+            RouteDecision::Multi(s) | RouteDecision::Broadcast(s) => *s,
+        }
+    }
+
+    /// Number of partitions involved.
+    pub fn shard_count(&self) -> u32 {
+        self.targets().len()
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic member choice for any-one routes: the member minimizing
+/// a salted splitmix, so the pick is stable for one statement but spreads
+/// across members as the salt varies (per key, per statement).
+pub fn pick_any(targets: &PartitionSet, salt: u64) -> Option<u32> {
+    targets
+        .iter()
+        .min_by_key(|&p| splitmix(u64::from(p) ^ salt))
+}
+
+/// Replica-pick salt derived from a statement's table, constrained
+/// columns, and pinned values — equal statements always salt equally.
+pub fn statement_salt(stmt: &Statement) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ u64::from(stmt.table);
+    let mut cols = Vec::new();
+    stmt.predicate.collect_columns(&mut cols);
+    cols.sort_unstable();
+    cols.dedup();
+    for c in cols {
+        h = splitmix(h ^ u64::from(c));
+        if let Some(vs) = stmt.predicate.pinned_values(c) {
+            for v in vs {
+                if let Some(i) = v.as_int() {
+                    h = splitmix(h ^ i as u64);
+                }
+            }
+        }
+    }
+    h
+}
+
 /// Where a statement must go.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Route {
@@ -64,6 +131,52 @@ pub trait Scheme: Send + Sync {
 
     /// Partitions a statement must reach, based on its predicate.
     fn route_statement(&self, stmt: &Statement) -> Route;
+
+    /// Collapses [`route_statement`](Self::route_statement) into a
+    /// [`RouteDecision`]: the single shared routing entry point for the
+    /// serving and simulation layers. Any-one routes (replicated reads)
+    /// pick one member deterministically via [`pick_any`], salted by the
+    /// statement so distinct keys spread across replicas while one key
+    /// never flip-flops; must-routes covering every partition become
+    /// [`RouteDecision::Broadcast`].
+    fn route_predicate(&self, stmt: &Statement) -> RouteDecision {
+        let r = self.route_statement(stmt);
+        if r.any_one {
+            if let Some(p) = pick_any(&r.targets, statement_salt(stmt)) {
+                return RouteDecision::Single(p);
+            }
+        }
+        if r.targets.is_single() {
+            return RouteDecision::Single(r.targets.first().expect("non-empty route"));
+        }
+        if r.targets.len() >= self.k() {
+            RouteDecision::Broadcast(r.targets)
+        } else {
+            RouteDecision::Multi(r.targets)
+        }
+    }
+
+    /// Copy sets a *write* to tuple `t` must reach, as two ordered phases:
+    /// callers must fully apply (and observe completion of) phase 0 before
+    /// starting phase 1, and only acknowledge the write after both. For a
+    /// plain scheme every copy is phase 0 and phase 1 is empty.
+    ///
+    /// [`VersionedScheme`](crate::VersionedScheme) overrides this so a
+    /// write to an unmoved tuple lands on the old placement *before* the
+    /// new placement's extra copies — the ordering that makes a concurrent
+    /// copy→verify→flip migration unable to lose an acknowledged write
+    /// (the verify step re-reads the source, so a source write before the
+    /// destination write is always either re-copied or already present).
+    fn write_phases(&self, t: TupleId, db: &dyn TupleValues) -> (PartitionSet, PartitionSet) {
+        (self.locate_tuple(t, db), PartitionSet::empty())
+    }
+
+    /// Statement-level analogue of [`write_phases`](Self::write_phases)
+    /// for writes whose WHERE clause pins no key (scan-writes): the
+    /// partitions phase 0 / phase 1 must reach.
+    fn route_write_phases(&self, stmt: &Statement) -> (PartitionSet, PartitionSet) {
+        (self.route_statement(stmt).targets, PartitionSet::empty())
+    }
 }
 
 /// Full-table replication of the entire database: reads are local
@@ -132,5 +245,76 @@ mod tests {
         assert!(Complexity::Hash < Complexity::Replication);
         assert!(Complexity::Replication < Complexity::Range);
         assert!(Complexity::Range < Complexity::Lookup);
+    }
+
+    #[test]
+    fn route_predicate_collapses_replicated_reads_to_one_replica() {
+        let s = ReplicationScheme::new(4);
+        let read = Statement::select(0, Predicate::Eq(0, Value::Int(7)));
+        match s.route_predicate(&read) {
+            RouteDecision::Single(p) => assert!(p < 4),
+            other => panic!("expected Single, got {other:?}"),
+        }
+        // Deterministic: the same statement always picks the same replica.
+        assert_eq!(s.route_predicate(&read), s.route_predicate(&read));
+        // Distinct keys spread across replicas.
+        let picks: std::collections::HashSet<u32> = (0..64)
+            .map(|i| {
+                match s.route_predicate(&Statement::select(0, Predicate::Eq(0, Value::Int(i)))) {
+                    RouteDecision::Single(p) => p,
+                    other => panic!("expected Single, got {other:?}"),
+                }
+            })
+            .collect();
+        assert!(picks.len() > 1, "replica picks should spread over keys");
+    }
+
+    #[test]
+    fn route_predicate_classifies_broadcast_and_multi() {
+        use crate::hash::HashScheme;
+        let s = HashScheme::by_attrs(16, vec![Some(0)]);
+        // Unpinned predicate: every partition participates.
+        let scan = Statement::select(0, Predicate::True);
+        match s.route_predicate(&scan) {
+            RouteDecision::Broadcast(t) => assert_eq!(t.len(), 16),
+            other => panic!("expected Broadcast, got {other:?}"),
+        }
+        // Pinned equality: a single partition.
+        let point = Statement::select(0, Predicate::Eq(0, Value::Int(5)));
+        assert!(matches!(
+            s.route_predicate(&point),
+            RouteDecision::Single(_)
+        ));
+        // An IN-list over several keys: a strict subset.
+        let multi = Statement::select(0, Predicate::In(0, (0..8).map(Value::Int).collect()));
+        match s.route_predicate(&multi) {
+            RouteDecision::Multi(t) => assert!(t.len() > 1 && t.len() < 16),
+            RouteDecision::Single(_) => {} // hash collisions could collapse it
+            other => panic!("expected Multi/Single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_write_phases_put_everything_in_phase_zero() {
+        use schism_workload::MaterializedDb;
+        let s = ReplicationScheme::new(3);
+        let db = MaterializedDb::new();
+        let (p0, p1) = s.write_phases(TupleId::new(0, 4), &db);
+        assert_eq!(p0, PartitionSet::all(3));
+        assert!(p1.is_empty());
+        let w = Statement::update(0, Predicate::True);
+        let (r0, r1) = s.route_write_phases(&w);
+        assert_eq!(r0, PartitionSet::all(3));
+        assert!(r1.is_empty());
+    }
+
+    #[test]
+    fn route_decision_accessors() {
+        let d = RouteDecision::Single(3);
+        assert_eq!(d.targets(), PartitionSet::single(3));
+        assert_eq!(d.shard_count(), 1);
+        let set: PartitionSet = [0u32, 2].into_iter().collect();
+        assert_eq!(RouteDecision::Multi(set).shard_count(), 2);
+        assert_eq!(RouteDecision::Broadcast(set).targets(), set);
     }
 }

@@ -198,6 +198,28 @@ impl Scheme for VersionedScheme {
             any_one: a.any_one && b.any_one,
         }
     }
+
+    /// Mid-migration write ordering: a moved tuple is wholly owned by the
+    /// new placement; an unmoved tuple writes its authoritative old-epoch
+    /// copies first (phase 0), then pre-writes any extra new-epoch copies
+    /// (phase 1). The executor's verify step re-reads the source, so this
+    /// ordering guarantees a verified-then-flipped batch always carries
+    /// (or is followed onto the destination by) every acknowledged write.
+    fn write_phases(&self, t: TupleId, db: &dyn TupleValues) -> (PartitionSet, PartitionSet) {
+        if self.is_moved(t) {
+            (self.new.locate_tuple(t, db), PartitionSet::empty())
+        } else {
+            let old = self.old.locate_tuple(t, db);
+            let new = self.new.locate_tuple(t, db);
+            (old, new.difference(&old))
+        }
+    }
+
+    fn route_write_phases(&self, stmt: &Statement) -> (PartitionSet, PartitionSet) {
+        let old = self.old.route_statement(stmt).targets;
+        let new = self.new.route_statement(stmt).targets;
+        (old, new.difference(&old))
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +330,47 @@ mod tests {
         vs.mark_batch([TupleId::new(0, 1), TupleId::new(0, 2)]);
         let done = vs.finalize();
         assert_eq!(done.name(), new.name());
+    }
+
+    #[test]
+    fn write_phases_order_old_before_new_until_moved() {
+        let (old, new) = hash_pair();
+        let db = MaterializedDb::new();
+        let vs = VersionedScheme::new(old.clone(), new.clone());
+        // Find a tuple whose placement actually changes between epochs.
+        let t = (0..256)
+            .map(|r| TupleId::new(0, r))
+            .find(|&t| old.locate_tuple(t, &db) != new.locate_tuple(t, &db))
+            .expect("k=2 -> k=4 must relocate something");
+        let (p0, p1) = vs.write_phases(t, &db);
+        assert_eq!(p0, old.locate_tuple(t, &db), "phase 0 is the old epoch");
+        assert_eq!(
+            p1,
+            new.locate_tuple(t, &db)
+                .difference(&old.locate_tuple(t, &db)),
+            "phase 1 pre-writes only the new epoch's extra copies"
+        );
+        assert!(p0.intersect(&p1).is_empty(), "phases never overlap");
+        // Once moved, the new placement is the only write target.
+        vs.mark_moved(t);
+        let (q0, q1) = vs.write_phases(t, &db);
+        assert_eq!(q0, new.locate_tuple(t, &db));
+        assert!(q1.is_empty());
+    }
+
+    #[test]
+    fn route_write_phases_cover_both_epochs_in_order() {
+        let (old, new) = hash_pair();
+        let vs = VersionedScheme::new(old.clone(), new.clone());
+        let w = Statement::update(0, Predicate::True);
+        let (p0, p1) = vs.route_write_phases(&w);
+        assert_eq!(p0, old.route_statement(&w).targets);
+        assert_eq!(
+            p0.union(&p1),
+            vs.route_statement(&w).targets,
+            "both phases together cover the conservative union route"
+        );
+        assert!(p0.intersect(&p1).is_empty());
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub use schism_migrate as migrate;
 pub use schism_ml as ml;
 pub use schism_par as par;
 pub use schism_router as router;
+pub use schism_serve as serve;
 pub use schism_sim as sim;
 pub use schism_sql as sql;
 pub use schism_store as store;

@@ -1,0 +1,25 @@
+//! # schism-serve
+//!
+//! The end-to-end serving stack: the "JDBC middleware" of Appendix C.2
+//! grown into a front door that accepts SQL text, classifies and routes
+//! each statement through the active partitioning [`Scheme`], executes it
+//! on worker-per-shard queues over a [`ShardStore`], and gathers typed
+//! results — while the scheme underneath can be swapped atomically and a
+//! live migration can flip batches between routing and execution.
+//!
+//! The serving contract during a migration (details in [`server`]):
+//! ordered dual-write phases keep acknowledged writes from being lost to
+//! a batch flip, and bounded owner-rechecking point-read retries absorb
+//! the flip window. Scatter-gather resolves duplicate copies by preferring
+//! the shard that currently owns each tuple.
+//!
+//! [`Scheme`]: schism_router::Scheme
+//! [`ShardStore`]: schism_store::ShardStore
+
+pub mod row;
+pub mod server;
+
+pub use row::{decode_row, encode_row};
+pub use server::{
+    load_table, PkValues, RequestMetrics, RouteKind, ServeConfig, ServeError, ServeOutcome, Server,
+};

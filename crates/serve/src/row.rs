@@ -1,0 +1,98 @@
+//! Row codec: a stored row is an encoded `Vec<Value>`, one slot per
+//! schema column.
+//!
+//! The layout is a 2-byte little-endian value count followed by one tagged
+//! value per slot: tag `0` = NULL, tag `1` = 8-byte LE integer, tag `2` =
+//! 4-byte LE length + UTF-8 bytes. Decoding is total — any malformed
+//! input (unknown tag, short buffer, trailing bytes, invalid UTF-8)
+//! yields `None` rather than a panic, so a corrupted shard row surfaces
+//! as a typed serve error instead of taking a worker down.
+
+use schism_sql::Value;
+
+/// Encodes a row of values.
+pub fn encode_row(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + values.len() * 9);
+    out.extend_from_slice(&(values.len() as u16).to_le_bytes());
+    for v in values {
+        match v {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(1);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(2);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a row; `None` on any malformed byte.
+pub fn decode_row(bytes: &[u8]) -> Option<Vec<Value>> {
+    let n = u16::from_le_bytes(bytes.get(0..2)?.try_into().ok()?) as usize;
+    let mut pos = 2usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = *bytes.get(pos)?;
+        pos += 1;
+        match tag {
+            0 => out.push(Value::Null),
+            1 => {
+                let raw = bytes.get(pos..pos + 8)?;
+                pos += 8;
+                out.push(Value::Int(i64::from_le_bytes(raw.try_into().ok()?)));
+            }
+            2 => {
+                let len = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+                pos += 4;
+                let raw = bytes.get(pos..pos + len)?;
+                pos += len;
+                out.push(Value::Str(String::from_utf8(raw.to_vec()).ok()?));
+            }
+            _ => return None,
+        }
+    }
+    if pos != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_value_kinds() {
+        let row = vec![
+            Value::Int(42),
+            Value::Null,
+            Value::Str("o'brien".into()),
+            Value::Int(-7),
+            Value::Str(String::new()),
+        ];
+        assert_eq!(decode_row(&encode_row(&row)), Some(row));
+        assert_eq!(decode_row(&encode_row(&[])), Some(vec![]));
+    }
+
+    #[test]
+    fn malformed_inputs_decode_to_none() {
+        let good = encode_row(&[Value::Int(1), Value::Str("x".into())]);
+        assert!(decode_row(&[]).is_none(), "too short for the count");
+        assert!(decode_row(&good[..good.len() - 1]).is_none(), "truncated");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_row(&trailing).is_none(), "trailing bytes");
+        let mut bad_tag = good.clone();
+        bad_tag[2] = 9;
+        assert!(decode_row(&bad_tag).is_none(), "unknown tag");
+        let mut bad_utf8 = encode_row(&[Value::Str("ab".into())]);
+        let n = bad_utf8.len();
+        bad_utf8[n - 1] = 0xff;
+        assert!(decode_row(&bad_utf8).is_none(), "invalid utf-8");
+    }
+}

@@ -1,0 +1,1019 @@
+//! The serving front door: parse → classify → route → execute → gather.
+//!
+//! One [`Server`] owns a worker thread per shard, each draining a bounded
+//! request queue against its shard of the [`ShardStore`] — the same
+//! shared-nothing execution model the work-sharing pool in `schism-par`
+//! uses, specialized to long-lived per-shard queues so shard-local
+//! execution never contends across shards. The front door classifies each
+//! statement ([`schism_sql::analyze::classify_routability`]), routes it
+//! through the active [`Scheme`] (a [`RouteDecision`] for scans, per-tuple
+//! [`Scheme::locate_tuple`]/[`Scheme::write_phases`] for key-pinned
+//! statements), scatters shard tasks, and gathers typed results.
+//!
+//! ## Serving across a live migration
+//!
+//! The active scheme is swappable under traffic
+//! ([`Server::install_scheme`]), and a
+//! [`VersionedScheme`](schism_router::VersionedScheme) keeps serving
+//! correct while a `MigrationExecutor` flips batches underneath:
+//!
+//! - **Writes** follow the scheme's ordered
+//!   [`write_phases`](Scheme::write_phases): all old-epoch copies are
+//!   written and acknowledged before any new-epoch pre-copy. Because the
+//!   executor re-reads the source during copy *verification*, an
+//!   acknowledged write is never lost to a flip — either the verified copy
+//!   already contains it, or the phase-1 write lands on the destination
+//!   copy after it.
+//! - **Point reads** route to one owner and retry (bounded by
+//!   [`ServeConfig::read_retries`]) when a miss coincides with an
+//!   ownership change — the flip + post-flip-delete window between routing
+//!   and execution.
+//! - **Scans** fan out to the union route of both epochs; duplicate rows
+//!   from not-yet-flipped destination copies are resolved in the gather
+//!   step by preferring the shard that currently owns the tuple.
+//!
+//! Known (documented) limitation: deleting a key that a not-yet-flipped
+//! migration batch is about to copy races the copier — the executor
+//! reports the vanished source as an error and aborts that migration.
+//! Serving workloads that delete mid-migration should exclude in-plan
+//! keys, or re-plan after the abort.
+
+use crate::row::{decode_row, encode_row};
+use schism_router::{pick_any, statement_salt, PartitionSet, RouteDecision, Scheme};
+use schism_sql::{
+    classify_routability, parse_statement, ColId, ColumnType, ParseError, Routability, Schema,
+    Statement, StatementKind, TableId, Value,
+};
+use schism_store::{ShardId, ShardStore, StoreError};
+use schism_workload::{TupleId, TupleValues};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Serving failure, typed by layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The SQL text did not parse.
+    Parse(ParseError),
+    /// The statement cannot be routed under the server's policy (blanket
+    /// scan with broadcasts disallowed, INSERT without a usable key, ...).
+    Unroutable { table: TableId, reason: String },
+    /// The storage layer failed.
+    Store(StoreError),
+    /// A stored row failed to decode (corrupt or foreign payload).
+    Corrupt { shard: ShardId, tuple: TupleId },
+    /// The server is shutting down; its shard workers are gone.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Parse(e) => write!(f, "{e}"),
+            ServeError::Unroutable { table, reason } => {
+                write!(f, "unroutable statement on table {table}: {reason}")
+            }
+            ServeError::Store(e) => write!(f, "store error: {e}"),
+            ServeError::Corrupt { shard, tuple } => {
+                write!(f, "row {tuple} on shard {shard} failed to decode")
+            }
+            ServeError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ParseError> for ServeError {
+    fn from(e: ParseError) -> Self {
+        ServeError::Parse(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bound of each per-shard request queue; senders block when a queue
+    /// is full (closed-loop backpressure instead of unbounded buffering).
+    pub queue_capacity: usize,
+    /// Whether statements nothing can prune (blanket scans, predicates the
+    /// scheme cannot use) execute as broadcasts or are rejected with
+    /// [`ServeError::Unroutable`].
+    pub allow_broadcast: bool,
+    /// How many times a missing point-read re-resolves its owner and
+    /// retries, absorbing scheme flips that land between routing and
+    /// execution. Retries stop early when the owner is unchanged.
+    pub read_retries: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            allow_broadcast: true,
+            read_retries: 3,
+        }
+    }
+}
+
+/// How a served statement was routed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteKind {
+    /// One shard.
+    Point,
+    /// A strict subset of shards.
+    Multi,
+    /// Every shard.
+    Broadcast,
+}
+
+/// Per-request observability.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestMetrics {
+    pub route: RouteKind,
+    /// Distinct shards this request touched (0 when routing proved the
+    /// result empty without any shard work).
+    pub shards_touched: u32,
+    /// Longest time any sub-request waited in a shard queue, microseconds.
+    pub queue_us: u64,
+    /// Longest shard-local execution time, microseconds.
+    pub exec_us: u64,
+    /// Point-read retry rounds taken after an ownership change.
+    pub retries: u32,
+}
+
+/// A served statement's result.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// Matching rows (SELECT), decoded, in tuple order.
+    pub rows: Vec<(TupleId, Vec<Value>)>,
+    /// Distinct logical rows written or deleted (writes).
+    pub affected: u64,
+    pub metrics: RequestMetrics,
+}
+
+/// [`TupleValues`] view for serve workloads, where each table's single
+/// integer primary key *is* the dense row id (`TupleId::row` = pk value).
+/// Attribute-hash and lookup schemes route with this identity without
+/// materializing any rows.
+pub struct PkValues {
+    key_cols: Vec<Option<ColId>>,
+}
+
+impl PkValues {
+    pub fn from_schema(schema: &Schema) -> Self {
+        Self {
+            key_cols: pk_cols(schema),
+        }
+    }
+}
+
+impl TupleValues for PkValues {
+    fn value(&self, t: TupleId, col: ColId) -> Option<i64> {
+        match self.key_cols.get(t.table as usize).copied().flatten() {
+            Some(k) if k == col => i64::try_from(t.row).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Per-table single-column integer primary key, when one exists — the
+/// column point routing pins on.
+fn pk_cols(schema: &Schema) -> Vec<Option<ColId>> {
+    schema
+        .tables()
+        .map(|(_, t)| match t.primary_key.as_slice() {
+            [c] if t.column(*c).ty == ColumnType::Int => Some(*c),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Loads `rows` into `store` under `scheme`: each row's tuple id is its
+/// primary-key value and every copy in the scheme's copy set receives the
+/// encoded payload. Returns physical rows written.
+///
+/// # Panics
+/// Panics when `table` has no single integer primary key or a row's key
+/// value is not a non-negative integer — programming errors in the loader.
+pub fn load_table(
+    store: &dyn ShardStore,
+    scheme: &dyn Scheme,
+    db: &dyn TupleValues,
+    schema: &Schema,
+    table: TableId,
+    rows: impl IntoIterator<Item = Vec<Value>>,
+) -> Result<u64, StoreError> {
+    let key = pk_cols(schema)
+        .get(table as usize)
+        .copied()
+        .flatten()
+        .expect("load_table requires a single integer primary key");
+    let mut written = 0u64;
+    for row in rows {
+        let pk = row[key as usize]
+            .as_int()
+            .expect("primary key value must be an integer");
+        let t = TupleId::new(table, u64::try_from(pk).expect("pk must be non-negative"));
+        let payload = encode_row(&row);
+        for shard in scheme.locate_tuple(t, db).iter() {
+            store.put(shard, t, payload.clone())?;
+            written += 1;
+        }
+    }
+    Ok(written)
+}
+
+/// What one shard returns for one task.
+#[derive(Default)]
+struct ShardOutput {
+    rows: Vec<(TupleId, Vec<Value>)>,
+    wrote: Vec<TupleId>,
+}
+
+struct ShardReply {
+    shard: ShardId,
+    queue_us: u64,
+    exec_us: u64,
+    result: Result<ShardOutput, ServeError>,
+}
+
+/// One unit of shard-local work.
+struct Task {
+    stmt: Arc<Statement>,
+    /// Tuples to touch on this shard; `None` scans the statement's table.
+    tuples: Option<Vec<TupleId>>,
+    enqueued: Instant,
+    resp: Sender<ShardReply>,
+}
+
+/// The serving front door. Dropping the server closes every shard queue
+/// and joins the workers (clean shutdown).
+pub struct Server {
+    schema: Arc<Schema>,
+    scheme: RwLock<Arc<dyn Scheme>>,
+    db: Arc<dyn TupleValues>,
+    cfg: ServeConfig,
+    key_cols: Vec<Option<ColId>>,
+    workers: Vec<SyncSender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts one worker per shard of `store`. `scheme` is the initially
+    /// active scheme; `db` is the attribute view routing consults (usually
+    /// [`PkValues`]).
+    pub fn new(
+        schema: Arc<Schema>,
+        store: Arc<dyn ShardStore>,
+        scheme: Arc<dyn Scheme>,
+        db: Arc<dyn TupleValues>,
+        cfg: ServeConfig,
+    ) -> Self {
+        let key_cols = pk_cols(&schema);
+        let mut workers = Vec::new();
+        let mut handles = Vec::new();
+        for shard in 0..store.num_shards() {
+            let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
+            let store = Arc::clone(&store);
+            let schema = Arc::clone(&schema);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-shard-{shard}"))
+                    .spawn(move || run_worker(shard, &*store, &schema, &rx))
+                    .expect("spawn shard worker"),
+            );
+            workers.push(tx);
+        }
+        Self {
+            schema,
+            scheme: RwLock::new(scheme),
+            db,
+            cfg,
+            key_cols,
+            workers,
+            handles,
+        }
+    }
+
+    /// Atomically swaps the active scheme under live traffic. In-flight
+    /// statements finish under the snapshot they routed with; the next
+    /// statement routes with `scheme`.
+    pub fn install_scheme(&self, scheme: Arc<dyn Scheme>) {
+        *self.scheme.write().expect("scheme lock poisoned") = scheme;
+    }
+
+    /// Snapshot of the active scheme.
+    pub fn scheme(&self) -> Arc<dyn Scheme> {
+        Arc::clone(&self.scheme.read().expect("scheme lock poisoned"))
+    }
+
+    /// The schema this server validates statements against.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Parses and executes one SQL statement.
+    pub fn execute_sql(&self, sql: &str) -> Result<ServeOutcome, ServeError> {
+        let stmt = parse_statement(&self.schema, sql)?;
+        self.execute(&stmt)
+    }
+
+    /// Executes one already-parsed statement.
+    pub fn execute(&self, stmt: &Statement) -> Result<ServeOutcome, ServeError> {
+        let scheme = self.scheme();
+        let stmt = Arc::new(stmt.clone());
+        let key = self.key_cols.get(stmt.table as usize).copied().flatten();
+        let pinned = key.and_then(|c| stmt.predicate.pinned_values(c));
+        match (stmt.kind, pinned) {
+            (StatementKind::Insert, pin) => self.insert(&scheme, &stmt, pin),
+            (StatementKind::Select, Some(vals)) => self.point_read(scheme, &stmt, &vals),
+            (_, Some(vals)) => self.point_write(&scheme, &stmt, &vals),
+            (StatementKind::Select, None) => self.scan_read(&scheme, &stmt),
+            (_, None) => self.scan_write(&scheme, &stmt),
+        }
+    }
+
+    /// INSERT: place one new row at every copy the scheme assigns its key,
+    /// old epoch before new epoch.
+    fn insert(
+        &self,
+        scheme: &Arc<dyn Scheme>,
+        stmt: &Arc<Statement>,
+        pin: Option<Vec<Value>>,
+    ) -> Result<ServeOutcome, ServeError> {
+        let unroutable = |reason: &str| ServeError::Unroutable {
+            table: stmt.table,
+            reason: reason.to_owned(),
+        };
+        let vals = pin.ok_or_else(|| unroutable("INSERT does not set an integer primary key"))?;
+        let tuples = to_tuples(stmt.table, &vals);
+        if tuples.len() != 1 {
+            return Err(unroutable(
+                "INSERT must pin exactly one non-negative integer primary key value",
+            ));
+        }
+        self.write_tuples(scheme, stmt, tuples)
+    }
+
+    /// Key-pinned UPDATE/DELETE: per-tuple ordered write phases.
+    fn point_write(
+        &self,
+        scheme: &Arc<dyn Scheme>,
+        stmt: &Arc<Statement>,
+        vals: &[Value],
+    ) -> Result<ServeOutcome, ServeError> {
+        self.write_tuples(scheme, stmt, to_tuples(stmt.table, vals))
+    }
+
+    fn write_tuples(
+        &self,
+        scheme: &Arc<dyn Scheme>,
+        stmt: &Arc<Statement>,
+        tuples: Vec<TupleId>,
+    ) -> Result<ServeOutcome, ServeError> {
+        let mut phase0: BTreeMap<ShardId, Vec<TupleId>> = BTreeMap::new();
+        let mut phase1: BTreeMap<ShardId, Vec<TupleId>> = BTreeMap::new();
+        for &t in &tuples {
+            let (p0, p1) = scheme.write_phases(t, &*self.db);
+            for s in p0.iter() {
+                phase0.entry(s).or_default().push(t);
+            }
+            for s in p1.iter() {
+                phase1.entry(s).or_default().push(t);
+            }
+        }
+        let mut g = Gather::default();
+        // Phase 0 must be fully applied before phase 1 starts: this
+        // ordering is what the no-lost-writes proof rests on.
+        self.scatter(stmt, pin_tasks(phase0), &mut g)?;
+        self.scatter(stmt, pin_tasks(phase1), &mut g)?;
+        Ok(g.into_write_outcome(0))
+    }
+
+    /// Key-pinned SELECT: each tuple reads one currently-owning replica,
+    /// retrying re-resolved owners when a miss coincides with a flip.
+    fn point_read(
+        &self,
+        mut scheme: Arc<dyn Scheme>,
+        stmt: &Arc<Statement>,
+        vals: &[Value],
+    ) -> Result<ServeOutcome, ServeError> {
+        let salt = statement_salt(stmt);
+        let mut pending = to_tuples(stmt.table, vals);
+        let mut g = Gather::default();
+        let mut retries = 0u32;
+        loop {
+            let mut plan: BTreeMap<ShardId, Vec<TupleId>> = BTreeMap::new();
+            let mut owner_of: HashMap<TupleId, ShardId> = HashMap::new();
+            for &t in &pending {
+                let shard = owner_for(&*scheme, &*self.db, t, salt);
+                plan.entry(shard).or_default().push(t);
+                owner_of.insert(t, shard);
+            }
+            let before: HashSet<TupleId> = g.raw_rows.iter().map(|(_, t, _)| *t).collect();
+            self.scatter(stmt, pin_tasks(plan), &mut g)?;
+            let got: HashSet<TupleId> = g.raw_rows.iter().map(|(_, t, _)| *t).collect();
+            pending.retain(|t| !got.contains(t) && !before.contains(t));
+            if pending.is_empty() || retries >= self.cfg.read_retries {
+                break;
+            }
+            // A miss is retried only when the owner moved between routing
+            // and execution (a flip landed); a stable owner means the row
+            // is genuinely absent (or predicate-filtered).
+            let fresh = self.scheme();
+            pending.retain(|&t| owner_for(&*fresh, &*self.db, t, salt) != owner_of[&t]);
+            if pending.is_empty() {
+                break;
+            }
+            retries += 1;
+            scheme = fresh;
+        }
+        Ok(g.into_read_outcome(&*scheme, &*self.db, None, retries))
+    }
+
+    /// Unpinned SELECT: scatter a scan over the decision's target shards.
+    fn scan_read(
+        &self,
+        scheme: &Arc<dyn Scheme>,
+        stmt: &Arc<Statement>,
+    ) -> Result<ServeOutcome, ServeError> {
+        let decision = scheme.route_predicate(stmt);
+        let kind = match decision {
+            RouteDecision::Single(_) => RouteKind::Point,
+            RouteDecision::Multi(_) => RouteKind::Multi,
+            RouteDecision::Broadcast(_) => RouteKind::Broadcast,
+        };
+        if kind == RouteKind::Broadcast && !self.cfg.allow_broadcast {
+            return Err(self.broadcast_rejected(stmt));
+        }
+        let plan: BTreeMap<ShardId, Option<Vec<TupleId>>> =
+            decision.targets().iter().map(|s| (s, None)).collect();
+        let mut g = Gather::default();
+        self.scatter(stmt, plan, &mut g)?;
+        Ok(g.into_read_outcome(&**scheme, &*self.db, Some(kind), 0))
+    }
+
+    /// Unpinned UPDATE/DELETE: scan-write over the scheme's ordered
+    /// statement-level write phases.
+    fn scan_write(
+        &self,
+        scheme: &Arc<dyn Scheme>,
+        stmt: &Arc<Statement>,
+    ) -> Result<ServeOutcome, ServeError> {
+        let (p0, p1) = scheme.route_write_phases(stmt);
+        let total = p0.union(&p1);
+        if total.len() >= scheme.k() && !self.cfg.allow_broadcast {
+            return Err(self.broadcast_rejected(stmt));
+        }
+        let mut g = Gather::default();
+        let scan = |set: PartitionSet| -> BTreeMap<ShardId, Option<Vec<TupleId>>> {
+            set.iter().map(|s| (s, None)).collect()
+        };
+        self.scatter(stmt, scan(p0), &mut g)?;
+        self.scatter(stmt, scan(p1), &mut g)?;
+        Ok(g.into_write_outcome(0))
+    }
+
+    fn broadcast_rejected(&self, stmt: &Statement) -> ServeError {
+        let reason = match classify_routability(stmt) {
+            Routability::Blanket => {
+                "blanket scan (no WHERE constraints) with broadcasts disallowed"
+            }
+            Routability::RangeOnly(_) => {
+                "only range constraints, which this scheme cannot prune; broadcasts disallowed"
+            }
+            Routability::Pinned(_) => {
+                "pinned columns are not the scheme's partitioning attributes; broadcasts disallowed"
+            }
+        };
+        ServeError::Unroutable {
+            table: stmt.table,
+            reason: reason.to_owned(),
+        }
+    }
+
+    /// Sends one task per shard in `plan` and gathers every reply. The
+    /// first error wins, but all replies are drained either way so worker
+    /// queues never hold dangling response channels.
+    fn scatter(
+        &self,
+        stmt: &Arc<Statement>,
+        plan: BTreeMap<ShardId, Option<Vec<TupleId>>>,
+        g: &mut Gather,
+    ) -> Result<(), ServeError> {
+        if plan.is_empty() {
+            return Ok(());
+        }
+        let (tx, rx) = channel();
+        let mut sent = 0usize;
+        let mut first_err: Option<ServeError> = None;
+        for (shard, tuples) in plan {
+            let worker = match self.workers.get(shard as usize) {
+                Some(w) => w,
+                None => {
+                    first_err.get_or_insert(ServeError::Store(StoreError::NoSuchShard(shard)));
+                    continue;
+                }
+            };
+            let task = Task {
+                stmt: Arc::clone(stmt),
+                tuples,
+                enqueued: Instant::now(),
+                resp: tx.clone(),
+            };
+            if worker.send(task).is_err() {
+                first_err.get_or_insert(ServeError::Shutdown);
+                continue;
+            }
+            sent += 1;
+        }
+        drop(tx);
+        for _ in 0..sent {
+            match rx.recv() {
+                Ok(reply) => {
+                    g.shards.insert(reply.shard);
+                    g.queue_us = g.queue_us.max(reply.queue_us);
+                    g.exec_us = g.exec_us.max(reply.exec_us);
+                    match reply.result {
+                        Ok(out) => {
+                            g.raw_rows
+                                .extend(out.rows.into_iter().map(|(t, r)| (reply.shard, t, r)));
+                            g.wrote.extend(out.wrote);
+                        }
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                }
+                Err(_) => {
+                    first_err.get_or_insert(ServeError::Shutdown);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Closing the queues lets each worker drain and exit; joining
+        // makes shutdown observable (no detached threads left behind).
+        self.workers.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Builds the per-shard scatter plan for key-pinned tasks.
+fn pin_tasks(plan: BTreeMap<ShardId, Vec<TupleId>>) -> BTreeMap<ShardId, Option<Vec<TupleId>>> {
+    plan.into_iter().map(|(s, ts)| (s, Some(ts))).collect()
+}
+
+/// The replica a point read of `t` uses right now: a deterministic pick
+/// from the tuple's current copy set, salted per statement and per key.
+fn owner_for(scheme: &dyn Scheme, db: &dyn TupleValues, t: TupleId, salt: u64) -> ShardId {
+    let copies = scheme.locate_tuple(t, db);
+    pick_any(&copies, salt ^ t.row.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .expect("copy set is never empty")
+}
+
+/// Maps pinned key values to tuple ids; non-integer and negative values
+/// address no storable row and drop out. Sorted and deduplicated.
+fn to_tuples(table: TableId, vals: &[Value]) -> Vec<TupleId> {
+    let mut out: Vec<TupleId> = vals
+        .iter()
+        .filter_map(|v| v.as_int())
+        .filter_map(|i| u64::try_from(i).ok())
+        .map(|row| TupleId::new(table, row))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Scatter-gather accumulator across one or more scatter rounds.
+#[derive(Default)]
+struct Gather {
+    raw_rows: Vec<(ShardId, TupleId, Vec<Value>)>,
+    wrote: HashSet<TupleId>,
+    shards: BTreeSet<ShardId>,
+    queue_us: u64,
+    exec_us: u64,
+}
+
+impl Gather {
+    fn metrics(&self, route: RouteKind, retries: u32) -> RequestMetrics {
+        RequestMetrics {
+            route,
+            shards_touched: self.shards.len() as u32,
+            queue_us: self.queue_us,
+            exec_us: self.exec_us,
+            retries,
+        }
+    }
+
+    fn point_kind(&self) -> RouteKind {
+        if self.shards.len() <= 1 {
+            RouteKind::Point
+        } else {
+            RouteKind::Multi
+        }
+    }
+
+    fn into_write_outcome(self, retries: u32) -> ServeOutcome {
+        ServeOutcome {
+            metrics: self.metrics(self.point_kind(), retries),
+            affected: self.wrote.len() as u64,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Resolves duplicate copies of a tuple (replicas, or a not-yet-flipped
+    /// migration pre-copy) by preferring the copy read from a shard that
+    /// currently owns the tuple.
+    fn into_read_outcome(
+        self,
+        scheme: &dyn Scheme,
+        db: &dyn TupleValues,
+        kind: Option<RouteKind>,
+        retries: u32,
+    ) -> ServeOutcome {
+        let kind = kind.unwrap_or_else(|| self.point_kind());
+        let metrics = self.metrics(kind, retries);
+        let mut best: BTreeMap<TupleId, (bool, Vec<Value>)> = BTreeMap::new();
+        for (shard, t, row) in self.raw_rows {
+            let owned = scheme.locate_tuple(t, db).contains(shard);
+            match best.get(&t) {
+                Some((true, _)) => {}
+                Some((false, _)) if !owned => {}
+                _ => {
+                    best.insert(t, (owned, row));
+                }
+            }
+        }
+        ServeOutcome {
+            rows: best.into_iter().map(|(t, (_, row))| (t, row)).collect(),
+            affected: 0,
+            metrics,
+        }
+    }
+}
+
+fn run_worker(shard: ShardId, store: &dyn ShardStore, schema: &Schema, rx: &Receiver<Task>) {
+    while let Ok(task) = rx.recv() {
+        let queue_us = task.enqueued.elapsed().as_micros() as u64;
+        let started = Instant::now();
+        let result = execute_on_shard(shard, store, schema, &task.stmt, task.tuples.as_deref());
+        let exec_us = started.elapsed().as_micros() as u64;
+        // A gatherer that gave up (error elsewhere) may have dropped the
+        // receiver; that is not the worker's problem.
+        let _ = task.resp.send(ShardReply {
+            shard,
+            queue_us,
+            exec_us,
+            result,
+        });
+    }
+}
+
+/// Shard-local execution of one statement over either a routed tuple list
+/// or a table scan.
+fn execute_on_shard(
+    shard: ShardId,
+    store: &dyn ShardStore,
+    schema: &Schema,
+    stmt: &Statement,
+    tuples: Option<&[TupleId]>,
+) -> Result<ShardOutput, ServeError> {
+    let width = schema.table(stmt.table).columns.len();
+    let mut out = ShardOutput::default();
+    if stmt.kind == StatementKind::Insert {
+        let row = insert_row(schema, stmt);
+        let payload = encode_row(&row);
+        for &t in tuples.unwrap_or(&[]) {
+            store.put(shard, t, payload.clone())?;
+            out.wrote.push(t);
+        }
+        return Ok(out);
+    }
+    let candidates: Vec<(TupleId, Vec<u8>)> = match tuples {
+        Some(ts) => {
+            let mut v = Vec::with_capacity(ts.len());
+            for &t in ts {
+                if let Some(bytes) = store.get(shard, t)? {
+                    v.push((t, bytes));
+                }
+            }
+            v
+        }
+        None => store.scan_range(shard, stmt.table, 0..u64::MAX)?,
+    };
+    for (t, bytes) in candidates {
+        let row = match decode_row(&bytes) {
+            Some(r) if r.len() == width => r,
+            _ => return Err(ServeError::Corrupt { shard, tuple: t }),
+        };
+        if !stmt.predicate.matches(&row) {
+            continue;
+        }
+        match stmt.kind {
+            StatementKind::Select => out.rows.push((t, row)),
+            StatementKind::Update => {
+                let mut row = row;
+                for (c, v) in &stmt.set {
+                    row[*c as usize] = v.clone();
+                }
+                store.put(shard, t, encode_row(&row))?;
+                out.wrote.push(t);
+            }
+            StatementKind::Delete => {
+                store.delete(shard, t)?;
+                out.wrote.push(t);
+            }
+            StatementKind::Insert => unreachable!("handled above"),
+        }
+    }
+    Ok(out)
+}
+
+/// Materializes an INSERT's full-width row: unset columns are NULL.
+fn insert_row(schema: &Schema, stmt: &Statement) -> Vec<Value> {
+    let mut row = vec![Value::Null; schema.table(stmt.table).columns.len()];
+    for (c, v) in stmt.insert_values() {
+        row[c as usize] = v;
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schism_router::{HashScheme, ReplicationScheme};
+    use schism_store::MemStore;
+
+    fn schema() -> Arc<Schema> {
+        let mut s = Schema::new();
+        s.add_table(
+            "account",
+            &[
+                ("id", ColumnType::Int),
+                ("name", ColumnType::Str),
+                ("bal", ColumnType::Int),
+            ],
+            &["id"],
+        );
+        Arc::new(s)
+    }
+
+    fn fixture(k: u32, rows: u64) -> (Server, Arc<MemStore>, Arc<dyn Scheme>) {
+        let schema = schema();
+        let store = Arc::new(MemStore::new(k));
+        let scheme: Arc<dyn Scheme> = Arc::new(HashScheme::by_attrs(k, vec![Some(0)]));
+        let db: Arc<dyn TupleValues> = Arc::new(PkValues::from_schema(&schema));
+        load_table(
+            &*store,
+            &*scheme,
+            &*db,
+            &schema,
+            0,
+            (0..rows).map(|i| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::Str(format!("acct-{i}")),
+                    Value::Int(100 + i as i64),
+                ]
+            }),
+        )
+        .unwrap();
+        let server = Server::new(
+            schema,
+            store.clone() as Arc<dyn ShardStore>,
+            Arc::clone(&scheme),
+            db,
+            ServeConfig::default(),
+        );
+        (server, store, scheme)
+    }
+
+    #[test]
+    fn point_select_roundtrips() {
+        let (server, _, _) = fixture(4, 32);
+        let out = server
+            .execute_sql("SELECT * FROM account WHERE id = 7")
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].0, TupleId::new(0, 7));
+        assert_eq!(
+            out.rows[0].1,
+            vec![Value::Int(7), Value::Str("acct-7".into()), Value::Int(107)]
+        );
+        assert_eq!(out.metrics.route, RouteKind::Point);
+        assert_eq!(out.metrics.shards_touched, 1);
+        // Missing key: empty result, not an error.
+        let miss = server
+            .execute_sql("SELECT * FROM account WHERE id = 999")
+            .unwrap();
+        assert!(miss.rows.is_empty());
+    }
+
+    #[test]
+    fn insert_update_delete_lifecycle() {
+        let (server, _, _) = fixture(4, 8);
+        let ins = server
+            .execute_sql("INSERT INTO account (id, name, bal) VALUES (100, 'zoe', 5)")
+            .unwrap();
+        assert_eq!(ins.affected, 1);
+        assert_eq!(ins.metrics.route, RouteKind::Point);
+        let upd = server
+            .execute_sql("UPDATE account SET bal = 42 WHERE id = 100")
+            .unwrap();
+        assert_eq!(upd.affected, 1);
+        let got = server
+            .execute_sql("SELECT * FROM account WHERE id = 100")
+            .unwrap();
+        assert_eq!(
+            got.rows[0].1,
+            vec![Value::Int(100), Value::Str("zoe".into()), Value::Int(42)]
+        );
+        let del = server
+            .execute_sql("DELETE FROM account WHERE id = 100")
+            .unwrap();
+        assert_eq!(del.affected, 1);
+        let gone = server
+            .execute_sql("SELECT * FROM account WHERE id = 100")
+            .unwrap();
+        assert!(gone.rows.is_empty());
+    }
+
+    #[test]
+    fn in_list_fans_out_and_orders_rows() {
+        let (server, _, _) = fixture(4, 32);
+        let out = server
+            .execute_sql("SELECT * FROM account WHERE id IN (9, 1, 25, 1)")
+            .unwrap();
+        let ids: Vec<u64> = out.rows.iter().map(|(t, _)| t.row).collect();
+        assert_eq!(ids, vec![1, 9, 25], "tuple order, deduplicated");
+        assert!(out.metrics.shards_touched >= 1);
+    }
+
+    #[test]
+    fn scan_with_range_predicate_broadcasts_and_filters() {
+        let (server, _, _) = fixture(4, 32);
+        let out = server
+            .execute_sql("SELECT * FROM account WHERE bal >= 125")
+            .unwrap();
+        assert_eq!(out.rows.len(), 7, "bal 125..=131 -> ids 25..=31");
+        assert_eq!(out.metrics.route, RouteKind::Broadcast);
+        assert_eq!(out.metrics.shards_touched, 4);
+    }
+
+    #[test]
+    fn scan_update_applies_set_everywhere() {
+        let (server, _, _) = fixture(2, 16);
+        let out = server
+            .execute_sql("UPDATE account SET bal = 0 WHERE bal > 107")
+            .unwrap();
+        assert_eq!(out.affected, 8, "ids 8..=15");
+        let check = server
+            .execute_sql("SELECT * FROM account WHERE bal = 0")
+            .unwrap();
+        assert_eq!(check.rows.len(), 8);
+    }
+
+    #[test]
+    fn broadcast_policy_rejects_blanket_scans() {
+        let schema = schema();
+        let store = Arc::new(MemStore::new(2));
+        let scheme: Arc<dyn Scheme> = Arc::new(HashScheme::by_attrs(2, vec![Some(0)]));
+        let server = Server::new(
+            schema.clone(),
+            store as Arc<dyn ShardStore>,
+            scheme,
+            Arc::new(PkValues::from_schema(&schema)),
+            ServeConfig {
+                allow_broadcast: false,
+                ..ServeConfig::default()
+            },
+        );
+        let err = server.execute_sql("SELECT * FROM account").unwrap_err();
+        assert!(
+            matches!(err, ServeError::Unroutable { table: 0, .. }),
+            "{err}"
+        );
+        // Key-pinned statements still serve.
+        assert!(server
+            .execute_sql("SELECT * FROM account WHERE id = 1")
+            .is_ok());
+    }
+
+    #[test]
+    fn parse_and_insert_errors_are_typed() {
+        let (server, _, _) = fixture(2, 4);
+        assert!(matches!(
+            server.execute_sql("FROB account").unwrap_err(),
+            ServeError::Parse(_)
+        ));
+        assert!(matches!(
+            server
+                .execute_sql("INSERT INTO account (name) VALUES ('nokey')")
+                .unwrap_err(),
+            ServeError::Unroutable { .. }
+        ));
+        assert!(matches!(
+            server
+                .execute_sql("INSERT INTO account (id, name) VALUES (-3, 'neg')")
+                .unwrap_err(),
+            ServeError::Unroutable { .. }
+        ));
+    }
+
+    #[test]
+    fn replicated_reads_pick_one_replica_and_writes_hit_all() {
+        let schema = schema();
+        let store = Arc::new(MemStore::new(3));
+        let scheme: Arc<dyn Scheme> = Arc::new(ReplicationScheme::new(3));
+        let db: Arc<dyn TupleValues> = Arc::new(PkValues::from_schema(&schema));
+        load_table(
+            &*store,
+            &*scheme,
+            &*db,
+            &schema,
+            0,
+            (0..4u64).map(|i| vec![Value::Int(i as i64), Value::Null, Value::Int(0)]),
+        )
+        .unwrap();
+        let server = Server::new(
+            schema,
+            store.clone() as Arc<dyn ShardStore>,
+            scheme,
+            db,
+            ServeConfig::default(),
+        );
+        let w = server
+            .execute_sql("UPDATE account SET bal = 9 WHERE id = 2")
+            .unwrap();
+        assert_eq!(w.affected, 1, "one logical row");
+        assert_eq!(w.metrics.shards_touched, 3, "every replica written");
+        let r = server
+            .execute_sql("SELECT * FROM account WHERE id = 2")
+            .unwrap();
+        assert_eq!(r.metrics.shards_touched, 1, "one replica read");
+        assert_eq!(r.rows[0].1[2], Value::Int(9));
+        // All three physical copies converged.
+        for shard in 0..3 {
+            let bytes = store.get(shard, TupleId::new(0, 2)).unwrap().unwrap();
+            assert_eq!(decode_row(&bytes).unwrap()[2], Value::Int(9));
+        }
+    }
+
+    #[test]
+    fn install_scheme_swaps_routing_under_traffic() {
+        let (server, store, _) = fixture(2, 8);
+        // Re-place everything by hand under a k=2 row-id hash, then swap.
+        let schema = server.schema().clone();
+        let db = PkValues::from_schema(&schema);
+        let next: Arc<dyn Scheme> = Arc::new(HashScheme::by_row_id(2));
+        for t in (0..8u64).map(|r| TupleId::new(0, r)) {
+            let old_shard = server.scheme().locate_tuple(t, &db).first().unwrap();
+            let bytes = store.get(old_shard, t).unwrap().unwrap();
+            let new_shard = next.locate_tuple(t, &db).first().unwrap();
+            if new_shard != old_shard {
+                store.put(new_shard, t, bytes).unwrap();
+                store.delete(old_shard, t).unwrap();
+            }
+        }
+        server.install_scheme(Arc::clone(&next));
+        assert_eq!(server.scheme().name(), next.name());
+        for id in 0..8 {
+            let out = server
+                .execute_sql(&format!("SELECT * FROM account WHERE id = {id}"))
+                .unwrap();
+            assert_eq!(out.rows.len(), 1, "id {id} served after swap");
+        }
+    }
+
+    #[test]
+    fn metrics_report_latency_components() {
+        let (server, _, _) = fixture(2, 16);
+        let out = server
+            .execute_sql("SELECT * FROM account WHERE id = 3")
+            .unwrap();
+        // Sanity only: timers are monotonic micros, not guaranteed > 0.
+        assert!(out.metrics.exec_us < 10_000_000);
+        assert_eq!(out.metrics.retries, 0);
+    }
+}

@@ -123,6 +123,66 @@ pub fn statement_shape(stmt: &Statement) -> (u8, TableId, Vec<ColId>) {
     (kind, stmt.table, cols)
 }
 
+/// How much routing signal a statement's WHERE clause carries, judged
+/// from the predicate alone (before any scheme is consulted).
+///
+/// The serving layer uses this to reject or flag statements that can only
+/// broadcast, instead of discovering that one scheme at a time; Appendix
+/// C.2's middleware "extracts predicates ... and compares the attributes
+/// to the partitioning scheme" — this is the extraction half, shared by
+/// every scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Routability {
+    /// At least one column is pinned to a finite value set (equality,
+    /// IN-list, or small BETWEEN — see [`Predicate::pinned_values`]); a
+    /// scheme partitioned on any of these columns can route without a
+    /// broadcast. Columns are sorted and deduplicated.
+    Pinned(Vec<ColId>),
+    /// Columns are constrained, but only by ranges/inequalities no scheme
+    /// can collapse to a finite value set; range schemes may still prune,
+    /// everything else broadcasts. Columns are sorted and deduplicated.
+    RangeOnly(Vec<ColId>),
+    /// No column constraints at all (blanket scan): every scheme must
+    /// broadcast.
+    Blanket,
+}
+
+impl Routability {
+    /// Whether the statement is a blanket scan.
+    pub fn is_blanket(&self) -> bool {
+        matches!(self, Routability::Blanket)
+    }
+
+    /// The columns pinned to finite value sets (empty unless `Pinned`).
+    pub fn pinned_cols(&self) -> &[ColId] {
+        match self {
+            Routability::Pinned(cols) => cols,
+            _ => &[],
+        }
+    }
+}
+
+/// Classifies how routable `stmt` is from its WHERE clause alone.
+pub fn classify_routability(stmt: &Statement) -> Routability {
+    let mut cols = Vec::new();
+    stmt.predicate.collect_columns(&mut cols);
+    cols.sort_unstable();
+    cols.dedup();
+    if cols.is_empty() {
+        return Routability::Blanket;
+    }
+    let pinned: Vec<ColId> = cols
+        .iter()
+        .copied()
+        .filter(|&c| stmt.predicate.pinned_values(c).is_some())
+        .collect();
+    if pinned.is_empty() {
+        Routability::RangeOnly(cols)
+    } else {
+        Routability::Pinned(pinned)
+    }
+}
+
 /// Checks whether the predicate is a "blanket" scan: no column constraints
 /// at all (`WHERE TRUE` / missing WHERE). Schism filters these out of the
 /// graph (§5.1) because they touch everything and carry no co-access signal.
@@ -201,5 +261,65 @@ mod tests {
         assert!(is_blanket(&Predicate::True));
         assert!(is_blanket(&Predicate::And(vec![])));
         assert!(!is_blanket(&Predicate::Eq(0, Value::Int(1))));
+    }
+
+    #[test]
+    fn routability_blanket_when_nothing_constrained() {
+        let r = classify_routability(&Statement::select(0, Predicate::True));
+        assert_eq!(r, Routability::Blanket);
+        assert!(r.is_blanket());
+        assert!(r.pinned_cols().is_empty());
+        assert_eq!(
+            classify_routability(&Statement::delete(0, Predicate::And(vec![]))),
+            Routability::Blanket
+        );
+    }
+
+    #[test]
+    fn routability_range_only_for_inequalities() {
+        use crate::predicate::CmpOp;
+        let stmt = Statement::select(
+            0,
+            Predicate::And(vec![
+                Predicate::Cmp(2, CmpOp::Gt, Value::Int(0)),
+                Predicate::Cmp(0, CmpOp::Le, Value::Int(100)),
+            ]),
+        );
+        let r = classify_routability(&stmt);
+        assert_eq!(r, Routability::RangeOnly(vec![0, 2]));
+        assert!(!r.is_blanket());
+        assert!(r.pinned_cols().is_empty());
+    }
+
+    #[test]
+    fn routability_pinned_keeps_only_pinned_columns() {
+        use crate::predicate::CmpOp;
+        // col 0 pinned by equality; col 2 only ranged.
+        let stmt = Statement::update(
+            0,
+            Predicate::And(vec![
+                Predicate::Eq(0, Value::Int(7)),
+                Predicate::Cmp(2, CmpOp::Lt, Value::Int(5)),
+            ]),
+        );
+        assert_eq!(classify_routability(&stmt), Routability::Pinned(vec![0]));
+        // An IN-list pins too, and inserts pin every written column.
+        let ins = Statement::insert(0, vec![(1, Value::Int(3)), (0, Value::Int(1))]);
+        assert_eq!(classify_routability(&ins), Routability::Pinned(vec![0, 1]));
+    }
+
+    #[test]
+    fn routability_or_with_unpinned_branch_downgrades() {
+        // One OR branch leaves col 0 unpinned, poisoning the pin; the
+        // statement still references columns, so it is range-only, not
+        // blanket.
+        let stmt = Statement::select(
+            0,
+            Predicate::Or(vec![
+                Predicate::Eq(0, Value::Int(1)),
+                Predicate::Cmp(0, crate::predicate::CmpOp::Gt, Value::Int(50)),
+            ]),
+        );
+        assert_eq!(classify_routability(&stmt), Routability::RangeOnly(vec![0]));
     }
 }

@@ -21,7 +21,7 @@ pub mod schema;
 pub mod statement;
 pub mod value;
 
-pub use analyze::AttributeStats;
+pub use analyze::{classify_routability, AttributeStats, Routability};
 pub use parser::{parse_statement, ParseError};
 pub use predicate::{CmpOp, Predicate};
 pub use schema::{ColId, ColumnDef, ColumnType, Schema, TableDef, TableId};

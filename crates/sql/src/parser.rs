@@ -179,11 +179,12 @@ impl<'a> Parser<'a> {
     fn update(&mut self) -> Result<Statement, ParseError> {
         let table = self.table()?;
         self.keyword("SET")?;
+        let mut set: Vec<(ColId, Value)> = Vec::new();
         loop {
-            let col = self.ident()?;
-            self.resolve_col_checked(table, &col)?;
+            let name = self.ident()?;
+            let col = self.resolve_col_checked(table, &name)?;
             self.expect(&Token::Eq)?;
-            let _ = self.literal()?;
+            set.push((col, self.literal()?));
             if matches!(self.peek(), Some(Token::Comma)) {
                 self.pos += 1;
             } else {
@@ -191,7 +192,7 @@ impl<'a> Parser<'a> {
             }
         }
         let predicate = self.opt_where(table)?;
-        Ok(Statement::update(table, predicate))
+        Ok(Statement::update_set(table, set, predicate))
     }
 
     fn insert(&mut self) -> Result<Statement, ParseError> {
@@ -406,6 +407,10 @@ mod tests {
             parse_statement(&s, "update account set bal = 60, name = 'evan' where id=2;").unwrap();
         assert_eq!(stmt.kind, StatementKind::Update);
         assert_eq!(stmt.predicate, Predicate::Eq(0, Value::Int(2)));
+        assert_eq!(
+            stmt.set,
+            vec![(2, Value::Int(60)), (1, Value::Str("evan".into()))]
+        );
     }
 
     #[test]
@@ -497,6 +502,7 @@ mod tests {
             "SELECT * FROM account WHERE id = 5",
             "DELETE FROM account WHERE id IN (1, 3)",
             "SELECT * FROM stock WHERE s_w_id BETWEEN 1 AND 4",
+            "UPDATE account SET bal = -7, name = 'kim' WHERE id = 2",
         ] {
             let stmt = parse_statement(&s, sql).unwrap();
             let rendered = stmt.to_sql(&s);

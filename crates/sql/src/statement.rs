@@ -7,7 +7,7 @@
 //! matching the paper's read/write-set extraction (§5.3).
 
 use crate::predicate::Predicate;
-use crate::schema::{Schema, TableId};
+use crate::schema::{ColId, Schema, TableId};
 use crate::value::Value;
 
 /// What the statement does to matching rows.
@@ -34,6 +34,11 @@ pub struct Statement {
     /// WHERE clause; for INSERT, an equality conjunction binding the
     /// inserted values.
     pub predicate: Predicate,
+    /// UPDATE `SET` assignments as `(column, new value)` pairs, in
+    /// statement order. Empty for every other kind — and for updates built
+    /// through [`Statement::update`], which predates SET tracking (routing
+    /// only needs the WHERE clause; execution needs the assignments).
+    pub set: Vec<(ColId, Value)>,
 }
 
 impl Statement {
@@ -42,6 +47,7 @@ impl Statement {
             kind: StatementKind::Select,
             table,
             predicate,
+            set: Vec::new(),
         }
     }
 
@@ -50,6 +56,17 @@ impl Statement {
             kind: StatementKind::Update,
             table,
             predicate,
+            set: Vec::new(),
+        }
+    }
+
+    /// Builds an UPDATE that carries its `SET` assignments.
+    pub fn update_set(table: TableId, set: Vec<(ColId, Value)>, predicate: Predicate) -> Self {
+        Self {
+            kind: StatementKind::Update,
+            table,
+            predicate,
+            set,
         }
     }
 
@@ -58,6 +75,7 @@ impl Statement {
             kind: StatementKind::Delete,
             table,
             predicate,
+            set: Vec::new(),
         }
     }
 
@@ -71,7 +89,17 @@ impl Statement {
             kind: StatementKind::Insert,
             table,
             predicate: Predicate::and(preds),
+            set: Vec::new(),
         }
+    }
+
+    /// The inserted `(column, value)` pairs of an INSERT, recovered from
+    /// the synthesized equality conjunction. Empty for other kinds.
+    pub fn insert_values(&self) -> Vec<(ColId, Value)> {
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        flatten_insert(&self.predicate, &mut cols, &mut vals);
+        cols.into_iter().zip(vals).collect()
     }
 
     /// Renders the statement back to SQL text (used by trace tooling and
@@ -93,10 +121,19 @@ impl Statement {
                 format!("DELETE FROM {}{}", t.name, where_clause(&self.predicate))
             }
             StatementKind::Update => {
-                // The updated columns are not tracked (routing only needs the
-                // WHERE clause); emit a marker assignment.
+                let assigns = if self.set.is_empty() {
+                    // Updates built without SET tracking: emit a marker
+                    // assignment (routing only needs the WHERE clause).
+                    "_ = _".to_owned()
+                } else {
+                    self.set
+                        .iter()
+                        .map(|(c, v)| format!("{} = {v}", t.column(*c).name))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
                 format!(
-                    "UPDATE {} SET _ = _{}",
+                    "UPDATE {} SET {assigns}{}",
                     t.name,
                     where_clause(&self.predicate)
                 )
@@ -211,5 +248,34 @@ mod tests {
         let s = schema();
         let stmt = Statement::select(0, Predicate::True);
         assert_eq!(stmt.to_sql(&s), "SELECT * FROM account");
+    }
+
+    #[test]
+    fn update_renders_tracked_set_list() {
+        let s = schema();
+        let stmt = Statement::update_set(
+            0,
+            vec![(2, Value::Int(50)), (1, Value::Str("ana".into()))],
+            Predicate::Eq(0, Value::Int(3)),
+        );
+        assert_eq!(
+            stmt.to_sql(&s),
+            "UPDATE account SET bal = 50, name = 'ana' WHERE id = 3"
+        );
+        // Updates without SET tracking keep the legacy marker.
+        let bare = Statement::update(0, Predicate::Eq(0, Value::Int(3)));
+        assert_eq!(bare.to_sql(&s), "UPDATE account SET _ = _ WHERE id = 3");
+    }
+
+    #[test]
+    fn insert_values_recovers_pairs() {
+        let stmt = Statement::insert(0, vec![(0, Value::Int(9)), (2, Value::Int(7))]);
+        assert_eq!(
+            stmt.insert_values(),
+            vec![(0, Value::Int(9)), (2, Value::Int(7))]
+        );
+        assert!(Statement::select(0, Predicate::True)
+            .insert_values()
+            .is_empty());
     }
 }
