@@ -2,7 +2,7 @@
 //! text at a [`Server`] front door, each waiting for
 //! its result before sending the next statement (closed loop), while the
 //! driver measures per-statement latency percentiles and steady-state
-//! throughput. Two scenarios:
+//! throughput. Three scenarios:
 //!
 //! 1. **steady** — a static hash scheme; the baseline serving cost of
 //!    parse → route → shard-queue → execute → gather.
@@ -12,13 +12,21 @@
 //!    verifies, and flips every key to a new placement under the clients;
 //!    the run must finish with zero routing/serving errors.
 //!
+//! 3. **failover** (`--faults`) — the mix runs over a replication-factor-2
+//!    scheme while a seeded [`FaultPlan`] crashes one shard worker
+//!    mid-run; the driver records availability (served / attempted),
+//!    the longest client-observed success gap, and p99 inside the
+//!    one-second window after the kill.
+//!
 //! The op mix is point-heavy OLTP: 70% point SELECT, 25% point UPDATE, 5%
 //! three-key IN SELECT. No DELETEs run mid-migration (a deleted copy
 //! source aborts the executor — the documented serving limitation).
+//! Every client runs a [`schism_serve::Session`], so repeated hot statements spread
+//! across replicas instead of re-picking the same salted replica.
 //!
 //! ```text
 //! cargo run --release -p schism-bench --bin bench_serve \
-//!     [--smoke] [--full] [--clients N] [--seconds S] [--backend mem|log]
+//!     [--smoke] [--full] [--faults] [--clients N] [--seconds S] [--backend mem|log]
 //! ```
 //!
 //! `--smoke` runs a short CI-sized pass and skips the JSON report;
@@ -29,10 +37,10 @@
 
 use schism_migrate::{plan_migration, ExecutorConfig, MigrationExecutor, PlanConfig, StepOutcome};
 use schism_router::{
-    HashScheme, IndexBackend, LookupBackend, LookupScheme, MissPolicy, PartitionSet, RowKey,
-    Scheme, VersionedScheme,
+    HashScheme, IndexBackend, LookupBackend, LookupScheme, MissPolicy, PartitionSet,
+    ReplicatedScheme, RowKey, Scheme, VersionedScheme,
 };
-use schism_serve::{load_table, PkValues, RouteKind, ServeConfig, Server};
+use schism_serve::{load_table, FaultPlan, PkValues, RouteKind, ServeConfig, Server};
 use schism_sql::{ColumnType, Schema, Value};
 use schism_store::{tempdir::TempDir, ShardStore};
 use schism_workload::{TupleId, TupleValues};
@@ -42,6 +50,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const SHARDS: u32 = 8;
+/// The shard `--faults` kills, and after how many of its dequeues.
+const VICTIM: u32 = 3;
 
 fn splitmix(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -79,10 +89,25 @@ fn schema() -> Arc<Schema> {
 struct ClientStats {
     latencies_us: Vec<u64>,
     ops: u64,
+    /// Every success, including ramp-up (the availability denominator).
+    ok_all: u64,
     errors: u64,
     point: u64,
     multi: u64,
     broadcast: u64,
+    /// Longest wall-clock gap between two consecutive successes.
+    max_gap_us: u64,
+    /// `(start offset from run start, latency)` per measured op;
+    /// only filled on fault runs, where the kill window needs it.
+    timeline: Vec<(u64, u64)>,
+}
+
+/// Wall-clock context shared by the clients of a fault run.
+struct FaultCtx {
+    start: Instant,
+    /// Micros after `start` when the watcher saw the crash fire;
+    /// `u64::MAX` until then.
+    kill_at_us: AtomicU64,
 }
 
 /// One closed-loop client: issue, wait, record, repeat until `deadline`.
@@ -93,9 +118,15 @@ fn run_client(
     rampup_until: Instant,
     deadline: Instant,
     live_ops: &AtomicU64,
+    faults: Option<&FaultCtx>,
 ) -> ClientStats {
     let mut rng = Rng(seed);
     let mut stats = ClientStats::default();
+    // A session per client: its per-statement salts spread repeated reads
+    // across replicas, and its write set keeps reads-after-writes on the
+    // leader. A bare `execute_sql` would re-pick one salted replica forever.
+    let mut session = server.session(seed);
+    let mut last_ok: Option<Instant> = None;
     while Instant::now() < deadline {
         let key = rng.next() % rows;
         let roll = rng.next() % 100;
@@ -112,23 +143,39 @@ fn run_client(
             format!("SELECT * FROM account WHERE id IN ({key}, {k2}, {k3})")
         };
         let started = Instant::now();
-        match server.execute_sql(&sql) {
+        match session.execute_sql(&sql) {
             Ok(out) => {
+                stats.ok_all += 1;
                 match out.metrics.route {
                     RouteKind::Point => stats.point += 1,
                     RouteKind::Multi => stats.multi += 1,
                     RouteKind::Broadcast => stats.broadcast += 1,
                 }
+                let lat = started.elapsed().as_micros() as u64;
                 if started >= rampup_until {
-                    stats
-                        .latencies_us
-                        .push(started.elapsed().as_micros() as u64);
+                    stats.latencies_us.push(lat);
                     stats.ops += 1;
                     live_ops.fetch_add(1, Ordering::Relaxed);
                 }
+                if let Some(ctx) = faults {
+                    let done = started + Duration::from_micros(lat);
+                    if let Some(prev) = last_ok {
+                        let gap = done.saturating_duration_since(prev).as_micros() as u64;
+                        stats.max_gap_us = stats.max_gap_us.max(gap);
+                    }
+                    last_ok = Some(done);
+                    if started >= rampup_until {
+                        let off = started.duration_since(ctx.start).as_micros() as u64;
+                        stats.timeline.push((off, lat));
+                    }
+                }
             }
             Err(e) => {
-                eprintln!("serve error: {e} (statement: {sql})");
+                // Fault runs expect a handful of Unavailable errors around
+                // the kill; anything else is still worth shouting about.
+                if faults.is_none() {
+                    eprintln!("serve error: {e} (statement: {sql})");
+                }
                 stats.errors += 1;
             }
         }
@@ -149,6 +196,14 @@ struct RunResult {
     broadcast: u64,
     batches_flipped: usize,
     rows_migrated: usize,
+    /// successes / attempts over the whole run (1.0 on fault-free runs).
+    availability: f64,
+    /// Longest client-observed gap between consecutive successes.
+    max_gap_us: u64,
+    /// p99 of ops started within one second after the shard kill.
+    p99_kill_us: u64,
+    /// Shards the server marked down and failed over from.
+    failovers: u64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -169,6 +224,7 @@ fn run_scenario(
     rows: u64,
     clients: u32,
     seconds: f64,
+    faults: Option<Arc<FaultPlan>>,
 ) -> RunResult {
     let db: Arc<dyn TupleValues> = Arc::new(PkValues::from_schema(schema));
     let exec_store = Arc::clone(&store);
@@ -177,7 +233,10 @@ fn run_scenario(
         store,
         serve_scheme,
         Arc::clone(&db),
-        ServeConfig::default(),
+        ServeConfig {
+            faults: faults.clone(),
+            ..ServeConfig::default()
+        },
     );
     let start = Instant::now();
     let rampup_until = start + Duration::from_secs_f64(seconds * 0.1);
@@ -185,12 +244,31 @@ fn run_scenario(
     let live_ops = AtomicU64::new(0);
     let mut batches_flipped = 0usize;
     let mut rows_migrated = 0usize;
+    let fault_ctx = faults.as_ref().map(|_| FaultCtx {
+        start,
+        kill_at_us: AtomicU64::new(u64::MAX),
+    });
 
     let mut per_client: Vec<ClientStats> = Vec::new();
     std::thread::scope(|s| {
+        // The crash trigger is count-based (deterministic); a watcher just
+        // timestamps when it fired so the kill-window p99 can be cut out.
+        if let (Some(plan), Some(ctx)) = (&faults, &fault_ctx) {
+            s.spawn(move || {
+                while Instant::now() < deadline {
+                    if !plan.crashes_fired().is_empty() {
+                        let off = ctx.start.elapsed().as_micros() as u64;
+                        ctx.kill_at_us.store(off, Ordering::Relaxed);
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let (server, live_ops) = (&server, &live_ops);
+                let fault_ctx = fault_ctx.as_ref();
                 s.spawn(move || {
                     run_client(
                         server,
@@ -199,6 +277,7 @@ fn run_scenario(
                         rampup_until,
                         deadline,
                         live_ops,
+                        fault_ctx,
                     )
                 })
             })
@@ -244,6 +323,8 @@ fn run_scenario(
     });
     let measured_s = seconds * 0.9;
     let mut latencies: Vec<u64> = Vec::new();
+    let mut ok_all = 0u64;
+    let mut timeline: Vec<(u64, u64)> = Vec::new();
     let mut result = RunResult {
         name,
         ops: 0,
@@ -257,20 +338,42 @@ fn run_scenario(
         broadcast: 0,
         batches_flipped,
         rows_migrated,
+        availability: 1.0,
+        max_gap_us: 0,
+        p99_kill_us: 0,
+        failovers: server.failovers(),
     };
     for c in per_client {
         latencies.extend(c.latencies_us);
+        timeline.extend(c.timeline);
+        ok_all += c.ok_all;
         result.ops += c.ops;
         result.errors += c.errors;
         result.point += c.point;
         result.multi += c.multi;
         result.broadcast += c.broadcast;
+        result.max_gap_us = result.max_gap_us.max(c.max_gap_us);
     }
     latencies.sort_unstable();
     result.throughput = result.ops as f64 / measured_s;
     result.p50_us = percentile(&latencies, 0.50);
     result.p95_us = percentile(&latencies, 0.95);
     result.p99_us = percentile(&latencies, 0.99);
+    if ok_all + result.errors > 0 {
+        result.availability = ok_all as f64 / (ok_all + result.errors) as f64;
+    }
+    if let Some(ctx) = &fault_ctx {
+        let kill_at = ctx.kill_at_us.load(Ordering::Relaxed);
+        if kill_at != u64::MAX {
+            let mut window: Vec<u64> = timeline
+                .iter()
+                .filter(|(off, _)| (kill_at..kill_at + 1_000_000).contains(off))
+                .map(|&(_, lat)| lat)
+                .collect();
+            window.sort_unstable();
+            result.p99_kill_us = percentile(&window, 0.99);
+        }
+    }
     assert_eq!(live_ops.load(Ordering::Relaxed), result.ops);
     println!(
         "{name}: {} ops in {measured_s:.1}s ({:.0} ops/s), p50 {}us p95 {}us p99 {}us, \
@@ -287,6 +390,13 @@ fn run_scenario(
     );
     if batches_flipped > 0 {
         println!("{name}: migration flipped {batches_flipped} batches, {rows_migrated} rows moved");
+    }
+    if faults.is_some() {
+        println!(
+            "{name}: availability {:.4}, max success gap {}us, p99 in kill window {}us, \
+             {} shard(s) failed over",
+            result.availability, result.max_gap_us, result.p99_kill_us, result.failovers
+        );
     }
     result
 }
@@ -340,6 +450,7 @@ fn rotated_scheme(old: &dyn Scheme, db: &dyn TupleValues, rows: u64) -> Arc<dyn 
 
 fn main() {
     let smoke = schism_bench::flag("--smoke");
+    let faults_on = schism_bench::flag("--faults");
     let full = schism_bench::full_scale();
     let backend = schism_bench::backend_kind();
     let clients: u32 = schism_bench::arg_value("--clients")
@@ -381,6 +492,7 @@ fn main() {
         rows,
         clients,
         seconds,
+        None,
     );
 
     // Run 2: the same closed loop while every key migrates to a rotated
@@ -404,7 +516,42 @@ fn main() {
         rows,
         clients,
         seconds,
+        None,
     );
+
+    // Run 3 (--faults): the mix over a replication-factor-2 scheme while a
+    // seeded plan crashes one shard worker; the clients ride the failover.
+    let failover = faults_on.then(|| {
+        let store3: Arc<dyn ShardStore> = Arc::from(schism_bench::open_backend(
+            backend, SHARDS, &dir, "failover",
+        ));
+        let rep: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(2, Arc::clone(&old)));
+        load_table(&*store3, &*rep, &db, &schema, 0, table_rows(rows))
+            .expect("load failover store");
+        let after = if smoke { 200 } else { 2_000 };
+        let plan = Arc::new(FaultPlan::new(0xFA11).crash_worker(VICTIM, after));
+        let r = run_scenario(
+            "failover",
+            store3,
+            rep,
+            None,
+            &schema,
+            rows,
+            clients,
+            seconds,
+            Some(plan),
+        );
+        assert_eq!(
+            r.failovers, 1,
+            "the failover run must kill exactly one shard and fail over from it"
+        );
+        assert!(
+            r.availability > 0.9,
+            "availability must stay high across a single-shard kill (got {:.4})",
+            r.availability
+        );
+        r
+    });
 
     let total_errors = steady.errors + migration.errors;
     assert_eq!(total_errors, 0, "a serving run must complete error-free");
@@ -418,7 +565,13 @@ fn main() {
     );
 
     if smoke {
-        println!("smoke OK: both scenarios served with zero errors");
+        match &failover {
+            Some(f) => println!(
+                "smoke OK: all scenarios served; failover availability {:.4}",
+                f.availability
+            ),
+            None => println!("smoke OK: both scenarios served with zero errors"),
+        }
         return;
     }
 
@@ -431,7 +584,11 @@ fn main() {
     } else {
         "clients measured with dedicated cores".to_string()
     };
-    let runs = [&steady, &migration]
+    let mut run_refs = vec![&steady, &migration];
+    if let Some(f) = &failover {
+        run_refs.push(f);
+    }
+    let runs = run_refs
         .iter()
         .map(|r| {
             let mig = if r.batches_flipped > 0 {
@@ -442,10 +599,19 @@ fn main() {
             } else {
                 String::new()
             };
+            let fo = if r.failovers > 0 {
+                format!(
+                    ", \"availability\": {:.4}, \"max_gap_us\": {}, \"p99_kill_us\": {}, \
+                     \"failovers\": {}, \"errors\": {}",
+                    r.availability, r.max_gap_us, r.p99_kill_us, r.failovers, r.errors
+                )
+            } else {
+                String::new()
+            };
             format!(
                 "    {{ \"run\": \"{}\", \"ops\": {}, \"throughput_ops_s\": {:.0}, \
                  \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"point\": {}, \
-                 \"multi\": {}, \"broadcast\": {}{mig} }}",
+                 \"multi\": {}, \"broadcast\": {}{mig}{fo} }}",
                 r.name,
                 r.ops,
                 r.throughput,
@@ -459,8 +625,9 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let fault_arg = if faults_on { " --faults" } else { "" };
     let json = format!(
-        "{{\n  \"bench\": \"bench_serve --clients {clients} --seconds {seconds}\",\n  \
+        "{{\n  \"bench\": \"bench_serve --clients {clients} --seconds {seconds}{fault_arg}\",\n  \
          \"workload\": \"point-heavy SQL (70% point SELECT, 25% point UPDATE, 5% 3-key IN)\",\n  \
          \"rows\": {rows},\n  \"shards\": {SHARDS},\n  \"clients\": {clients},\n  \
          \"backend\": \"{backend}\",\n  \"full\": {full},\n  \"host_cores\": {host_cores},\n  \

@@ -276,13 +276,18 @@ impl WorkloadGraph {
     /// placement — the warm start for incremental repartitioning.
     ///
     /// Each group takes the majority previous *primary* partition of its
-    /// member tuples; replica nodes inherit their group's label (the
-    /// refiner is free to spread them again). Groups whose tuples were
-    /// never seen before take the edge-weighted majority label of their
-    /// graph neighbors (label propagation, up to three sweeps) so a
-    /// newly-hot co-access cluster seeds onto *one* partition rather than
-    /// being scattered; only groups with no labeled neighbors at all fall
-    /// back to the currently lightest partition.
+    /// member tuples; a group's **used** replica nodes seed onto the extra
+    /// partitions its tuples already replicated to (majority order), so a
+    /// tuple the previous plan replicated starts the refinement already
+    /// spread — without this, hot tuples oscillate replicated↔single
+    /// between incremental repartitions because every replica node starts
+    /// on the group label and the refiner must rediscover the spread from
+    /// scratch each time. Unused replica slots stay on the group label.
+    /// Groups whose tuples were never seen before take the edge-weighted
+    /// majority label of their graph neighbors (label propagation, up to
+    /// three sweeps) so a newly-hot co-access cluster seeds onto *one*
+    /// partition rather than being scattered; only groups with no labeled
+    /// neighbors at all fall back to the currently lightest partition.
     pub fn seed_assignment(
         &self,
         prev: &HashMap<TupleId, schism_router::PartitionSet>,
@@ -355,13 +360,52 @@ impl WorkloadGraph {
                 load[lightest as usize] += u64::from(self.group_accesses[g].max(1));
             }
         }
+        // Previous *extra* partitions per group (copies beyond the
+        // primary), ordered by vote count then partition id, the group's
+        // own label excluded — the partitions this group's replicas
+        // should keep occupying.
+        let mut extra_votes: Vec<HashMap<u32, u32>> = vec![HashMap::new(); self.num_groups];
+        for (i, t) in self.tuples.iter().enumerate() {
+            if let Some(ps) = prev.get(t) {
+                for p in ps.iter().skip(1) {
+                    *extra_votes[self.group_of[i] as usize]
+                        .entry(p % k)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        let extras: Vec<Vec<u32>> = extra_votes
+            .iter()
+            .enumerate()
+            .map(|(g, v)| {
+                let mut ps: Vec<(u32, u32)> = v
+                    .iter()
+                    .filter(|&(&p, _)| p != labels[g])
+                    .map(|(&p, &c)| (p, c))
+                    .collect();
+                ps.sort_unstable_by_key(|&(p, c)| (std::cmp::Reverse(c), p));
+                ps.into_iter().map(|(p, _)| p).collect()
+            })
+            .collect();
+
         let mut assignment = Vec::with_capacity(self.graph.num_vertices());
         assignment.extend_from_slice(&labels);
-        // Every planned replica — allocated or not — starts on its group's
-        // label; unused slots are isolated, so the refiner is free to move
-        // them for balance.
-        for &g in &self.replica_owner {
-            assignment.push(labels[g as usize]);
+        // Used replica slots take the group's previous extra partitions in
+        // order (replica ids are clustered per group, so a simple running
+        // cursor hands each used slot the next extra); slots beyond the
+        // previous spread — and all unused slots, which are isolated —
+        // start on the group label, where the refiner is free to move them.
+        let mut cursor = vec![0usize; self.num_groups];
+        for (ri, &g) in self.replica_owner.iter().enumerate() {
+            let g = g as usize;
+            let seeded = if self.replica_used[ri] {
+                let i = cursor[g];
+                cursor[g] += 1;
+                extras[g].get(i).copied()
+            } else {
+                None
+            };
+            assignment.push(seeded.unwrap_or(labels[g]));
         }
         debug_assert_eq!(assignment.len(), self.graph.num_vertices());
         assignment
@@ -844,6 +888,56 @@ mod tests {
         let compacted = build_graph(&w, &w.trace, &tiny);
         assert_eq!(base.digest(), compacted.digest());
         assert_eq!(base.graph, compacted.graph);
+    }
+
+    #[test]
+    fn seed_assignment_preserves_previous_replica_spread() {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 200,
+            num_txns: 1_000,
+            ..YcsbConfig::workload_a()
+        });
+        let mut cfg = base_cfg();
+        cfg.coalesce = false; // one tuple per group: placements stay legible
+        let g = build_graph(&w, &w.trace, &cfg);
+        assert!(g.stats.nodes > g.stats.groups, "need replica nodes");
+        // Groups with used replicas, found by probing: primaries -> 0,
+        // replica nodes -> 1, then any tuple spanning both is hot.
+        let probe: Vec<u32> = (0..g.graph.num_vertices())
+            .map(|v| u32::from(v >= g.stats.groups))
+            .collect();
+        let hot: std::collections::HashSet<TupleId> = g
+            .tuple_partitions(&probe)
+            .into_iter()
+            .filter(|(_, ps)| ps.len() == 2)
+            .map(|(t, _)| t)
+            .collect();
+        assert!(!hot.is_empty(), "zipfian head must allocate replicas");
+        // Previous placement: everything primary on 0; hot tuples also
+        // replicated on 1 and 2.
+        let mut prev: HashMap<TupleId, schism_router::PartitionSet> = HashMap::new();
+        for &t in g.tuples() {
+            prev.insert(t, schism_router::PartitionSet::single(0));
+        }
+        for &t in &hot {
+            prev.insert(t, [0u32, 1, 2].into_iter().collect());
+        }
+        let seeded = g.seed_assignment(&prev, 3);
+        for (t, ps) in g.tuple_partitions(&seeded) {
+            if hot.contains(&t) {
+                assert_eq!(ps[0], 0, "primary placement preserved");
+                assert!(
+                    ps.len() >= 2,
+                    "previously replicated tuple {t} must seed replicated"
+                );
+                assert!(
+                    ps[1..].iter().all(|p| [1, 2].contains(p)),
+                    "replicas must seed onto the previous extras, got {ps:?}"
+                );
+            } else {
+                assert_eq!(ps, vec![0], "cold tuples stay single-homed");
+            }
+        }
     }
 
     #[test]

@@ -29,10 +29,11 @@
 
 use crate::plan::{MigrationPlan, TupleMove};
 use schism_router::{FlipError, VersionedScheme};
-use schism_store::{ShardId, ShardStore, StoreError, WriteOp};
+use schism_store::{HealthMap, ShardId, ShardStore, StoreError, WriteOp};
 use schism_workload::TupleId;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Executor tuning knobs.
 #[derive(Clone, Debug, Default)]
@@ -45,6 +46,13 @@ pub struct ExecutorConfig {
     /// payload for the batch's first copied row, which verification then
     /// catches.
     pub corrupt_copies: Vec<(usize, u32)>,
+    /// Shard liveness shared with the serving layer. When set, copy and
+    /// verify read their source row from the first **live** member of a
+    /// move's copy set — a failed shard's store is still readable but
+    /// stale (writes skip it from the moment it is marked down), so using
+    /// it as a copy source would migrate pre-failure values and lose
+    /// acknowledged writes.
+    pub health: Option<Arc<HealthMap>>,
 }
 
 /// Why a migration stopped making progress.
@@ -359,6 +367,17 @@ impl<'a> MigrationExecutor<'a> {
         }
     }
 
+    /// The shard copy and verify read `m`'s row from: the first live
+    /// member of the source copy set (every live authoritative copy holds
+    /// every acknowledged write — see [`ExecutorConfig::health`]).
+    fn live_source(&self, m: &TupleMove) -> Result<ShardId, ExecError> {
+        let from = match &self.cfg.health {
+            Some(h) => m.from.difference(&h.down_set()),
+            None => m.from,
+        };
+        from.first().ok_or(ExecError::MissingSource(m.tuple))
+    }
+
     /// Copies every row of batch `i` to its gaining shards; one atomic
     /// write batch per destination shard. Returns `(rows, bytes)` written.
     fn copy_batch(&self, i: usize, attempt: u32) -> Result<(u64, u64), ExecError> {
@@ -373,7 +392,7 @@ impl<'a> MigrationExecutor<'a> {
             if added.is_empty() {
                 continue; // drop-only move: nothing to copy
             }
-            let src = m.from.first().ok_or(ExecError::MissingSource(m.tuple))?;
+            let src = self.live_source(m)?;
             let row = self
                 .store
                 .get(src, m.tuple)?
@@ -409,7 +428,7 @@ impl<'a> MigrationExecutor<'a> {
             if added.is_empty() {
                 continue;
             }
-            let src = m.from.first().ok_or(ExecError::MissingSource(m.tuple))?;
+            let src = self.live_source(m)?;
             let want = self
                 .store
                 .checksum(src, m.tuple)?
@@ -575,6 +594,7 @@ mod tests {
         let cfg = ExecutorConfig {
             max_retries: 2,
             corrupt_copies: vec![(0, 0), (0, 1)], // first two attempts bad
+            ..ExecutorConfig::default()
         };
         let mut exec = MigrationExecutor::new(&plan, &store, &vs, cfg);
         let report = match exec.step() {
@@ -596,6 +616,7 @@ mod tests {
         let cfg = ExecutorConfig {
             max_retries: 1,
             corrupt_copies: vec![(1, 0), (1, 1)], // batch 1 never verifies
+            ..ExecutorConfig::default()
         };
         let mut exec = MigrationExecutor::new(&plan, &store, &vs, cfg);
         assert!(matches!(exec.step(), StepOutcome::Flipped(_)));
@@ -676,6 +697,66 @@ mod tests {
         }
         assert_eq!(vs.flipped_batches(), 0);
         assert_eq!(store.total_rows(), 0);
+    }
+
+    #[test]
+    fn copy_source_skips_down_shards() {
+        use schism_store::{HealthMap, ShardStore};
+        // Tuple 0 is replicated on {0, 1}; it moves to {1, 2}. Shard 0 —
+        // the default copy source — holds a stale payload and is marked
+        // down; the executor must copy shard 1's (fresh) bytes instead.
+        let mut old = Map::new();
+        old.insert(
+            TupleId::new(0, 0),
+            [0u32, 1].into_iter().collect::<PartitionSet>(),
+        );
+        let mut new = Map::new();
+        new.insert(
+            TupleId::new(0, 0),
+            [1u32, 2].into_iter().collect::<PartitionSet>(),
+        );
+        let (store, vs, plan) = fixture(&old, &new, 3, 10);
+        let stale = b"stale-pre-failure".to_vec();
+        store.put(0, TupleId::new(0, 0), stale.clone()).unwrap();
+        let fresh = store.get(1, TupleId::new(0, 0)).unwrap().unwrap();
+        assert_ne!(fresh, stale);
+        let health = Arc::new(HealthMap::new());
+        health.mark_down(0);
+        let mut exec = MigrationExecutor::new(
+            &plan,
+            &store,
+            &vs,
+            ExecutorConfig {
+                health: Some(Arc::clone(&health)),
+                ..ExecutorConfig::default()
+            },
+        );
+        assert!(matches!(exec.step(), StepOutcome::Flipped(_)));
+        assert_eq!(
+            store.get(2, TupleId::new(0, 0)).unwrap(),
+            Some(fresh),
+            "destination must receive the live replica's bytes"
+        );
+        // All authoritative sources down: a clean MissingSource abort.
+        let (store2, vs2, plan2) = fixture(&old, &new, 3, 10);
+        let dead = Arc::new(HealthMap::new());
+        dead.mark_down(0);
+        dead.mark_down(1);
+        let mut exec2 = MigrationExecutor::new(
+            &plan2,
+            &store2,
+            &vs2,
+            ExecutorConfig {
+                health: Some(dead),
+                ..ExecutorConfig::default()
+            },
+        );
+        match exec2.step() {
+            StepOutcome::Aborted { error, .. } => {
+                assert_eq!(error, ExecError::MissingSource(TupleId::new(0, 0)));
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod hash;
 pub mod lookup;
 pub mod pset;
 pub mod range;
+pub mod replica;
 pub mod router;
 pub mod scheme;
 pub mod versioned;
@@ -25,6 +26,7 @@ pub use lookup::{
 };
 pub use pset::{PartitionSet, MAX_PARTITIONS};
 pub use range::{RangeRule, RangeScheme, TablePolicy};
+pub use replica::{ReplicaSet, ReplicatedScheme};
 pub use router::{route_transaction, Participants};
 pub use scheme::{
     pick_any, statement_salt, Complexity, ReplicationScheme, Route, RouteDecision, Scheme,

@@ -2,6 +2,7 @@
 //! evaluator, and Schism's final validation phase.
 
 use crate::pset::PartitionSet;
+use crate::replica::ReplicaSet;
 use schism_sql::Statement;
 use schism_workload::{TupleId, TupleValues};
 
@@ -140,9 +141,18 @@ pub trait Scheme: Send + Sync {
     /// never flip-flops; must-routes covering every partition become
     /// [`RouteDecision::Broadcast`].
     fn route_predicate(&self, stmt: &Statement) -> RouteDecision {
+        self.route_predicate_salted(stmt, statement_salt(stmt))
+    }
+
+    /// [`route_predicate`](Self::route_predicate) with an explicit replica
+    /// pick salt. Sessions feed a per-statement counter-derived salt here
+    /// so *repeated* statements (a closed-loop client hammering one key)
+    /// still spread across replicas, where the statement-derived salt
+    /// alone would pin them all to one member.
+    fn route_predicate_salted(&self, stmt: &Statement, salt: u64) -> RouteDecision {
         let r = self.route_statement(stmt);
         if r.any_one {
-            if let Some(p) = pick_any(&r.targets, statement_salt(stmt)) {
+            if let Some(p) = pick_any(&r.targets, salt) {
                 return RouteDecision::Single(p);
             }
         }
@@ -156,26 +166,54 @@ pub trait Scheme: Send + Sync {
         }
     }
 
-    /// Copy sets a *write* to tuple `t` must reach, as two ordered phases:
-    /// callers must fully apply (and observe completion of) phase 0 before
-    /// starting phase 1, and only acknowledge the write after both. For a
-    /// plain scheme every copy is phase 0 and phase 1 is empty.
+    /// Leader/follower split of `t`'s copy set. The default names the
+    /// first copy leader and the rest followers, which makes the leader
+    /// deterministic for every scheme. Schemes that place replicas
+    /// deliberately (e.g. [`ReplicatedScheme`](crate::ReplicatedScheme))
+    /// override this; [`VersionedScheme`](crate::VersionedScheme)
+    /// delegates per tuple to whichever epoch currently owns it.
+    fn replica_set(&self, t: TupleId, db: &dyn TupleValues) -> ReplicaSet {
+        ReplicaSet::from_copies(&self.locate_tuple(t, db))
+    }
+
+    /// The shards a read fan-out can use while the shards in `down` are
+    /// failed, or `None` when the statement's rows cannot all be covered
+    /// by live shards. The default has no redundancy to offer: any down
+    /// target makes the read uncoverable.
+    /// [`ReplicatedScheme`](crate::ReplicatedScheme) overrides this to
+    /// drop down members whose replica group still has a live copy.
+    fn route_read_fallback(&self, stmt: &Statement, down: &PartitionSet) -> Option<PartitionSet> {
+        let targets = self.route_statement(stmt).targets;
+        if targets.intersect(down).is_empty() {
+            Some(targets)
+        } else {
+            None
+        }
+    }
+
+    /// Copy sets a *write* to tuple `t` must reach, as ordered phases:
+    /// callers must fully apply (and observe completion of) each phase
+    /// before starting the next, and only acknowledge the write after all
+    /// of them. For a plain scheme every copy is one phase.
     ///
-    /// [`VersionedScheme`](crate::VersionedScheme) overrides this so a
-    /// write to an unmoved tuple lands on the old placement *before* the
-    /// new placement's extra copies — the ordering that makes a concurrent
+    /// Two overrides give the ordering its meaning:
+    /// [`ReplicatedScheme`](crate::ReplicatedScheme) puts the leader in
+    /// phase 0 and followers in phase 1 (leader-first, STAR-style
+    /// synchronous apply), and [`VersionedScheme`](crate::VersionedScheme)
+    /// appends the new placement's extra copies as a *final* phase — the
+    /// old placement lands first, which is what makes a concurrent
     /// copy→verify→flip migration unable to lose an acknowledged write
     /// (the verify step re-reads the source, so a source write before the
     /// destination write is always either re-copied or already present).
-    fn write_phases(&self, t: TupleId, db: &dyn TupleValues) -> (PartitionSet, PartitionSet) {
-        (self.locate_tuple(t, db), PartitionSet::empty())
+    fn write_phases(&self, t: TupleId, db: &dyn TupleValues) -> Vec<PartitionSet> {
+        vec![self.locate_tuple(t, db)]
     }
 
     /// Statement-level analogue of [`write_phases`](Self::write_phases)
     /// for writes whose WHERE clause pins no key (scan-writes): the
-    /// partitions phase 0 / phase 1 must reach.
-    fn route_write_phases(&self, stmt: &Statement) -> (PartitionSet, PartitionSet) {
-        (self.route_statement(stmt).targets, PartitionSet::empty())
+    /// ordered phases of partitions the statement must reach.
+    fn route_write_phases(&self, stmt: &Statement) -> Vec<PartitionSet> {
+        vec![self.route_statement(stmt).targets]
     }
 }
 
@@ -295,17 +333,45 @@ mod tests {
     }
 
     #[test]
-    fn default_write_phases_put_everything_in_phase_zero() {
+    fn default_write_phases_put_everything_in_one_phase() {
         use schism_workload::MaterializedDb;
         let s = ReplicationScheme::new(3);
         let db = MaterializedDb::new();
-        let (p0, p1) = s.write_phases(TupleId::new(0, 4), &db);
-        assert_eq!(p0, PartitionSet::all(3));
-        assert!(p1.is_empty());
+        let phases = s.write_phases(TupleId::new(0, 4), &db);
+        assert_eq!(phases, vec![PartitionSet::all(3)]);
         let w = Statement::update(0, Predicate::True);
-        let (r0, r1) = s.route_write_phases(&w);
-        assert_eq!(r0, PartitionSet::all(3));
-        assert!(r1.is_empty());
+        assert_eq!(s.route_write_phases(&w), vec![PartitionSet::all(3)]);
+    }
+
+    #[test]
+    fn default_replica_set_names_first_copy_leader() {
+        use schism_workload::MaterializedDb;
+        let s = ReplicationScheme::new(3);
+        let db = MaterializedDb::new();
+        let rs = s.replica_set(TupleId::new(0, 4), &db);
+        assert_eq!(rs.leader, 0);
+        assert_eq!(rs.followers, [1u32, 2].into_iter().collect());
+        assert_eq!(rs.all(), PartitionSet::all(3));
+    }
+
+    #[test]
+    fn route_predicate_salted_spreads_one_statement_across_replicas() {
+        let s = ReplicationScheme::new(4);
+        let read = Statement::select(0, Predicate::Eq(0, Value::Int(7)));
+        let picks: std::collections::HashSet<u32> = (0..64u64)
+            .map(
+                |salt| match s.route_predicate_salted(&read, splitmix(salt)) {
+                    RouteDecision::Single(p) => p,
+                    other => panic!("expected Single, got {other:?}"),
+                },
+            )
+            .collect();
+        assert_eq!(picks.len(), 4, "varying salts must reach every replica");
+        // And a fixed salt is stable.
+        assert_eq!(
+            s.route_predicate_salted(&read, 42),
+            s.route_predicate_salted(&read, 42)
+        );
     }
 
     #[test]

@@ -199,26 +199,61 @@ impl Scheme for VersionedScheme {
         }
     }
 
-    /// Mid-migration write ordering: a moved tuple is wholly owned by the
-    /// new placement; an unmoved tuple writes its authoritative old-epoch
-    /// copies first (phase 0), then pre-writes any extra new-epoch copies
-    /// (phase 1). The executor's verify step re-reads the source, so this
-    /// ordering guarantees a verified-then-flipped batch always carries
-    /// (or is followed onto the destination by) every acknowledged write.
-    fn write_phases(&self, t: TupleId, db: &dyn TupleValues) -> (PartitionSet, PartitionSet) {
+    /// Replica roles follow ownership: a moved tuple's leader and
+    /// followers are the new epoch's, an unmoved tuple's the old epoch's.
+    /// New-epoch pre-copies of an unmoved tuple are *not* part of its
+    /// replica set — they lag until their batch is copied, so they are
+    /// never promotion candidates (see the serving layer's failover docs).
+    fn replica_set(&self, t: TupleId, db: &dyn TupleValues) -> crate::replica::ReplicaSet {
         if self.is_moved(t) {
-            (self.new.locate_tuple(t, db), PartitionSet::empty())
+            self.new.replica_set(t, db)
         } else {
-            let old = self.old.locate_tuple(t, db);
-            let new = self.new.locate_tuple(t, db);
-            (old, new.difference(&old))
+            self.old.replica_set(t, db)
         }
     }
 
-    fn route_write_phases(&self, stmt: &Statement) -> (PartitionSet, PartitionSet) {
-        let old = self.old.route_statement(stmt).targets;
-        let new = self.new.route_statement(stmt).targets;
-        (old, new.difference(&old))
+    /// Both epochs must be able to cover their tuples from live shards: a
+    /// predicate can match moved and unmoved tuples alike, so the
+    /// fallback is the union of both epochs' fallbacks (and `None` as
+    /// soon as either epoch is uncoverable).
+    fn route_read_fallback(&self, stmt: &Statement, down: &PartitionSet) -> Option<PartitionSet> {
+        let a = self.old.route_read_fallback(stmt, down)?;
+        let b = self.new.route_read_fallback(stmt, down)?;
+        Some(a.union(&b))
+    }
+
+    /// Mid-migration write ordering: a moved tuple is wholly owned by the
+    /// new placement (its own phases apply); an unmoved tuple writes its
+    /// authoritative old-epoch phases first, then pre-writes any extra
+    /// new-epoch copies as one final phase. The executor's verify step
+    /// re-reads the source, so this ordering guarantees a
+    /// verified-then-flipped batch always carries (or is followed onto the
+    /// destination by) every acknowledged write.
+    fn write_phases(&self, t: TupleId, db: &dyn TupleValues) -> Vec<PartitionSet> {
+        if self.is_moved(t) {
+            self.new.write_phases(t, db)
+        } else {
+            let mut phases = self.old.write_phases(t, db);
+            let old_all = self.old.locate_tuple(t, db);
+            let extra = self.new.locate_tuple(t, db).difference(&old_all);
+            if !extra.is_empty() {
+                phases.push(extra);
+            }
+            phases
+        }
+    }
+
+    fn route_write_phases(&self, stmt: &Statement) -> Vec<PartitionSet> {
+        // A predicate can match moved and unmoved tuples alike, so be
+        // conservative: the old epoch's phases first, then whatever the
+        // new epoch adds on top.
+        let mut phases = self.old.route_write_phases(stmt);
+        let old_all = self.old.route_statement(stmt).targets;
+        let extra = self.new.route_statement(stmt).targets.difference(&old_all);
+        if !extra.is_empty() {
+            phases.push(extra);
+        }
+        phases
     }
 }
 
@@ -342,20 +377,53 @@ mod tests {
             .map(|r| TupleId::new(0, r))
             .find(|&t| old.locate_tuple(t, &db) != new.locate_tuple(t, &db))
             .expect("k=2 -> k=4 must relocate something");
-        let (p0, p1) = vs.write_phases(t, &db);
-        assert_eq!(p0, old.locate_tuple(t, &db), "phase 0 is the old epoch");
+        let phases = vs.write_phases(t, &db);
+        assert_eq!(phases.len(), 2);
         assert_eq!(
-            p1,
+            phases[0],
+            old.locate_tuple(t, &db),
+            "phase 0 is the old epoch"
+        );
+        assert_eq!(
+            phases[1],
             new.locate_tuple(t, &db)
                 .difference(&old.locate_tuple(t, &db)),
-            "phase 1 pre-writes only the new epoch's extra copies"
+            "the final phase pre-writes only the new epoch's extra copies"
         );
-        assert!(p0.intersect(&p1).is_empty(), "phases never overlap");
+        assert!(
+            phases[0].intersect(&phases[1]).is_empty(),
+            "phases never overlap"
+        );
         // Once moved, the new placement is the only write target.
         vs.mark_moved(t);
-        let (q0, q1) = vs.write_phases(t, &db);
-        assert_eq!(q0, new.locate_tuple(t, &db));
-        assert!(q1.is_empty());
+        assert_eq!(vs.write_phases(t, &db), vec![new.locate_tuple(t, &db)]);
+    }
+
+    #[test]
+    fn replica_set_follows_ownership_epoch() {
+        use crate::replica::ReplicatedScheme;
+        let db = MaterializedDb::new();
+        let old: Arc<dyn Scheme> =
+            Arc::new(ReplicatedScheme::new(2, Arc::new(HashScheme::by_row_id(4))));
+        let new: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(
+            2,
+            Arc::new(HashScheme::by_attrs(4, vec![Some(0)])),
+        ));
+        let vs = VersionedScheme::new(old.clone(), new.clone());
+        let t = TupleId::new(0, 6);
+        assert_eq!(vs.replica_set(t, &db), old.replica_set(t, &db));
+        vs.mark_moved(t);
+        assert_eq!(vs.replica_set(t, &db), new.replica_set(t, &db));
+        // An unmoved tuple's new-epoch pre-copies are write targets but
+        // never replica-set members (they lag until copied).
+        let u = TupleId::new(0, 7);
+        let phases = vs.write_phases(u, &db);
+        let union = phases
+            .iter()
+            .fold(PartitionSet::empty(), |acc, p| acc.union(p));
+        let rs = vs.replica_set(u, &db);
+        assert!(rs.all().iter().all(|p| union.contains(p)));
+        assert_eq!(rs.all(), old.locate_tuple(u, &db));
     }
 
     #[test]
@@ -363,14 +431,21 @@ mod tests {
         let (old, new) = hash_pair();
         let vs = VersionedScheme::new(old.clone(), new.clone());
         let w = Statement::update(0, Predicate::True);
-        let (p0, p1) = vs.route_write_phases(&w);
-        assert_eq!(p0, old.route_statement(&w).targets);
+        let phases = vs.route_write_phases(&w);
+        assert_eq!(phases[0], old.route_statement(&w).targets);
+        let union = phases
+            .iter()
+            .fold(PartitionSet::empty(), |acc, p| acc.union(p));
         assert_eq!(
-            p0.union(&p1),
+            union,
             vs.route_statement(&w).targets,
-            "both phases together cover the conservative union route"
+            "all phases together cover the conservative union route"
         );
-        assert!(p0.intersect(&p1).is_empty());
+        for i in 0..phases.len() {
+            for j in i + 1..phases.len() {
+                assert!(phases[i].intersect(&phases[j]).is_empty());
+            }
+        }
     }
 
     #[test]

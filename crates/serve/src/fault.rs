@@ -1,0 +1,296 @@
+//! Deterministic, replayable fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] describes *when* things break, in terms the harness can
+//! replay exactly: every trigger counts **events** (worker dequeues, store
+//! sync-point hits), never wall-clock time. Given the same plan and the
+//! same request sequence, the same faults fire at the same instants — the
+//! property `tests/failover_chaos.rs` leans on to make every failing seed
+//! reproducible.
+//!
+//! Three fault families:
+//! - **crash**: a shard worker thread exits mid-loop
+//!   ([`crash_worker`](FaultPlan::crash_worker)). The crash is detected
+//!   without timeouts: the dead worker's queue receiver is dropped, so the
+//!   next send fails, and the in-flight task's reply channel is destroyed,
+//!   so the gatherer's `recv` disconnects — both deterministic signals.
+//! - **drop / delay**: a queue message is silently discarded or its
+//!   processing delayed ([`drop_every`](FaultPlan::drop_every),
+//!   [`delay_every`](FaultPlan::delay_every)). A dropped message reads as
+//!   a failed shard (no reply ever arrives — sticky down, like a crash).
+//! - **stall**: a store backend blocks at a named sync point
+//!   ([`stall`](FaultPlan::stall)); the plan implements
+//!   [`schism_store::FaultHook`], so wiring it into a
+//!   [`schism_store::FaultStore`] or `LogStore::set_fault_hook` stalls the
+//!   real operation, ack and all.
+
+use schism_store::{FaultHook, ShardId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What a shard worker should do with the message it just dequeued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Process normally.
+    None,
+    /// Discard the message without replying (the sender observes a
+    /// disconnected reply channel).
+    Drop,
+    /// Sleep this long, then process normally.
+    Delay(Duration),
+    /// Exit the worker loop; the shard is dead from here on.
+    Crash,
+}
+
+struct EveryRule {
+    /// Restrict to one shard, or all shards when `None`.
+    shard: Option<ShardId>,
+    /// Fire on dequeue counts `start, start + every, start + 2*every, ...`
+    /// (1-based per-shard counts).
+    start: u64,
+    every: u64,
+}
+
+impl EveryRule {
+    fn fires(&self, shard: ShardId, n: u64) -> bool {
+        self.shard.is_none_or(|s| s == shard)
+            && n >= self.start
+            && (n - self.start).is_multiple_of(self.every)
+    }
+}
+
+struct DelayRule {
+    rule: EveryRule,
+    delay: Duration,
+}
+
+struct StallRule {
+    point: &'static str,
+    shard: Option<ShardId>,
+    stall: Duration,
+    remaining: u64,
+}
+
+/// A seeded, replayable fault schedule. Build one with the chained
+/// constructors, hand it to [`ServeConfig::faults`](crate::ServeConfig)
+/// (worker crashes / drops / delays) and — for store stalls — install it
+/// as a [`FaultHook`] on the backend. See the module docs for semantics.
+pub struct FaultPlan {
+    seed: u64,
+    crashes: HashMap<ShardId, u64>,
+    drops: Vec<EveryRule>,
+    delays: Vec<DelayRule>,
+    stalls: Mutex<Vec<StallRule>>,
+    /// Per-shard dequeue counters, indexed by shard id (sized for the
+    /// router's partition bound so the plan needs no shard count up
+    /// front).
+    dequeues: Vec<AtomicU64>,
+    crashed: Mutex<Vec<(ShardId, u64)>>,
+}
+
+impl FaultPlan {
+    /// An empty plan. `seed` is carried for reporting (a failing run
+    /// prints it); the harness that built the plan derives every trigger
+    /// from it, so plan + seed identify the run.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            crashes: HashMap::new(),
+            drops: Vec::new(),
+            delays: Vec::new(),
+            stalls: Mutex::new(Vec::new()),
+            dequeues: (0..schism_router::MAX_PARTITIONS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            crashed: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The seed this plan was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Crash `shard`'s worker when it dequeues its `after`-th message
+    /// (1-based; `after = 1` crashes on the first message).
+    pub fn crash_worker(mut self, shard: ShardId, after: u64) -> Self {
+        self.crashes.insert(shard, after.max(1));
+        self
+    }
+
+    /// Drop every `every`-th message (counting from `start`, 1-based) on
+    /// `shard`, or on all shards when `shard` is `None`.
+    pub fn drop_every(mut self, shard: Option<ShardId>, start: u64, every: u64) -> Self {
+        self.drops.push(EveryRule {
+            shard,
+            start: start.max(1),
+            every: every.max(1),
+        });
+        self
+    }
+
+    /// Delay every `every`-th message by `delay` (same counting as
+    /// [`drop_every`](Self::drop_every)).
+    pub fn delay_every(
+        mut self,
+        shard: Option<ShardId>,
+        start: u64,
+        every: u64,
+        delay: Duration,
+    ) -> Self {
+        self.delays.push(DelayRule {
+            rule: EveryRule {
+                shard,
+                start: start.max(1),
+                every: every.max(1),
+            },
+            delay,
+        });
+        self
+    }
+
+    /// Stall the next `times` hits of the named store sync `point` (see
+    /// [`schism_store::sync_points`]) by `stall`, optionally restricted to
+    /// one shard.
+    pub fn stall(
+        self,
+        point: &'static str,
+        shard: Option<ShardId>,
+        stall: Duration,
+        times: u64,
+    ) -> Self {
+        self.stalls
+            .lock()
+            .expect("stall lock poisoned")
+            .push(StallRule {
+                point,
+                shard,
+                stall,
+                remaining: times,
+            });
+        self
+    }
+
+    /// Called by a shard worker for each dequeued message; returns the
+    /// fault to apply. Counts the dequeue (crash checks win over drops,
+    /// drops over delays).
+    pub fn on_dequeue(&self, shard: ShardId) -> WorkerFault {
+        let n = self.dequeues[shard as usize].fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(&at) = self.crashes.get(&shard) {
+            if n >= at {
+                self.crashed
+                    .lock()
+                    .expect("crash log poisoned")
+                    .push((shard, n));
+                return WorkerFault::Crash;
+            }
+        }
+        if self.drops.iter().any(|r| r.fires(shard, n)) {
+            return WorkerFault::Drop;
+        }
+        if let Some(d) = self.delays.iter().find(|r| r.rule.fires(shard, n)) {
+            return WorkerFault::Delay(d.delay);
+        }
+        WorkerFault::None
+    }
+
+    /// Messages `shard`'s worker has dequeued so far (including dropped
+    /// and crashing ones). The replica-skew test reads these as a passive
+    /// per-shard request counter.
+    pub fn dequeued(&self, shard: ShardId) -> u64 {
+        self.dequeues[shard as usize].load(Ordering::SeqCst)
+    }
+
+    /// Crashes that actually fired: `(shard, dequeue count at crash)`.
+    pub fn crashes_fired(&self) -> Vec<(ShardId, u64)> {
+        self.crashed.lock().expect("crash log poisoned").clone()
+    }
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("crashes", &self.crashes)
+            .field("drops", &self.drops.len())
+            .field("delays", &self.delays.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn at(&self, point: &'static str, shard: ShardId) {
+        let stall = {
+            let mut rules = self.stalls.lock().expect("stall lock poisoned");
+            rules
+                .iter_mut()
+                .find(|r| r.remaining > 0 && r.point == point && r.shard.is_none_or(|s| s == shard))
+                .map(|r| {
+                    r.remaining -= 1;
+                    r.stall
+                })
+        };
+        if let Some(d) = stall {
+            // Sleep outside the lock so concurrent non-stalled operations
+            // on other shards keep moving.
+            std::thread::sleep(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_fires_at_threshold_and_is_recorded() {
+        let p = FaultPlan::new(7).crash_worker(2, 3);
+        assert_eq!(p.on_dequeue(2), WorkerFault::None);
+        assert_eq!(p.on_dequeue(2), WorkerFault::None);
+        assert_eq!(p.on_dequeue(2), WorkerFault::Crash);
+        // Other shards never crash.
+        for _ in 0..5 {
+            assert_eq!(p.on_dequeue(0), WorkerFault::None);
+        }
+        assert_eq!(p.crashes_fired(), vec![(2, 3)]);
+        assert_eq!(p.dequeued(2), 3);
+        assert_eq!(p.dequeued(0), 5);
+        assert_eq!(p.seed(), 7);
+    }
+
+    #[test]
+    fn drop_and_delay_cadence_is_count_based() {
+        let p = FaultPlan::new(0).drop_every(Some(1), 2, 3).delay_every(
+            None,
+            4,
+            4,
+            Duration::from_micros(50),
+        );
+        let faults: Vec<WorkerFault> = (0..9).map(|_| p.on_dequeue(1)).collect();
+        assert_eq!(faults[0], WorkerFault::None); // n=1
+        assert_eq!(faults[1], WorkerFault::Drop); // n=2 (start)
+        assert_eq!(faults[4], WorkerFault::Drop); // n=5 (start+3)
+        assert_eq!(faults[7], WorkerFault::Drop); // n=8
+        assert_eq!(faults[3], WorkerFault::Delay(Duration::from_micros(50))); // n=4
+                                                                              // Drops win over delays on a shared count (n=8 matched both).
+        assert_eq!(faults[7], WorkerFault::Drop);
+    }
+
+    #[test]
+    fn stall_hook_is_bounded_and_point_scoped() {
+        let p = FaultPlan::new(1).stall("log.sync", Some(0), Duration::from_millis(20), 2);
+        let t0 = std::time::Instant::now();
+        p.at("log.sync", 1); // wrong shard: no stall
+        p.at("store.get", 0); // wrong point: no stall
+        assert!(t0.elapsed() < Duration::from_millis(15));
+        let t1 = std::time::Instant::now();
+        p.at("log.sync", 0);
+        p.at("log.sync", 0);
+        assert!(t1.elapsed() >= Duration::from_millis(40));
+        let t2 = std::time::Instant::now();
+        p.at("log.sync", 0); // budget exhausted
+        assert!(t2.elapsed() < Duration::from_millis(15));
+    }
+}

@@ -13,13 +13,27 @@
 //! the flip window. Scatter-gather resolves duplicate copies by preferring
 //! the shard that currently owns each tuple.
 //!
+//! Under a replicating scheme the same machinery serves leader-ordered
+//! writes, salted follower reads ([`Session`] spreads repeated statements
+//! across replicas and guards read-your-writes), and deterministic
+//! failover: crashed shards are detected structurally (failed sends,
+//! disconnected reply channels — never timeouts), marked down in a sticky
+//! [`HealthMap`](schism_store::HealthMap), and statements retry against
+//! the promoted survivors. [`FaultPlan`] injects crashes, message drops /
+//! delays, and store stalls on a seeded, replayable schedule.
+//!
 //! [`Scheme`]: schism_router::Scheme
 //! [`ShardStore`]: schism_store::ShardStore
 
+pub mod fault;
 pub mod row;
 pub mod server;
+pub mod session;
 
+pub use fault::{FaultPlan, WorkerFault};
 pub use row::{decode_row, encode_row};
 pub use server::{
-    load_table, PkValues, RequestMetrics, RouteKind, ServeConfig, ServeError, ServeOutcome, Server,
+    load_table, ExecOpts, PkValues, RequestMetrics, RouteKind, ServeConfig, ServeError,
+    ServeOutcome, Server,
 };
+pub use session::Session;

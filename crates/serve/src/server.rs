@@ -37,14 +37,39 @@
 //! reports the vanished source as an error and aborts that migration.
 //! Serving workloads that delete mid-migration should exclude in-plan
 //! keys, or re-plan after the abort.
+//!
+//! ## Replication & failover
+//!
+//! Under a replicating scheme (e.g.
+//! [`ReplicatedScheme`](schism_router::ReplicatedScheme)) execution is
+//! asymmetric, STAR-style: writes reach the tuple's **leader** first,
+//! then every follower, and are acknowledged only after all copies
+//! applied — so every acknowledged write is on every live replica, which
+//! is the entire failover argument. Point reads may be served by *any*
+//! live replica (a salted deterministic pick; [`Session`](crate::Session)
+//! varies the salt per statement so load spreads); multi-shard reads fan
+//! out to all replicas and dedup per tuple in the gather step.
+//!
+//! Failure detection is deterministic and timeout-free: a crashed worker
+//! drops its queue receiver (the next send fails) and a dropped task
+//! destroys its reply channel (the gatherer's `recv` disconnects). Either
+//! signal marks the shard **down** in the shared
+//! [`HealthMap`] — sticky, no rejoin — and the
+//! statement retries against the surviving replicas: the effective leader
+//! becomes the scheme leader if live, else the lowest-id live member of
+//! the tuple's replica set (never a new-epoch pre-copy, which lags until
+//! its batch is copied). With every authoritative copy down, the
+//! statement fails [`ServeError::Unavailable`]. Fault injection for all
+//! of this lives in [`FaultPlan`].
 
+use crate::fault::{FaultPlan, WorkerFault};
 use crate::row::{decode_row, encode_row};
 use schism_router::{pick_any, statement_salt, PartitionSet, RouteDecision, Scheme};
 use schism_sql::{
     classify_routability, parse_statement, ColId, ColumnType, ParseError, Routability, Schema,
     Statement, StatementKind, TableId, Value,
 };
-use schism_store::{ShardId, ShardStore, StoreError};
+use schism_store::{HealthMap, ShardHealth, ShardId, ShardStore, StoreError};
 use schism_workload::{TupleId, TupleValues};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
@@ -65,6 +90,9 @@ pub enum ServeError {
     Store(StoreError),
     /// A stored row failed to decode (corrupt or foreign payload).
     Corrupt { shard: ShardId, tuple: TupleId },
+    /// A shard needed by this statement is down (crashed worker or every
+    /// replica of a touched tuple gone) and retries were exhausted.
+    Unavailable { shard: ShardId },
     /// The server is shutting down; its shard workers are gone.
     Shutdown,
 }
@@ -79,6 +107,12 @@ impl fmt::Display for ServeError {
             ServeError::Store(e) => write!(f, "store error: {e}"),
             ServeError::Corrupt { shard, tuple } => {
                 write!(f, "row {tuple} on shard {shard} failed to decode")
+            }
+            ServeError::Unavailable { shard } => {
+                write!(
+                    f,
+                    "shard {shard} is down and no live replica can serve this statement"
+                )
             }
             ServeError::Shutdown => write!(f, "server is shutting down"),
         }
@@ -113,6 +147,17 @@ pub struct ServeConfig {
     /// retries, absorbing scheme flips that land between routing and
     /// execution. Retries stop early when the owner is unchanged.
     pub read_retries: u32,
+    /// How many times a write statement redoes itself against the
+    /// surviving replicas after a shard fails mid-write (puts and deletes
+    /// are idempotent, so redoing the whole statement is safe).
+    pub write_retries: u32,
+    /// Deterministic fault injection applied by the shard workers;
+    /// `None` serves faithfully.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Shared failure registry. Pass the map a concurrently running
+    /// `MigrationExecutor` consults so serving-detected crashes reroute
+    /// its copy sources too; `None` creates a private map.
+    pub health: Option<Arc<HealthMap>>,
 }
 
 impl Default for ServeConfig {
@@ -121,8 +166,28 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             allow_broadcast: true,
             read_retries: 3,
+            write_retries: 2,
+            faults: None,
+            health: None,
         }
     }
+}
+
+/// Per-call execution options ([`Server::execute_opts`]). A
+/// [`Session`](crate::Session) uses these to spread its replica picks and
+/// to pin reads of keys it has written to the leader (read-your-writes).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOpts<'a> {
+    /// Replica-pick salt for point reads. `None` derives one from the
+    /// statement text — stable, so a client repeating one hot statement
+    /// rereads the same replica; sessions pass a counter-derived salt so
+    /// repeats spread across the replica set.
+    pub salt: Option<u64>,
+    /// Keys whose point reads must go to the (possibly promoted) leader.
+    pub leader_keys: Option<&'a HashSet<TupleId>>,
+    /// Pin every read to the leader (the caller wrote through a statement
+    /// it could not key-pin, so any key may be dirty).
+    pub leader_all: bool,
 }
 
 /// How a served statement was routed.
@@ -264,6 +329,7 @@ pub struct Server {
     db: Arc<dyn TupleValues>,
     cfg: ServeConfig,
     key_cols: Vec<Option<ColId>>,
+    health: Arc<HealthMap>,
     workers: Vec<SyncSender<Task>>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -280,16 +346,21 @@ impl Server {
         cfg: ServeConfig,
     ) -> Self {
         let key_cols = pk_cols(&schema);
+        let health = cfg
+            .health
+            .clone()
+            .unwrap_or_else(|| Arc::new(HealthMap::new()));
         let mut workers = Vec::new();
         let mut handles = Vec::new();
         for shard in 0..store.num_shards() {
             let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
             let store = Arc::clone(&store);
             let schema = Arc::clone(&schema);
+            let faults = cfg.faults.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("serve-shard-{shard}"))
-                    .spawn(move || run_worker(shard, &*store, &schema, &rx))
+                    .spawn(move || run_worker(shard, &*store, &schema, &rx, faults))
                     .expect("spawn shard worker"),
             );
             workers.push(tx);
@@ -300,6 +371,7 @@ impl Server {
             db,
             cfg,
             key_cols,
+            health,
             workers,
             handles,
         }
@@ -322,41 +394,97 @@ impl Server {
         &self.schema
     }
 
+    /// The shared failure registry: every shard this server has observed
+    /// fail (sticky — shards never rejoin).
+    pub fn health(&self) -> &Arc<HealthMap> {
+        &self.health
+    }
+
+    /// How many distinct shard failures this server has absorbed.
+    pub fn failovers(&self) -> u64 {
+        self.health.failures()
+    }
+
+    /// Snapshot of the shards currently marked down.
+    pub fn down_shards(&self) -> PartitionSet {
+        self.health.down_set()
+    }
+
+    /// The shard leading `t` right now under the active scheme and
+    /// failure state: the scheme's leader when live, else the promoted
+    /// member ([`Unavailable`](ServeError::Unavailable) when the whole
+    /// replica set is down).
+    pub fn current_leader(&self, t: TupleId) -> Result<ShardId, ServeError> {
+        self.live_leader(&*self.scheme(), t)
+    }
+
+    /// Opens a client session: per-statement salted replica picks plus a
+    /// read-your-writes guard over the keys the session writes.
+    pub fn session(&self, seed: u64) -> crate::session::Session<'_> {
+        crate::session::Session::new(self, seed)
+    }
+
     /// Parses and executes one SQL statement.
     pub fn execute_sql(&self, sql: &str) -> Result<ServeOutcome, ServeError> {
-        let stmt = parse_statement(&self.schema, sql)?;
-        self.execute(&stmt)
+        self.execute_sql_opts(sql, ExecOpts::default())
     }
 
     /// Executes one already-parsed statement.
     pub fn execute(&self, stmt: &Statement) -> Result<ServeOutcome, ServeError> {
+        self.execute_opts(stmt, ExecOpts::default())
+    }
+
+    /// Parses and executes one SQL statement with explicit [`ExecOpts`].
+    pub fn execute_sql_opts(
+        &self,
+        sql: &str,
+        opts: ExecOpts<'_>,
+    ) -> Result<ServeOutcome, ServeError> {
+        let stmt = parse_statement(&self.schema, sql)?;
+        self.execute_opts(&stmt, opts)
+    }
+
+    /// Executes one already-parsed statement with explicit [`ExecOpts`].
+    pub fn execute_opts(
+        &self,
+        stmt: &Statement,
+        opts: ExecOpts<'_>,
+    ) -> Result<ServeOutcome, ServeError> {
         let scheme = self.scheme();
+        let pinned = self.pinned_tuples(stmt);
         let stmt = Arc::new(stmt.clone());
-        let key = self.key_cols.get(stmt.table as usize).copied().flatten();
-        let pinned = key.and_then(|c| stmt.predicate.pinned_values(c));
         match (stmt.kind, pinned) {
             (StatementKind::Insert, pin) => self.insert(&scheme, &stmt, pin),
-            (StatementKind::Select, Some(vals)) => self.point_read(scheme, &stmt, &vals),
-            (_, Some(vals)) => self.point_write(&scheme, &stmt, &vals),
-            (StatementKind::Select, None) => self.scan_read(&scheme, &stmt),
+            (StatementKind::Select, Some(ts)) => self.point_read(scheme, &stmt, ts, opts),
+            (_, Some(ts)) => self.write_tuples(&scheme, &stmt, ts),
+            (StatementKind::Select, None) => self.scan_read(&scheme, &stmt, opts),
             (_, None) => self.scan_write(&scheme, &stmt),
         }
     }
 
+    /// The tuple ids a statement pins on its table's integer primary key,
+    /// when it pins any (sorted, deduplicated; negative and non-integer
+    /// key values address no storable row and drop out). Sessions use
+    /// this to track which keys a statement wrote.
+    pub(crate) fn pinned_tuples(&self, stmt: &Statement) -> Option<Vec<TupleId>> {
+        let key = self.key_cols.get(stmt.table as usize).copied().flatten()?;
+        let vals = stmt.predicate.pinned_values(key)?;
+        Some(to_tuples(stmt.table, &vals))
+    }
+
     /// INSERT: place one new row at every copy the scheme assigns its key,
-    /// old epoch before new epoch.
+    /// leader and old epoch before followers and pre-copies.
     fn insert(
         &self,
         scheme: &Arc<dyn Scheme>,
         stmt: &Arc<Statement>,
-        pin: Option<Vec<Value>>,
+        pin: Option<Vec<TupleId>>,
     ) -> Result<ServeOutcome, ServeError> {
         let unroutable = |reason: &str| ServeError::Unroutable {
             table: stmt.table,
             reason: reason.to_owned(),
         };
-        let vals = pin.ok_or_else(|| unroutable("INSERT does not set an integer primary key"))?;
-        let tuples = to_tuples(stmt.table, &vals);
+        let tuples = pin.ok_or_else(|| unroutable("INSERT does not set an integer primary key"))?;
         if tuples.len() != 1 {
             return Err(unroutable(
                 "INSERT must pin exactly one non-negative integer primary key value",
@@ -365,122 +493,333 @@ impl Server {
         self.write_tuples(scheme, stmt, tuples)
     }
 
-    /// Key-pinned UPDATE/DELETE: per-tuple ordered write phases.
-    fn point_write(
-        &self,
-        scheme: &Arc<dyn Scheme>,
-        stmt: &Arc<Statement>,
-        vals: &[Value],
-    ) -> Result<ServeOutcome, ServeError> {
-        self.write_tuples(scheme, stmt, to_tuples(stmt.table, vals))
-    }
-
+    /// Key-pinned write: per-tuple ordered write phases, redone against
+    /// the survivors when a replica fails mid-write.
     fn write_tuples(
         &self,
         scheme: &Arc<dyn Scheme>,
         stmt: &Arc<Statement>,
         tuples: Vec<TupleId>,
     ) -> Result<ServeOutcome, ServeError> {
-        let mut phase0: BTreeMap<ShardId, Vec<TupleId>> = BTreeMap::new();
-        let mut phase1: BTreeMap<ShardId, Vec<TupleId>> = BTreeMap::new();
-        for &t in &tuples {
-            let (p0, p1) = scheme.write_phases(t, &*self.db);
-            for s in p0.iter() {
-                phase0.entry(s).or_default().push(t);
+        let mut scheme = Arc::clone(scheme);
+        let mut attempts = 0u32;
+        loop {
+            match self.try_write_tuples(&scheme, stmt, &tuples) {
+                Err(ServeError::Unavailable { .. }) if attempts < self.cfg.write_retries => {
+                    // A replica died mid-write, so the statement was not
+                    // acknowledged. Puts and deletes are idempotent:
+                    // redoing the whole statement against the survivors
+                    // (under a fresh scheme snapshot) is safe.
+                    attempts += 1;
+                    scheme = self.scheme();
+                }
+                Ok(mut out) => {
+                    out.metrics.retries += attempts;
+                    return Ok(out);
+                }
+                err => return err,
             }
-            for s in p1.iter() {
-                phase1.entry(s).or_default().push(t);
+        }
+    }
+
+    fn try_write_tuples(
+        &self,
+        scheme: &Arc<dyn Scheme>,
+        stmt: &Arc<Statement>,
+        tuples: &[TupleId],
+    ) -> Result<ServeOutcome, ServeError> {
+        let mut phases: Vec<BTreeMap<ShardId, Vec<TupleId>>> = Vec::new();
+        for &t in tuples {
+            for (i, p) in self.effective_phases(&**scheme, t)?.into_iter().enumerate() {
+                if phases.len() <= i {
+                    phases.push(BTreeMap::new());
+                }
+                for s in p.iter() {
+                    phases[i].entry(s).or_default().push(t);
+                }
             }
         }
         let mut g = Gather::default();
-        // Phase 0 must be fully applied before phase 1 starts: this
-        // ordering is what the no-lost-writes proof rests on.
-        self.scatter(stmt, pin_tasks(phase0), &mut g)?;
-        self.scatter(stmt, pin_tasks(phase1), &mut g)?;
+        // Each phase must be fully applied before the next starts: leader
+        // and old-epoch copies acknowledge before followers and new-epoch
+        // pre-copies — this ordering is what both the no-lost-writes and
+        // the promotion-frontier proofs rest on.
+        for phase in phases {
+            self.scatter(stmt, pin_tasks(phase), &mut g)?;
+        }
         Ok(g.into_write_outcome(0))
     }
 
-    /// Key-pinned SELECT: each tuple reads one currently-owning replica,
-    /// retrying re-resolved owners when a miss coincides with a flip.
+    /// The ordered write phases for `t` under the current failure state:
+    /// with nothing down, exactly the scheme's phases (zero overhead);
+    /// otherwise the (possibly promoted) live leader goes first and down
+    /// shards drop out of every phase.
+    fn effective_phases(
+        &self,
+        scheme: &dyn Scheme,
+        t: TupleId,
+    ) -> Result<Vec<PartitionSet>, ServeError> {
+        let down = self.health.down_set();
+        let phases = scheme.write_phases(t, &*self.db);
+        if down.is_empty() {
+            return Ok(phases);
+        }
+        let lead = PartitionSet::single(self.live_leader(scheme, t)?);
+        let mut out = vec![lead];
+        for p in phases {
+            let p = p.difference(&down).difference(&lead);
+            if !p.is_empty() {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The shard a leader-pinned operation on `t` uses right now: the
+    /// scheme's leader when live, else the lowest-id live member of the
+    /// replica set. Every live member holds every acknowledged write
+    /// (synchronous apply), so promotion only needs to be deterministic —
+    /// lowest id is, and every server picks the same one.
+    fn live_leader(&self, scheme: &dyn Scheme, t: TupleId) -> Result<ShardId, ServeError> {
+        let rs = scheme.replica_set(t, &*self.db);
+        if !self.health.is_down(rs.leader) {
+            return Ok(rs.leader);
+        }
+        rs.all()
+            .difference(&self.health.down_set())
+            .first()
+            .ok_or(ServeError::Unavailable { shard: rs.leader })
+    }
+
+    /// Key-pinned SELECT: each tuple reads one live currently-owning
+    /// replica (the leader, for read-your-writes-pinned keys), retrying
+    /// re-resolved owners when a miss coincides with a flip or a replica
+    /// fails mid-read.
     fn point_read(
         &self,
         mut scheme: Arc<dyn Scheme>,
         stmt: &Arc<Statement>,
-        vals: &[Value],
+        mut pending: Vec<TupleId>,
+        opts: ExecOpts<'_>,
     ) -> Result<ServeOutcome, ServeError> {
-        let salt = statement_salt(stmt);
-        let mut pending = to_tuples(stmt.table, vals);
+        let salt = opts.salt.unwrap_or_else(|| statement_salt(stmt));
+        let pin =
+            |t: TupleId| opts.leader_all || opts.leader_keys.is_some_and(|ks| ks.contains(&t));
         let mut g = Gather::default();
         let mut retries = 0u32;
         loop {
             let mut plan: BTreeMap<ShardId, Vec<TupleId>> = BTreeMap::new();
             let mut owner_of: HashMap<TupleId, ShardId> = HashMap::new();
             for &t in &pending {
-                let shard = owner_for(&*scheme, &*self.db, t, salt);
+                let shard = self.read_owner(&*scheme, t, salt, pin(t))?;
                 plan.entry(shard).or_default().push(t);
                 owner_of.insert(t, shard);
             }
             let before: HashSet<TupleId> = g.raw_rows.iter().map(|(_, t, _)| *t).collect();
-            self.scatter(stmt, pin_tasks(plan), &mut g)?;
+            let scatter_res = self.scatter(stmt, pin_tasks(plan), &mut g);
             let got: HashSet<TupleId> = g.raw_rows.iter().map(|(_, t, _)| *t).collect();
             pending.retain(|t| !got.contains(t) && !before.contains(t));
-            if pending.is_empty() || retries >= self.cfg.read_retries {
-                break;
-            }
-            // A miss is retried only when the owner moved between routing
-            // and execution (a flip landed); a stable owner means the row
-            // is genuinely absent (or predicate-filtered).
-            let fresh = self.scheme();
-            pending.retain(|&t| owner_for(&*fresh, &*self.db, t, salt) != owner_of[&t]);
-            if pending.is_empty() {
-                break;
+            match scatter_res {
+                Ok(()) => {
+                    if pending.is_empty() || retries >= self.cfg.read_retries {
+                        break;
+                    }
+                    // A miss is retried only when the owner moved between
+                    // routing and execution (a flip landed); a stable owner
+                    // means the row is genuinely absent (or filtered).
+                    let fresh = self.scheme();
+                    pending.retain(|&t| {
+                        self.read_owner(&*fresh, t, salt, pin(t))
+                            .is_ok_and(|s| s != owner_of[&t])
+                    });
+                    scheme = fresh;
+                    if pending.is_empty() {
+                        break;
+                    }
+                }
+                Err(e @ ServeError::Unavailable { .. }) => {
+                    // A read replica died mid-read. Every tuple it still
+                    // owes is re-resolved against the survivors (no
+                    // owner-moved filter: the owner genuinely changed, to
+                    // a promoted or re-picked live copy).
+                    if pending.is_empty() {
+                        break;
+                    }
+                    if retries >= self.cfg.read_retries {
+                        return Err(e);
+                    }
+                    scheme = self.scheme();
+                }
+                Err(e) => return Err(e),
             }
             retries += 1;
-            scheme = fresh;
         }
-        Ok(g.into_read_outcome(&*scheme, &*self.db, None, retries))
+        let rank = |t, shard| self.copy_rank(&*scheme, opts, t, shard);
+        Ok(g.into_read_outcome(None, retries, rank))
     }
 
-    /// Unpinned SELECT: scatter a scan over the decision's target shards.
+    /// The replica a point read of `t` uses right now: the live leader
+    /// when the caller needs read-your-writes, else a deterministic pick
+    /// from the live members of the current copy set, salted per
+    /// statement and per key.
+    fn read_owner(
+        &self,
+        scheme: &dyn Scheme,
+        t: TupleId,
+        salt: u64,
+        pin_leader: bool,
+    ) -> Result<ShardId, ServeError> {
+        if pin_leader {
+            return self.live_leader(scheme, t);
+        }
+        let copies = scheme.locate_tuple(t, &*self.db);
+        let down = self.health.down_set();
+        let live = if down.is_empty() {
+            copies
+        } else {
+            copies.difference(&down)
+        };
+        pick_any(&live, salt ^ t.row.wrapping_mul(0x9E37_79B9_7F4A_7C15)).ok_or(
+            ServeError::Unavailable {
+                shard: copies.first().expect("copy set is never empty"),
+            },
+        )
+    }
+
+    /// Ranking for duplicate copies of one tuple in a read gather: a
+    /// read-your-writes-pinned tuple's leader copy outranks everything,
+    /// then shards that currently own the tuple outrank strays (stale
+    /// bytes on a not-yet-flipped migration destination).
+    fn copy_rank(&self, scheme: &dyn Scheme, opts: ExecOpts<'_>, t: TupleId, shard: ShardId) -> u8 {
+        let pinned = opts.leader_all || opts.leader_keys.is_some_and(|ks| ks.contains(&t));
+        if pinned && self.live_leader(scheme, t).is_ok_and(|l| l == shard) {
+            return 2;
+        }
+        u8::from(scheme.locate_tuple(t, &*self.db).contains(shard))
+    }
+
+    /// Unpinned SELECT: scatter a scan over the decision's target shards,
+    /// falling back to the scheme's coverage-preserving live fan-out when
+    /// shards are down, and retrying when one fails mid-scan.
     fn scan_read(
         &self,
         scheme: &Arc<dyn Scheme>,
         stmt: &Arc<Statement>,
+        opts: ExecOpts<'_>,
     ) -> Result<ServeOutcome, ServeError> {
-        let decision = scheme.route_predicate(stmt);
-        let kind = match decision {
-            RouteDecision::Single(_) => RouteKind::Point,
-            RouteDecision::Multi(_) => RouteKind::Multi,
-            RouteDecision::Broadcast(_) => RouteKind::Broadcast,
-        };
-        if kind == RouteKind::Broadcast && !self.cfg.allow_broadcast {
-            return Err(self.broadcast_rejected(stmt));
+        let salt = opts.salt.unwrap_or_else(|| statement_salt(stmt));
+        let mut scheme = Arc::clone(scheme);
+        let mut retries = 0u32;
+        loop {
+            let down = self.health.down_set();
+            let (kind, targets) = if down.is_empty() {
+                let decision = scheme.route_predicate_salted(stmt, salt);
+                let kind = match decision {
+                    RouteDecision::Single(_) => RouteKind::Point,
+                    RouteDecision::Multi(_) => RouteKind::Multi,
+                    RouteDecision::Broadcast(_) => RouteKind::Broadcast,
+                };
+                (kind, decision.targets())
+            } else {
+                // Under failure the salted single-replica shortcut is off:
+                // only the scheme knows which live fan-out still covers
+                // every logical row (`None` = some row has no live copy).
+                let targets =
+                    scheme
+                        .route_read_fallback(stmt, &down)
+                        .ok_or(ServeError::Unavailable {
+                            shard: down.first().expect("non-empty down set"),
+                        })?;
+                let kind = if targets.len() >= scheme.k() {
+                    RouteKind::Broadcast
+                } else if targets.is_single() {
+                    RouteKind::Point
+                } else {
+                    RouteKind::Multi
+                };
+                (kind, targets)
+            };
+            if kind == RouteKind::Broadcast && !self.cfg.allow_broadcast {
+                return Err(self.broadcast_rejected(stmt));
+            }
+            let plan: BTreeMap<ShardId, Option<Vec<TupleId>>> =
+                targets.iter().map(|s| (s, None)).collect();
+            let mut g = Gather::default();
+            match self.scatter(stmt, plan, &mut g) {
+                Ok(()) => {
+                    let rank = |t, shard| self.copy_rank(&*scheme, opts, t, shard);
+                    return Ok(g.into_read_outcome(Some(kind), retries, rank));
+                }
+                // A scan that lost a shard mid-flight may have partial
+                // rows; rerun the whole scan against the survivors.
+                Err(e @ ServeError::Unavailable { .. }) => {
+                    if retries >= self.cfg.read_retries {
+                        return Err(e);
+                    }
+                    retries += 1;
+                    scheme = self.scheme();
+                }
+                Err(e) => return Err(e),
+            }
         }
-        let plan: BTreeMap<ShardId, Option<Vec<TupleId>>> =
-            decision.targets().iter().map(|s| (s, None)).collect();
-        let mut g = Gather::default();
-        self.scatter(stmt, plan, &mut g)?;
-        Ok(g.into_read_outcome(&**scheme, &*self.db, Some(kind), 0))
     }
 
     /// Unpinned UPDATE/DELETE: scan-write over the scheme's ordered
-    /// statement-level write phases.
+    /// statement-level write phases, redone against the survivors when a
+    /// shard fails mid-write.
     fn scan_write(
         &self,
         scheme: &Arc<dyn Scheme>,
         stmt: &Arc<Statement>,
     ) -> Result<ServeOutcome, ServeError> {
-        let (p0, p1) = scheme.route_write_phases(stmt);
-        let total = p0.union(&p1);
+        let mut scheme = Arc::clone(scheme);
+        let mut attempts = 0u32;
+        loop {
+            match self.try_scan_write(&scheme, stmt) {
+                Err(ServeError::Unavailable { .. }) if attempts < self.cfg.write_retries => {
+                    attempts += 1;
+                    scheme = self.scheme();
+                }
+                Ok(mut out) => {
+                    out.metrics.retries += attempts;
+                    return Ok(out);
+                }
+                err => return err,
+            }
+        }
+    }
+
+    fn try_scan_write(
+        &self,
+        scheme: &Arc<dyn Scheme>,
+        stmt: &Arc<Statement>,
+    ) -> Result<ServeOutcome, ServeError> {
+        let phases = scheme.route_write_phases(stmt);
+        let total = phases
+            .iter()
+            .fold(PartitionSet::empty(), |acc, p| acc.union(p));
         if total.len() >= scheme.k() && !self.cfg.allow_broadcast {
             return Err(self.broadcast_rejected(stmt));
         }
+        let down = self.health.down_set();
+        // Coverage gate: a scan-write must still reach every logical row
+        // it matches — reuse the read-coverage rule, which answers exactly
+        // "does every touched tuple keep a live copy".
+        if !down.is_empty() && scheme.route_read_fallback(stmt, &down).is_none() {
+            return Err(ServeError::Unavailable {
+                shard: down.first().expect("non-empty down set"),
+            });
+        }
         let mut g = Gather::default();
-        let scan = |set: PartitionSet| -> BTreeMap<ShardId, Option<Vec<TupleId>>> {
-            set.iter().map(|s| (s, None)).collect()
-        };
-        self.scatter(stmt, scan(p0), &mut g)?;
-        self.scatter(stmt, scan(p1), &mut g)?;
+        for p in phases {
+            let p = p.difference(&down);
+            if p.is_empty() {
+                continue;
+            }
+            let scan: BTreeMap<ShardId, Option<Vec<TupleId>>> =
+                p.iter().map(|s| (s, None)).collect();
+            self.scatter(stmt, scan, &mut g)?;
+        }
         Ok(g.into_write_outcome(0))
     }
 
@@ -505,6 +844,13 @@ impl Server {
     /// Sends one task per shard in `plan` and gathers every reply. The
     /// first error wins, but all replies are drained either way so worker
     /// queues never hold dangling response channels.
+    ///
+    /// Failure detection is channel-structural, never timed: a crashed
+    /// worker's queue rejects the send, and a worker that dies with (or
+    /// drops) a task destroys its reply sender, so the gather loop below
+    /// terminates with that shard missing from `replied`. Either way the
+    /// shard is marked down and the caller sees
+    /// [`ServeError::Unavailable`].
     fn scatter(
         &self,
         stmt: &Arc<Statement>,
@@ -515,7 +861,7 @@ impl Server {
             return Ok(());
         }
         let (tx, rx) = channel();
-        let mut sent = 0usize;
+        let mut sent: Vec<ShardId> = Vec::new();
         let mut first_err: Option<ServeError> = None;
         for (shard, tuples) in plan {
             let worker = match self.workers.get(shard as usize) {
@@ -532,38 +878,49 @@ impl Server {
                 resp: tx.clone(),
             };
             if worker.send(task).is_err() {
-                first_err.get_or_insert(ServeError::Shutdown);
+                self.note_shard_failure(shard, &mut first_err);
                 continue;
             }
-            sent += 1;
+            sent.push(shard);
         }
         drop(tx);
-        for _ in 0..sent {
-            match rx.recv() {
-                Ok(reply) => {
-                    g.shards.insert(reply.shard);
-                    g.queue_us = g.queue_us.max(reply.queue_us);
-                    g.exec_us = g.exec_us.max(reply.exec_us);
-                    match reply.result {
-                        Ok(out) => {
-                            g.raw_rows
-                                .extend(out.rows.into_iter().map(|(t, r)| (reply.shard, t, r)));
-                            g.wrote.extend(out.wrote);
-                        }
-                        Err(e) => {
-                            first_err.get_or_insert(e);
-                        }
-                    }
+        let mut replied: HashSet<ShardId> = HashSet::new();
+        // Terminates when every task-held sender clone is gone — replied
+        // to, or destroyed by a crashed / message-dropping worker.
+        for reply in rx.iter() {
+            replied.insert(reply.shard);
+            g.shards.insert(reply.shard);
+            g.queue_us = g.queue_us.max(reply.queue_us);
+            g.exec_us = g.exec_us.max(reply.exec_us);
+            match reply.result {
+                Ok(out) => {
+                    g.raw_rows
+                        .extend(out.rows.into_iter().map(|(t, r)| (reply.shard, t, r)));
+                    g.wrote.extend(out.wrote);
                 }
-                Err(_) => {
-                    first_err.get_or_insert(ServeError::Shutdown);
+                Err(e) => {
+                    first_err.get_or_insert(e);
                 }
+            }
+        }
+        for shard in sent {
+            if !replied.contains(&shard) {
+                self.note_shard_failure(shard, &mut first_err);
             }
         }
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// Records a deterministic failure signal for `shard`: marks it down
+    /// (sticky) for all future routing and folds an
+    /// [`Unavailable`](ServeError::Unavailable) into this request's error
+    /// slot so the statement-level retry loops re-resolve.
+    fn note_shard_failure(&self, shard: ShardId, first_err: &mut Option<ServeError>) {
+        self.health.mark_down(shard);
+        first_err.get_or_insert(ServeError::Unavailable { shard });
     }
 }
 
@@ -581,14 +938,6 @@ impl Drop for Server {
 /// Builds the per-shard scatter plan for key-pinned tasks.
 fn pin_tasks(plan: BTreeMap<ShardId, Vec<TupleId>>) -> BTreeMap<ShardId, Option<Vec<TupleId>>> {
     plan.into_iter().map(|(s, ts)| (s, Some(ts))).collect()
-}
-
-/// The replica a point read of `t` uses right now: a deterministic pick
-/// from the tuple's current copy set, salted per statement and per key.
-fn owner_for(scheme: &dyn Scheme, db: &dyn TupleValues, t: TupleId, salt: u64) -> ShardId {
-    let copies = scheme.locate_tuple(t, db);
-    pick_any(&copies, salt ^ t.row.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .expect("copy set is never empty")
 }
 
 /// Maps pinned key values to tuple ids; non-integer and negative values
@@ -643,25 +992,23 @@ impl Gather {
     }
 
     /// Resolves duplicate copies of a tuple (replicas, or a not-yet-flipped
-    /// migration pre-copy) by preferring the copy read from a shard that
-    /// currently owns the tuple.
+    /// migration pre-copy) by keeping the highest-`rank` copy (first one
+    /// wins ties) — see [`Server::copy_rank`] for the ordering.
     fn into_read_outcome(
         self,
-        scheme: &dyn Scheme,
-        db: &dyn TupleValues,
         kind: Option<RouteKind>,
         retries: u32,
+        rank: impl Fn(TupleId, ShardId) -> u8,
     ) -> ServeOutcome {
         let kind = kind.unwrap_or_else(|| self.point_kind());
         let metrics = self.metrics(kind, retries);
-        let mut best: BTreeMap<TupleId, (bool, Vec<Value>)> = BTreeMap::new();
+        let mut best: BTreeMap<TupleId, (u8, Vec<Value>)> = BTreeMap::new();
         for (shard, t, row) in self.raw_rows {
-            let owned = scheme.locate_tuple(t, db).contains(shard);
+            let r = rank(t, shard);
             match best.get(&t) {
-                Some((true, _)) => {}
-                Some((false, _)) if !owned => {}
+                Some((held, _)) if *held >= r => {}
                 _ => {
-                    best.insert(t, (owned, row));
+                    best.insert(t, (r, row));
                 }
             }
         }
@@ -673,8 +1020,27 @@ impl Gather {
     }
 }
 
-fn run_worker(shard: ShardId, store: &dyn ShardStore, schema: &Schema, rx: &Receiver<Task>) {
+fn run_worker(
+    shard: ShardId,
+    store: &dyn ShardStore,
+    schema: &Schema,
+    rx: &Receiver<Task>,
+    faults: Option<Arc<FaultPlan>>,
+) {
     while let Ok(task) = rx.recv() {
+        match faults
+            .as_deref()
+            .map_or(WorkerFault::None, |f| f.on_dequeue(shard))
+        {
+            WorkerFault::None => {}
+            // Returning drops `rx` (future sends to this shard fail) and
+            // `task` (its reply sender disconnects) — the two structural
+            // signals the gatherer turns into a down mark.
+            WorkerFault::Crash => return,
+            // Dropping the task without replying reads as a failed shard.
+            WorkerFault::Drop => continue,
+            WorkerFault::Delay(d) => std::thread::sleep(d),
+        }
         let queue_us = task.enqueued.elapsed().as_micros() as u64;
         let started = Instant::now();
         let result = execute_on_shard(shard, store, schema, &task.stmt, task.tuples.as_deref());
@@ -762,7 +1128,7 @@ fn insert_row(schema: &Schema, stmt: &Statement) -> Vec<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use schism_router::{HashScheme, ReplicationScheme};
+    use schism_router::{HashScheme, ReplicatedScheme, ReplicationScheme};
     use schism_store::MemStore;
 
     fn schema() -> Arc<Schema> {
@@ -1004,6 +1370,174 @@ mod tests {
                 .unwrap();
             assert_eq!(out.rows.len(), 1, "id {id} served after swap");
         }
+    }
+
+    fn replicated_fixture(
+        k: u32,
+        rf: u32,
+        rows: u64,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> (Server, Arc<MemStore>, Arc<dyn Scheme>) {
+        let schema = schema();
+        let store = Arc::new(MemStore::new(k));
+        let scheme: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(
+            rf,
+            Arc::new(HashScheme::by_attrs(k, vec![Some(0)])),
+        ));
+        let db: Arc<dyn TupleValues> = Arc::new(PkValues::from_schema(&schema));
+        load_table(
+            &*store,
+            &*scheme,
+            &*db,
+            &schema,
+            0,
+            (0..rows).map(|i| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::Str(format!("acct-{i}")),
+                    Value::Int(100 + i as i64),
+                ]
+            }),
+        )
+        .unwrap();
+        let server = Server::new(
+            schema,
+            store.clone() as Arc<dyn ShardStore>,
+            Arc::clone(&scheme),
+            db,
+            ServeConfig {
+                faults,
+                ..ServeConfig::default()
+            },
+        );
+        (server, store, scheme)
+    }
+
+    #[test]
+    fn leader_crash_fails_over_writes_and_reads() {
+        // Key 5's leader crashes on its first dequeue; its ring follower
+        // absorbs the write and is promoted.
+        let probe_schema = schema();
+        let db = PkValues::from_schema(&probe_schema);
+        let probe: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(
+            2,
+            Arc::new(HashScheme::by_attrs(4, vec![Some(0)])),
+        ));
+        let t = TupleId::new(0, 5);
+        let rs = probe.replica_set(t, &db);
+        let plan = Arc::new(FaultPlan::new(11).crash_worker(rs.leader, 1));
+        let (server, _, _) = replicated_fixture(4, 2, 16, Some(plan));
+        let out = server
+            .execute_sql("UPDATE account SET bal = 777 WHERE id = 5")
+            .unwrap();
+        assert_eq!(out.affected, 1);
+        assert!(out.metrics.retries >= 1, "write retried after the crash");
+        assert_eq!(server.failovers(), 1);
+        assert!(server.down_shards().contains(rs.leader));
+        let promoted = server.current_leader(t).unwrap();
+        assert_ne!(promoted, rs.leader);
+        assert!(rs.followers.contains(promoted));
+        // The acknowledged write survives the failover.
+        let r = server
+            .execute_sql("SELECT * FROM account WHERE id = 5")
+            .unwrap();
+        assert_eq!(r.rows[0].1[2], Value::Int(777));
+    }
+
+    #[test]
+    fn session_salts_spread_replica_reads() {
+        // rf = k = 3: every shard holds every key, so the dequeue counters
+        // are a clean per-replica request histogram.
+        let plan = Arc::new(FaultPlan::new(0));
+        let (server, _, _) = replicated_fixture(3, 3, 8, Some(Arc::clone(&plan)));
+        let mut session = server.session(42);
+        for _ in 0..300 {
+            let out = session
+                .execute_sql("SELECT * FROM account WHERE id = 5")
+                .unwrap();
+            assert_eq!(out.rows.len(), 1);
+        }
+        let counts: Vec<u64> = (0..3).map(|s| plan.dequeued(s)).collect();
+        assert!(
+            counts.iter().all(|&c| c >= 40),
+            "session reads must spread across replicas: {counts:?}"
+        );
+        // A bare execute reuses the statement-derived salt: one replica
+        // soaks the whole hot-key load (the skew bench_serve had).
+        let before: Vec<u64> = (0..3).map(|s| plan.dequeued(s)).collect();
+        for _ in 0..50 {
+            server
+                .execute_sql("SELECT * FROM account WHERE id = 5")
+                .unwrap();
+        }
+        let hot: Vec<u64> = (0..3u32)
+            .map(|s| plan.dequeued(s) - before[s as usize])
+            .collect();
+        assert_eq!(hot.iter().filter(|&&d| d > 0).count(), 1, "{hot:?}");
+        assert_eq!(hot.iter().sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn session_reads_its_writes_from_the_leader() {
+        let (server, store, scheme) = replicated_fixture(4, 2, 8, None);
+        let db = PkValues::from_schema(server.schema());
+        let t = TupleId::new(0, 3);
+        let rs = scheme.replica_set(t, &db);
+        let mut session = server.session(9);
+        session
+            .execute_sql("UPDATE account SET bal = 55 WHERE id = 3")
+            .unwrap();
+        assert!(session.written().contains(&t));
+        // Simulate a lagging replica: clobber the follower's copy with
+        // stale bytes. The session must keep answering from the leader no
+        // matter how its per-statement salt falls.
+        let follower = rs.followers.first().unwrap();
+        let stale = encode_row(&[Value::Int(3), Value::Str("acct-3".into()), Value::Int(103)]);
+        store.put(follower, t, stale).unwrap();
+        for _ in 0..32 {
+            let out = session
+                .execute_sql("SELECT * FROM account WHERE id = 3")
+                .unwrap();
+            assert_eq!(out.rows[0].1[2], Value::Int(55), "read-your-writes");
+        }
+    }
+
+    #[test]
+    fn scans_survive_a_dead_shard_via_replicas() {
+        // Shard 1 crashes on its first dequeue; rf = 2 keeps every tuple
+        // covered by a ring neighbour, so the broadcast scan still sees
+        // every row after one retry.
+        let plan = Arc::new(FaultPlan::new(3).crash_worker(1, 1));
+        let (server, _, _) = replicated_fixture(4, 2, 24, Some(plan));
+        let out = server
+            .execute_sql("SELECT * FROM account WHERE bal >= 100")
+            .unwrap();
+        assert_eq!(out.rows.len(), 24, "no row lost to the dead shard");
+        assert!(out.metrics.retries >= 1);
+        assert!(server.down_shards().contains(1));
+        // Point reads of the dead shard's keys reroute to replicas too.
+        for id in 0..24 {
+            let r = server
+                .execute_sql(&format!("SELECT * FROM account WHERE id = {id}"))
+                .unwrap();
+            assert_eq!(r.rows.len(), 1, "id {id} served after the crash");
+        }
+    }
+
+    #[test]
+    fn statement_fails_unavailable_when_every_replica_is_down() {
+        let plan = Arc::new(FaultPlan::new(5).crash_worker(0, 1).crash_worker(1, 1));
+        let (server, _, _) = replicated_fixture(2, 2, 4, Some(plan));
+        let err = server
+            .execute_sql("UPDATE account SET bal = 1 WHERE id = 0")
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Unavailable { .. }), "{err}");
+        let err = server
+            .execute_sql("SELECT * FROM account WHERE id = 0")
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Unavailable { .. }), "{err}");
+        assert_eq!(server.failovers(), 2);
+        assert!(server.current_leader(TupleId::new(0, 0)).is_err());
     }
 
     #[test]

@@ -159,7 +159,24 @@ impl<'a> Sim<'a> {
         self.push(at, Event::OpArrive(id));
     }
 
+    /// The end of the outage window covering `server` at `at`, if any.
+    fn outage_until(&self, server: u32, at: Micros) -> Option<Micros> {
+        self.cfg
+            .outages
+            .iter()
+            .filter(|o| o.server == server && at >= o.start && at < o.end)
+            .map(|o| o.end)
+            .max()
+    }
+
     fn op_arrive(&mut self, id: TxnId) {
+        if let Some(t) = self.active.get(&id) {
+            let server = t.txn.ops[t.next_op].server;
+            if let Some(until) = self.outage_until(server, self.clock) {
+                self.fail_unavailable(id, until);
+                return;
+            }
+        }
         let Some(t) = self.active.get_mut(&id) else {
             return;
         };
@@ -272,6 +289,33 @@ impl<'a> Sim<'a> {
         }
         self.active.remove(&id);
         self.push(finish, Event::ClientStart(client));
+    }
+
+    /// A statement hit a server inside an outage window: abort the
+    /// transaction (releasing everything it holds anywhere), count the
+    /// refused attempt, and retry from scratch once the window lifts.
+    fn fail_unavailable(&mut self, id: TxnId, until: Micros) {
+        let Some(t) = self.active.get(&id) else {
+            return;
+        };
+        let touched = t.touched_servers();
+        for s in touched {
+            let woken = self.locks[s as usize].release_all(id);
+            self.wake(woken, s);
+        }
+        if self.clock >= self.cfg.warmup {
+            self.stats.unavailable += 1;
+        }
+        let Some(t) = self.active.get_mut(&id) else {
+            return;
+        };
+        t.next_op = 0;
+        t.attempt += 1; // invalidates any pending lock timeout
+        t.waiting = false;
+        t.phase = Phase::Executing;
+        t.pending_acks = 0;
+        let at = until.max(self.clock) + self.cfg.retry_backoff + self.cfg.rtt / 2;
+        self.push(at, Event::OpArrive(id));
     }
 
     fn lock_timeout(&mut self, id: TxnId, attempt: u32) {
@@ -464,6 +508,45 @@ mod tests {
         };
         let rep = run(&cfg, &mut PoolSource::new(pool));
         assert!(rep.completed > 100, "completed {}", rep.completed);
+    }
+
+    #[test]
+    fn outage_costs_availability_and_recovers() {
+        use crate::config::Outage;
+        let cfg = SimConfig {
+            num_clients: 60,
+            outages: vec![Outage {
+                server: 1,
+                start: 4_000_000,
+                end: 6_000_000,
+            }],
+            ..SimConfig::figure1(2)
+        };
+        let faulted = run(&cfg, &mut point_read_pool(2, false));
+        let clean = run(
+            &SimConfig {
+                outages: Vec::new(),
+                ..cfg.clone()
+            },
+            &mut point_read_pool(2, false),
+        );
+        assert!(faulted.unavailable > 0, "outage window must refuse work");
+        assert!(faulted.availability < 1.0);
+        assert!(
+            faulted.availability > 0.9,
+            "refused attempts park until the window lifts, they do not spin: {}",
+            faulted.availability
+        );
+        assert_eq!(clean.unavailable, 0);
+        assert!((clean.availability - 1.0).abs() < 1e-12);
+        // Server 1's clients sit out 2 of the 10 measured seconds.
+        assert!(
+            faulted.completed < clean.completed,
+            "{} vs {}",
+            faulted.completed,
+            clean.completed
+        );
+        assert!(faulted.throughput > 0.5 * clean.throughput);
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod locks;
 pub mod metrics;
 pub mod txn;
 
-pub use config::{Micros, SimConfig};
+pub use config::{Micros, Outage, SimConfig};
 pub use cost::{CostSample, MigrationCostModel};
 pub use engine::run;
 pub use locks::{Key, LockManager, LockMode, LockResult};

@@ -8,6 +8,9 @@ pub struct SimStats {
     pub completed: u64,
     pub distributed_completed: u64,
     pub aborts: u64,
+    /// Transaction attempts refused because a statement's server was
+    /// inside an [`Outage`](crate::config::Outage) window (post-warmup).
+    pub unavailable: u64,
     pub latencies: Vec<Micros>,
 }
 
@@ -36,6 +39,11 @@ pub struct SimReport {
     pub completed: u64,
     pub aborts: u64,
     pub distributed_fraction: f64,
+    /// Attempts refused by an outage window (post-warmup).
+    pub unavailable: u64,
+    /// `completed / (completed + unavailable)` — the fraction of measured
+    /// attempts the cluster actually served; 1.0 on a fault-free run.
+    pub availability: f64,
 }
 
 impl SimReport {
@@ -67,6 +75,12 @@ impl SimReport {
             } else {
                 stats.distributed_completed as f64 / stats.completed as f64
             },
+            unavailable: stats.unavailable,
+            availability: if stats.completed + stats.unavailable == 0 {
+                1.0
+            } else {
+                stats.completed as f64 / (stats.completed + stats.unavailable) as f64
+            },
         }
     }
 }
@@ -82,11 +96,14 @@ mod tests {
             s.record(l, l >= 3_000);
         }
         s.aborts = 2;
+        s.unavailable = 1;
         let r = SimReport::from_stats(s, 2_000_000);
         assert!((r.throughput - 2.0).abs() < 1e-9);
         assert!((r.mean_latency_ms - 2.5).abs() < 1e-9);
         assert!((r.distributed_fraction - 0.5).abs() < 1e-9);
         assert_eq!(r.aborts, 2);
+        assert_eq!(r.unavailable, 1);
+        assert!((r.availability - 0.8).abs() < 1e-9);
         assert!((r.p99_latency_ms - 4.0).abs() < 1e-9);
         assert!(r.p99_latency_ms >= r.p95_latency_ms);
     }

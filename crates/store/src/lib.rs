@@ -30,6 +30,8 @@
 //! | [`MemStore`] / [`LogStore`] | the two backends; [`BackendKind`] parses `--backend mem\|log` |
 //! | [`load_assignment`] | seed a store from a per-tuple placement, one deterministic row per copy |
 //! | [`seed_row`] / [`fnv1a`] | deterministic row payloads and the checksum used by copy verification |
+//! | [`FaultStore`] / [`FaultHook`] | injectable wrapper firing hooks at named sync points (deterministic fault injection) |
+//! | [`HealthMap`] / [`ShardHealth`] | sticky shard down-set shared by the server and the migration executor |
 //! | [`tempdir::TempDir`] | self-cleaning scratch directories for tests and benches |
 //!
 //! Backends are shared by reference (`&dyn ShardStore`) between the
@@ -61,10 +63,12 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod fault;
 pub mod log;
 pub mod mem;
 pub mod tempdir;
 
+pub use fault::{sync_points, FaultHook, FaultStore, HealthMap, ShardHealth};
 pub use log::{LogStore, LogStoreConfig};
 pub use mem::MemStore;
 

@@ -32,6 +32,7 @@
 //!
 //! [`MemStore`]: crate::MemStore
 
+use crate::fault::FaultHook;
 use crate::{fnv1a, ShardId, ShardStats, ShardStore, StoreError, WriteOp};
 use schism_sql::TableId;
 use schism_workload::TupleId;
@@ -40,7 +41,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// `len` + `crc` prefix before every record body.
 const HEADER_LEN: u64 = 12;
@@ -283,7 +284,17 @@ impl ShardLog {
     }
 
     /// Appends `buf` (op records + their commit) at the committed tail.
-    fn append(&mut self, buf: &[u8], sync: bool) -> Result<(), StoreError> {
+    /// `fault` fires [`sync_points::LOG_SYNC`](crate::fault::sync_points)
+    /// after the write but before the `fdatasync` — the commit is not
+    /// acknowledged until the hook returns *and* the sync completes, so an
+    /// injected stall delays the ack rather than letting it race ahead of
+    /// durability.
+    fn append(
+        &mut self,
+        buf: &[u8],
+        sync: bool,
+        fault: Option<(&dyn FaultHook, ShardId)>,
+    ) -> Result<(), StoreError> {
         self.file
             .seek(SeekFrom::Start(self.tail))
             .map_err(|e| io_err("seek", &self.path, e))?;
@@ -291,6 +302,9 @@ impl ShardLog {
             .write_all(buf)
             .map_err(|e| io_err("append to", &self.path, e))?;
         if sync {
+            if let Some((hook, shard)) = fault {
+                hook.at(crate::fault::sync_points::LOG_SYNC, shard);
+            }
             self.file
                 .sync_data()
                 .map_err(|e| io_err("sync", &self.path, e))?;
@@ -419,6 +433,9 @@ pub struct LogStore {
     dir: PathBuf,
     cfg: LogStoreConfig,
     shards: Vec<Mutex<ShardLog>>,
+    /// Optional fault-injection hook fired at the `log.sync` point (see
+    /// [`set_fault_hook`](Self::set_fault_hook)).
+    fault: RwLock<Option<Arc<dyn FaultHook>>>,
 }
 
 impl LogStore {
@@ -464,7 +481,25 @@ impl LogStore {
         let shards = (0..num_shards)
             .map(|s| ShardLog::open(Self::segment_path_in(&dir, s)).map(Mutex::new))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { dir, cfg, shards })
+        Ok(Self {
+            dir,
+            cfg,
+            shards,
+            fault: RwLock::new(None),
+        })
+    }
+
+    /// Installs (or clears) a [`FaultHook`] fired at the
+    /// [`LOG_SYNC`](crate::fault::sync_points::LOG_SYNC) point: between
+    /// writing a commit record and `fdatasync`ing it, for every synced
+    /// commit. Only meaningful with
+    /// [`sync_commits`](LogStoreConfig::sync_commits) enabled.
+    pub fn set_fault_hook(&self, hook: Option<Arc<dyn FaultHook>>) {
+        *self.fault.write().expect("fault lock poisoned") = hook;
+    }
+
+    fn fault_hook(&self) -> Option<Arc<dyn FaultHook>> {
+        self.fault.read().expect("fault lock poisoned").clone()
     }
 
     fn segment_path_in(dir: &Path, shard: ShardId) -> PathBuf {
@@ -538,8 +573,9 @@ impl LogStore {
     /// tail here, under the one lock acquisition that also appends — the
     /// tail is only stable while the lock is held.
     fn commit_ops(&self, shard: ShardId, buf: &[u8], ops: Vec<Staged>) -> Result<(), StoreError> {
+        let hook = self.fault_hook();
         let mut guard = self.locked(shard)?;
-        Self::commit_locked(&mut guard, &self.cfg, buf, ops)
+        Self::commit_locked(&mut guard, &self.cfg, buf, ops, shard, hook.as_deref())
     }
 
     /// The under-lock half of [`commit_ops`](Self::commit_ops): append,
@@ -549,13 +585,15 @@ impl LogStore {
         cfg: &LogStoreConfig,
         buf: &[u8],
         mut ops: Vec<Staged>,
+        shard: ShardId,
+        fault: Option<&dyn FaultHook>,
     ) -> Result<(), StoreError> {
         for (_, vref) in ops.iter_mut() {
             if let Some(v) = vref {
                 v.offset += log.tail;
             }
         }
-        log.append(buf, cfg.sync_commits)?;
+        log.append(buf, cfg.sync_commits, fault.map(|h| (h, shard)))?;
         for (t, vref) in ops {
             apply_committed(
                 &mut log.index,
@@ -601,6 +639,7 @@ impl ShardStore for LogStore {
         // single-guard delete cannot). A delete of an absent key writes
         // nothing — matches MemStore's no-op and keeps the log from
         // growing on misses.
+        let hook = self.fault_hook();
         let mut guard = self.locked(shard)?;
         if !guard.index.contains_key(&t) {
             return Ok(false);
@@ -608,7 +647,14 @@ impl ShardStore for LogStore {
         let mut buf = Vec::new();
         encode_delete(&mut buf, t);
         encode_commit(&mut buf, 1);
-        Self::commit_locked(&mut guard, &self.cfg, &buf, vec![(t, None)])?;
+        Self::commit_locked(
+            &mut guard,
+            &self.cfg,
+            &buf,
+            vec![(t, None)],
+            shard,
+            hook.as_deref(),
+        )?;
         Ok(true)
     }
 

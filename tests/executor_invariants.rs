@@ -168,6 +168,7 @@ proptest! {
         let cfg = ExecutorConfig {
             max_retries: 1,
             corrupt_copies: vec![(bad, 0), (bad, 1)],
+            ..ExecutorConfig::default()
         };
         let mut exec = MigrationExecutor::new(&plan, &store, &vs, cfg);
         // A corrupt copy on a batch with no copied bytes (all drop-only

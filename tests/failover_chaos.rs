@@ -1,0 +1,410 @@
+//! Chaos harness for the serve/migrate/store stack: seeded, replayable
+//! interleavings of client sessions, migration-executor steps, and a
+//! deterministic leader kill injected by a [`FaultPlan`].
+//!
+//! Invariants checked at every step:
+//!
+//! 1. **No lost acknowledged writes** — every value a session saw acked is
+//!    returned by every later read, through the kill and after cutover.
+//! 2. **Read-your-writes** — a session's reads of its own write set hold.
+//! 3. **Single live leader per key** — `current_leader` is deterministic,
+//!    names a live shard, and stays inside the key's replica set.
+//!
+//! The vendored proptest has no failure persistence, so the harness rolls
+//! its own replayability: every case is driven by one u64 seed; a failing
+//! case prints `replay with SCHISM_CHAOS_SEED=<seed>` and writes the seed
+//! plus panic message under `target/chaos-failures/` (uploaded as a CI
+//! artifact). `SCHISM_CHAOS_SEED=<seed> cargo test -p schism chaos` reruns
+//! exactly that interleaving — all fault triggers are count-based, not
+//! timer-based, so the replay is bit-identical.
+
+use schism_migrate::{plan_migration, ExecutorConfig, MigrationExecutor, PlanConfig, StepOutcome};
+use schism_router::{
+    HashScheme, IndexBackend, LookupBackend, LookupScheme, MissPolicy, PartitionSet,
+    ReplicatedScheme, RowKey, Scheme, VersionedScheme,
+};
+use schism_serve::{load_table, FaultPlan, PkValues, ServeConfig, Server};
+use schism_sql::{ColumnType, Schema, Value};
+use schism_store::{HealthMap, MemStore, ShardHealth, ShardStore};
+use schism_workload::{TupleId, TupleValues};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const K: u32 = 4;
+const RF: u32 = 2;
+const N_KEYS: u64 = 32;
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(1);
+        splitmix(self.0)
+    }
+}
+
+fn schema() -> Arc<Schema> {
+    let mut s = Schema::new();
+    s.add_table(
+        "account",
+        &[("id", ColumnType::Int), ("bal", ColumnType::Int)],
+        &["id"],
+    );
+    Arc::new(s)
+}
+
+struct Fixture {
+    server: Server,
+    vs: Arc<VersionedScheme>,
+    new_scheme: Arc<dyn Scheme>,
+    plan: schism_migrate::MigrationPlan,
+    store: Arc<MemStore>,
+    health: Arc<HealthMap>,
+    faults: Arc<FaultPlan>,
+}
+
+/// `N_KEYS` accounts under an rf=2 replicated hash scheme, migrating to an
+/// rf=2 replicated lookup scheme that rotates every key's primary to the
+/// next shard. `victim`'s worker crashes on its `kill_after`-th dequeue;
+/// the serve path and the executor share one [`HealthMap`].
+fn fixture(victim: u32, kill_after: u64) -> Fixture {
+    let schema = schema();
+    let store = Arc::new(MemStore::new(K));
+    let db: Arc<dyn TupleValues> = Arc::new(PkValues::from_schema(&schema));
+    let old_inner: Arc<dyn Scheme> = Arc::new(HashScheme::by_attrs(K, vec![Some(0)]));
+    let entries: Vec<(u64, PartitionSet)> = (0..N_KEYS)
+        .map(|r| {
+            let t = TupleId::new(0, r);
+            let from = old_inner.locate_tuple(t, &*db).first().unwrap();
+            (r, PartitionSet::single((from + 1) % K))
+        })
+        .collect();
+    let new_inner: Arc<dyn Scheme> = Arc::new(LookupScheme::new(
+        K,
+        vec![Some(
+            Box::new(IndexBackend::new(entries)) as Box<dyn LookupBackend>
+        )],
+        vec![Some(RowKey { col: 0, offset: 0 })],
+        MissPolicy::HashRow,
+    ));
+    let old: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(RF, old_inner));
+    let new: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(RF, new_inner));
+    load_table(
+        &*store,
+        &*old,
+        &*db,
+        &schema,
+        0,
+        (0..N_KEYS).map(|i| vec![Value::Int(i as i64), Value::Int(0)]),
+    )
+    .unwrap();
+    let locate_all = |s: &Arc<dyn Scheme>| -> HashMap<TupleId, PartitionSet> {
+        (0..N_KEYS)
+            .map(|r| {
+                let t = TupleId::new(0, r);
+                (t, s.locate_tuple(t, &*db))
+            })
+            .collect()
+    };
+    let plan = plan_migration(
+        &locate_all(&old),
+        &locate_all(&new),
+        &*db,
+        &PlanConfig {
+            max_rows_per_batch: 4,
+            ..PlanConfig::default()
+        },
+    );
+    let vs = Arc::new(VersionedScheme::new(old, Arc::clone(&new)));
+    let health = Arc::new(HealthMap::new());
+    let faults =
+        Arc::new(FaultPlan::new(victim as u64 ^ kill_after).crash_worker(victim, kill_after));
+    let server = Server::new(
+        schema,
+        Arc::clone(&store) as Arc<dyn ShardStore>,
+        Arc::clone(&vs) as Arc<dyn Scheme>,
+        db,
+        ServeConfig {
+            faults: Some(Arc::clone(&faults)),
+            health: Some(Arc::clone(&health)),
+            ..ServeConfig::default()
+        },
+    );
+    Fixture {
+        server,
+        vs,
+        new_scheme: new,
+        plan,
+        store,
+        health,
+        faults,
+    }
+}
+
+/// One fully deterministic chaos case: three sessions, one executor, one
+/// count-triggered leader kill, all interleaved by the seed's op stream.
+fn chaos_case(seed: u64) {
+    let mut rng = Rng(seed);
+    let victim = (rng.next() % u64::from(K)) as u32;
+    let kill_after = 1 + rng.next() % 60;
+    let f = fixture(victim, kill_after);
+    let db = PkValues::from_schema(f.server.schema());
+    let mut exec = MigrationExecutor::new(
+        &f.plan,
+        &*f.store,
+        &f.vs,
+        ExecutorConfig {
+            health: Some(Arc::clone(&f.health)),
+            max_retries: 10_000,
+            ..ExecutorConfig::default()
+        },
+    );
+    let mut sessions: Vec<_> = (0..3).map(|i| f.server.session(seed ^ i)).collect();
+    let mut model: HashMap<u64, i64> = (0..N_KEYS).map(|k| (k, 0)).collect();
+    for step in 0..160 {
+        let sid = (rng.next() % 3) as usize;
+        let key = rng.next() % N_KEYS;
+        match rng.next() % 10 {
+            0..=3 => {
+                let v = (rng.next() % 100_000) as i64;
+                let out = sessions[sid]
+                    .execute_sql(&format!("UPDATE account SET bal = {v} WHERE id = {key}"))
+                    .unwrap_or_else(|e| panic!("step {step}: write to key {key} failed: {e}"));
+                assert_eq!(out.affected, 1, "step {step}: key {key} must exist");
+                model.insert(key, v);
+            }
+            4..=7 => {
+                let out = sessions[sid]
+                    .execute_sql(&format!("SELECT * FROM account WHERE id = {key}"))
+                    .unwrap_or_else(|e| panic!("step {step}: read of key {key} failed: {e}"));
+                assert_eq!(out.rows.len(), 1, "step {step}: key {key} must resolve");
+                assert_eq!(
+                    out.rows[0].1[1],
+                    Value::Int(model[&key]),
+                    "step {step}: key {key} lost an acked write"
+                );
+            }
+            8 => {
+                let k2 = rng.next() % N_KEYS;
+                let out = sessions[sid]
+                    .execute_sql(&format!("SELECT * FROM account WHERE id IN ({key}, {k2})"))
+                    .unwrap_or_else(|e| panic!("step {step}: multi-read failed: {e}"));
+                assert_eq!(out.rows.len(), if key == k2 { 1 } else { 2 });
+                for (t, row) in &out.rows {
+                    assert_eq!(
+                        row[1],
+                        Value::Int(model[&t.row]),
+                        "step {step}: key {}",
+                        t.row
+                    );
+                }
+            }
+            _ => {
+                let outcome = exec.step();
+                assert!(
+                    !matches!(outcome, StepOutcome::Aborted { .. }),
+                    "step {step}: migration aborted: {outcome:?}"
+                );
+            }
+        }
+        // Single live leader per key, at every step of the interleaving.
+        for k in 0..N_KEYS {
+            let t = TupleId::new(0, k);
+            let leader = f
+                .server
+                .current_leader(t)
+                .unwrap_or_else(|e| panic!("step {step}: key {k} has no live leader: {e}"));
+            assert_eq!(
+                leader,
+                f.server.current_leader(t).unwrap(),
+                "step {step}: leader of key {k} must be deterministic"
+            );
+            assert!(
+                !f.health.is_down(leader),
+                "step {step}: key {k} led by down shard {leader}"
+            );
+            assert!(
+                f.vs.replica_set(t, &db).all().contains(leader),
+                "step {step}: leader {leader} of key {k} outside its replica set"
+            );
+        }
+    }
+    // Drain the migration under whatever outage the seed produced, cut the
+    // server over, and re-verify every acknowledged write.
+    assert_eq!(exec.run_to_completion(), StepOutcome::Done);
+    f.server.install_scheme(Arc::clone(&f.new_scheme));
+    drop(sessions);
+    let mut check = f.server.session(seed ^ 0xC0DE);
+    for (&k, &v) in &model {
+        let out = check
+            .execute_sql(&format!("SELECT * FROM account WHERE id = {k}"))
+            .unwrap_or_else(|e| panic!("post-cutover read of key {k} failed: {e}"));
+        assert_eq!(out.rows.len(), 1, "key {k} lost after cutover");
+        assert_eq!(out.rows[0].1[1], Value::Int(v), "key {k} value diverged");
+    }
+    if !f.faults.crashes_fired().is_empty() {
+        assert_eq!(
+            f.server.failovers(),
+            1,
+            "one fired kill must mean exactly one failed-over shard"
+        );
+    }
+}
+
+/// Runs one seed; on failure, prints the replay command and drops the seed
+/// into `target/chaos-failures/` for CI to upload.
+fn run_seed(seed: u64) {
+    let result = std::panic::catch_unwind(|| chaos_case(seed));
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        eprintln!("chaos case failed; replay with SCHISM_CHAOS_SEED={seed}");
+        let dir =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos-failures");
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(
+            dir.join(format!("seed-{seed}.txt")),
+            format!("SCHISM_CHAOS_SEED={seed}\n{msg}\n"),
+        );
+        panic!("chaos seed {seed} failed: {msg}");
+    }
+}
+
+/// Eight seeded interleavings (or exactly the one named by
+/// `SCHISM_CHAOS_SEED`): sessions, executor steps, and a leader kill whose
+/// victim, trigger count, and op stream all derive from the seed.
+#[test]
+fn chaos_seeded_interleavings() {
+    if let Ok(s) = std::env::var("SCHISM_CHAOS_SEED") {
+        run_seed(s.parse().expect("SCHISM_CHAOS_SEED must be a u64"));
+        return;
+    }
+    for i in 0..8u64 {
+        run_seed(0xC4A0_5EED ^ (i.wrapping_mul(0x9E37_79B9)));
+    }
+}
+
+/// The fixed scenario the issue names: kill the leader of a hot key while
+/// the migration is mid-flight. Every acknowledged write must survive the
+/// promotion, and the promoted leader must be a live follower.
+#[test]
+fn leader_kill_mid_migration_keeps_acked_writes() {
+    let db = PkValues::from_schema(&schema());
+    let probe: Arc<dyn Scheme> = Arc::new(HashScheme::by_attrs(K, vec![Some(0)]));
+    let victim = probe.locate_tuple(TupleId::new(0, 7), &db).first().unwrap();
+    let f = fixture(victim, 30);
+    let mut exec = MigrationExecutor::new(
+        &f.plan,
+        &*f.store,
+        &f.vs,
+        ExecutorConfig {
+            health: Some(Arc::clone(&f.health)),
+            max_retries: 10_000,
+            ..ExecutorConfig::default()
+        },
+    );
+    // Acknowledge a write to every key, then flip a few batches so the
+    // kill lands mid-migration.
+    let mut writer = f.server.session(1);
+    for k in 0..N_KEYS {
+        let out = writer
+            .execute_sql(&format!(
+                "UPDATE account SET bal = {} WHERE id = {k}",
+                1000 + k
+            ))
+            .unwrap();
+        assert_eq!(out.affected, 1);
+    }
+    for _ in 0..3 {
+        assert!(!matches!(exec.step(), StepOutcome::Aborted { .. }));
+    }
+    // Hammer reads until the count-based crash fires; every read must keep
+    // returning the acked value straight through the failover.
+    let mut reader = f.server.session(2);
+    for i in 0..400u64 {
+        if !f.faults.crashes_fired().is_empty() {
+            break;
+        }
+        let k = i % N_KEYS;
+        let out = reader
+            .execute_sql(&format!("SELECT * FROM account WHERE id = {k}"))
+            .unwrap();
+        assert_eq!(out.rows[0].1[1], Value::Int((1000 + k) as i64));
+    }
+    assert!(
+        !f.faults.crashes_fired().is_empty(),
+        "the leader kill must fire under this fixed load"
+    );
+    assert_eq!(f.server.failovers(), 1);
+    assert!(f.health.is_down(victim));
+    for k in 0..N_KEYS {
+        let t = TupleId::new(0, k);
+        let leader = f.server.current_leader(t).unwrap();
+        assert_ne!(leader, victim, "key {k} still led by the dead shard");
+        assert!(f.vs.replica_set(t, &db).all().contains(leader));
+        let out = reader
+            .execute_sql(&format!("SELECT * FROM account WHERE id = {k}"))
+            .unwrap();
+        assert_eq!(
+            out.rows[0].1[1],
+            Value::Int((1000 + k) as i64),
+            "key {k} lost its acked write across the kill"
+        );
+    }
+    // The migration itself must drain with the shard down (live-source
+    // reads route around it), and the writes survive cutover.
+    assert_eq!(exec.run_to_completion(), StepOutcome::Done);
+    f.server.install_scheme(Arc::clone(&f.new_scheme));
+    let mut check = f.server.session(3);
+    for k in 0..N_KEYS {
+        let out = check
+            .execute_sql(&format!("SELECT * FROM account WHERE id = {k}"))
+            .unwrap();
+        assert_eq!(out.rows.len(), 1, "key {k} lost after cutover");
+        assert_eq!(out.rows[0].1[1], Value::Int((1000 + k) as i64));
+    }
+}
+
+/// Read-your-writes across a leader kill: a session that wrote a key keeps
+/// reading its own value while the key's leader crashes under it and a
+/// follower is promoted.
+#[test]
+fn session_reads_its_writes_across_leader_kill() {
+    let db = PkValues::from_schema(&schema());
+    let probe: Arc<dyn Scheme> = Arc::new(HashScheme::by_attrs(K, vec![Some(0)]));
+    let victim = probe.locate_tuple(TupleId::new(0, 3), &db).first().unwrap();
+    let f = fixture(victim, 4);
+    let mut session = f.server.session(9);
+    session
+        .execute_sql("UPDATE account SET bal = 777 WHERE id = 3")
+        .unwrap();
+    // The session pins key 3's reads to its leader (the victim), so a few
+    // reads are enough to hit the crash threshold; the read that trips it
+    // must already be answered by the promoted follower.
+    for _ in 0..20 {
+        let out = session
+            .execute_sql("SELECT * FROM account WHERE id = 3")
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].1[1], Value::Int(777));
+    }
+    assert!(!f.faults.crashes_fired().is_empty());
+    assert_eq!(f.server.failovers(), 1);
+    let promoted = f.server.current_leader(TupleId::new(0, 3)).unwrap();
+    assert_ne!(promoted, victim);
+    assert!(f
+        .vs
+        .replica_set(TupleId::new(0, 3), &db)
+        .all()
+        .contains(promoted));
+}

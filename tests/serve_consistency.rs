@@ -4,9 +4,11 @@
 //! to exactly one owner, (b) never lose an acknowledged write, and
 //! (c) keep read-your-own-writes intact for every client.
 //!
-//! Deliberately excluded: DELETE of in-plan keys mid-migration — the
-//! executor treats a vanished copy source as an error and aborts (a
-//! documented serving limitation, see `schism-serve`'s crate docs).
+//! DELETEs of *out-of-plan* keys run inside the model proptest (they are
+//! safe at any point of the migration); DELETE of an *in-plan* key is the
+//! documented serving limitation — the executor treats the vanished copy
+//! source as an error and aborts, which
+//! [`delete_of_in_plan_key_aborts_migration`] pins down explicitly.
 
 use proptest::prelude::*;
 use schism_migrate::{plan_migration, ExecutorConfig, MigrationExecutor, PlanConfig, StepOutcome};
@@ -43,17 +45,21 @@ struct Fixture {
 
 /// `n_keys` accounts under a k=4 attribute-hash scheme, migrating to a
 /// lookup scheme that rotates every key's owner to the next shard (every
-/// key moves — the worst case for serving).
-fn fixture(n_keys: u64, rows_per_batch: usize) -> Fixture {
+/// key moves — the worst case for serving). A further `extras` accounts
+/// (ids `n_keys..n_keys + extras`) are loaded but *out of plan*: the
+/// lookup scheme maps them to their old placement, so they never move —
+/// the keys DELETE is allowed to target mid-migration.
+fn fixture(n_keys: u64, rows_per_batch: usize, extras: u64) -> Fixture {
     let schema = schema();
     let store = Arc::new(MemStore::new(K));
     let db: Arc<dyn TupleValues> = Arc::new(PkValues::from_schema(&schema));
     let old: Arc<dyn Scheme> = Arc::new(schism_router::HashScheme::by_attrs(K, vec![Some(0)]));
-    let entries: Vec<(u64, PartitionSet)> = (0..n_keys)
+    let entries: Vec<(u64, PartitionSet)> = (0..n_keys + extras)
         .map(|r| {
             let t = TupleId::new(0, r);
             let from = old.locate_tuple(t, &*db).first().unwrap();
-            (r, PartitionSet::single((from + 1) % K))
+            let to = if r < n_keys { (from + 1) % K } else { from };
+            (r, PartitionSet::single(to))
         })
         .collect();
     let new: Arc<dyn Scheme> = Arc::new(LookupScheme::new(
@@ -70,7 +76,7 @@ fn fixture(n_keys: u64, rows_per_batch: usize) -> Fixture {
         &*db,
         &schema,
         0,
-        (0..n_keys).map(|i| vec![Value::Int(i as i64), Value::Int(0)]),
+        (0..n_keys + extras).map(|i| vec![Value::Int(i as i64), Value::Int(0)]),
     )
     .unwrap();
     let old_asg: HashMap<TupleId, PartitionSet> = (0..n_keys)
@@ -119,16 +125,19 @@ fn fixture(n_keys: u64, rows_per_batch: usize) -> Fixture {
 enum Op {
     Write(u64, i64),
     Read(u64),
+    /// DELETE of an out-of-plan key — legal at any migration point.
+    DeleteExtra(u64),
     Step,
 }
 
-/// Decodes a raw sample into an op: kinds are weighted 4/4/2
-/// write/read/step (the vendored proptest has no `prop_oneof`).
+/// Decodes a raw sample into an op: kinds are weighted 4/4/2/2
+/// write/read/step/delete (the vendored proptest has no `prop_oneof`).
 fn decode_op((kind, key, val): (u32, u64, i64)) -> Op {
     match kind {
         0..=3 => Op::Write(key, val),
         4..=7 => Op::Read(key),
-        _ => Op::Step,
+        8..=9 => Op::Step,
+        _ => Op::DeleteExtra(key),
     }
 }
 
@@ -140,14 +149,17 @@ proptest! {
     /// must resolve to exactly one owner at every point.
     #[test]
     fn serving_matches_model_across_flips(
-        raw_ops in prop::collection::vec((0..10u32, 0..24u64, -1000i64..1000), 1..60)
+        raw_ops in prop::collection::vec((0..12u32, 0..24u64, -1000i64..1000), 1..60)
     ) {
         let n_keys = 24u64;
-        let f = fixture(n_keys, 4);
+        let extras = 8u64;
+        let f = fixture(n_keys, 4, extras);
         let db = PkValues::from_schema(f.server.schema());
         let mut exec =
             MigrationExecutor::new(&f.plan, &*f.store, &f.vs, ExecutorConfig::default());
         let mut model: HashMap<u64, i64> = (0..n_keys).map(|k| (k, 0)).collect();
+        let mut extras_alive: HashMap<u64, bool> =
+            (n_keys..n_keys + extras).map(|k| (k, true)).collect();
         for op in raw_ops.into_iter().map(decode_op) {
             match op {
                 Op::Write(k, v) => {
@@ -165,6 +177,21 @@ proptest! {
                         .unwrap();
                     prop_assert_eq!(out.rows.len(), 1);
                     prop_assert_eq!(&out.rows[0].1[1], &Value::Int(model[&k]));
+                }
+                Op::DeleteExtra(k) => {
+                    let id = n_keys + k % extras;
+                    let was_alive = extras_alive[&id];
+                    let out = f
+                        .server
+                        .execute_sql(&format!("DELETE FROM account WHERE id = {id}"))
+                        .unwrap();
+                    prop_assert_eq!(out.affected, u64::from(was_alive), "delete of key {}", id);
+                    extras_alive.insert(id, false);
+                    let out = f
+                        .server
+                        .execute_sql(&format!("SELECT * FROM account WHERE id = {id}"))
+                        .unwrap();
+                    prop_assert!(out.rows.is_empty(), "key {} readable after DELETE", id);
                 }
                 Op::Step => {
                     let outcome = exec.step();
@@ -196,6 +223,51 @@ proptest! {
             prop_assert_eq!(out.rows.len(), 1, "key {} lost after cutover", k);
             prop_assert_eq!(&out.rows[0].1[1], &Value::Int(v));
         }
+        for (id, alive) in extras_alive {
+            let out = f
+                .server
+                .execute_sql(&format!("SELECT * FROM account WHERE id = {id}"))
+                .unwrap();
+            prop_assert_eq!(
+                out.rows.len(),
+                usize::from(alive),
+                "out-of-plan key {} wrong after cutover",
+                id
+            );
+            if alive {
+                prop_assert_eq!(&out.rows[0].1[1], &Value::Int(0));
+            }
+        }
+    }
+}
+
+/// The documented limitation, pinned down: DELETE of an *in-plan* key
+/// before its batch copies leaves the executor without a copy source, and
+/// the migration aborts rather than inventing data.
+#[test]
+fn delete_of_in_plan_key_aborts_migration() {
+    let f = fixture(8, 2, 0);
+    let out = f
+        .server
+        .execute_sql("DELETE FROM account WHERE id = 3")
+        .unwrap();
+    assert_eq!(out.affected, 1);
+    let mut exec = MigrationExecutor::new(&f.plan, &*f.store, &f.vs, ExecutorConfig::default());
+    loop {
+        match exec.step() {
+            StepOutcome::Aborted { error, .. } => {
+                assert!(
+                    matches!(error, schism_migrate::ExecError::MissingSource(t) if t.row == 3),
+                    "abort must blame the deleted key: {error}"
+                );
+                return;
+            }
+            StepOutcome::Done => panic!(
+                "migration must abort after an in-plan key is deleted \
+                 (the documented serving limitation)"
+            ),
+            _ => {}
+        }
     }
 }
 
@@ -207,7 +279,7 @@ proptest! {
 fn concurrent_clients_survive_live_migration() {
     const N_KEYS: u64 = 64;
     const ITERS: i64 = 40;
-    let f = fixture(N_KEYS, 8);
+    let f = fixture(N_KEYS, 8, 0);
     std::thread::scope(|s| {
         for client in 0..4u64 {
             let server = &f.server;

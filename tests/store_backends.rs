@@ -302,7 +302,11 @@ proptest! {
         // retry, fail verification, roll back, and abort identically.
         let cfg = if splitmix(&mut st).is_multiple_of(2) && !plan.batches.is_empty() {
             let victim = (splitmix(&mut st) % plan.batches.len() as u64) as usize;
-            ExecutorConfig { max_retries: 1, corrupt_copies: vec![(victim, 0), (victim, 1)] }
+            ExecutorConfig {
+                max_retries: 1,
+                corrupt_copies: vec![(victim, 0), (victim, 1)],
+                ..ExecutorConfig::default()
+            }
         } else {
             ExecutorConfig::default()
         };
@@ -405,4 +409,73 @@ fn error_surface_matches_across_backends() {
             StoreError::NoSuchShard(5)
         );
     }
+}
+
+/// Satellite of the fault-injection work: a stalled `fdatasync` at the
+/// `log.sync` point must *delay* the batch ack, never let it race ahead —
+/// the commit is acknowledged strictly after the stall elapses, and the
+/// store then holds exactly what a fault-free `MemStore` holds for the
+/// same batch (differential check).
+#[test]
+fn stalled_log_sync_never_acks_early() {
+    use schism_serve::FaultPlan;
+    use schism_store::{sync_points, FaultHook};
+    use std::time::{Duration, Instant};
+
+    const STALL: Duration = Duration::from_millis(200);
+    let dir = TempDir::new("schism-stall").unwrap();
+    let log = Arc::new(
+        LogStore::with_config(
+            dir.path(),
+            SHARDS,
+            LogStoreConfig {
+                sync_commits: true,
+                ..LogStoreConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let mem = MemStore::new(SHARDS);
+    let mut state = 0xFEED_u64;
+    let ops = rand_ops(&mut state, 12);
+    let plan = Arc::new(FaultPlan::new(7).stall(sync_points::LOG_SYNC, Some(0), STALL, 1));
+    log.set_fault_hook(Some(Arc::clone(&plan) as Arc<dyn FaultHook>));
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let flusher = {
+        let (log, ops) = (Arc::clone(&log), ops.clone());
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            log.apply_batch(0, &ops).unwrap();
+            tx.send(started.elapsed()).unwrap();
+        })
+    };
+    // Mid-stall the ack must not have arrived.
+    assert!(
+        rx.recv_timeout(STALL / 2).is_err(),
+        "batch acked while its commit sync was stalled"
+    );
+    let elapsed = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("a stalled flush must still ack once the stall lifts");
+    assert!(
+        elapsed >= STALL,
+        "ack after {elapsed:?} outran the {STALL:?} sync stall"
+    );
+    flusher.join().unwrap();
+
+    // Differential: once acked, the stalled LogStore batch is bit-for-bit
+    // what the fault-free MemStore applied.
+    mem.apply_batch(0, &ops).unwrap();
+    assert_eq!(contents(&*log), contents(&mem));
+    assert_accounting_exact(&*log);
+
+    // The stall budget is spent: the next synced commit is not delayed.
+    let started = Instant::now();
+    log.put(0, TupleId::new(0, 999), b"post-stall".to_vec())
+        .unwrap();
+    assert!(
+        started.elapsed() < STALL / 2,
+        "stall with times=1 must not throttle later commits"
+    );
 }
