@@ -18,9 +18,18 @@
 //!    the longest client-observed success gap, and p99 inside the
 //!    one-second window after the kill.
 //!
+//! 4. **kill-rejoin** (`--faults`) — the mix over a replication-factor-3
+//!    scheme, where writes are acked by a majority quorum of the full
+//!    replica set. A seeded kill takes one shard down mid-run; after a
+//!    short outage the driver revives it (`Down → CatchingUp`) and runs
+//!    the catch-up copy ([`run_catch_up`]) under live traffic, recording
+//!    availability across the whole outage, the wall-clock catch-up
+//!    duration, and p99 of ops issued while the shard was catching up.
+//!
 //! The op mix is point-heavy OLTP: 70% point SELECT, 25% point UPDATE, 5%
-//! three-key IN SELECT. No DELETEs run mid-migration (a deleted copy
-//! source aborts the executor — the documented serving limitation).
+//! three-key IN SELECT (no DELETEs in the mix; mid-plan DELETEs now pass
+//! through the executor as tombstones, so that is a mix choice, not a
+//! limitation).
 //! Every client runs a [`schism_serve::Session`], so repeated hot statements spread
 //! across replicas instead of re-picking the same salted replica.
 //!
@@ -35,7 +44,9 @@
 //! honestly: on a 1-core container the client count measures
 //! oversubscribed queueing, not parallel speedup, and the JSON says so.
 
-use schism_migrate::{plan_migration, ExecutorConfig, MigrationExecutor, PlanConfig, StepOutcome};
+use schism_migrate::{
+    plan_migration, run_catch_up, ExecutorConfig, MigrationExecutor, PlanConfig, StepOutcome,
+};
 use schism_router::{
     HashScheme, IndexBackend, LookupBackend, LookupScheme, MissPolicy, PartitionSet,
     ReplicatedScheme, RowKey, Scheme, VersionedScheme,
@@ -108,6 +119,12 @@ struct FaultCtx {
     /// Micros after `start` when the watcher saw the crash fire;
     /// `u64::MAX` until then.
     kill_at_us: AtomicU64,
+    /// Micros after `start` when the rejoin's catch-up copy began;
+    /// `u64::MAX` on runs that never rejoin.
+    catch_up_start_us: AtomicU64,
+    /// Wall-clock duration of the catch-up copy in micros; `u64::MAX`
+    /// until it completes.
+    catch_up_us: AtomicU64,
 }
 
 /// One closed-loop client: issue, wait, record, repeat until `deadline`.
@@ -204,6 +221,12 @@ struct RunResult {
     p99_kill_us: u64,
     /// Shards the server marked down and failed over from.
     failovers: u64,
+    /// Shards that completed a catch-up copy and rejoined as live.
+    rejoins: u64,
+    /// Wall-clock duration of the rejoin's catch-up copy.
+    catch_up_us: u64,
+    /// p99 of ops started while the rejoined shard was catching up.
+    p99_catchup_us: u64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -225,6 +248,7 @@ fn run_scenario(
     clients: u32,
     seconds: f64,
     faults: Option<Arc<FaultPlan>>,
+    rejoin_delay: Option<Duration>,
 ) -> RunResult {
     let db: Arc<dyn TupleValues> = Arc::new(PkValues::from_schema(schema));
     let exec_store = Arc::clone(&store);
@@ -247,22 +271,63 @@ fn run_scenario(
     let fault_ctx = faults.as_ref().map(|_| FaultCtx {
         start,
         kill_at_us: AtomicU64::new(u64::MAX),
+        catch_up_start_us: AtomicU64::new(u64::MAX),
+        catch_up_us: AtomicU64::new(u64::MAX),
     });
 
     let mut per_client: Vec<ClientStats> = Vec::new();
     std::thread::scope(|s| {
-        // The crash trigger is count-based (deterministic); a watcher just
-        // timestamps when it fired so the kill-window p99 can be cut out.
+        // The crash trigger is count-based (deterministic); a watcher
+        // timestamps when it fired so the kill-window p99 can be cut out,
+        // and on kill-rejoin runs it also drives the rejoin: after
+        // `rejoin_delay` of outage it revives the victim (Down →
+        // CatchingUp) and runs the catch-up copy under live traffic.
         if let (Some(plan), Some(ctx)) = (&faults, &fault_ctx) {
+            let server = &server;
+            let store = &exec_store;
             s.spawn(move || {
-                while Instant::now() < deadline {
+                let killed = loop {
                     if !plan.crashes_fired().is_empty() {
                         let off = ctx.start.elapsed().as_micros() as u64;
                         ctx.kill_at_us.store(off, Ordering::Relaxed);
-                        return;
+                        break true;
+                    }
+                    if Instant::now() >= deadline {
+                        break false;
                     }
                     std::thread::sleep(Duration::from_millis(1));
+                };
+                let Some(delay) = rejoin_delay else { return };
+                if !killed {
+                    return;
                 }
+                std::thread::sleep(delay);
+                let (victim, _) = plan.crashes_fired()[0];
+                assert!(
+                    server.revive_shard(victim),
+                    "shard {victim} must be down before the rejoin"
+                );
+                let t0 = Instant::now();
+                ctx.catch_up_start_us
+                    .store(ctx.start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                run_catch_up(
+                    victim,
+                    &server.scheme(),
+                    &**server.routing_db(),
+                    (0..rows).map(|r| TupleId::new(0, r)),
+                    &**store,
+                    server.health(),
+                    &PlanConfig {
+                        max_rows_per_batch: 256,
+                        ..PlanConfig::default()
+                    },
+                    // Foreground writes racing a batch copy fail its
+                    // verification; each failure re-copies that batch.
+                    1_000_000,
+                )
+                .unwrap_or_else(|e| panic!("catch-up of shard {victim} failed: {e}"));
+                ctx.catch_up_us
+                    .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
             });
         }
         let handles: Vec<_> = (0..clients)
@@ -342,6 +407,9 @@ fn run_scenario(
         max_gap_us: 0,
         p99_kill_us: 0,
         failovers: server.failovers(),
+        rejoins: server.rejoins(),
+        catch_up_us: 0,
+        p99_catchup_us: 0,
     };
     for c in per_client {
         latencies.extend(c.latencies_us);
@@ -373,6 +441,18 @@ fn run_scenario(
             window.sort_unstable();
             result.p99_kill_us = percentile(&window, 0.99);
         }
+        let cu_start = ctx.catch_up_start_us.load(Ordering::Relaxed);
+        let cu_us = ctx.catch_up_us.load(Ordering::Relaxed);
+        if cu_start != u64::MAX && cu_us != u64::MAX {
+            result.catch_up_us = cu_us;
+            let mut window: Vec<u64> = timeline
+                .iter()
+                .filter(|(off, _)| (cu_start..cu_start + cu_us.max(1)).contains(off))
+                .map(|&(_, lat)| lat)
+                .collect();
+            window.sort_unstable();
+            result.p99_catchup_us = percentile(&window, 0.99);
+        }
     }
     assert_eq!(live_ops.load(Ordering::Relaxed), result.ops);
     println!(
@@ -396,6 +476,12 @@ fn run_scenario(
             "{name}: availability {:.4}, max success gap {}us, p99 in kill window {}us, \
              {} shard(s) failed over",
             result.availability, result.max_gap_us, result.p99_kill_us, result.failovers
+        );
+    }
+    if result.rejoins > 0 {
+        println!(
+            "{name}: {} shard(s) rejoined, catch-up copy took {}us, p99 during catch-up {}us",
+            result.rejoins, result.catch_up_us, result.p99_catchup_us
         );
     }
     result
@@ -493,6 +579,7 @@ fn main() {
         clients,
         seconds,
         None,
+        None,
     );
 
     // Run 2: the same closed loop while every key migrates to a rotated
@@ -517,6 +604,7 @@ fn main() {
         clients,
         seconds,
         None,
+        None,
     );
 
     // Run 3 (--faults): the mix over a replication-factor-2 scheme while a
@@ -540,6 +628,7 @@ fn main() {
             clients,
             seconds,
             Some(plan),
+            None,
         );
         assert_eq!(
             r.failovers, 1,
@@ -548,6 +637,51 @@ fn main() {
         assert!(
             r.availability > 0.9,
             "availability must stay high across a single-shard kill (got {:.4})",
+            r.availability
+        );
+        r
+    });
+
+    // Run 4 (--faults): the mix over a replication-factor-3 scheme with
+    // quorum-acked writes. The seeded kill takes one shard down; after a
+    // short outage the watcher revives it and runs the catch-up copy under
+    // the live clients, so the run measures the whole down → catching-up →
+    // live arc, not just the failover.
+    let rejoin = faults_on.then(|| {
+        let store4: Arc<dyn ShardStore> =
+            Arc::from(schism_bench::open_backend(backend, SHARDS, &dir, "rejoin"));
+        let rep3: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(3, Arc::clone(&old)));
+        load_table(&*store4, &*rep3, &db, &schema, 0, table_rows(rows)).expect("load rejoin store");
+        let after = if smoke { 200 } else { 2_000 };
+        let plan = Arc::new(FaultPlan::new(0x2E10).crash_worker(VICTIM, after));
+        let outage = Duration::from_secs_f64(seconds * 0.15);
+        let r = run_scenario(
+            "kill-rejoin",
+            store4,
+            rep3,
+            None,
+            &schema,
+            rows,
+            clients,
+            seconds,
+            Some(plan),
+            Some(outage),
+        );
+        assert_eq!(
+            r.failovers, 1,
+            "the kill-rejoin run must kill exactly one shard"
+        );
+        assert_eq!(
+            r.rejoins, 1,
+            "the killed shard must finish its catch-up and rejoin as live"
+        );
+        assert!(
+            r.catch_up_us > 0,
+            "the catch-up copy must take measurable wall-clock time"
+        );
+        assert!(
+            r.availability > 0.9,
+            "majority quorums must keep writes available across the kill (got {:.4})",
             r.availability
         );
         r
@@ -565,12 +699,17 @@ fn main() {
     );
 
     if smoke {
-        match &failover {
-            Some(f) => println!(
+        match (&failover, &rejoin) {
+            (Some(f), Some(r)) => println!(
+                "smoke OK: all scenarios served; failover availability {:.4}, \
+                 kill-rejoin availability {:.4} (catch-up {}us)",
+                f.availability, r.availability, r.catch_up_us
+            ),
+            (Some(f), None) => println!(
                 "smoke OK: all scenarios served; failover availability {:.4}",
                 f.availability
             ),
-            None => println!("smoke OK: both scenarios served with zero errors"),
+            _ => println!("smoke OK: both scenarios served with zero errors"),
         }
         return;
     }
@@ -587,6 +726,9 @@ fn main() {
     let mut run_refs = vec![&steady, &migration];
     if let Some(f) = &failover {
         run_refs.push(f);
+    }
+    if let Some(r) = &rejoin {
+        run_refs.push(r);
     }
     let runs = run_refs
         .iter()
@@ -608,10 +750,18 @@ fn main() {
             } else {
                 String::new()
             };
+            let rj = if r.rejoins > 0 {
+                format!(
+                    ", \"rejoins\": {}, \"catch_up_us\": {}, \"p99_catchup_us\": {}",
+                    r.rejoins, r.catch_up_us, r.p99_catchup_us
+                )
+            } else {
+                String::new()
+            };
             format!(
                 "    {{ \"run\": \"{}\", \"ops\": {}, \"throughput_ops_s\": {:.0}, \
                  \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"point\": {}, \
-                 \"multi\": {}, \"broadcast\": {}{mig}{fo} }}",
+                 \"multi\": {}, \"broadcast\": {}{mig}{fo}{rj} }}",
                 r.name,
                 r.ops,
                 r.throughput,

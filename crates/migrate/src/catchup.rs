@@ -1,0 +1,375 @@
+//! Shard rejoin: catch-up copies that stream a recovering shard back to
+//! the live leaders' state, plus the re-replication scanner that finds
+//! groups running below their replication factor.
+//!
+//! A shard that crashed and was revived re-enters as
+//! [`CatchingUp`](schism_store::HealthState::CatchingUp): it receives
+//! every *new* foreground write from the moment its worker respawns, but
+//! everything written while it was down is missing, and anything it held
+//! at the moment of the crash may be stale. The catch-up path closes that
+//! gap by reusing the migration machinery wholesale:
+//!
+//! 1. [`catch_up_plan`] walks the key universe and emits one
+//!    [`TupleMove`] per tuple the recovering shard should hold, with
+//!    `from` = the other members of its copy set and `to` = `from ∪ {S}`
+//!    — so `copies_added() = {S}` and nothing is ever dropped;
+//! 2. [`run_catch_up`] executes that plan with a [`MigrationExecutor`]
+//!    over a **throwaway** [`VersionedScheme`] whose old and new epochs
+//!    are the same scheme: the copy → verify → flip lifecycle runs
+//!    unchanged (including retry-on-mismatch, which is what heals races
+//!    with concurrent foreground writes), while the flip is a routing
+//!    no-op and `copies_dropped()` is empty everywhere;
+//! 3. on completion the shard is flipped
+//!    [`Live`](schism_store::HealthState::Live) via
+//!    [`HealthMap::mark_live`] — only then does it serve reads and count
+//!    toward write quorums again.
+//!
+//! Because the executor's copy source is always a **live** member (see
+//! [`ExecutorConfig::health`]) and verification compares checksums
+//! against that live source, every key the rejoining shard ends up with
+//! — including any stale pre-crash residue, which the copy overwrites,
+//! and any key deleted while it was down, which the tombstone pass-through
+//! removes — matches the leader's current state before the shard goes
+//! Live.
+//!
+//! [`scan_under_replicated`] is the standing repair loop's detector: it
+//! reports, per non-live shard, how many tuples currently route a copy at
+//! it, i.e. how many keys are one failure away from losing redundancy.
+
+use crate::executor::{ExecError, ExecutorConfig, MigrationExecutor, StepOutcome};
+use crate::plan::{MigrationBatch, MigrationPlan, PlanConfig, TupleMove};
+use schism_router::{PartitionSet, Scheme, VersionedScheme};
+use schism_store::{HealthMap, ShardId, ShardStore};
+use schism_workload::{TupleId, TupleValues};
+use std::sync::Arc;
+
+/// What one completed catch-up did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CatchUpReport {
+    /// Tuples the recovering shard is a member for (moves planned).
+    pub tuples: usize,
+    /// Rows actually copied onto the shard (tuples minus tombstones).
+    pub rows_copied: u64,
+    /// Payload bytes copied, measured from the rows themselves.
+    pub bytes_copied: u64,
+    /// Copy re-attempts needed before verification passed — non-zero under
+    /// concurrent foreground writes, and that is expected, not an error.
+    pub retries: u32,
+}
+
+/// One under-replicated membership: a shard that is not
+/// [`Live`](schism_store::HealthState::Live) while `stale_tuples` keys
+/// still route a copy at it — each of those keys is running one replica
+/// short until the shard rejoins (or a future plan moves the copy away).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnderReplicated {
+    pub shard: ShardId,
+    pub stale_tuples: usize,
+}
+
+/// Builds the rejoin plan for `shard`: one move per candidate tuple whose
+/// copy set (under `scheme`) contains `shard`, copying from the set's
+/// *other* members onto `shard` alone. Tuples whose only copy lives on
+/// `shard` itself are skipped — there is no surviving source to catch up
+/// from, and the shard's own store is the best (only) copy there is.
+///
+/// `candidates` must cover the key universe the server routes (e.g. every
+/// pk of every loaded table); keys that do not map to `shard` cost one
+/// routing probe each and produce no move.
+pub fn catch_up_plan(
+    scheme: &dyn Scheme,
+    db: &dyn TupleValues,
+    candidates: impl IntoIterator<Item = TupleId>,
+    shard: ShardId,
+    cfg: &PlanConfig,
+) -> MigrationPlan {
+    assert!(cfg.max_rows_per_batch >= 1);
+    assert!(cfg.max_bytes_per_batch >= 1);
+    let only = PartitionSet::single(shard);
+    let mut plan = MigrationPlan::default();
+    let mut batch = MigrationBatch::default();
+    for t in candidates {
+        let copies = scheme.locate_tuple(t, db);
+        if !copies.contains(shard) {
+            continue;
+        }
+        let from = copies.difference(&only);
+        if from.is_empty() {
+            continue; // sole owner: nothing to catch up from
+        }
+        let payload = u64::from(db.tuple_bytes(t.table));
+        if !batch.moves.is_empty()
+            && (batch.moves.len() >= cfg.max_rows_per_batch
+                || batch.bytes + payload > cfg.max_bytes_per_batch)
+        {
+            plan.batches.push(std::mem::take(&mut batch));
+        }
+        batch.moves.push(TupleMove {
+            tuple: t,
+            from,
+            to: copies,
+        });
+        batch.bytes += payload;
+        plan.total_moves += 1;
+        plan.total_bytes += payload;
+    }
+    if !batch.moves.is_empty() {
+        plan.batches.push(batch);
+    }
+    plan
+}
+
+/// Streams `shard` up to the live members' state and flips it Live.
+///
+/// The shard must already be
+/// [`CatchingUp`](schism_store::HealthState::CatchingUp) (its worker
+/// respawned and receiving foreground writes — `Server::revive_shard` in
+/// `schism-serve` does both); this runs the [`catch_up_plan`] through a
+/// [`MigrationExecutor`] with `health` as the copy-source filter, and on
+/// success calls [`HealthMap::mark_live`]. On abort (every source of some
+/// tuple is gone, or verification kept failing) the shard is **left**
+/// catching up: it keeps absorbing writes and the caller may retry.
+///
+/// `max_retries` bounds per-batch re-copies; under live traffic a handful
+/// of retries is normal (a foreground write between copy and verify makes
+/// the checksums disagree once), so callers should pass a generous bound.
+#[allow(clippy::too_many_arguments)]
+pub fn run_catch_up(
+    shard: ShardId,
+    scheme: &Arc<dyn Scheme>,
+    db: &dyn TupleValues,
+    candidates: impl IntoIterator<Item = TupleId>,
+    store: &dyn ShardStore,
+    health: &Arc<HealthMap>,
+    cfg: &PlanConfig,
+    max_retries: u32,
+) -> Result<CatchUpReport, ExecError> {
+    assert_eq!(
+        health.state(shard),
+        schism_store::HealthState::CatchingUp,
+        "catch-up requires the shard to be revived into CatchingUp first"
+    );
+    let plan = catch_up_plan(&**scheme, db, candidates, shard, cfg);
+    // Same scheme on both sides: flips are routing no-ops, so the
+    // executor's lifecycle runs untouched without ever moving a route.
+    let vs = VersionedScheme::new(Arc::clone(scheme), Arc::clone(scheme));
+    let mut exec = MigrationExecutor::new(
+        &plan,
+        store,
+        &vs,
+        ExecutorConfig {
+            max_retries,
+            health: Some(Arc::clone(health)),
+            ..ExecutorConfig::default()
+        },
+    );
+    loop {
+        match exec.step() {
+            StepOutcome::Flipped(_) => {}
+            StepOutcome::Done => break,
+            StepOutcome::Aborted { error, .. } => return Err(error),
+            StepOutcome::Paused => unreachable!("catch-up executor is never paused"),
+        }
+    }
+    let r = exec.report();
+    health.mark_live(shard);
+    Ok(CatchUpReport {
+        tuples: plan.total_moves,
+        rows_copied: r.rows_copied,
+        bytes_copied: r.bytes_copied,
+        retries: r.retries,
+    })
+}
+
+/// The re-replication detector: for every shard that is currently Down or
+/// CatchingUp, counts the candidate tuples whose copy set still routes a
+/// copy at it. A non-empty result means some replica groups are running
+/// under their replication factor; the repair loop's response is to
+/// revive the shard and [`run_catch_up`] (counts for a shard already
+/// catching up show the copy still in flight). Shards holding no
+/// candidate tuples are omitted — their death cost no redundancy.
+pub fn scan_under_replicated(
+    scheme: &dyn Scheme,
+    db: &dyn TupleValues,
+    candidates: impl IntoIterator<Item = TupleId>,
+    health: &HealthMap,
+) -> Vec<UnderReplicated> {
+    let not_live = health.not_live_set();
+    if not_live.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: Vec<usize> = Vec::new();
+    for t in candidates {
+        for shard in scheme.locate_tuple(t, db).intersect(&not_live).iter() {
+            if counts.len() <= shard as usize {
+                counts.resize(shard as usize + 1, 0);
+            }
+            counts[shard as usize] += 1;
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(s, &n)| UnderReplicated {
+            shard: s as u32,
+            stale_tuples: n,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schism_router::{HashScheme, ReplicatedScheme};
+    use schism_store::MemStore;
+    use schism_workload::MaterializedDb;
+
+    const K: u32 = 4;
+    const RF: u32 = 3;
+    const N_KEYS: u64 = 48;
+
+    fn keys() -> impl Iterator<Item = TupleId> {
+        (0..N_KEYS).map(|r| TupleId::new(0, r))
+    }
+
+    fn rf3() -> Arc<dyn Scheme> {
+        Arc::new(ReplicatedScheme::new(
+            RF,
+            Arc::new(HashScheme::by_attrs(K, vec![Some(0)])),
+        ))
+    }
+
+    /// A store loaded per the scheme's placement, with every shard holding
+    /// exactly the rows it routes.
+    fn loaded(scheme: &Arc<dyn Scheme>, db: &MaterializedDb) -> MemStore {
+        let store = MemStore::new(K);
+        for t in keys() {
+            for shard in scheme.locate_tuple(t, db).iter() {
+                store
+                    .put(shard, t, format!("row-{}", t.row).into_bytes())
+                    .unwrap();
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn plan_targets_only_the_rejoining_shard() {
+        let scheme = rf3();
+        let db = MaterializedDb::new();
+        let plan = catch_up_plan(&*scheme, &db, keys(), 2, &PlanConfig::default());
+        assert!(!plan.is_empty(), "hash spreads some keys onto shard 2");
+        for m in plan.moves() {
+            assert_eq!(m.copies_added(), PartitionSet::single(2));
+            assert!(m.copies_dropped().is_empty(), "catch-up never drops");
+            assert!(!m.from.contains(2));
+            assert_eq!(m.from.len(), RF - 1);
+        }
+        let member_count = keys()
+            .filter(|&t| scheme.locate_tuple(t, &db).contains(2))
+            .count();
+        assert_eq!(plan.total_moves, member_count);
+    }
+
+    #[test]
+    fn catch_up_heals_a_wiped_shard_and_flips_it_live() {
+        let scheme = rf3();
+        let db = MaterializedDb::new();
+        let store = loaded(&scheme, &db);
+        let health = Arc::new(HealthMap::new());
+        // Shard 2 crashes losing everything, then is revived empty.
+        health.mark_down(2);
+        store.wipe_shard(2).unwrap();
+        // A key it held is deleted while it is down: catch-up must NOT
+        // resurrect it (tombstone pass-through), and a key it held gets
+        // overwritten: catch-up must copy the fresh bytes.
+        let gone = keys()
+            .find(|&t| scheme.locate_tuple(t, &db).contains(2))
+            .unwrap();
+        for shard in scheme.locate_tuple(gone, &db).iter() {
+            store.delete(shard, gone).unwrap();
+        }
+        assert!(health.begin_catch_up(2));
+        let report = run_catch_up(
+            2,
+            &scheme,
+            &db,
+            keys(),
+            &store,
+            &health,
+            &PlanConfig::default(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(health.state(2), schism_store::HealthState::Live);
+        assert_eq!(health.rejoins(), 1);
+        assert_eq!(
+            report.rows_copied,
+            report.tuples as u64 - 1,
+            "one tombstone"
+        );
+        // Every key shard 2 routes is back, byte-identical to the leader.
+        for t in keys() {
+            let copies = scheme.locate_tuple(t, &db);
+            if !copies.contains(2) {
+                continue;
+            }
+            let src = copies.difference(&PartitionSet::single(2)).first().unwrap();
+            assert_eq!(store.get(2, t).unwrap(), store.get(src, t).unwrap());
+        }
+        assert!(store.get(2, gone).unwrap().is_none(), "tombstone honored");
+    }
+
+    #[test]
+    fn catch_up_aborts_when_every_source_is_down() {
+        let scheme = rf3();
+        let db = MaterializedDb::new();
+        let store = loaded(&scheme, &db);
+        let health = Arc::new(HealthMap::new());
+        // Take down an entire replica group's other members: shard 2's
+        // keys led by 0 have copies on {0, 1, 2}; kill 0 and 1 too.
+        for s in [0, 1, 2] {
+            health.mark_down(s);
+        }
+        assert!(health.begin_catch_up(2));
+        let err = run_catch_up(
+            2,
+            &scheme,
+            &db,
+            keys(),
+            &store,
+            &health,
+            &PlanConfig::default(),
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::MissingSource(_)));
+        assert_eq!(
+            health.state(2),
+            schism_store::HealthState::CatchingUp,
+            "a failed catch-up leaves the shard catching up for retry"
+        );
+    }
+
+    #[test]
+    fn scanner_counts_stale_memberships_per_dead_shard() {
+        let scheme = rf3();
+        let db = MaterializedDb::new();
+        let health = HealthMap::new();
+        assert!(scan_under_replicated(&*scheme, &db, keys(), &health).is_empty());
+        health.mark_down(1);
+        health.mark_down(3);
+        health.begin_catch_up(3);
+        let report = scan_under_replicated(&*scheme, &db, keys(), &health);
+        assert_eq!(report.len(), 2, "both non-live shards hold memberships");
+        for u in &report {
+            let expect = keys()
+                .filter(|&t| scheme.locate_tuple(t, &db).contains(u.shard))
+                .count();
+            assert_eq!(u.stale_tuples, expect);
+            assert!(u.stale_tuples > 0);
+        }
+        assert!(report.windows(2).all(|w| w[0].shard < w[1].shard));
+    }
+}

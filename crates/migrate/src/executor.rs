@@ -12,10 +12,12 @@
 //!
 //! - **copy** reads every moved row from its source shard and writes it to
 //!   each shard gaining a copy (one atomic [`ShardStore::apply_batch`] per
-//!   destination shard);
+//!   destination shard); a row that has vanished from a live source was
+//!   deleted by a foreground DELETE while in plan, and the copy propagates
+//!   the tombstone (deletes it from the destinations) instead of aborting;
 //! - **verify** re-reads both sides and compares row count and checksum —
 //!   a mismatch re-copies the batch up to [`ExecutorConfig::max_retries`]
-//!   times, then aborts;
+//!   times, then aborts (a tombstoned row verifies as absent-everywhere);
 //! - **flip** is the only point routing changes: the batch is acknowledged
 //!   into the [`VersionedScheme`] moved-set via the sequenced
 //!   [`VersionedScheme::flip_batch`] API, after which (and only after
@@ -49,8 +51,9 @@ pub struct ExecutorConfig {
     /// Shard liveness shared with the serving layer. When set, copy and
     /// verify read their source row from the first **live** member of a
     /// move's copy set — a failed shard's store is still readable but
-    /// stale (writes skip it from the moment it is marked down), so using
-    /// it as a copy source would migrate pre-failure values and lose
+    /// stale (writes skip it from the moment it is marked down), and a
+    /// catching-up shard is stale until its own copy verifies, so using
+    /// either as a copy source would migrate pre-failure values and lose
     /// acknowledged writes.
     pub health: Option<Arc<HealthMap>>,
 }
@@ -60,7 +63,11 @@ pub struct ExecutorConfig {
 pub enum ExecError {
     /// The backend failed.
     Store(StoreError),
-    /// A moved tuple has no source shard holding its row.
+    /// A moved tuple has no **live** source shard left to read from (every
+    /// authoritative copy is down or catching up). A row that is merely
+    /// absent on a live source is not an error: the executor treats it as
+    /// a tombstone (the key was deleted while in plan) and propagates the
+    /// delete to the destination copies.
     MissingSource(TupleId),
     /// Copy verification kept failing after all retries.
     VerifyFailed { batch: usize, attempts: u32 },
@@ -369,10 +376,12 @@ impl<'a> MigrationExecutor<'a> {
 
     /// The shard copy and verify read `m`'s row from: the first live
     /// member of the source copy set (every live authoritative copy holds
-    /// every acknowledged write — see [`ExecutorConfig::health`]).
+    /// every acknowledged write — see [`ExecutorConfig::health`]). Down
+    /// *and* catching-up members are both excluded: a catching-up shard
+    /// is stale until its own copy verifies.
     fn live_source(&self, m: &TupleMove) -> Result<ShardId, ExecError> {
         let from = match &self.cfg.health {
-            Some(h) => m.from.difference(&h.down_set()),
+            Some(h) => m.from.difference(&h.not_live_set()),
             None => m.from,
         };
         from.first().ok_or(ExecError::MissingSource(m.tuple))
@@ -393,10 +402,19 @@ impl<'a> MigrationExecutor<'a> {
                 continue; // drop-only move: nothing to copy
             }
             let src = self.live_source(m)?;
-            let row = self
-                .store
-                .get(src, m.tuple)?
-                .ok_or(ExecError::MissingSource(m.tuple))?;
+            let Some(row) = self.store.get(src, m.tuple)? else {
+                // Tombstone: the key was deleted (by a foreground DELETE)
+                // after the plan was cut. Propagate the delete so a stale
+                // copy from an earlier attempt can't survive, and let
+                // verify pass on absent-everywhere.
+                for shard in added.iter() {
+                    per_shard
+                        .entry(shard)
+                        .or_default()
+                        .push(WriteOp::Delete(m.tuple));
+                }
+                continue;
+            };
             for shard in added.iter() {
                 let mut payload = row.clone();
                 if corrupt && !corrupted_one {
@@ -421,7 +439,9 @@ impl<'a> MigrationExecutor<'a> {
     }
 
     /// Count + checksum verification: every destination shard must hold
-    /// every copied row with the source's checksum.
+    /// every copied row with the source's checksum — and for a tombstoned
+    /// row (`want = None`, deleted while in plan) the destinations must be
+    /// absent too.
     fn verify_batch(&self, moves: &[TupleMove]) -> Result<bool, ExecError> {
         for m in moves {
             let added = m.copies_added();
@@ -429,12 +449,9 @@ impl<'a> MigrationExecutor<'a> {
                 continue;
             }
             let src = self.live_source(m)?;
-            let want = self
-                .store
-                .checksum(src, m.tuple)?
-                .ok_or(ExecError::MissingSource(m.tuple))?;
+            let want = self.store.checksum(src, m.tuple)?;
             for shard in added.iter() {
-                if self.store.checksum(shard, m.tuple)? != Some(want) {
+                if self.store.checksum(shard, m.tuple)? != want {
                     return Ok(false);
                 }
             }
@@ -681,22 +698,38 @@ mod tests {
     }
 
     #[test]
-    fn missing_source_row_aborts_cleanly() {
+    fn vanished_source_row_tombstones_instead_of_aborting() {
+        // Key (0,0) is deleted by a foreground DELETE after the plan was
+        // cut; its live source set is intact, so the executor propagates
+        // the tombstone and the migration completes — the mid-migration
+        // in-plan DELETE no longer aborts.
+        let old = asg(&[(0, 0), (1, 0)]);
+        let new = asg(&[(0, 1), (1, 1)]);
+        let (store, vs, plan) = fixture(&old, &new, 2, 10);
+        store.delete(0, TupleId::new(0, 0)).unwrap();
+        let mut exec = MigrationExecutor::new(&plan, &store, &vs, ExecutorConfig::default());
+        assert!(matches!(exec.step(), StepOutcome::Flipped(_)));
+        assert!(exec.is_complete());
+        assert_eq!(vs.flipped_batches(), 1);
+        // The deleted key exists nowhere; the surviving key moved whole.
+        assert!(store.get(0, TupleId::new(0, 0)).unwrap().is_none());
+        assert!(store.get(1, TupleId::new(0, 0)).unwrap().is_none());
+        assert!(store.get(1, TupleId::new(0, 1)).unwrap().is_some());
+        assert!(store.get(0, TupleId::new(0, 1)).unwrap().is_none());
+        assert_eq!(exec.report().rows_copied, 1);
+
+        // An entirely empty store degenerates to an all-tombstone
+        // migration that still converges routing.
         let old = asg(&[(0, 0)]);
         let new = asg(&[(0, 1)]);
         let db = MaterializedDb::new();
-        let store = MemStore::new(2); // never loaded: source row absent
-        let vs = VersionedScheme::new(scheme_for(&old, 2), scheme_for(&new, 2));
-        let plan = plan_migration(&old, &new, &db, &PlanConfig::default());
-        let mut exec = MigrationExecutor::new(&plan, &store, &vs, ExecutorConfig::default());
-        match exec.step() {
-            StepOutcome::Aborted { error, .. } => {
-                assert_eq!(error, ExecError::MissingSource(TupleId::new(0, 0)));
-            }
-            other => panic!("expected abort, got {other:?}"),
-        }
-        assert_eq!(vs.flipped_batches(), 0);
-        assert_eq!(store.total_rows(), 0);
+        let empty = MemStore::new(2); // never loaded: every source row absent
+        let vs2 = VersionedScheme::new(scheme_for(&old, 2), scheme_for(&new, 2));
+        let plan2 = plan_migration(&old, &new, &db, &PlanConfig::default());
+        let mut exec2 = MigrationExecutor::new(&plan2, &empty, &vs2, ExecutorConfig::default());
+        assert!(matches!(exec2.step(), StepOutcome::Flipped(_)));
+        assert_eq!(vs2.flipped_batches(), 1);
+        assert_eq!(empty.total_rows(), 0);
     }
 
     #[test]

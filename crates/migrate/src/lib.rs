@@ -14,6 +14,7 @@
 //! | [`plan`] | diff two placements into throttled, batched tuple moves |
 //! | [`executor`] | run a plan against [`schism_store`] shards: copy → verify → flip per batch |
 //! | [`controller`] | the loop: state, trigger, repartition, plan hand-off |
+//! | [`catchup`] | shard rejoin: catch-up copy plans over the same executor, plus the under-replication scanner |
 //!
 //! Mid-migration routing correctness lives in
 //! [`schism_router::VersionedScheme`] (old/new scheme pair + moved-set);
@@ -40,6 +41,7 @@
 //! }
 //! ```
 
+pub mod catchup;
 pub mod controller;
 pub mod drift;
 pub mod executor;
@@ -47,6 +49,9 @@ pub mod incremental;
 pub mod plan;
 pub mod relabel;
 
+pub use catchup::{
+    catch_up_plan, run_catch_up, scan_under_replicated, CatchUpReport, UnderReplicated,
+};
 pub use controller::{ControllerConfig, MigrationController, MigrationOutcome, Tick};
 pub use drift::{
     split_windows, AccessHistogram, DistanceMetric, DriftConfig, DriftDetector, DriftReport,

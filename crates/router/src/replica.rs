@@ -55,6 +55,16 @@ impl ReplicaSet {
     pub fn is_replicated(&self) -> bool {
         !self.followers.is_empty()
     }
+
+    /// The majority-quorum size over the **full** replica set (leader
+    /// included), counting every member whether currently live or not:
+    /// `⌊n/2⌋ + 1`. A write is acknowledgeable once this many members
+    /// (one of them the acting leader) have applied it; with fewer than
+    /// this many live members the group must refuse writes rather than
+    /// ack against a minority (Spinnaker's rule, arXiv 1103.2408).
+    pub fn quorum(&self) -> u32 {
+        self.all().len() / 2 + 1
+    }
 }
 
 /// Replicates every tuple of a base scheme onto `rf` partitions: the base
@@ -215,6 +225,17 @@ mod tests {
         assert_eq!(rs.all(), copies);
         assert!(!ReplicaSet::solo(3).is_replicated());
         assert_eq!(ReplicaSet::solo(3).all(), PartitionSet::single(3));
+    }
+
+    #[test]
+    fn quorum_is_a_strict_majority_of_the_full_set() {
+        assert_eq!(ReplicaSet::solo(0).quorum(), 1);
+        let rf2 = ReplicaSet::from_copies(&[0u32, 1].into_iter().collect());
+        assert_eq!(rf2.quorum(), 2, "rf=2 tolerates no failure");
+        let rf3 = ReplicaSet::from_copies(&[0u32, 1, 2].into_iter().collect());
+        assert_eq!(rf3.quorum(), 2, "rf=3 tolerates one failure");
+        let rf5 = ReplicaSet::from_copies(&[0u32, 1, 2, 3, 4].into_iter().collect());
+        assert_eq!(rf5.quorum(), 3);
     }
 
     #[test]

@@ -7,16 +7,26 @@
 //! property `tests/failover_chaos.rs` leans on to make every failing seed
 //! reproducible.
 //!
-//! Three fault families:
+//! Four fault families:
 //! - **crash**: a shard worker thread exits mid-loop
 //!   ([`crash_worker`](FaultPlan::crash_worker)). The crash is detected
 //!   without timeouts: the dead worker's queue receiver is dropped, so the
 //!   next send fails, and the in-flight task's reply channel is destroyed,
 //!   so the gatherer's `recv` disconnects — both deterministic signals.
+//!   Crash rules are **one-shot**: a revived worker does not re-trip the
+//!   rule that killed it, and stacking several `crash_worker` calls on one
+//!   shard schedules kill → rejoin → kill-again sequences.
+//! - **revive**: a schedule hint, not a fault:
+//!   [`revive_worker`](FaultPlan::revive_worker) arms a rule that becomes
+//!   due once the *total* dequeue count across all shards reaches a
+//!   threshold. The plan performs no revival itself — the driving harness
+//!   polls [`due_revivals`](FaultPlan::due_revivals) between operations
+//!   and calls `Server::revive_shard` + the catch-up path, keeping the
+//!   whole rejoin deterministic and replayable.
 //! - **drop / delay**: a queue message is silently discarded or its
 //!   processing delayed ([`drop_every`](FaultPlan::drop_every),
 //!   [`delay_every`](FaultPlan::delay_every)). A dropped message reads as
-//!   a failed shard (no reply ever arrives — sticky down, like a crash).
+//!   a failed shard (no reply ever arrives — down, like a crash).
 //! - **stall**: a store backend blocks at a named sync point
 //!   ([`stall`](FaultPlan::stall)); the plan implements
 //!   [`schism_store::FaultHook`], so wiring it into a
@@ -24,9 +34,8 @@
 //!   real operation, ack and all.
 
 use schism_store::{FaultHook, ShardId};
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -73,13 +82,31 @@ struct StallRule {
     remaining: u64,
 }
 
+/// One scheduled worker crash. One-shot: `fired` latches so a revived
+/// worker (whose dequeue counter keeps counting up) is not re-killed by
+/// the rule that already fired.
+struct CrashRule {
+    shard: ShardId,
+    at: u64,
+    fired: AtomicBool,
+}
+
+/// One scheduled revival, due when the total dequeue count across all
+/// shards reaches `at`. Take-once via `taken`.
+struct ReviveRule {
+    shard: ShardId,
+    at: u64,
+    taken: AtomicBool,
+}
+
 /// A seeded, replayable fault schedule. Build one with the chained
 /// constructors, hand it to [`ServeConfig::faults`](crate::ServeConfig)
 /// (worker crashes / drops / delays) and — for store stalls — install it
 /// as a [`FaultHook`] on the backend. See the module docs for semantics.
 pub struct FaultPlan {
     seed: u64,
-    crashes: HashMap<ShardId, u64>,
+    crashes: Vec<CrashRule>,
+    revives: Vec<ReviveRule>,
     drops: Vec<EveryRule>,
     delays: Vec<DelayRule>,
     stalls: Mutex<Vec<StallRule>>,
@@ -97,7 +124,8 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         Self {
             seed,
-            crashes: HashMap::new(),
+            crashes: Vec::new(),
+            revives: Vec::new(),
             drops: Vec::new(),
             delays: Vec::new(),
             stalls: Mutex::new(Vec::new()),
@@ -113,11 +141,53 @@ impl FaultPlan {
         self.seed
     }
 
-    /// Crash `shard`'s worker when it dequeues its `after`-th message
-    /// (1-based; `after = 1` crashes on the first message).
+    /// Crash `shard`'s worker when its (monotonic, revival-spanning)
+    /// dequeue count reaches `after` (1-based; `after = 1` crashes on the
+    /// first message). One-shot: the rule fires once and never re-kills a
+    /// revived worker. Call repeatedly with increasing thresholds to
+    /// schedule kill → rejoin → kill-again sequences on one shard.
     pub fn crash_worker(mut self, shard: ShardId, after: u64) -> Self {
-        self.crashes.insert(shard, after.max(1));
+        self.crashes.push(CrashRule {
+            shard,
+            at: after.max(1),
+            fired: AtomicBool::new(false),
+        });
         self
+    }
+
+    /// Arm a revival for `shard`, due once the **total** dequeue count
+    /// across all shards reaches `after_total` — a deterministic global
+    /// progress clock that keeps ticking while the shard itself is dead.
+    /// The plan only reports the rule via
+    /// [`due_revivals`](Self::due_revivals); the harness does the actual
+    /// revive + catch-up.
+    pub fn revive_worker(mut self, shard: ShardId, after_total: u64) -> Self {
+        self.revives.push(ReviveRule {
+            shard,
+            at: after_total.max(1),
+            taken: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Revivals that have become due since the last call (take-once; each
+    /// rule is returned exactly one time). Poll between operations and
+    /// feed the result to `Server::revive_shard` + the catch-up path.
+    pub fn due_revivals(&self) -> Vec<ShardId> {
+        if self.revives.is_empty() {
+            return Vec::new();
+        }
+        let total: u64 = self.dequeues.iter().map(|d| d.load(Ordering::SeqCst)).sum();
+        self.revives
+            .iter()
+            .filter(|r| {
+                total >= r.at
+                    && r.taken
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+            })
+            .map(|r| r.shard)
+            .collect()
     }
 
     /// Drop every `every`-th message (counting from `start`, 1-based) on
@@ -178,8 +248,14 @@ impl FaultPlan {
     /// drops over delays).
     pub fn on_dequeue(&self, shard: ShardId) -> WorkerFault {
         let n = self.dequeues[shard as usize].fetch_add(1, Ordering::SeqCst) + 1;
-        if let Some(&at) = self.crashes.get(&shard) {
-            if n >= at {
+        for rule in &self.crashes {
+            if rule.shard == shard
+                && n >= rule.at
+                && rule
+                    .fired
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
                 self.crashed
                     .lock()
                     .expect("crash log poisoned")
@@ -213,7 +289,8 @@ impl fmt::Debug for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FaultPlan")
             .field("seed", &self.seed)
-            .field("crashes", &self.crashes)
+            .field("crashes", &self.crashes.len())
+            .field("revives", &self.revives.len())
             .field("drops", &self.drops.len())
             .field("delays", &self.delays.len())
             .finish_non_exhaustive()
@@ -258,6 +335,34 @@ mod tests {
         assert_eq!(p.dequeued(2), 3);
         assert_eq!(p.dequeued(0), 5);
         assert_eq!(p.seed(), 7);
+    }
+
+    #[test]
+    fn crash_rules_are_one_shot_and_stackable() {
+        let p = FaultPlan::new(9).crash_worker(1, 2).crash_worker(1, 5);
+        assert_eq!(p.on_dequeue(1), WorkerFault::None); // n=1
+        assert_eq!(p.on_dequeue(1), WorkerFault::Crash); // n=2: first rule
+                                                         // A revived worker keeps dequeuing on the same counter and must
+                                                         // not be re-killed by the rule that already fired.
+        assert_eq!(p.on_dequeue(1), WorkerFault::None); // n=3
+        assert_eq!(p.on_dequeue(1), WorkerFault::None); // n=4
+        assert_eq!(p.on_dequeue(1), WorkerFault::Crash); // n=5: second rule
+        assert_eq!(p.on_dequeue(1), WorkerFault::None); // n=6
+        assert_eq!(p.crashes_fired(), vec![(1, 2), (1, 5)]);
+    }
+
+    #[test]
+    fn revivals_come_due_on_total_progress_and_are_taken_once() {
+        let p = FaultPlan::new(4).crash_worker(0, 1).revive_worker(0, 5);
+        assert_eq!(p.on_dequeue(0), WorkerFault::Crash);
+        assert!(p.due_revivals().is_empty(), "total = 1, due at 5");
+        for _ in 0..3 {
+            assert_eq!(p.on_dequeue(2), WorkerFault::None);
+        }
+        assert!(p.due_revivals().is_empty(), "total = 4");
+        p.on_dequeue(3);
+        assert_eq!(p.due_revivals(), vec![0], "total = 5: due");
+        assert!(p.due_revivals().is_empty(), "take-once");
     }
 
     #[test]

@@ -32,39 +32,55 @@
 //!   from not-yet-flipped destination copies are resolved in the gather
 //!   step by preferring the shard that currently owns the tuple.
 //!
-//! Known (documented) limitation: deleting a key that a not-yet-flipped
-//! migration batch is about to copy races the copier — the executor
-//! reports the vanished source as an error and aborts that migration.
-//! Serving workloads that delete mid-migration should exclude in-plan
-//! keys, or re-plan after the abort.
+//! Deleting a key that a not-yet-flipped migration batch is about to
+//! copy is handled by the executor's tombstone path: a vanished source
+//! row propagates as a delete to the destination copies and verification
+//! accepts both sides absent, so in-plan DELETEs serve normally
+//! mid-migration (`tests/serve_consistency.rs` pins the pass-through).
 //!
-//! ## Replication & failover
+//! ## Replication, quorums & failover
 //!
 //! Under a replicating scheme (e.g.
 //! [`ReplicatedScheme`](schism_router::ReplicatedScheme)) execution is
 //! asymmetric, STAR-style: writes reach the tuple's **leader** first,
-//! then every follower, and are acknowledged only after all copies
-//! applied — so every acknowledged write is on every live replica, which
-//! is the entire failover argument. Point reads may be served by *any*
-//! live replica (a salted deterministic pick; [`Session`](crate::Session)
-//! varies the salt per statement so load spreads); multi-shard reads fan
-//! out to all replicas and dedup per tuple in the gather step.
+//! then every follower, and are acknowledged once the effective leader
+//! plus a **majority quorum** of the full replica set
+//! ([`ReplicaSet::quorum`](schism_router::ReplicaSet::quorum),
+//! `⌊n/2⌋ + 1`) have applied — a minority of slow or dying followers no
+//! longer blocks the ack, and with fewer than a quorum of live members
+//! the group refuses writes instead of acking against a minority.
+//! (Two-member groups cannot hold a majority after any failure, so they
+//! keep the perfect-failure-detector view-change rule: the survivor
+//! serves alone.) Point reads may be served by *any* live replica (a
+//! salted deterministic pick; [`Session`](crate::Session) varies the salt
+//! per statement so load spreads); multi-shard reads fan out to all live
+//! replicas and dedup per tuple in the gather step.
 //!
 //! Failure detection is deterministic and timeout-free: a crashed worker
 //! drops its queue receiver (the next send fails) and a dropped task
 //! destroys its reply channel (the gatherer's `recv` disconnects). Either
-//! signal marks the shard **down** in the shared
-//! [`HealthMap`] — sticky, no rejoin — and the
-//! statement retries against the surviving replicas: the effective leader
-//! becomes the scheme leader if live, else the lowest-id live member of
-//! the tuple's replica set (never a new-epoch pre-copy, which lags until
-//! its batch is copied). With every authoritative copy down, the
-//! statement fails [`ServeError::Unavailable`]. Fault injection for all
-//! of this lives in [`FaultPlan`].
+//! signal marks the shard **down** in the shared [`HealthMap`]. Every
+//! member that fails mid-write is marked down in the same gather, so
+//! "every live replica holds every acknowledged write" stays invariant
+//! under quorum acks, and promotion keeps choosing from the acked
+//! frontier: the effective leader is the scheme leader if live, else the
+//! lowest-id live member of the tuple's replica set (never a new-epoch
+//! pre-copy, which lags until its batch is copied). With no live member,
+//! the statement fails [`ServeError::Unavailable`].
+//!
+//! Down is no longer terminal: [`Server::revive_shard`] respawns a dead
+//! shard's worker and moves it to **catching up** — it receives every
+//! foreground write from that point on (so it misses nothing new) but
+//! serves no reads, leads nothing, and counts toward no quorum until a
+//! catch-up copy (`schism_migrate::catchup`, reusing the executor's
+//! copy → verify machinery against a live replica) flips it back live.
+//! Fault injection for all of this lives in [`FaultPlan`], including
+//! deterministic revive schedules
+//! ([`revive_worker`](FaultPlan::revive_worker)).
 
 use crate::fault::{FaultPlan, WorkerFault};
 use crate::row::{decode_row, encode_row};
-use schism_router::{pick_any, statement_salt, PartitionSet, RouteDecision, Scheme};
+use schism_router::{pick_any, statement_salt, PartitionSet, ReplicaSet, RouteDecision, Scheme};
 use schism_sql::{
     classify_routability, parse_statement, ColId, ColumnType, ParseError, Routability, Schema,
     Statement, StatementKind, TableId, Value,
@@ -74,7 +90,7 @@ use schism_workload::{TupleId, TupleValues};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -330,8 +346,11 @@ pub struct Server {
     cfg: ServeConfig,
     key_cols: Vec<Option<ColId>>,
     health: Arc<HealthMap>,
-    workers: Vec<SyncSender<Task>>,
-    handles: Vec<JoinHandle<()>>,
+    /// Kept so [`revive_shard`](Self::revive_shard) can respawn a worker
+    /// over the same backend.
+    store: Arc<dyn ShardStore>,
+    workers: RwLock<Vec<SyncSender<Task>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -353,17 +372,9 @@ impl Server {
         let mut workers = Vec::new();
         let mut handles = Vec::new();
         for shard in 0..store.num_shards() {
-            let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
-            let store = Arc::clone(&store);
-            let schema = Arc::clone(&schema);
-            let faults = cfg.faults.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("serve-shard-{shard}"))
-                    .spawn(move || run_worker(shard, &*store, &schema, &rx, faults))
-                    .expect("spawn shard worker"),
-            );
+            let (tx, handle) = spawn_worker(shard, &store, &schema, &cfg);
             workers.push(tx);
+            handles.push(handle);
         }
         Self {
             schema,
@@ -372,9 +383,37 @@ impl Server {
             cfg,
             key_cols,
             health,
-            workers,
-            handles,
+            store,
+            workers: RwLock::new(workers),
+            handles: Mutex::new(handles),
         }
+    }
+
+    /// Respawns the worker of a shard that is currently marked
+    /// [`Down`](schism_store::HealthState::Down) and transitions it to
+    /// [`CatchingUp`](schism_store::HealthState::CatchingUp): from this
+    /// call on the shard receives every foreground write (so it misses
+    /// nothing new) but serves no reads and counts toward no quorum. Run
+    /// a catch-up copy (`schism_migrate::catchup`) and
+    /// [`HealthMap::mark_live`] to return it to full membership. Returns
+    /// `false` (and spawns nothing) unless the shard is strictly down.
+    pub fn revive_shard(&self, shard: ShardId) -> bool {
+        let n_workers = self.workers.read().expect("worker lock poisoned").len();
+        if shard as usize >= n_workers || !self.health.is_down(shard) {
+            return false;
+        }
+        let (tx, handle) = spawn_worker(shard, &self.store, &self.schema, &self.cfg);
+        {
+            // Swap the queue in before flipping health, so a write routed
+            // at the catching-up shard always finds the fresh worker.
+            let mut workers = self.workers.write().expect("worker lock poisoned");
+            workers[shard as usize] = tx;
+        }
+        self.handles
+            .lock()
+            .expect("handle lock poisoned")
+            .push(handle);
+        self.health.begin_catch_up(shard)
     }
 
     /// Atomically swaps the active scheme under live traffic. In-flight
@@ -394,8 +433,22 @@ impl Server {
         &self.schema
     }
 
-    /// The shared failure registry: every shard this server has observed
-    /// fail (sticky — shards never rejoin).
+    /// The shard-store backend the workers execute against. Shared with
+    /// catch-up copies (`schism_migrate::catchup`) and chaos harnesses —
+    /// a worker crash never loses the backend, only the worker.
+    pub fn store(&self) -> &Arc<dyn ShardStore> {
+        &self.store
+    }
+
+    /// The attribute view routing consults (the `db` passed to
+    /// [`new`](Self::new)) — catch-up planning needs the same view the
+    /// server routes with.
+    pub fn routing_db(&self) -> &Arc<dyn TupleValues> {
+        &self.db
+    }
+
+    /// The shared liveness registry: the `Live / Down / CatchingUp` state
+    /// of every shard this server routes around.
     pub fn health(&self) -> &Arc<HealthMap> {
         &self.health
     }
@@ -405,9 +458,20 @@ impl Server {
         self.health.failures()
     }
 
-    /// Snapshot of the shards currently marked down.
+    /// How many shards have completed a catch-up and rejoined.
+    pub fn rejoins(&self) -> u64 {
+        self.health.rejoins()
+    }
+
+    /// Snapshot of the shards currently marked strictly down.
     pub fn down_shards(&self) -> PartitionSet {
         self.health.down_set()
+    }
+
+    /// Snapshot of the shards currently catching up (revived, receiving
+    /// writes, not yet serving reads or counting toward quorums).
+    pub fn catching_up_shards(&self) -> PartitionSet {
+        self.health.catching_up_set()
     }
 
     /// The shard leading `t` right now under the active scheme and
@@ -528,8 +592,22 @@ impl Server {
         stmt: &Arc<Statement>,
         tuples: &[TupleId],
     ) -> Result<ServeOutcome, ServeError> {
+        let not_live = self.health.not_live_set();
         let mut phases: Vec<BTreeMap<ShardId, Vec<TupleId>>> = Vec::new();
+        // Per-tuple ack rule, snapshotted before anything is written:
+        // (effective leader, live replica-set members, quorum size).
+        let mut acks: Vec<(TupleId, ShardId, PartitionSet, u32)> = Vec::new();
         for &t in tuples {
+            let rs = scheme.replica_set(t, &*self.db);
+            let leader = self.live_leader(&**scheme, t)?;
+            let members = rs.all().difference(&not_live);
+            let need = write_quorum(&rs);
+            if members.len() < need {
+                // Fewer than a quorum of live members: refuse up front
+                // rather than leave a partially applied minority write.
+                return Err(ServeError::Unavailable { shard: rs.leader });
+            }
+            acks.push((t, leader, members, need));
             for (i, p) in self.effective_phases(&**scheme, t)?.into_iter().enumerate() {
                 if phases.len() <= i {
                     phases.push(BTreeMap::new());
@@ -540,30 +618,44 @@ impl Server {
             }
         }
         let mut g = Gather::default();
-        // Each phase must be fully applied before the next starts: leader
-        // and old-epoch copies acknowledge before followers and new-epoch
-        // pre-copies — this ordering is what both the no-lost-writes and
-        // the promotion-frontier proofs rest on.
+        // Phases stay ordered — the leader and old-epoch copies apply
+        // before followers and new-epoch pre-copies — but within a phase
+        // the scatter is lenient: a member that fails to apply is marked
+        // down without failing the statement. The quorum check below
+        // decides availability; because every failed member is down by
+        // then, an acked write is on every live member (the promotion
+        // frontier) even when the quorum is less than the whole group.
+        let mut applied = PartitionSet::empty();
         for phase in phases {
-            self.scatter(stmt, pin_tasks(phase), &mut g)?;
+            applied.union_with(&self.scatter_lenient(stmt, pin_tasks(phase), &mut g)?);
+        }
+        for (_, leader, members, need) in &acks {
+            if !applied.contains(*leader) || applied.intersect(members).len() < *need {
+                // The leader died mid-write or too many members failed:
+                // nothing is acknowledged, and the statement-level retry
+                // redoes it against the survivors.
+                return Err(ServeError::Unavailable { shard: *leader });
+            }
         }
         Ok(g.into_write_outcome(0))
     }
 
     /// The ordered write phases for `t` under the current failure state:
-    /// with nothing down, exactly the scheme's phases (zero overhead);
-    /// otherwise the (possibly promoted) live leader goes first and down
-    /// shards drop out of every phase.
+    /// with everything live, exactly the scheme's phases (zero overhead);
+    /// otherwise the (possibly promoted) live leader goes first, down
+    /// shards drop out of every phase, and catching-up shards stay in —
+    /// they must see every foreground write to converge, they just never
+    /// serve or count toward the quorum.
     fn effective_phases(
         &self,
         scheme: &dyn Scheme,
         t: TupleId,
     ) -> Result<Vec<PartitionSet>, ServeError> {
-        let down = self.health.down_set();
         let phases = scheme.write_phases(t, &*self.db);
-        if down.is_empty() {
+        if self.health.not_live_set().is_empty() {
             return Ok(phases);
         }
+        let down = self.health.down_set();
         let lead = PartitionSet::single(self.live_leader(scheme, t)?);
         let mut out = vec![lead];
         for p in phases {
@@ -577,16 +669,18 @@ impl Server {
 
     /// The shard a leader-pinned operation on `t` uses right now: the
     /// scheme's leader when live, else the lowest-id live member of the
-    /// replica set. Every live member holds every acknowledged write
-    /// (synchronous apply), so promotion only needs to be deterministic —
-    /// lowest id is, and every server picks the same one.
+    /// replica set. Every live member holds every acknowledged write (a
+    /// member that fails mid-write is marked down in the same gather, and
+    /// a rejoiner only turns live after a verified catch-up), so promotion
+    /// only needs to be deterministic — lowest id is, and every server
+    /// picks the same one. A catching-up member is never chosen.
     fn live_leader(&self, scheme: &dyn Scheme, t: TupleId) -> Result<ShardId, ServeError> {
         let rs = scheme.replica_set(t, &*self.db);
-        if !self.health.is_down(rs.leader) {
+        if self.health.is_live(rs.leader) {
             return Ok(rs.leader);
         }
         rs.all()
-            .difference(&self.health.down_set())
+            .difference(&self.health.not_live_set())
             .first()
             .ok_or(ServeError::Unavailable { shard: rs.leader })
     }
@@ -673,11 +767,13 @@ impl Server {
             return self.live_leader(scheme, t);
         }
         let copies = scheme.locate_tuple(t, &*self.db);
-        let down = self.health.down_set();
-        let live = if down.is_empty() {
+        // Catching-up copies are excluded alongside down ones: a rejoiner
+        // is stale until its catch-up flip and must never serve a read.
+        let not_live = self.health.not_live_set();
+        let live = if not_live.is_empty() {
             copies
         } else {
-            copies.difference(&down)
+            copies.difference(&not_live)
         };
         pick_any(&live, salt ^ t.row.wrapping_mul(0x9E37_79B9_7F4A_7C15)).ok_or(
             ServeError::Unavailable {
@@ -711,8 +807,10 @@ impl Server {
         let mut scheme = Arc::clone(scheme);
         let mut retries = 0u32;
         loop {
-            let down = self.health.down_set();
-            let (kind, targets) = if down.is_empty() {
+            // Both down and catching-up shards are out of the read
+            // fan-out: neither holds servable state.
+            let not_live = self.health.not_live_set();
+            let (kind, targets) = if not_live.is_empty() {
                 let decision = scheme.route_predicate_salted(stmt, salt);
                 let kind = match decision {
                     RouteDecision::Single(_) => RouteKind::Point,
@@ -726,9 +824,9 @@ impl Server {
                 // every logical row (`None` = some row has no live copy).
                 let targets =
                     scheme
-                        .route_read_fallback(stmt, &down)
+                        .route_read_fallback(stmt, &not_live)
                         .ok_or(ServeError::Unavailable {
-                            shard: down.first().expect("non-empty down set"),
+                            shard: not_live.first().expect("non-empty not-live set"),
                         })?;
                 let kind = if targets.len() >= scheme.k() {
                     RouteKind::Broadcast
@@ -801,15 +899,22 @@ impl Server {
         if total.len() >= scheme.k() && !self.cfg.allow_broadcast {
             return Err(self.broadcast_rejected(stmt));
         }
-        let down = self.health.down_set();
         // Coverage gate: a scan-write must still reach every logical row
-        // it matches — reuse the read-coverage rule, which answers exactly
-        // "does every touched tuple keep a live copy".
-        if !down.is_empty() && scheme.route_read_fallback(stmt, &down).is_none() {
+        // it matches — reuse the read-coverage rule (over everything not
+        // live, since a catching-up copy is not authoritative), which
+        // answers exactly "does every touched tuple keep a live copy".
+        let not_live = self.health.not_live_set();
+        if !not_live.is_empty() && scheme.route_read_fallback(stmt, &not_live).is_none() {
             return Err(ServeError::Unavailable {
-                shard: down.first().expect("non-empty down set"),
+                shard: not_live.first().expect("non-empty not-live set"),
             });
         }
+        // Write targets exclude only the strictly-down shards: a
+        // catching-up shard still applies every foreground write. (Its
+        // predicate sees its own — possibly stale — bytes, which is fine:
+        // every key it holds is re-copied from a live source before it
+        // turns live again.)
+        let down = self.health.down_set();
         let mut g = Gather::default();
         for p in phases {
             let p = p.difference(&down);
@@ -857,33 +962,60 @@ impl Server {
         plan: BTreeMap<ShardId, Option<Vec<TupleId>>>,
         g: &mut Gather,
     ) -> Result<(), ServeError> {
+        self.scatter_impl(stmt, plan, g, true).map(|_| ())
+    }
+
+    /// [`scatter`](Self::scatter) for quorum writes: a shard that fails
+    /// (rejected send or no reply) is marked down but does **not** fail
+    /// the round — the returned applied-set lets the caller count the
+    /// quorum itself. Hard errors (store/corruption) still fail.
+    fn scatter_lenient(
+        &self,
+        stmt: &Arc<Statement>,
+        plan: BTreeMap<ShardId, Option<Vec<TupleId>>>,
+        g: &mut Gather,
+    ) -> Result<PartitionSet, ServeError> {
+        self.scatter_impl(stmt, plan, g, false)
+    }
+
+    fn scatter_impl(
+        &self,
+        stmt: &Arc<Statement>,
+        plan: BTreeMap<ShardId, Option<Vec<TupleId>>>,
+        g: &mut Gather,
+        strict: bool,
+    ) -> Result<PartitionSet, ServeError> {
         if plan.is_empty() {
-            return Ok(());
+            return Ok(PartitionSet::empty());
         }
         let (tx, rx) = channel();
         let mut sent: Vec<ShardId> = Vec::new();
         let mut first_err: Option<ServeError> = None;
-        for (shard, tuples) in plan {
-            let worker = match self.workers.get(shard as usize) {
-                Some(w) => w,
-                None => {
-                    first_err.get_or_insert(ServeError::Store(StoreError::NoSuchShard(shard)));
+        {
+            let workers = self.workers.read().expect("worker lock poisoned");
+            for (shard, tuples) in plan {
+                let worker = match workers.get(shard as usize) {
+                    Some(w) => w,
+                    None => {
+                        first_err.get_or_insert(ServeError::Store(StoreError::NoSuchShard(shard)));
+                        continue;
+                    }
+                };
+                let task = Task {
+                    stmt: Arc::clone(stmt),
+                    tuples,
+                    enqueued: Instant::now(),
+                    resp: tx.clone(),
+                };
+                if worker.send(task).is_err() {
+                    self.note_shard_failure(shard, strict, &mut first_err);
                     continue;
                 }
-            };
-            let task = Task {
-                stmt: Arc::clone(stmt),
-                tuples,
-                enqueued: Instant::now(),
-                resp: tx.clone(),
-            };
-            if worker.send(task).is_err() {
-                self.note_shard_failure(shard, &mut first_err);
-                continue;
+                sent.push(shard);
             }
-            sent.push(shard);
         }
         drop(tx);
+        let mut applied = PartitionSet::empty();
         let mut replied: HashSet<ShardId> = HashSet::new();
         // Terminates when every task-held sender clone is gone — replied
         // to, or destroyed by a crashed / message-dropping worker.
@@ -894,6 +1026,7 @@ impl Server {
             g.exec_us = g.exec_us.max(reply.exec_us);
             match reply.result {
                 Ok(out) => {
+                    applied.insert(reply.shard);
                     g.raw_rows
                         .extend(out.rows.into_iter().map(|(t, r)| (reply.shard, t, r)));
                     g.wrote.extend(out.wrote);
@@ -905,22 +1038,26 @@ impl Server {
         }
         for shard in sent {
             if !replied.contains(&shard) {
-                self.note_shard_failure(shard, &mut first_err);
+                self.note_shard_failure(shard, strict, &mut first_err);
             }
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(()),
+            None => Ok(applied),
         }
     }
 
     /// Records a deterministic failure signal for `shard`: marks it down
-    /// (sticky) for all future routing and folds an
+    /// for all future routing and — in strict mode — folds an
     /// [`Unavailable`](ServeError::Unavailable) into this request's error
-    /// slot so the statement-level retry loops re-resolve.
-    fn note_shard_failure(&self, shard: ShardId, first_err: &mut Option<ServeError>) {
+    /// slot so the statement-level retry loops re-resolve. Lenient
+    /// (quorum) gathers only mark the shard down; the quorum count
+    /// decides availability.
+    fn note_shard_failure(&self, shard: ShardId, strict: bool, first_err: &mut Option<ServeError>) {
         self.health.mark_down(shard);
-        first_err.get_or_insert(ServeError::Unavailable { shard });
+        if strict {
+            first_err.get_or_insert(ServeError::Unavailable { shard });
+        }
     }
 }
 
@@ -928,11 +1065,54 @@ impl Drop for Server {
     fn drop(&mut self) {
         // Closing the queues lets each worker drain and exit; joining
         // makes shutdown observable (no detached threads left behind).
-        self.workers.clear();
-        for h in self.handles.drain(..) {
+        self.workers
+            .get_mut()
+            .expect("worker lock poisoned")
+            .clear();
+        for h in self
+            .handles
+            .get_mut()
+            .expect("handle lock poisoned")
+            .drain(..)
+        {
             let _ = h.join();
         }
     }
+}
+
+/// The ack requirement for one tuple's replica set. Groups of three or
+/// more require a strict majority of the **full** set
+/// ([`ReplicaSet::quorum`]) — Spinnaker's rule, which both tolerates a
+/// minority of failed members and refuses to ack against one. A
+/// two-member group cannot hold a majority after any failure (every
+/// failure is exactly half), so it keeps the perfect-failure-detector
+/// view-change rule of the pre-quorum design: the effective leader alone
+/// suffices, and safety comes from every failed member being marked down
+/// in the same gather.
+fn write_quorum(rs: &ReplicaSet) -> u32 {
+    if rs.all().len() >= 3 {
+        rs.quorum()
+    } else {
+        1
+    }
+}
+
+/// Spawns one shard worker and returns its queue sender and join handle.
+fn spawn_worker(
+    shard: ShardId,
+    store: &Arc<dyn ShardStore>,
+    schema: &Arc<Schema>,
+    cfg: &ServeConfig,
+) -> (SyncSender<Task>, JoinHandle<()>) {
+    let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
+    let store = Arc::clone(store);
+    let schema = Arc::clone(schema);
+    let faults = cfg.faults.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("serve-shard-{shard}"))
+        .spawn(move || run_worker(shard, &*store, &schema, &rx, faults))
+        .expect("spawn shard worker");
+    (tx, handle)
 }
 
 /// Builds the per-shard scatter plan for key-pinned tasks.

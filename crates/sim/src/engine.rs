@@ -45,6 +45,9 @@ struct ActiveTxn {
     phase: Phase,
     attempt: u32,
     waiting: bool,
+    /// End of the latest outage window that refused this transaction, for
+    /// the recovery-lag sample taken when it finally commits.
+    refused_until: Option<Micros>,
 }
 
 impl ActiveTxn {
@@ -67,6 +70,15 @@ pub fn run(cfg: &SimConfig, source: &mut dyn TxnSource) -> SimReport {
     let mut sim = Sim::new(cfg);
     sim.bootstrap(source);
     sim.run_loop(source);
+    sim.stats.scheduled_downtime = cfg
+        .outages
+        .iter()
+        .map(|o| {
+            o.end
+                .min(cfg.duration)
+                .saturating_sub(o.start.max(cfg.warmup))
+        })
+        .sum();
     SimReport::from_stats(sim.stats, cfg.duration - cfg.warmup)
 }
 
@@ -153,6 +165,7 @@ impl<'a> Sim<'a> {
                 phase: Phase::Executing,
                 attempt: 0,
                 waiting: false,
+                refused_until: None,
             },
         );
         let at = self.clock + self.cfg.rtt / 2;
@@ -284,8 +297,12 @@ impl<'a> Sim<'a> {
         let latency = finish - t.first_start;
         let distributed = t.txn.is_distributed();
         let client = t.client;
+        let refused_until = t.refused_until.take();
         if finish >= self.cfg.warmup {
             self.stats.record(latency, distributed);
+            if let Some(until) = refused_until {
+                self.stats.recovery_lags.push(finish.saturating_sub(until));
+            }
         }
         self.active.remove(&id);
         self.push(finish, Event::ClientStart(client));
@@ -314,6 +331,7 @@ impl<'a> Sim<'a> {
         t.waiting = false;
         t.phase = Phase::Executing;
         t.pending_acks = 0;
+        t.refused_until = Some(until.max(self.clock)); // latest refusal wins
         let at = until.max(self.clock) + self.cfg.retry_backoff + self.cfg.rtt / 2;
         self.push(at, Event::OpArrive(id));
     }
@@ -547,6 +565,19 @@ mod tests {
             clean.completed
         );
         assert!(faulted.throughput > 0.5 * clean.throughput);
+        // Recovery accounting: refused transactions commit after the
+        // window lifts (retry backoff + queue drain), and the scheduled
+        // downtime is the window's overlap with the measured interval.
+        assert!(faulted.recovered > 0, "refused work must eventually land");
+        assert!(
+            faulted.recovered <= faulted.unavailable,
+            "one sample per txn"
+        );
+        assert!(faulted.max_recovery_ms > 0.0);
+        assert!((faulted.downtime_ms - 2_000.0).abs() < 1e-9);
+        assert_eq!(clean.recovered, 0);
+        assert_eq!(clean.max_recovery_ms, 0.0);
+        assert_eq!(clean.downtime_ms, 0.0);
     }
 
     #[test]

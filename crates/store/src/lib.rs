@@ -31,7 +31,7 @@
 //! | [`load_assignment`] | seed a store from a per-tuple placement, one deterministic row per copy |
 //! | [`seed_row`] / [`fnv1a`] | deterministic row payloads and the checksum used by copy verification |
 //! | [`FaultStore`] / [`FaultHook`] | injectable wrapper firing hooks at named sync points (deterministic fault injection) |
-//! | [`HealthMap`] / [`ShardHealth`] | sticky shard down-set shared by the server and the migration executor |
+//! | [`HealthMap`] / [`ShardHealth`] | per-shard `Live / Down / CatchingUp` state machine shared by the server and the migration executor |
 //! | [`tempdir::TempDir`] | self-cleaning scratch directories for tests and benches |
 //!
 //! Backends are shared by reference (`&dyn ShardStore`) between the
@@ -68,7 +68,7 @@ pub mod log;
 pub mod mem;
 pub mod tempdir;
 
-pub use fault::{sync_points, FaultHook, FaultStore, HealthMap, ShardHealth};
+pub use fault::{sync_points, FaultHook, FaultStore, HealthMap, HealthState, ShardHealth};
 pub use log::{LogStore, LogStoreConfig};
 pub use mem::MemStore;
 

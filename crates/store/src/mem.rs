@@ -76,6 +76,15 @@ impl MemStore {
             .sum()
     }
 
+    /// Clears one shard's contents entirely — the chaos-test crash model
+    /// where a failed node's replacement comes up with an empty disk, so
+    /// rejoin has to re-copy everything rather than trust residue.
+    pub fn wipe_shard(&self, shard: ShardId) -> Result<(), StoreError> {
+        let mut guard = self.shard(shard)?.write().expect("shard lock poisoned");
+        *guard = Shard::default();
+        Ok(())
+    }
+
     /// Snapshot of one shard's full contents, in key order (tests and
     /// debugging; rebuilding a shard's state elsewhere goes through
     /// [`ShardStore::scan_range`]).

@@ -18,12 +18,14 @@
 //! exactly that interleaving — all fault triggers are count-based, not
 //! timer-based, so the replay is bit-identical.
 
-use schism_migrate::{plan_migration, ExecutorConfig, MigrationExecutor, PlanConfig, StepOutcome};
+use schism_migrate::{
+    plan_migration, run_catch_up, ExecutorConfig, MigrationExecutor, PlanConfig, StepOutcome,
+};
 use schism_router::{
     HashScheme, IndexBackend, LookupBackend, LookupScheme, MissPolicy, PartitionSet,
     ReplicatedScheme, RowKey, Scheme, VersionedScheme,
 };
-use schism_serve::{load_table, FaultPlan, PkValues, ServeConfig, Server};
+use schism_serve::{load_table, FaultPlan, PkValues, ServeConfig, ServeError, Server};
 use schism_sql::{ColumnType, Schema, Value};
 use schism_store::{HealthMap, MemStore, ShardHealth, ShardStore};
 use schism_workload::{TupleId, TupleValues};
@@ -32,6 +34,7 @@ use std::sync::Arc;
 
 const K: u32 = 4;
 const RF: u32 = 2;
+const RF3: u32 = 3;
 const N_KEYS: u64 = 32;
 
 fn splitmix(x: u64) -> u64 {
@@ -75,6 +78,16 @@ struct Fixture {
 /// next shard. `victim`'s worker crashes on its `kill_after`-th dequeue;
 /// the serve path and the executor share one [`HealthMap`].
 fn fixture(victim: u32, kill_after: u64) -> Fixture {
+    fixture_rf(
+        RF,
+        FaultPlan::new(victim as u64 ^ kill_after).crash_worker(victim, kill_after),
+    )
+}
+
+/// The same topology at an arbitrary replication factor and fault plan —
+/// rf=3 is where the majority-quorum write rule takes over from the rf=2
+/// view-change rule.
+fn fixture_rf(rf: u32, faults: FaultPlan) -> Fixture {
     let schema = schema();
     let store = Arc::new(MemStore::new(K));
     let db: Arc<dyn TupleValues> = Arc::new(PkValues::from_schema(&schema));
@@ -94,8 +107,8 @@ fn fixture(victim: u32, kill_after: u64) -> Fixture {
         vec![Some(RowKey { col: 0, offset: 0 })],
         MissPolicy::HashRow,
     ));
-    let old: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(RF, old_inner));
-    let new: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(RF, new_inner));
+    let old: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(rf, old_inner));
+    let new: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(rf, new_inner));
     load_table(
         &*store,
         &*old,
@@ -124,8 +137,7 @@ fn fixture(victim: u32, kill_after: u64) -> Fixture {
     );
     let vs = Arc::new(VersionedScheme::new(old, Arc::clone(&new)));
     let health = Arc::new(HealthMap::new());
-    let faults =
-        Arc::new(FaultPlan::new(victim as u64 ^ kill_after).crash_worker(victim, kill_after));
+    let faults = Arc::new(faults);
     let server = Server::new(
         schema,
         Arc::clone(&store) as Arc<dyn ShardStore>,
@@ -261,7 +273,13 @@ fn chaos_case(seed: u64) {
 /// Runs one seed; on failure, prints the replay command and drops the seed
 /// into `target/chaos-failures/` for CI to upload.
 fn run_seed(seed: u64) {
-    let result = std::panic::catch_unwind(|| chaos_case(seed));
+    run_named(seed, chaos_case);
+}
+
+/// [`run_seed`] for an arbitrary seeded case function — the replay file and
+/// command are per-seed, so every chaos family shares the machinery.
+fn run_named(seed: u64, case: fn(u64)) {
+    let result = std::panic::catch_unwind(|| case(seed));
     if let Err(payload) = result {
         let msg = payload
             .downcast_ref::<String>()
@@ -373,6 +391,221 @@ fn leader_kill_mid_migration_keeps_acked_writes() {
         assert_eq!(out.rows.len(), 1, "key {k} lost after cutover");
         assert_eq!(out.rows[0].1[1], Value::Int((1000 + k) as i64));
     }
+}
+
+/// Wipes a down shard's backend, respawns its worker, and streams it back
+/// to the live members' state — the full crash-recovery path a real node
+/// replacement would take. Panics if the shard was not strictly down.
+fn rejoin(f: &Fixture, shard: u32) {
+    f.store.wipe_shard(shard).unwrap();
+    assert!(f.server.revive_shard(shard), "shard {shard} must be down");
+    run_catch_up(
+        shard,
+        &f.server.scheme(),
+        &**f.server.routing_db(),
+        (0..N_KEYS).map(|r| TupleId::new(0, r)),
+        &*f.store,
+        &f.health,
+        &PlanConfig::default(),
+        8,
+    )
+    .unwrap_or_else(|e| panic!("catch-up of shard {shard} failed: {e}"));
+}
+
+/// One seeded kill → rejoin → kill-again interleaving at rf=3: the victim
+/// crashes mid-traffic, is revived on the fault plan's schedule (wiped
+/// disk, catch-up copy, Live flip), then crashes a second time — and with
+/// at most one member of any group dead at a time, every write stays
+/// available under the majority quorum and no acked write is ever lost.
+fn chaos_rejoin_case(seed: u64) {
+    let mut rng = Rng(seed ^ 0x5E_ED0F_2E10);
+    let victim = (rng.next() % u64::from(K)) as u32;
+    let kill1 = 1 + rng.next() % 30;
+    let revive_total = 60 + rng.next() % 60;
+    let kill2 = kill1 + 40 + rng.next() % 40;
+    let faults = FaultPlan::new(seed)
+        .crash_worker(victim, kill1)
+        .crash_worker(victim, kill2)
+        .revive_worker(victim, revive_total);
+    let f = fixture_rf(RF3, faults);
+    let mut exec = MigrationExecutor::new(
+        &f.plan,
+        &*f.store,
+        &f.vs,
+        ExecutorConfig {
+            health: Some(Arc::clone(&f.health)),
+            max_retries: 10_000,
+            ..ExecutorConfig::default()
+        },
+    );
+    let mut sessions: Vec<_> = (0..3).map(|i| f.server.session(seed ^ i)).collect();
+    let mut model: HashMap<u64, i64> = (0..N_KEYS).map(|k| (k, 0)).collect();
+    for step in 0..240 {
+        for shard in f.faults.due_revivals() {
+            if f.health.is_down(shard) {
+                rejoin(&f, shard);
+            }
+        }
+        let sid = (rng.next() % 3) as usize;
+        let key = rng.next() % N_KEYS;
+        match rng.next() % 10 {
+            0..=3 => {
+                let v = (rng.next() % 100_000) as i64;
+                let out = sessions[sid]
+                    .execute_sql(&format!("UPDATE account SET bal = {v} WHERE id = {key}"))
+                    .unwrap_or_else(|e| {
+                        panic!("step {step}: write under single failure refused: {e}")
+                    });
+                assert_eq!(out.affected, 1, "step {step}: key {key} must exist");
+                model.insert(key, v);
+            }
+            4..=8 => {
+                let out = sessions[sid]
+                    .execute_sql(&format!("SELECT * FROM account WHERE id = {key}"))
+                    .unwrap_or_else(|e| panic!("step {step}: read of key {key} failed: {e}"));
+                assert_eq!(out.rows.len(), 1, "step {step}: key {key} must resolve");
+                assert_eq!(
+                    out.rows[0].1[1],
+                    Value::Int(model[&key]),
+                    "step {step}: key {key} lost an acked write"
+                );
+            }
+            _ => {
+                let outcome = exec.step();
+                assert!(
+                    !matches!(outcome, StepOutcome::Aborted { .. }),
+                    "step {step}: migration aborted: {outcome:?}"
+                );
+            }
+        }
+    }
+    // Whatever the seed produced is replayable; the bookkeeping must agree
+    // with it exactly: each fired kill is one failover, each consumed
+    // revival one rejoin.
+    let fired = f.faults.crashes_fired().len() as u64;
+    assert_eq!(f.server.failovers(), fired);
+    assert_eq!(f.server.rejoins(), f.health.rejoins());
+    if fired == 2 {
+        assert_eq!(
+            f.server.rejoins(),
+            1,
+            "a second kill of the same shard requires it to have rejoined"
+        );
+    }
+    assert_eq!(exec.run_to_completion(), StepOutcome::Done);
+    f.server.install_scheme(Arc::clone(&f.new_scheme));
+    drop(sessions);
+    let mut check = f.server.session(seed ^ 0xCA7C);
+    for (&k, &v) in &model {
+        let out = check
+            .execute_sql(&format!("SELECT * FROM account WHERE id = {k}"))
+            .unwrap_or_else(|e| panic!("post-cutover read of key {k} failed: {e}"));
+        assert_eq!(out.rows.len(), 1, "key {k} lost after cutover");
+        assert_eq!(out.rows[0].1[1], Value::Int(v), "key {k} value diverged");
+    }
+}
+
+/// Six seeded kill → rejoin → kill-again schedules (or exactly the one
+/// named by `SCHISM_CHAOS_SEED`, offset to stay disjoint from the base
+/// harness's seed space).
+#[test]
+fn chaos_seeded_kill_rejoin_kill_again() {
+    if let Ok(s) = std::env::var("SCHISM_CHAOS_SEED") {
+        let seed: u64 = s.parse().expect("SCHISM_CHAOS_SEED must be a u64");
+        run_named(seed, chaos_rejoin_case);
+        return;
+    }
+    for i in 0..6u64 {
+        run_named(
+            0x2E_1015_5EED ^ (i.wrapping_mul(0x9E37_79B9)),
+            chaos_rejoin_case,
+        );
+    }
+}
+
+/// The fixed two-failures-in-one-rf=3-group scenario: writes stay
+/// available while any majority of the group is live, are refused the
+/// moment it is not (without partial application), and a rejoined shard
+/// restores both write availability and read service — with no acked
+/// write lost across kill → rejoin → kill-again.
+#[test]
+fn rf3_two_failures_in_one_group_gate_writes_on_majority() {
+    let f = fixture_rf(RF3, FaultPlan::new(0xBEEF));
+    let db = PkValues::from_schema(f.server.schema());
+    let t = TupleId::new(0, 0);
+    let rs = f.vs.replica_set(t, &db);
+    let leader = rs.leader;
+    let followers: Vec<u32> = rs.followers.iter().collect();
+    assert_eq!(followers.len(), 2);
+    let mut s = f.server.session(11);
+    let mut write = |v: i64| {
+        s.execute_sql(&format!("UPDATE account SET bal = {v} WHERE id = 0"))
+            .map(|out| assert_eq!(out.affected, 1))
+    };
+    write(111).unwrap();
+    // One of three down: quorum (2 of 3) still reachable.
+    f.health.mark_down(leader);
+    write(222).unwrap();
+    // Two of three down: the majority is gone — writes must refuse
+    // up front, with nothing partially applied.
+    f.health.mark_down(followers[0]);
+    assert!(matches!(write(333), Err(ServeError::Unavailable { .. })));
+    // A revived-but-catching-up shard counts toward no quorum yet.
+    f.store.wipe_shard(leader).unwrap();
+    assert!(f.server.revive_shard(leader));
+    assert!(matches!(write(444), Err(ServeError::Unavailable { .. })));
+    // The lone live member still serves reads, and the refused writes
+    // left no trace.
+    let mut reader = f.server.session(12);
+    let out = reader
+        .execute_sql("SELECT * FROM account WHERE id = 0")
+        .unwrap();
+    assert_eq!(out.rows[0].1[1], Value::Int(222));
+    // Catch-up completes from the one live source and restores quorum.
+    run_catch_up(
+        leader,
+        &f.server.scheme(),
+        &db,
+        (0..N_KEYS).map(|r| TupleId::new(0, r)),
+        &*f.store,
+        &f.health,
+        &PlanConfig::default(),
+        8,
+    )
+    .unwrap();
+    let mut s2 = f.server.session(13);
+    let mut write = |v: i64| {
+        s2.execute_sql(&format!("UPDATE account SET bal = {v} WHERE id = 0"))
+            .map(|out| assert_eq!(out.affected, 1))
+    };
+    write(555).unwrap();
+    // Kill-again, this time the member that never failed: the rejoined
+    // shard alone is a minority, so writes refuse — but it serves reads
+    // with the caught-up (not pre-crash) state.
+    f.health.mark_down(followers[1]);
+    assert!(matches!(write(666), Err(ServeError::Unavailable { .. })));
+    let mut reader2 = f.server.session(14);
+    let out = reader2
+        .execute_sql("SELECT * FROM account WHERE id = 0")
+        .unwrap();
+    assert_eq!(
+        out.rows[0].1[1],
+        Value::Int(555),
+        "the rejoined shard must serve the caught-up value"
+    );
+    // A second rejoin restores the majority once more.
+    rejoin(&f, followers[0]);
+    let mut s3 = f.server.session(15);
+    let out = s3
+        .execute_sql("UPDATE account SET bal = 777 WHERE id = 0")
+        .unwrap();
+    assert_eq!(out.affected, 1);
+    let out = s3
+        .execute_sql("SELECT * FROM account WHERE id = 0")
+        .unwrap();
+    assert_eq!(out.rows[0].1[1], Value::Int(777));
+    assert_eq!(f.server.failovers(), 3);
+    assert_eq!(f.server.rejoins(), 2);
 }
 
 /// Read-your-writes across a leader kill: a session that wrote a key keeps

@@ -5,20 +5,30 @@
 //! (c) keep read-your-own-writes intact for every client.
 //!
 //! DELETEs of *out-of-plan* keys run inside the model proptest (they are
-//! safe at any point of the migration); DELETE of an *in-plan* key is the
-//! documented serving limitation — the executor treats the vanished copy
-//! source as an error and aborts, which
-//! [`delete_of_in_plan_key_aborts_migration`] pins down explicitly.
+//! safe at any point of the migration); DELETE of an *in-plan* key — once
+//! a documented limitation that aborted the migration — now passes
+//! through: the executor propagates the vanished source as a tombstone,
+//! pinned by [`delete_of_in_plan_key_passes_through_migration`].
+//!
+//! The replication model proptest
+//! ([`acked_writes_survive_minority_crashes_and_rejoins`]) drives an rf=3
+//! server through seeded crash / revive / catch-up interleavings: an
+//! acked write must survive any minority subset of replica crashes, a
+//! write must refuse cleanly when the majority is gone, and a rejoined
+//! shard — whose store is deliberately poisoned before revival — must
+//! never serve a read until its catch-up flips it Live.
 
 use proptest::prelude::*;
-use schism_migrate::{plan_migration, ExecutorConfig, MigrationExecutor, PlanConfig, StepOutcome};
-use schism_router::{
-    IndexBackend, LookupBackend, LookupScheme, MissPolicy, PartitionSet, RowKey, Scheme,
-    VersionedScheme,
+use schism_migrate::{
+    plan_migration, run_catch_up, ExecutorConfig, MigrationExecutor, PlanConfig, StepOutcome,
 };
-use schism_serve::{load_table, PkValues, ServeConfig, Server};
+use schism_router::{
+    HashScheme, IndexBackend, LookupBackend, LookupScheme, MissPolicy, PartitionSet,
+    ReplicatedScheme, RowKey, Scheme, VersionedScheme,
+};
+use schism_serve::{encode_row, load_table, PkValues, ServeConfig, ServeError, Server};
 use schism_sql::{ColumnType, Schema, Value};
-use schism_store::{MemStore, ShardStore};
+use schism_store::{HealthMap, MemStore, ShardHealth, ShardStore};
 use schism_workload::{TupleId, TupleValues};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -241,11 +251,13 @@ proptest! {
     }
 }
 
-/// The documented limitation, pinned down: DELETE of an *in-plan* key
-/// before its batch copies leaves the executor without a copy source, and
-/// the migration aborts rather than inventing data.
+/// The old serving limitation, converted to a pass-through regression
+/// test: DELETE of an *in-plan* key before its batch copies no longer
+/// aborts the migration — the executor propagates the vanished source as
+/// a tombstone, the migration completes, and the key stays deleted on
+/// every shard through cutover.
 #[test]
-fn delete_of_in_plan_key_aborts_migration() {
+fn delete_of_in_plan_key_passes_through_migration() {
     let f = fixture(8, 2, 0);
     let out = f
         .server
@@ -253,20 +265,214 @@ fn delete_of_in_plan_key_aborts_migration() {
         .unwrap();
     assert_eq!(out.affected, 1);
     let mut exec = MigrationExecutor::new(&f.plan, &*f.store, &f.vs, ExecutorConfig::default());
-    loop {
-        match exec.step() {
-            StepOutcome::Aborted { error, .. } => {
-                assert!(
-                    matches!(error, schism_migrate::ExecError::MissingSource(t) if t.row == 3),
-                    "abort must blame the deleted key: {error}"
-                );
-                return;
+    assert_eq!(exec.run_to_completion(), StepOutcome::Done);
+    assert_eq!(exec.report().batches_flipped, f.plan.batches.len());
+    let out = f
+        .server
+        .execute_sql("SELECT * FROM account WHERE id = 3")
+        .unwrap();
+    assert!(out.rows.is_empty(), "deleted key visible mid-epoch");
+    f.server.install_scheme(Arc::clone(&f.new_scheme));
+    let out = f
+        .server
+        .execute_sql("SELECT * FROM account WHERE id = 3")
+        .unwrap();
+    assert!(out.rows.is_empty(), "deleted key resurrected by migration");
+    for shard in 0..K {
+        assert!(
+            f.store.get(shard, TupleId::new(0, 3)).unwrap().is_none(),
+            "shard {shard} still holds a copy of the deleted key"
+        );
+    }
+    for k in (0..8u64).filter(|&k| k != 3) {
+        let out = f
+            .server
+            .execute_sql(&format!("SELECT * FROM account WHERE id = {k}"))
+            .unwrap();
+        assert_eq!(out.rows.len(), 1, "surviving key {k} lost");
+    }
+}
+
+/// An rf=3 server with no migration in flight, for the replication model
+/// proptest: every key lives on three ring-successor shards of a k=4
+/// cluster.
+struct Rf3Fixture {
+    server: Server,
+    scheme: Arc<dyn Scheme>,
+    store: Arc<MemStore>,
+    health: Arc<HealthMap>,
+}
+
+fn rf3_fixture(n_keys: u64) -> Rf3Fixture {
+    let schema = schema();
+    let store = Arc::new(MemStore::new(K));
+    let db: Arc<dyn TupleValues> = Arc::new(PkValues::from_schema(&schema));
+    let scheme: Arc<dyn Scheme> = Arc::new(ReplicatedScheme::new(
+        3,
+        Arc::new(HashScheme::by_attrs(K, vec![Some(0)])),
+    ));
+    load_table(
+        &*store,
+        &*scheme,
+        &*db,
+        &schema,
+        0,
+        (0..n_keys).map(|i| vec![Value::Int(i as i64), Value::Int(0)]),
+    )
+    .unwrap();
+    let health = Arc::new(HealthMap::new());
+    let server = Server::new(
+        schema,
+        Arc::clone(&store) as Arc<dyn ShardStore>,
+        Arc::clone(&scheme),
+        db,
+        ServeConfig {
+            health: Some(Arc::clone(&health)),
+            ..ServeConfig::default()
+        },
+    );
+    Rf3Fixture {
+        server,
+        scheme,
+        store,
+        health,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Seeded crash / revive / catch-up interleavings over an rf=3 server,
+    /// with a full oracle sweep after every op:
+    ///
+    /// - a write must succeed iff a majority of its key's full replica set
+    ///   is Live (a catching-up member counts for nothing), and a refused
+    ///   write must leave no trace;
+    /// - every read must return the oracle's value — a revived shard's
+    ///   store is poisoned with a sentinel before its worker respawns, so
+    ///   this also proves a catching-up shard never serves a read until
+    ///   its catch-up flips it Live;
+    /// - after the final catch-up, every live copy of every key is
+    ///   byte-identical across its replica set (no poison residue).
+    #[test]
+    fn acked_writes_survive_minority_crashes_and_rejoins(
+        raw_ops in prop::collection::vec((0..12u32, 0..16u64, -1000i64..1000), 1..70)
+    ) {
+        let n_keys = 16u64;
+        let f = rf3_fixture(n_keys);
+        let db = PkValues::from_schema(f.server.schema());
+        let mut model: HashMap<u64, i64> = (0..n_keys).map(|k| (k, 0)).collect();
+        let poison = encode_row(&[Value::Int(-1), Value::Int(-999_999)]);
+        let catch_up = |shard: u32| {
+            run_catch_up(
+                shard,
+                &f.server.scheme(),
+                &db,
+                (0..n_keys).map(|r| TupleId::new(0, r)),
+                &*f.store,
+                &f.health,
+                &PlanConfig::default(),
+                8,
+            )
+            .unwrap_or_else(|e| panic!("catch-up of shard {shard} failed: {e}"));
+        };
+        for (kind, key, val) in raw_ops {
+            match kind {
+                0..=4 => {
+                    let t = TupleId::new(0, key);
+                    let group = f.scheme.locate_tuple(t, &db);
+                    let live = group.difference(&f.health.not_live_set());
+                    let res = f
+                        .server
+                        .execute_sql(&format!("UPDATE account SET bal = {val} WHERE id = {key}"));
+                    if live.len() >= 2 {
+                        let out = res.unwrap_or_else(|e| {
+                            panic!("write to key {key} refused with a live majority: {e}")
+                        });
+                        prop_assert_eq!(out.affected, 1);
+                        model.insert(key, val);
+                    } else {
+                        prop_assert!(
+                            matches!(res, Err(ServeError::Unavailable { .. })),
+                            "write to key {} must refuse without a majority: {:?}",
+                            key,
+                            res
+                        );
+                    }
+                }
+                5..=8 => {
+                    let out = f
+                        .server
+                        .execute_sql(&format!("SELECT * FROM account WHERE id = {key}"))
+                        .unwrap();
+                    prop_assert_eq!(out.rows.len(), 1);
+                    prop_assert_eq!(&out.rows[0].1[1], &Value::Int(model[&key]));
+                }
+                9..=10 => {
+                    // Crash a live shard, capped at two non-live shards so
+                    // every 3-member group keeps at least one live copy.
+                    let victim = (key % u64::from(K)) as u32;
+                    if f.health.is_live(victim) && f.health.not_live_set().len() < 2 {
+                        f.health.mark_down(victim);
+                    }
+                }
+                _ => {
+                    // Finish one in-flight catch-up, else revive one down
+                    // shard with a poisoned store.
+                    if let Some(s) = f.health.catching_up_set().first() {
+                        catch_up(s);
+                    } else if let Some(s) = f.health.down_set().first() {
+                        for r in 0..n_keys {
+                            let t = TupleId::new(0, r);
+                            if f.scheme.locate_tuple(t, &db).contains(s) {
+                                f.store.put(s, t, poison.clone()).unwrap();
+                            }
+                        }
+                        prop_assert!(f.server.revive_shard(s));
+                    }
+                }
             }
-            StepOutcome::Done => panic!(
-                "migration must abort after an in-plan key is deleted \
-                 (the documented serving limitation)"
-            ),
-            _ => {}
+            // Oracle sweep: every key must read its model value — a
+            // poisoned catching-up shard serving any read would fail here.
+            for k in 0..n_keys {
+                let out = f
+                    .server
+                    .execute_sql(&format!("SELECT * FROM account WHERE id = {k}"))
+                    .unwrap();
+                prop_assert_eq!(out.rows.len(), 1, "key {} unreadable", k);
+                prop_assert_eq!(&out.rows[0].1[1], &Value::Int(model[&k]));
+            }
+        }
+        // Heal everything and verify byte-identical replicas.
+        for s in f.health.catching_up_set().iter() {
+            catch_up(s);
+        }
+        for s in f.health.down_set().iter() {
+            f.store.wipe_shard(s).unwrap();
+            prop_assert!(f.server.revive_shard(s));
+            catch_up(s);
+        }
+        prop_assert!(f.health.not_live_set().is_empty());
+        for k in 0..n_keys {
+            let t = TupleId::new(0, k);
+            let copies: Vec<u32> = f.scheme.locate_tuple(t, &db).iter().collect();
+            let want = f.store.get(copies[0], t).unwrap();
+            prop_assert!(want.is_some());
+            prop_assert!(
+                want != Some(poison.clone()),
+                "poison survived catch-up on key {}",
+                k
+            );
+            for &s in &copies[1..] {
+                prop_assert_eq!(
+                    &f.store.get(s, t).unwrap(),
+                    &want,
+                    "key {} diverges between replicas {} and {}",
+                    k,
+                    copies[0],
+                    s
+                );
+            }
         }
     }
 }
