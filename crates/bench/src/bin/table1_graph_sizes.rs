@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p schism-bench --bin table1_graph_sizes \
-//!     [--full] [--threads N] [--scaling-only]
+//!     [--full] [--threads N] [--scaling-only] [--huge [--smoke]]
 //! ```
 //!
 //! `--threads N` (any `N >= 1`) sizes the builder's worker pool for the
@@ -13,21 +13,35 @@
 //! trace (TPC-C 50W) is ingested at every power-of-two thread count up to
 //! `N`, plus `N` itself when it is not one — asserting the built graphs
 //! bit-identical via [`schism_core::WorkloadGraph::digest`] while timing —
-//! plus once more through the chunked streaming source (`tpcc::stream`),
-//! and the result is recorded in
-//! `crates/bench/BENCH_graph.json` together with the host's core count
-//! (speedups are only meaningful when the host actually has that many
-//! cores; a 1-core container measures oversubscription, not scaling, and
-//! the JSON says so).
+//! plus once more through the chunked streaming source (`tpcc::stream`).
 //!
 //! `--scaling-only` skips the other two dataset builds (CI smoke).
+//!
+//! `--huge` runs the fixed-memory stress: a **1e8-access** drifting trace
+//! is streamed end to end — graph build (`build_graph_source`, never a
+//! materialized `Trace`), partition phase, and a sketched drift check —
+//! while peak RSS (`VmHWM`) is asserted under a hard ceiling. `--smoke`
+//! scales it down 100x (~1e6 accesses, CI-sized) and additionally
+//! round-trips a statement-retaining trace through `render_log` →
+//! `SqlLogSource`, asserting the streamed-SQL graph digest matches the
+//! in-memory build.
+//!
+//! Results land in `crates/bench/BENCH_graph.json` as independent
+//! `"scaling"` / `"huge"` sections (a run refreshes its own section and
+//! carries the other over), together with the host's core count —
+//! speedups are only meaningful when the host actually has that many
+//! cores; a 1-core container measures oversubscription, not scaling, and
+//! the JSON says so.
 
 use schism_bench::table::Table;
 use schism_core::SchismConfig;
+use schism_migrate::{DistanceMetric, DriftConfig, SketchConfig, SketchDriftDetector};
+use schism_workload::drifting::{self, DriftingConfig};
 use schism_workload::epinions::{self, EpinionsConfig};
 use schism_workload::tpcc::{self, TpccConfig};
 use schism_workload::tpce::{self, TpceConfig};
-use schism_workload::Workload;
+use schism_workload::{render_log, SqlLogSource, TraceSource, Workload};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Row<'a> {
@@ -48,9 +62,9 @@ fn tpcc_cfg(full: bool) -> TpccConfig {
 
 /// Ingest the largest trace at 1, 2, 4, ..., `max_threads` (powers of two,
 /// plus `max_threads` itself when it is not one) and through the chunked
-/// streaming source, asserting every build digests identically, and record
-/// wall-clocks + speedups in BENCH_graph.json.
-fn thread_scaling(w: &Workload, wcfg: &TpccConfig, full: bool, max_threads: usize) {
+/// streaming source, asserting every build digests identically. Returns
+/// the `"scaling"` section for BENCH_graph.json.
+fn thread_scaling(w: &Workload, wcfg: &TpccConfig, full: bool, max_threads: usize) -> String {
     let mut counts = vec![1usize];
     while counts.last().unwrap() * 2 <= max_threads {
         counts.push(counts.last().unwrap() * 2);
@@ -139,9 +153,7 @@ fn thread_scaling(w: &Workload, wcfg: &TpccConfig, full: bool, max_threads: usiz
     let entries: Vec<String> = rows
         .iter()
         .map(|(label, dt, sp)| {
-            format!(
-                "    {{ \"run\": \"{label}\", \"wall_s\": {dt:.3}, \"speedup_vs_1\": {sp:.3} }}"
-            )
+            format!("{{ \"run\": \"{label}\", \"wall_s\": {dt:.3}, \"speedup_vs_1\": {sp:.3} }}")
         })
         .collect();
     let note = if host_cores < max_threads {
@@ -153,23 +165,231 @@ fn thread_scaling(w: &Workload, wcfg: &TpccConfig, full: bool, max_threads: usiz
         "speedups measured with dedicated cores per thread".to_string()
     };
     let stats = stats.expect("at least one build ran");
-    let json = format!(
-        "{{\n  \"bench\": \"table1_graph_sizes --threads {max_threads}\",\n  \
-         \"workload\": \"tpcc-50w (5% tuples)\",\n  \"txns\": {txns},\n  \
-         \"nodes\": {nodes},\n  \"edges\": {edges},\n  \"full\": {full},\n  \
-         \"host_cores\": {host_cores},\n  \"note\": \"{note}\",\n  \
-         \"deterministic_across_threads\": true,\n  \
-         \"chunked_equals_whole\": true,\n  \"runs\": [\n{runs}\n  ]\n}}\n",
+    format!(
+        "{{ \"threads\": {max_threads}, \"workload\": \"tpcc-50w (5% tuples)\", \
+         \"txns\": {txns}, \"nodes\": {nodes}, \"edges\": {edges}, \"full\": {full}, \
+         \"note\": \"{note}\", \"deterministic_across_threads\": true, \
+         \"chunked_equals_whole\": true, \"runs\": [{runs}] }}",
         txns = w.trace.len(),
         nodes = stats.nodes,
         edges = stats.edges,
-        runs = entries.join(",\n"),
+        runs = entries.join(", "),
+    )
+}
+
+/// The `--huge` drifting configuration: ~3 accesses per transaction, so
+/// `num_txns` of 33.34M yields ~1e8 accesses over a 1.6M-key space (100k
+/// co-access blocks). `--smoke` scales both down 100x (~1e6 accesses).
+fn huge_cfg(smoke: bool) -> DriftingConfig {
+    let scale: u64 = if smoke { 1 } else { 100 };
+    let records = 16_000 * scale;
+    let block_span = 16;
+    DriftingConfig {
+        records,
+        block_span,
+        num_txns: (333_400 * scale) as usize,
+        theta: 0.9,
+        write_fraction: 0.3,
+        // One window of drift rotates the hot spot by 10% of the keyspace.
+        drift_blocks_per_window: records / block_span / 10,
+        hot_offset: 0,
+        seed: 42,
+        keep_statements: false,
+    }
+}
+
+/// End-to-end fixed-memory stress: streamed build → partition → sketched
+/// drift window, with peak RSS asserted under `ceiling_mib`. Returns the
+/// `"huge"` section for BENCH_graph.json.
+fn huge(smoke: bool, threads: usize) -> String {
+    let wcfg = huge_cfg(smoke);
+    // The peak-RSS ceiling the run must stay under: ~2x the measured
+    // high-water mark (788 MiB full, 18 MiB smoke — the smoke floor is
+    // dominated by what a materialized 1e6-access trace would cost), so a
+    // real memory regression (an accidentally materialized trace, replica
+    // star explosion sneaking back in) trips the assert while allocator
+    // jitter does not.
+    let ceiling_mib: u64 = if smoke { 128 } else { 2_048 };
+
+    let meta = drifting::workload_meta(&wcfg);
+    let src = drifting::stream(&wcfg);
+    let mut cfg = SchismConfig::new(8);
+    cfg.threads = threads;
+    // Replication's star explosion allocates replica nodes proportional to
+    // each hot group's *access count* — O(accesses) memory on a Zipfian
+    // trace, exactly what a fixed-memory run must exclude. The paper's
+    // levers for this scale (§5.1) are sampling/filtering, not replication.
+    cfg.replication = false;
+
+    println!(
+        "=== --huge{}: streamed drifting trace, {} txns over {} keys, {} thread(s) ===",
+        if smoke { " --smoke" } else { "" },
+        wcfg.num_txns,
+        wcfg.records,
+        threads,
     );
-    let out = if std::path::Path::new("crates/bench").is_dir() {
+    let t0 = Instant::now();
+    let wg = schism_core::build_graph_source(&meta, &src, &cfg);
+    let build_s = t0.elapsed().as_secs_f64();
+    let accesses: u64 = wg.tuple_access_counts().map(|(_, c)| c as u64).sum();
+    println!(
+        "build: {build_s:.1}s, {accesses} accesses -> {} nodes / {} edges",
+        wg.stats.nodes, wg.stats.edges
+    );
+
+    let t0 = Instant::now();
+    let phase = schism_core::run_partition_phase(&wg, &cfg);
+    let partition_s = t0.elapsed().as_secs_f64();
+    println!(
+        "partition: {partition_s:.1}s, edge cut {} (imbalance {:.3})",
+        phase.edge_cut, phase.imbalance
+    );
+
+    // Drift check on sketched (fixed-memory) histograms: a fresh window
+    // with the hot spot rotated one drift step must trigger against a
+    // reference window of the built distribution.
+    let window_txns = wcfg.num_txns / 33;
+    let reference = drifting::stream(&DriftingConfig {
+        num_txns: window_txns,
+        ..wcfg.clone()
+    });
+    let observed = drifting::stream(&DriftingConfig {
+        num_txns: window_txns,
+        hot_offset: wcfg.drift_blocks_per_window,
+        seed: wcfg.seed ^ 0xD1F7,
+        ..wcfg.clone()
+    });
+    // At full scale the theta=0.9 Zipfian over 100k blocks is flat enough
+    // that the default 1024-entry reservoir covers only ~16% of the access
+    // mass — a fully rotated hot set then scores barely over threshold.
+    // 8192 heavy hitters (~top-512 blocks, ~40% of mass) keep the trigger
+    // margin comfortable at a still-fixed ~1 MiB of sketch.
+    let scfg = if smoke {
+        SketchConfig::default()
+    } else {
+        SketchConfig {
+            width: 1 << 15,
+            depth: 4,
+            heavy_hitters: 8192,
+        }
+    };
+    let t0 = Instant::now();
+    let detector = SketchDriftDetector::new(
+        DriftConfig {
+            metric: DistanceMetric::TotalVariation,
+            ..DriftConfig::default()
+        },
+        scfg,
+        &reference,
+    );
+    let report = detector.observe(&observed);
+    let drift_s = t0.elapsed().as_secs_f64();
+    println!(
+        "drift window ({window_txns} txns): {drift_s:.1}s, TV distance {:.3} -> drifted={}",
+        report.distance, report.drifted
+    );
+    assert!(
+        report.drifted,
+        "rotated hot spot must trigger the sketched detector (TV {:.3})",
+        report.distance
+    );
+
+    if smoke {
+        sqllog_round_trip(threads);
+    }
+
+    let peak = schism_bench::peak_rss_bytes().expect("VmHWM in /proc/self/status");
+    let peak_mib = peak / (1 << 20);
+    println!("peak RSS: {peak_mib} MiB (ceiling {ceiling_mib} MiB)");
+    assert!(
+        peak_mib <= ceiling_mib,
+        "peak RSS {peak_mib} MiB exceeds the fixed-memory ceiling {ceiling_mib} MiB"
+    );
+
+    format!(
+        "{{ \"workload\": \"ycsb-drift streamed\", \"smoke\": {smoke}, \
+         \"records\": {records}, \"txns\": {txns}, \"accesses\": {accesses}, \
+         \"threads\": {threads}, \"replication\": false, \
+         \"nodes\": {nodes}, \"edges\": {edges}, \
+         \"build_wall_s\": {build_s:.1}, \"partition_wall_s\": {partition_s:.1}, \
+         \"drift_wall_s\": {drift_s:.1}, \"edge_cut\": {cut}, \
+         \"drift_tv\": {tv:.3}, \"drifted\": true, \"window_txns\": {window_txns}, \
+         \"peak_rss_mib\": {peak_mib}, \"rss_ceiling_mib\": {ceiling_mib} }}",
+        records = wcfg.records,
+        txns = wcfg.num_txns,
+        nodes = wg.stats.nodes,
+        edges = wg.stats.edges,
+        cut = phase.edge_cut,
+        tv = report.distance,
+    )
+}
+
+/// Streams a statement-retaining drifting trace through `render_log` →
+/// [`SqlLogSource`] and asserts the SQL-text path builds the bit-identical
+/// graph (same digest) as the in-memory trace.
+fn sqllog_round_trip(threads: usize) {
+    let w = drifting::generate(&DriftingConfig {
+        num_txns: 2_000,
+        keep_statements: true,
+        ..DriftingConfig::default()
+    });
+    let log = render_log(&w.schema, &w.trace);
+    let src = SqlLogSource::from_string(Arc::clone(&w.schema), log).expect("rendered log parses");
+    assert_eq!(src.len(), w.trace.len());
+    let mut cfg = SchismConfig::new(4);
+    cfg.threads = threads;
+    let from_trace = schism_core::build_graph(&w, &w.trace, &cfg);
+    let from_sql = schism_core::build_graph_source(&w, &src, &cfg);
+    assert_eq!(
+        from_sql.digest(),
+        from_trace.digest(),
+        "SQL-log streaming ingestion changed the workload graph"
+    );
+    println!(
+        "sql-log round trip: {} txns re-ingested from SQL text, digests match",
+        src.len()
+    );
+}
+
+fn bench_json_path() -> &'static str {
+    if std::path::Path::new("crates/bench").is_dir() {
         "crates/bench/BENCH_graph.json"
     } else {
         "BENCH_graph.json"
-    };
+    }
+}
+
+/// Pulls one single-line section (`"scaling"` or `"huge"`) out of the
+/// existing BENCH_graph.json, so a run that measures only the other
+/// section carries it over instead of clobbering it.
+fn existing_section(name: &str) -> Option<String> {
+    let text = std::fs::read_to_string(bench_json_path()).ok()?;
+    let prefix = format!("\"{name}\": ");
+    for line in text.lines() {
+        if let Some(rest) = line.trim_start().strip_prefix(&prefix) {
+            let rest = rest.trim_end().trim_end_matches(',');
+            if rest != "null" {
+                return Some(rest.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Writes BENCH_graph.json: one line per section, honest host core count.
+fn write_bench_json(scaling: Option<String>, huge: Option<String>) {
+    let scaling = scaling
+        .or_else(|| existing_section("scaling"))
+        .unwrap_or_else(|| "null".into());
+    let huge = huge
+        .or_else(|| existing_section("huge"))
+        .unwrap_or_else(|| "null".into());
+    let json = format!(
+        "{{\n  \"bench\": \"table1_graph_sizes\",\n  \"host_cores\": {},\n  \
+         \"scaling\": {scaling},\n  \"huge\": {huge}\n}}\n",
+        schism_par::available_parallelism(),
+    );
+    let out = bench_json_path();
     std::fs::write(out, &json).expect("write BENCH_graph.json");
     println!("wrote {out}");
 }
@@ -181,6 +401,22 @@ fn main() {
         .unwrap_or(0);
     let scaling_only = schism_bench::flag("--scaling-only");
     let scale = |small: usize, paper: usize| if full { paper } else { small };
+
+    // The fixed-memory stress replaces the Table-1 / scaling runs: it is a
+    // different measurement with its own BENCH_graph.json section.
+    if schism_bench::flag("--huge") {
+        let smoke = schism_bench::flag("--smoke");
+        let t = if threads > 0 {
+            threads
+        } else {
+            schism_par::resolve_threads(0)
+        };
+        let section = huge(smoke, t);
+        // A smoke run validates the path but must not overwrite the real
+        // 1e8 record with 1e6-sized numbers.
+        write_bench_json(None, if smoke { None } else { Some(section) });
+        return;
+    }
 
     // The largest trace; shared by the Table-1 row and the thread-scaling
     // measurement so the most expensive generation runs once.
@@ -259,7 +495,8 @@ fn main() {
         } else {
             schism_par::resolve_threads(0)
         };
-        thread_scaling(&tpcc_w, &tpcc_wcfg, full, max_threads);
+        let section = thread_scaling(&tpcc_w, &tpcc_wcfg, full, max_threads);
+        write_bench_json(Some(section), None);
     }
 }
 

@@ -37,6 +37,17 @@ pub fn arg_value(name: &str) -> Option<String> {
     None
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable. This is a
+/// *high-water mark*: it only ever grows, so read it right after the phase
+/// being measured and before anything else allocates.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Parses `--backend mem|log` (default `mem`), panicking with the usage
 /// string on an unknown value — bench binaries want loud misconfiguration.
 pub fn backend_kind() -> schism_store::BackendKind {

@@ -5,14 +5,18 @@
 //! generators can feed the builder without materializing a
 //! `Vec<Transaction>`, and both passes fan out over `schism-par`:
 //!
-//! - **Pass 1** (filter + count): each chunk builds a partial
-//!   `TupleId → TupleStats` map — transaction sampling, blanket-statement
-//!   filtering, access/write counts and the coalescing signature — and the
-//!   partials are merged in chunk order. Counts merge by addition; the
+//! - **Pass 1** (filter + count): each chunk builds partial
+//!   `TupleId → TupleStats` maps — transaction sampling, blanket-statement
+//!   filtering, access/write counts and the coalescing signature —
+//!   **hash-sharded by tuple** into [`SchismConfig::merge_shards`]
+//!   independent maps. The shards merge in parallel (one ordered fold per
+//!   shard, [`schism_par::Pool::reduce_shards`]) instead of serializing the
+//!   whole fan-in through a single map. Counts merge by addition; the
 //!   coalescing signature is a **commutative** sum of per-access hashes
-//!   (see `TupleStats::signature`), so the merged map is independent of
-//!   chunking. Tuple sampling and relevance filtering then prune the merged
-//!   map, and coalescing groups tuples over the sorted survivor list.
+//!   (see `TupleStats::signature`), so the merged maps are independent of
+//!   both the chunking and the shard count. Tuple sampling and relevance
+//!   filtering then prune each shard (also in parallel), and coalescing
+//!   groups tuples over the globally sorted survivor list.
 //! - **Pass 2** (nodes + edges): each chunk emits its transaction-clique
 //!   edges into a chunk-local [`EdgeBuffer`], allocating replica-star nodes
 //!   *chunk-locally* (an encoded id per allocation). The stitch walks the
@@ -100,6 +104,24 @@ fn access_token(idx: usize, write: bool) -> u64 {
     splitmix(((idx as u64) << 1 | u64::from(write)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// The pass-1 merge shard a tuple's stats live in. Must be a pure function
+/// of the tuple (never of chunk or thread), so every chunk's contributions
+/// to one tuple meet in exactly one shard.
+fn shard_of(t: TupleId, shards: usize) -> usize {
+    (tuple_hash(t) % shards as u64) as usize
+}
+
+/// Resolves [`SchismConfig::merge_shards`]: explicit value, or 4 shards per
+/// worker so the parallel merge keeps the whole pool busy even when shard
+/// sizes skew.
+fn resolve_merge_shards(requested: usize, threads: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        threads.saturating_mul(4).max(1)
+    }
+}
+
 fn visit_tuple(map: &mut HashMap<TupleId, TupleStats>, t: TupleId, write: bool, idx: usize) {
     let e = map.entry(t).or_default();
     e.accesses += 1;
@@ -109,12 +131,25 @@ fn visit_tuple(map: &mut HashMap<TupleId, TupleStats>, t: TupleId, write: bool, 
     e.signature = e.signature.wrapping_add(access_token(idx, write));
 }
 
-/// One chunk's share of pass 1.
-#[derive(Default)]
+/// One chunk's share of pass 1: one partial stats map per merge shard.
 struct Pass1Partial {
-    stats: HashMap<TupleId, TupleStats>,
+    stats: Vec<HashMap<TupleId, TupleStats>>,
     sampled_txns: usize,
     dropped_scans: usize,
+}
+
+/// The merged, filtered pass-1 stats, still hash-sharded (the shard layout
+/// is an implementation detail of the merge; lookups go through [`get`]).
+///
+/// [`get`]: ShardedStats::get
+struct ShardedStats {
+    shards: Vec<HashMap<TupleId, TupleStats>>,
+}
+
+impl ShardedStats {
+    fn get(&self, t: TupleId) -> &TupleStats {
+        &self.shards[shard_of(t, self.shards.len())][&t]
+    }
 }
 
 /// One chunk's share of pass 2: clique edges with chunk-locally encoded
@@ -433,19 +468,27 @@ where
     let pool = Pool::new(resolve_threads(cfg.threads));
     let chunk = chunk_size(n_txns, pool.threads());
 
-    // --- Pass 1: filter + count, one partial stats map per chunk. ---
+    // --- Pass 1: filter + count, hash-sharded partial stats maps per
+    // chunk. Sharding by tuple means shard `s` of every chunk holds
+    // contributions for the same tuple population, so the merge decomposes
+    // into `shards` independent folds.
+    let shards = resolve_merge_shards(cfg.merge_shards, pool.threads());
     let partials = pool.scope_chunks(n_txns, chunk, |range| {
-        let mut p = Pass1Partial::default();
+        let mut p = Pass1Partial {
+            stats: (0..shards).map(|_| HashMap::new()).collect(),
+            sampled_txns: 0,
+            dropped_scans: 0,
+        };
         source.for_chunk(range, &mut |idx, txn| {
             if !keep_txn(idx, cfg.txn_sample, seed) {
                 return;
             }
             p.sampled_txns += 1;
             for &t in &txn.reads {
-                visit_tuple(&mut p.stats, t, false, idx);
+                visit_tuple(&mut p.stats[shard_of(t, shards)], t, false, idx);
             }
             for &t in &txn.writes {
-                visit_tuple(&mut p.stats, t, true, idx);
+                visit_tuple(&mut p.stats[shard_of(t, shards)], t, true, idx);
             }
             for scan in &txn.scans {
                 if scan.len() > cfg.blanket_threshold {
@@ -453,48 +496,86 @@ where
                     continue;
                 }
                 for &t in scan {
-                    visit_tuple(&mut p.stats, t, false, idx);
+                    visit_tuple(&mut p.stats[shard_of(t, shards)], t, false, idx);
                 }
             }
         });
         p
     });
 
-    // Ordered reduce over the chunk partials. Every merged quantity is
+    // Sharded merge: shard `s` folds its per-chunk partials in chunk order,
+    // and distinct shards fold in parallel. Every merged quantity is
     // commutative (sums — including the reformulated signature), so the
-    // result is independent of the chunk decomposition too.
-    let mut partials = partials.into_iter();
-    let first = partials.next().unwrap_or_default();
-    let mut stats_map = first.stats;
-    let mut sampled_txns = first.sampled_txns;
-    let mut dropped_scans = first.dropped_scans;
-    for p in partials {
-        sampled_txns += p.sampled_txns;
-        dropped_scans += p.dropped_scans;
-        for (t, s) in p.stats {
-            match stats_map.entry(t) {
-                Entry::Occupied(e) => e.into_mut().absorb(&s),
-                Entry::Vacant(v) => {
-                    v.insert(s);
+    // result is independent of the chunk decomposition *and* of the shard
+    // count: a tuple's contributions always meet inside its one shard, and
+    // `shards == 1` reproduces the old single-map reduce exactly. Tuple
+    // sampling (access-weighted) and the relevance filter run per shard in
+    // the same parallel step.
+    let mut sampled_txns = 0usize;
+    let mut dropped_scans = 0usize;
+    let shard_parts: Vec<Vec<HashMap<TupleId, TupleStats>>> = partials
+        .into_iter()
+        .map(|p| {
+            sampled_txns += p.sampled_txns;
+            dropped_scans += p.dropped_scans;
+            p.stats
+        })
+        .collect();
+    let merged = pool.reduce_shards(
+        shard_parts,
+        |_| None::<HashMap<TupleId, TupleStats>>,
+        |acc, part| match acc {
+            None => Some(part),
+            Some(map) => {
+                // Absorb the smaller map into the larger (commutative, so
+                // the swap never changes the result).
+                let (mut into, from) = if part.len() > map.len() {
+                    (part, map)
+                } else {
+                    (map, part)
+                };
+                for (t, s) in from {
+                    match into.entry(t) {
+                        Entry::Occupied(e) => e.into_mut().absorb(&s),
+                        Entry::Vacant(v) => {
+                            v.insert(s);
+                        }
+                    }
                 }
+                Some(into)
             }
-        }
-    }
-
-    // Tuple-level sampling (access-weighted) + relevance filter.
-    stats_map.retain(|&t, s| {
-        s.accesses >= cfg.min_tuple_accesses
-            && (cfg.tuple_sample >= 1.0 || keep_tuple(t, cfg.tuple_sample, s.accesses, seed))
+        },
+    );
+    let filter_slots: Vec<std::sync::Mutex<HashMap<TupleId, TupleStats>>> = merged
+        .into_iter()
+        .map(|m| std::sync::Mutex::new(m.unwrap_or_default()))
+        .collect();
+    pool.scope_chunks(filter_slots.len(), 1, |range| {
+        let mut m = filter_slots[range.start].lock().expect("shard poisoned");
+        m.retain(|&t, s| {
+            s.accesses >= cfg.min_tuple_accesses
+                && (cfg.tuple_sample >= 1.0 || keep_tuple(t, cfg.tuple_sample, s.accesses, seed))
+        });
     });
+    let stats = ShardedStats {
+        shards: filter_slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("shard poisoned"))
+            .collect(),
+    };
 
     // --- Grouping (tuple coalescing). ---
-    let mut tuples: Vec<TupleId> = stats_map.keys().copied().collect();
+    let mut tuples: Vec<TupleId> = stats
+        .shards
+        .iter()
+        .flat_map(|m| m.keys().copied())
+        .collect();
     tuples.sort_unstable();
     let mut group_of = vec![0 as NodeId; tuples.len()];
     let mut group_key: HashMap<(u64, u32), NodeId> = HashMap::new();
     let mut groups: Vec<(u32, u32, u64)> = Vec::new(); // (accesses, writes, weight_bytes)
     for (i, &t) in tuples.iter().enumerate() {
-        let s = &stats_map[&t];
+        let s = stats.get(t);
         let bytes = db.tuple_bytes(t.table) as u64;
         let gid = if cfg.coalesce {
             *group_key

@@ -18,7 +18,7 @@
 //! key ranges first; the windowed API only assumes the histogram keys are
 //! comparable across windows.
 
-use schism_workload::{Trace, TupleId};
+use schism_workload::{Trace, TraceSource, TupleId};
 use std::collections::HashMap;
 
 /// Distribution distance used by the detector.
@@ -58,15 +58,37 @@ pub struct AccessHistogram {
 impl AccessHistogram {
     /// Counts every access (point reads, scan members, writes).
     pub fn from_trace(trace: &Trace) -> Self {
-        let mut counts: HashMap<TupleId, u64> = HashMap::new();
-        let mut total = 0u64;
-        for txn in &trace.transactions {
+        Self::from_source(trace)
+    }
+
+    /// Counts every access of a window streamed from any [`TraceSource`]
+    /// — no materialized `Trace` needed.
+    pub fn from_source<S>(source: &S) -> Self
+    where
+        S: TraceSource + ?Sized,
+    {
+        let mut h = Self::default();
+        h.observe_source(source);
+        h
+    }
+
+    /// Records one access. The histogram is a running count: callers can
+    /// feed accesses as they arrive instead of batching a window first.
+    pub fn observe(&mut self, t: TupleId) {
+        *self.counts.entry(t).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Feeds every access of a streamed window into the running counts.
+    pub fn observe_source<S>(&mut self, source: &S)
+    where
+        S: TraceSource + ?Sized,
+    {
+        source.for_chunk(0..source.len(), &mut |_, txn| {
             for t in txn.accessed() {
-                *counts.entry(t).or_insert(0) += 1;
-                total += 1;
+                self.observe(t);
             }
-        }
-        Self { counts, total }
+        });
     }
 
     pub fn total_accesses(&self) -> u64 {

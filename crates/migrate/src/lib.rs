@@ -9,6 +9,7 @@
 //! | module | role |
 //! |--------|------|
 //! | [`drift`] | windowed access histograms + distribution-distance trigger |
+//! | [`sketch`] | fixed-memory drift: count-min sketch + heavy-hitter reservoir |
 //! | [`incremental`] | warm-started re-partition and the from-scratch baseline |
 //! | [`relabel`](mod@relabel) | Hungarian matching of new→old partition ids to minimize movement |
 //! | [`plan`] | diff two placements into throttled, batched tuple moves |
@@ -48,6 +49,7 @@ pub mod executor;
 pub mod incremental;
 pub mod plan;
 pub mod relabel;
+pub mod sketch;
 
 pub use catchup::{
     catch_up_plan, run_catch_up, scan_under_replicated, CatchUpReport, UnderReplicated,
@@ -63,3 +65,4 @@ pub use executor::{
 pub use incremental::{distributed_fraction, rerun_incremental, rerun_scratch, RepartitionOutcome};
 pub use plan::{plan_migration, MigrationBatch, MigrationPlan, PlanConfig, TupleMove};
 pub use relabel::{apply_relabel, relabel, Relabeling};
+pub use sketch::{SketchConfig, SketchDriftDetector, SketchHistogram};

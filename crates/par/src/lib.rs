@@ -209,6 +209,63 @@ impl Pool {
             .into_iter()
             .fold(init, fold)
     }
+
+    /// **Sharded reduce**: folds chunk partials that were pre-split into
+    /// `S` shards, one independent ordered fold per shard, with distinct
+    /// shards folding **in parallel**.
+    ///
+    /// `parts` is the per-chunk output of a sharding map (each inner `Vec`
+    /// must have the same length `S`; typically each chunk hash-partitions
+    /// its items into `S` buckets). Shard `s` of the result is
+    /// `fold(... fold(init(s), parts[0][s]) ..., parts[n-1][s])` — the
+    /// partials of shard `s` folded in chunk order. Because the folds of
+    /// different shards never touch the same data, they run concurrently
+    /// without locks, which is what turns the single-map ordered reduce of
+    /// a big fan-in into `S` parallel small ones.
+    ///
+    /// Determinism: each output shard is an ordered fold, so the result is
+    /// bit-identical for every thread count. Whether it is also identical
+    /// across *shard counts* is up to the caller's sharding function — a
+    /// hash-partition by key with a commutative `fold` (the graph builder's
+    /// pass-1 stats merge) is, because every key's contributions meet in
+    /// chunk order inside exactly one shard.
+    pub fn reduce_shards<P, A, I, F>(&self, parts: Vec<Vec<P>>, init: I, fold: F) -> Vec<A>
+    where
+        P: Send,
+        A: Send,
+        I: Fn(usize) -> A + Sync,
+        F: Fn(A, P) -> A + Sync,
+    {
+        let Some(first) = parts.first() else {
+            return Vec::new();
+        };
+        let shards = first.len();
+        // Transpose chunk-major -> shard-major (cheap: moves, no clones).
+        let mut per_shard: Vec<Vec<P>> = (0..shards)
+            .map(|_| Vec::with_capacity(parts.len()))
+            .collect();
+        for chunk in parts {
+            assert_eq!(
+                chunk.len(),
+                shards,
+                "every chunk partial must carry the same shard count"
+            );
+            for (s, p) in chunk.into_iter().enumerate() {
+                per_shard[s].push(p);
+            }
+        }
+        let slots: Vec<Mutex<Option<Vec<P>>>> =
+            per_shard.into_iter().map(|v| Mutex::new(Some(v))).collect();
+        self.scope_chunks(shards, 1, |range| {
+            let s = range.start;
+            let chunk_parts = slots[s]
+                .lock()
+                .expect("shard slot poisoned")
+                .take()
+                .expect("each shard folds exactly once");
+            chunk_parts.into_iter().fold(init(s), &fold)
+        })
+    }
 }
 
 /// A chunk size that amortizes scheduling overhead for `len` items across
@@ -310,6 +367,62 @@ mod tests {
                 inits >= 1 && inits <= t,
                 "one scratch per worker, got {inits}"
             );
+        }
+    }
+
+    #[test]
+    fn reduce_shards_folds_each_shard_in_chunk_order() {
+        // Chunk c contributes the string "c" to every shard; the fold is
+        // concatenation (non-commutative), so chunk order must be preserved
+        // per shard at every thread count.
+        let run = |threads: usize| {
+            let pool = Pool::new(threads);
+            let parts: Vec<Vec<String>> = (0..7)
+                .map(|c| (0..3).map(|s| format!("{c}:{s} ")).collect())
+                .collect();
+            pool.reduce_shards(parts, |s| format!("[{s}] "), |acc, p| acc + &p)
+        };
+        let base = run(1);
+        assert_eq!(base[0], "[0] 0:0 1:0 2:0 3:0 4:0 5:0 6:0 ");
+        assert_eq!(base[2], "[2] 0:2 1:2 2:2 3:2 4:2 5:2 6:2 ");
+        for t in [2, 3, 8] {
+            assert_eq!(run(t), base, "thread count {t} changed a shard fold");
+        }
+    }
+
+    #[test]
+    fn reduce_shards_handles_empty_input() {
+        let pool = Pool::new(4);
+        let got: Vec<u64> = pool.reduce_shards(Vec::<Vec<u64>>::new(), |_| 0, |a, b| a + b);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn hash_sharded_sums_are_shard_count_independent() {
+        // A commutative fold over hash-partitioned items: the union of the
+        // shard results must be the same total for every shard count, which
+        // is the property the graph builder's pass-1 merge leans on.
+        let items: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let total = |shards: usize, threads: usize| -> u64 {
+            let pool = Pool::new(threads);
+            let parts = pool.scope_chunks(items.len(), 117, |r| {
+                let mut buckets = vec![0u64; shards];
+                for i in r {
+                    let x = items[i];
+                    let s = (x % shards as u64) as usize;
+                    buckets[s] = buckets[s].wrapping_add(x);
+                }
+                buckets
+            });
+            pool.reduce_shards(parts, |_| 0u64, |a, b| a.wrapping_add(b))
+                .into_iter()
+                .fold(0u64, u64::wrapping_add)
+        };
+        let base = total(1, 1);
+        for shards in [2, 3, 16] {
+            for threads in [1, 4] {
+                assert_eq!(total(shards, threads), base);
+            }
         }
     }
 

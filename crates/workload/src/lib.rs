@@ -28,6 +28,7 @@ pub mod drifting;
 pub mod epinions;
 pub mod random;
 pub mod simplecount;
+pub mod sqllog;
 pub mod tpcc;
 pub mod tpce;
 pub mod trace;
@@ -36,6 +37,7 @@ pub mod txn;
 pub mod ycsb;
 
 pub use dist::{ScrambledZipfian, Zipfian};
+pub use sqllog::{render_log, SqlLogError, SqlLogOptions, SqlLogSource, SqlLogStats};
 pub use trace::{Trace, TraceSource, Workload};
 pub use tuple::{MaterializedDb, TupleId, TupleValues};
 pub use txn::{Transaction, TxnBuilder};
