@@ -8,32 +8,88 @@
 //!
 //! ```text
 //! cargo run --release -p schism-bench --bin fig5_partitioner_scaling \
-//!     [--full] [--threads N] [--speedup-only]
+//!     [--full] [--threads N] [--speedup-only] [--backend clique|hypergraph]
 //! ```
+//!
+//! `--backend` selects the co-access representation the sweep partitions:
+//! the default clique graph (edge-cut objective) or the one-net-per-
+//! transaction hypergraph ((λ−1) connectivity objective). Each backend
+//! records its thread-scaling run under its own section of
+//! `crates/bench/BENCH_partition.json`, so the two can be compared
+//! head-to-head; a run refreshes its own section and carries the other
+//! over.
 //!
 //! `--threads N` sizes the partitioner's worker pool for the k sweep
 //! (0/absent = auto via `SCHISM_THREADS` or hardware) **and** enables the
 //! thread-scaling measurement: the largest graph is partitioned at every
 //! power-of-two thread count up to `N`, wall-clocks and speedup ratios are
-//! printed, and the result is recorded in `crates/bench/BENCH_partition.json`
-//! together with the host's core count (speedups are only meaningful when
-//! the host actually has that many cores). Partitions are asserted
-//! bit-identical across thread counts while measuring — the determinism
-//! contract, enforced where the speedup is claimed.
+//! printed, and the result is recorded together with the host's core count
+//! (speedups are only meaningful when the host actually has that many
+//! cores). Partitions are asserted bit-identical across thread counts
+//! while measuring — the determinism contract, enforced where the speedup
+//! is claimed.
 //!
 //! `--speedup-only` skips the k sweep (CI smoke).
 
 use schism_bench::table::Table;
-use schism_core::{build_graph, SchismConfig};
-use schism_graph::{partition, CsrGraph, PartitionerConfig};
+use schism_core::{build_graph, GraphBackend, SchismConfig};
+use schism_graph::{hpartition, partition, HyperGraph, PartitionerConfig, Partitioning};
 use schism_workload::epinions::{self, EpinionsConfig};
 use schism_workload::tpcc::{self, TpccConfig};
 use schism_workload::tpce::{self, TpceConfig};
 use std::time::Instant;
 
-fn build(name: &str, full: bool) -> (String, CsrGraph) {
+/// The co-access representation under the partitioner: both variants carry
+/// the same vertices and weights (the build invariant); only the structure
+/// being cut — pairwise edges vs transaction nets — differs.
+enum Repr {
+    Clique(schism_graph::CsrGraph),
+    Hyper(HyperGraph),
+}
+
+impl Repr {
+    fn num_nodes(&self) -> usize {
+        match self {
+            Repr::Clique(g) => g.num_vertices(),
+            Repr::Hyper(h) => h.num_vertices(),
+        }
+    }
+
+    /// Structure size: edges for the clique graph, pins for the hypergraph
+    /// — the quantity partitioning time actually scales with.
+    fn structure_size(&self) -> usize {
+        match self {
+            Repr::Clique(g) => g.num_edges(),
+            Repr::Hyper(h) => h.num_pins(),
+        }
+    }
+
+    fn partition(&self, cfg: &PartitionerConfig) -> Partitioning {
+        match self {
+            Repr::Clique(g) => partition(g, cfg),
+            Repr::Hyper(h) => hpartition(h, cfg),
+        }
+    }
+
+    fn cut_metric(&self) -> &'static str {
+        match self {
+            Repr::Clique(_) => "edge-cut",
+            Repr::Hyper(_) => "connectivity(lambda-1)",
+        }
+    }
+}
+
+fn backend_name(b: GraphBackend) -> &'static str {
+    match b {
+        GraphBackend::Clique => "clique",
+        GraphBackend::Hypergraph => "hypergraph",
+    }
+}
+
+fn build(name: &str, full: bool, backend: GraphBackend) -> (String, Repr) {
     let scale = |small: usize, paper: usize| if full { paper } else { small };
     let mut cfg = SchismConfig::new(2);
+    cfg.graph_backend = backend;
     let (label, workload) = match name {
         "epinions" => {
             let w = epinions::generate(&EpinionsConfig {
@@ -60,21 +116,26 @@ fn build(name: &str, full: bool) -> (String, CsrGraph) {
         other => panic!("unknown graph {other}"),
     };
     let wg = build_graph(&workload, &workload.trace, &cfg);
+    let repr = match wg.hgraph {
+        Some(h) => Repr::Hyper(h),
+        None => Repr::Clique(wg.graph),
+    };
+    let structure = match &repr {
+        Repr::Clique(g) => format!("{} edges", g.num_edges()),
+        Repr::Hyper(h) => format!("{} nets / {} pins", h.num_nets(), h.num_pins()),
+    };
     (
-        format!(
-            "{label}: {} nodes, {} edges",
-            wg.graph.num_vertices(),
-            wg.graph.num_edges()
-        ),
-        wg.graph,
+        format!("{label}: {} nodes, {structure}", repr.num_nodes()),
+        repr,
     )
 }
 
 /// Partition the largest graph at 1, 2, ..., `max_threads` (powers of two)
 /// and record wall-clocks + speedups. Panics if any thread count changes
 /// the labels or cut — thread scaling is only worth reporting if the
-/// determinism contract holds on the graph being timed.
-fn thread_scaling(graph: &CsrGraph, label: &str, k: u32, max_threads: usize, full: bool) {
+/// determinism contract holds on the graph being timed. Returns this
+/// backend's one-line section for BENCH_partition.json.
+fn thread_scaling(repr: &Repr, label: &str, k: u32, max_threads: usize, full: bool) -> String {
     let mut counts = vec![1usize];
     while counts.last().unwrap() * 2 <= max_threads {
         counts.push(counts.last().unwrap() * 2);
@@ -93,7 +154,7 @@ fn thread_scaling(graph: &CsrGraph, label: &str, k: u32, max_threads: usize, ful
             ..PartitionerConfig::with_k(k)
         };
         let t0 = Instant::now();
-        let p = partition(graph, &cfg);
+        let p = repr.partition(&cfg);
         let dt = t0.elapsed().as_secs_f64();
         match &baseline {
             None => baseline = Some((dt, p.assignment.clone(), p.edge_cut)),
@@ -126,7 +187,7 @@ fn thread_scaling(graph: &CsrGraph, label: &str, k: u32, max_threads: usize, ful
     let entries: Vec<String> = rows
         .iter()
         .map(|(t, dt, sp)| {
-            format!("    {{ \"threads\": {t}, \"wall_s\": {dt:.3}, \"speedup_vs_1\": {sp:.3} }}")
+            format!("{{ \"threads\": {t}, \"wall_s\": {dt:.3}, \"speedup_vs_1\": {sp:.3} }}")
         })
         .collect();
     let note = if host_cores < max_threads {
@@ -137,23 +198,53 @@ fn thread_scaling(graph: &CsrGraph, label: &str, k: u32, max_threads: usize, ful
     } else {
         "speedups measured with dedicated cores per thread".to_string()
     };
-    let json = format!(
-        "{{\n  \"bench\": \"fig5_partitioner_scaling --threads {max_threads}\",\n  \
-         \"graph\": \"{label}\",\n  \"nodes\": {nodes},\n  \"edges\": {edges},\n  \
-         \"k\": {k},\n  \"full\": {full},\n  \"host_cores\": {host_cores},\n  \
-         \"note\": \"{note}\",\n  \
-         \"deterministic_across_threads\": true,\n  \"runs\": [\n{runs}\n  ]\n}}\n",
-        nodes = graph.num_vertices(),
-        edges = graph.num_edges(),
-        runs = entries.join(",\n"),
-    );
-    let out = if std::path::Path::new("crates/bench").is_dir() {
+    format!(
+        "{{ \"graph\": \"{label}\", \"nodes\": {nodes}, \"structure_size\": {size}, \
+         \"cut_metric\": \"{metric}\", \"cut\": {cut}, \"k\": {k}, \"full\": {full}, \
+         \"threads\": {max_threads}, \"note\": \"{note}\", \
+         \"deterministic_across_threads\": true, \"runs\": [{runs}] }}",
+        nodes = repr.num_nodes(),
+        size = repr.structure_size(),
+        metric = repr.cut_metric(),
+        cut = baseline.as_ref().unwrap().2,
+        runs = entries.join(", "),
+    )
+}
+
+fn bench_json_path() -> &'static str {
+    if std::path::Path::new("crates/bench").is_dir() {
         "crates/bench/BENCH_partition.json"
     } else {
         "BENCH_partition.json"
-    };
-    std::fs::write(out, &json).expect("write BENCH_partition.json");
-    println!("wrote {out}");
+    }
+}
+
+/// Writes BENCH_partition.json: one line per backend section, honest host
+/// core count. The backend not measured this run is carried over from the
+/// existing file.
+fn write_bench_json(backend: GraphBackend, section: String) {
+    let path = bench_json_path();
+    let mut sections: Vec<(&str, String)> = Vec::new();
+    for b in [GraphBackend::Clique, GraphBackend::Hypergraph] {
+        let name = backend_name(b);
+        let body = if b == backend {
+            section.clone()
+        } else {
+            schism_bench::existing_section(path, name).unwrap_or_else(|| "null".into())
+        };
+        sections.push((name, body));
+    }
+    let body = sections
+        .iter()
+        .map(|(name, s)| format!("  \"{name}\": {s}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"fig5_partitioner_scaling\",\n  \"host_cores\": {},\n{body}\n}}\n",
+        schism_par::available_parallelism(),
+    );
+    std::fs::write(path, &json).expect("write BENCH_partition.json");
+    println!("wrote {path}");
 }
 
 fn main() {
@@ -162,6 +253,7 @@ fn main() {
         .map(|v| v.parse().expect("--threads takes a non-negative integer"))
         .unwrap_or(0);
     let speedup_only = schism_bench::flag("--speedup-only");
+    let backend = schism_bench::graph_backend_arg();
 
     // The k sweep needs all three evaluation graphs; the thread-scaling
     // measurement only times the largest (tpce), so the smoke path skips
@@ -171,7 +263,8 @@ fn main() {
     } else {
         &["epinions", "tpcc-50w", "tpce"]
     };
-    let graphs: Vec<(String, CsrGraph)> = names.iter().map(|n| build(n, full)).collect();
+    let graphs: Vec<(String, Repr)> = names.iter().map(|n| build(n, full, backend)).collect();
+    println!("backend: {}", backend_name(backend));
     for (label, _) in &graphs {
         println!("graph {label}");
     }
@@ -182,18 +275,19 @@ fn main() {
         let ks = [2u32, 4, 8, 16, 32, 64, 128, 256, 512];
         let mut table = Table::new(&["k", "epinions (s)", "tpcc-50w (s)", "tpce (s)"]);
         let mut rows: Vec<Vec<String>> = ks.iter().map(|k| vec![k.to_string()]).collect();
-        for (_, graph) in &graphs {
+        for (_, repr) in &graphs {
             for (i, &k) in ks.iter().enumerate() {
                 let cfg = PartitionerConfig {
                     threads,
                     ..PartitionerConfig::with_k(k)
                 };
                 let t0 = Instant::now();
-                let p = partition(graph, &cfg);
+                let p = repr.partition(&cfg);
                 let dt = t0.elapsed().as_secs_f64();
                 rows[i].push(format!("{dt:.2}"));
                 eprintln!(
-                    "[fig5] k={k}: {dt:.2}s cut={} imbalance={:.3}",
+                    "[fig5] k={k}: {dt:.2}s {}={} imbalance={:.3}",
+                    repr.cut_metric(),
                     p.edge_cut,
                     p.imbalance()
                 );
@@ -208,7 +302,7 @@ fn main() {
         println!();
     }
 
-    // Thread scaling on the largest graph (by edge count), recorded to
+    // Thread scaling on the largest graph (by structure size), recorded to
     // BENCH_partition.json. Opt-in via `--threads N` (or `--speedup-only`)
     // so a plain Figure-5 reproduction never overwrites the committed
     // record as a side effect.
@@ -218,10 +312,11 @@ fn main() {
         } else {
             schism_par::resolve_threads(0)
         };
-        let (label, graph) = graphs
+        let (label, repr) = graphs
             .iter()
-            .max_by_key(|(_, g)| g.num_edges())
+            .max_by_key(|(_, r)| r.structure_size())
             .expect("at least one graph");
-        thread_scaling(graph, label, 8, max_threads.max(2), full);
+        let section = thread_scaling(repr, label, 8, max_threads.max(2), full);
+        write_bench_json(backend, section);
     }
 }

@@ -5,7 +5,9 @@
 //!
 //! ```text
 //! cargo run --release -p schism-bench --bin table1_graph_sizes \
-//!     [--full] [--threads N] [--scaling-only] [--huge [--smoke]]
+//!     [--full] [--threads N] [--scaling-only] \
+//!     [--huge [--smoke] [--backend clique|hypergraph]] \
+//!     [--backends [--smoke]]
 //! ```
 //!
 //! `--threads N` (any `N >= 1`) sizes the builder's worker pool for the
@@ -24,22 +26,39 @@
 //! scales it down 100x (~1e6 accesses, CI-sized) and additionally
 //! round-trips a statement-retaining trace through `render_log` →
 //! `SqlLogSource`, asserting the streamed-SQL graph digest matches the
-//! in-memory build.
+//! in-memory build. `--backend hypergraph` runs the same stress through
+//! the net-per-transaction hypergraph backend (recorded as its own
+//! `"huge_hyper"` section, so the clique record survives).
+//!
+//! `--backends` is the head-to-head backend comparison: for each of
+//! tpcc-wide / ycsb-e / drifting, a **fresh subprocess per (workload,
+//! backend) pair** builds the graph and partitions it with per-phase peak
+//! RSS isolated via `clear_refs` resets, then scores the placement's
+//! distributed-transaction fraction on the full trace. Both backends run
+//! blanket-filter-free (`blanket_threshold = MAX`) so coverage is equal:
+//! the clique pays O(width²) edges for every wide transaction, the
+//! hypergraph O(width) pins. On tpcc-wide the run *asserts* the hypergraph
+//! build peaks strictly lower than the clique build and that its
+//! distributed fraction is no worse. `--smoke` scales the traces down
+//! (CI-sized).
 //!
 //! Results land in `crates/bench/BENCH_graph.json` as independent
-//! `"scaling"` / `"huge"` sections (a run refreshes its own section and
-//! carries the other over), together with the host's core count —
-//! speedups are only meaningful when the host actually has that many
-//! cores; a 1-core container measures oversubscription, not scaling, and
-//! the JSON says so.
+//! `"scaling"` / `"huge"` / `"huge_hyper"` / `"backends"` sections (a run
+//! refreshes its own section and carries the others over), together with
+//! the host's core count — speedups are only meaningful when the host
+//! actually has that many cores; a 1-core container measures
+//! oversubscription, not scaling, and the JSON says so.
 
 use schism_bench::table::Table;
-use schism_core::SchismConfig;
-use schism_migrate::{DistanceMetric, DriftConfig, SketchConfig, SketchDriftDetector};
+use schism_core::{GraphBackend, SchismConfig};
+use schism_migrate::{
+    distributed_fraction, DistanceMetric, DriftConfig, SketchConfig, SketchDriftDetector,
+};
 use schism_workload::drifting::{self, DriftingConfig};
 use schism_workload::epinions::{self, EpinionsConfig};
 use schism_workload::tpcc::{self, TpccConfig};
 use schism_workload::tpce::{self, TpceConfig};
+use schism_workload::ycsb::{self, YcsbConfig};
 use schism_workload::{render_log, SqlLogSource, TraceSource, Workload};
 use std::sync::Arc;
 use std::time::Instant;
@@ -200,8 +219,9 @@ fn huge_cfg(smoke: bool) -> DriftingConfig {
 
 /// End-to-end fixed-memory stress: streamed build → partition → sketched
 /// drift window, with peak RSS asserted under `ceiling_mib`. Returns the
-/// `"huge"` section for BENCH_graph.json.
-fn huge(smoke: bool, threads: usize) -> String {
+/// `"huge"` (clique) or `"huge_hyper"` (hypergraph) section for
+/// BENCH_graph.json.
+fn huge(smoke: bool, threads: usize, backend: GraphBackend) -> String {
     let wcfg = huge_cfg(smoke);
     // The peak-RSS ceiling the run must stay under: ~2x the measured
     // high-water mark (788 MiB full, 18 MiB smoke — the smoke floor is
@@ -215,6 +235,7 @@ fn huge(smoke: bool, threads: usize) -> String {
     let src = drifting::stream(&wcfg);
     let mut cfg = SchismConfig::new(8);
     cfg.threads = threads;
+    cfg.graph_backend = backend;
     // Replication's star explosion allocates replica nodes proportional to
     // each hot group's *access count* — O(accesses) memory on a Zipfian
     // trace, exactly what a fixed-memory run must exclude. The paper's
@@ -222,19 +243,30 @@ fn huge(smoke: bool, threads: usize) -> String {
     cfg.replication = false;
 
     println!(
-        "=== --huge{}: streamed drifting trace, {} txns over {} keys, {} thread(s) ===",
+        "=== --huge{}: streamed drifting trace, {} txns over {} keys, {} thread(s), {} backend ===",
         if smoke { " --smoke" } else { "" },
         wcfg.num_txns,
         wcfg.records,
         threads,
+        match backend {
+            GraphBackend::Clique => "clique",
+            GraphBackend::Hypergraph => "hypergraph",
+        },
     );
     let t0 = Instant::now();
     let wg = schism_core::build_graph_source(&meta, &src, &cfg);
     let build_s = t0.elapsed().as_secs_f64();
     let accesses: u64 = wg.tuple_access_counts().map(|(_, c)| c as u64).sum();
+    let structure = match backend {
+        GraphBackend::Clique => format!("{} edges", wg.stats.edges),
+        GraphBackend::Hypergraph => format!(
+            "{} nets / {} pins (widest txn {})",
+            wg.stats.hyperedges, wg.stats.pins, wg.stats.widest_txn
+        ),
+    };
     println!(
-        "build: {build_s:.1}s, {accesses} accesses -> {} nodes / {} edges",
-        wg.stats.nodes, wg.stats.edges
+        "build: {build_s:.1}s, {accesses} accesses -> {} nodes / {structure}",
+        wg.stats.nodes
     );
 
     let t0 = Instant::now();
@@ -306,19 +338,29 @@ fn huge(smoke: bool, threads: usize) -> String {
         "peak RSS {peak_mib} MiB exceeds the fixed-memory ceiling {ceiling_mib} MiB"
     );
 
+    let (backend_name, cut_metric) = match backend {
+        GraphBackend::Clique => ("clique", "edge-cut"),
+        GraphBackend::Hypergraph => ("hypergraph", "connectivity(lambda-1)"),
+    };
     format!(
         "{{ \"workload\": \"ycsb-drift streamed\", \"smoke\": {smoke}, \
+         \"backend\": \"{backend_name}\", \
          \"records\": {records}, \"txns\": {txns}, \"accesses\": {accesses}, \
          \"threads\": {threads}, \"replication\": false, \
-         \"nodes\": {nodes}, \"edges\": {edges}, \
+         \"nodes\": {nodes}, \"edges\": {edges}, \"hyperedges\": {hyperedges}, \
+         \"pins\": {pins}, \"widest_txn\": {widest}, \
          \"build_wall_s\": {build_s:.1}, \"partition_wall_s\": {partition_s:.1}, \
-         \"drift_wall_s\": {drift_s:.1}, \"edge_cut\": {cut}, \
+         \"drift_wall_s\": {drift_s:.1}, \"cut_metric\": \"{cut_metric}\", \
+         \"cut\": {cut}, \
          \"drift_tv\": {tv:.3}, \"drifted\": true, \"window_txns\": {window_txns}, \
          \"peak_rss_mib\": {peak_mib}, \"rss_ceiling_mib\": {ceiling_mib} }}",
         records = wcfg.records,
         txns = wcfg.num_txns,
         nodes = wg.stats.nodes,
         edges = wg.stats.edges,
+        hyperedges = wg.stats.hyperedges,
+        pins = wg.stats.pins,
+        widest = wg.stats.widest_txn,
         cut = phase.edge_cut,
         tv = report.distance,
     )
@@ -359,39 +401,198 @@ fn bench_json_path() -> &'static str {
     }
 }
 
-/// Pulls one single-line section (`"scaling"` or `"huge"`) out of the
-/// existing BENCH_graph.json, so a run that measures only the other
-/// section carries it over instead of clobbering it.
-fn existing_section(name: &str) -> Option<String> {
-    let text = std::fs::read_to_string(bench_json_path()).ok()?;
-    let prefix = format!("\"{name}\": ");
-    for line in text.lines() {
-        if let Some(rest) = line.trim_start().strip_prefix(&prefix) {
-            let rest = rest.trim_end().trim_end_matches(',');
-            if rest != "null" {
-                return Some(rest.to_string());
-            }
-        }
-    }
-    None
-}
+const SECTIONS: [&str; 4] = ["scaling", "huge", "huge_hyper", "backends"];
 
-/// Writes BENCH_graph.json: one line per section, honest host core count.
-fn write_bench_json(scaling: Option<String>, huge: Option<String>) {
-    let scaling = scaling
-        .or_else(|| existing_section("scaling"))
-        .unwrap_or_else(|| "null".into());
-    let huge = huge
-        .or_else(|| existing_section("huge"))
-        .unwrap_or_else(|| "null".into());
+/// Writes BENCH_graph.json: one line per section (`"scaling"`, `"huge"`,
+/// `"huge_hyper"`, `"backends"`), honest host core count. `fresh` holds the
+/// section this run measured; every other section is carried over from the
+/// existing file.
+fn write_bench_json(fresh: Option<(&str, String)>) {
+    let path = bench_json_path();
+    let body = SECTIONS
+        .iter()
+        .map(|&name| {
+            let section = match &fresh {
+                Some((n, s)) if *n == name => Some(s.clone()),
+                _ => schism_bench::existing_section(path, name),
+            };
+            format!("  \"{name}\": {}", section.unwrap_or_else(|| "null".into()))
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"table1_graph_sizes\",\n  \"host_cores\": {},\n  \
-         \"scaling\": {scaling},\n  \"huge\": {huge}\n}}\n",
+        "{{\n  \"bench\": \"table1_graph_sizes\",\n  \"host_cores\": {},\n{body}\n}}\n",
         schism_par::available_parallelism(),
     );
-    let out = bench_json_path();
-    std::fs::write(out, &json).expect("write BENCH_graph.json");
-    println!("wrote {out}");
+    std::fs::write(path, &json).expect("write BENCH_graph.json");
+    println!("wrote {path}");
+}
+
+/// One `--probe` subprocess: build + partition + placement scoring for a
+/// single (workload, backend) pair, with per-phase peak RSS isolated by
+/// resetting the `VmHWM` high-water mark between phases. A fresh process
+/// per pair keeps the high-water mark honest — nothing a previous build
+/// allocated can mask this one's peak. Emits one `PROBE_JSON {...}` line
+/// on stdout for the `--backends` parent to collect.
+fn probe(name: &str, backend: GraphBackend, smoke: bool, threads: usize) {
+    let k = 8u32;
+    let w = match name {
+        // TPC-C with its wide stock-level scans (several hundred tuples per
+        // transaction): the clique's quadratic case.
+        "tpcc-wide" => tpcc::generate(&TpccConfig {
+            num_txns: if smoke { 8_000 } else { 20_000 },
+            ..TpccConfig::full(50)
+        }),
+        // YCSB-E with long range scans — mid-width transactions.
+        "ycsb-e" => ycsb::generate(&YcsbConfig {
+            records: if smoke { 5_000 } else { 50_000 },
+            num_txns: if smoke { 10_000 } else { 50_000 },
+            scan_max: 64,
+            ..YcsbConfig::workload_e()
+        }),
+        // Drifting point-access trace (~3 tuples per transaction): the
+        // parity case where the two representations nearly coincide.
+        "drifting" => drifting::generate(&DriftingConfig {
+            num_txns: if smoke { 20_000 } else { 200_000 },
+            ..Default::default()
+        }),
+        other => panic!("unknown probe workload {other}"),
+    };
+    let mut cfg = SchismConfig::new(k);
+    cfg.threads = threads;
+    cfg.graph_backend = backend;
+    // Equal, blanket-filter-free coverage on both backends: no scan is
+    // dropped, so the clique pays the full O(width^2) edges for every wide
+    // transaction while the hypergraph pays O(width) pins for the same
+    // transactions.
+    cfg.blanket_threshold = usize::MAX;
+    // Keep the peak-RSS attribution on the co-access structure itself;
+    // replica stars would add identical 2-pin structure on both backends.
+    cfg.replication = false;
+
+    let peak_reset = schism_bench::reset_peak_rss();
+    let t0 = Instant::now();
+    let wg = schism_core::build_graph(&w, &w.trace, &cfg);
+    let build_s = t0.elapsed().as_secs_f64();
+    let build_peak_mib = peak_mib_now();
+
+    schism_bench::reset_peak_rss();
+    let t0 = Instant::now();
+    let phase = schism_core::run_partition_phase(&wg, &cfg);
+    let partition_s = t0.elapsed().as_secs_f64();
+    let partition_peak_mib = peak_mib_now();
+
+    // Score the placement the way the paper does (§6.1): fraction of the
+    // trace's transactions that span more than one partition under the
+    // resulting routing scheme.
+    let frac = distributed_fraction(&w, &w.trace, &w.trace, &phase.assignment, k);
+
+    let (backend_name, cut_metric) = match backend {
+        GraphBackend::Clique => ("clique", "edge-cut"),
+        GraphBackend::Hypergraph => ("hypergraph", "connectivity(lambda-1)"),
+    };
+    println!(
+        "PROBE_JSON {{ \"workload\": \"{name}\", \"backend\": \"{backend_name}\", \
+         \"txns\": {txns}, \"nodes\": {nodes}, \"edges\": {edges}, \
+         \"hyperedges\": {hyperedges}, \"pins\": {pins}, \"widest_txn\": {widest}, \
+         \"build_s\": {build_s:.2}, \"partition_s\": {partition_s:.2}, \
+         \"build_peak_mib\": {build_peak_mib:.1}, \
+         \"partition_peak_mib\": {partition_peak_mib:.1}, \"peak_reset\": {peak_reset}, \
+         \"cut_metric\": \"{cut_metric}\", \"cut\": {cut}, \"imbalance\": {imb:.3}, \
+         \"distributed_fraction\": {frac:.4} }}",
+        txns = w.trace.len(),
+        nodes = wg.stats.nodes,
+        edges = wg.stats.edges,
+        hyperedges = wg.stats.hyperedges,
+        pins = wg.stats.pins,
+        widest = wg.stats.widest_txn,
+        cut = phase.edge_cut,
+        imb = phase.imbalance,
+    );
+}
+
+/// Current `VmHWM` in MiB (fractional), or -1.0 where procfs is missing.
+fn peak_mib_now() -> f64 {
+    schism_bench::peak_rss_bytes().map_or(-1.0, |b| b as f64 / f64::from(1u32 << 20))
+}
+
+/// The `--backends` head-to-head: spawn one probe subprocess per
+/// (workload, backend) pair, collect the `PROBE_JSON` rows, assert the
+/// acceptance criteria on the wide-transaction TPC-C pair, and return the
+/// `"backends"` section for BENCH_graph.json.
+fn backends_compare(smoke: bool, threads: usize) -> String {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut rows: Vec<String> = Vec::new();
+    println!(
+        "=== backend head-to-head{}: clique vs hypergraph, k=8, blanket-free ===\n",
+        if smoke { " --smoke" } else { "" }
+    );
+    for wname in ["tpcc-wide", "ycsb-e", "drifting"] {
+        let mut pair: Vec<String> = Vec::new();
+        for b in ["clique", "hypergraph"] {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(["--probe", wname, "--backend", b, "--threads"])
+                .arg(threads.to_string());
+            if smoke {
+                cmd.arg("--smoke");
+            }
+            let out = cmd.output().expect("spawn probe subprocess");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            print!("{stdout}");
+            assert!(
+                out.status.success(),
+                "probe {wname}/{b} failed:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let frag = stdout
+                .lines()
+                .find_map(|l| l.strip_prefix("PROBE_JSON "))
+                .unwrap_or_else(|| panic!("probe {wname}/{b} emitted no PROBE_JSON line"))
+                .to_string();
+            pair.push(frag);
+        }
+        let (clique, hyper) = (&pair[0], &pair[1]);
+        let num = |frag: &str, key: &str| {
+            schism_bench::json_num(frag, key)
+                .unwrap_or_else(|| panic!("probe row missing \"{key}\": {frag}"))
+        };
+        let (c_peak, h_peak) = (num(clique, "build_peak_mib"), num(hyper, "build_peak_mib"));
+        let (c_frac, h_frac) = (
+            num(clique, "distributed_fraction"),
+            num(hyper, "distributed_fraction"),
+        );
+        println!(
+            "{wname}: build peak {c_peak:.1} MiB (clique) vs {h_peak:.1} MiB (hypergraph); \
+             distributed {:.2}% vs {:.2}%\n",
+            c_frac * 100.0,
+            h_frac * 100.0
+        );
+        if wname == "tpcc-wide" {
+            let reset_ok =
+                clique.contains("\"peak_reset\": true") && hyper.contains("\"peak_reset\": true");
+            assert!(
+                reset_ok,
+                "VmHWM reset unavailable: per-phase peaks are whole-process bounds, \
+                 the strict comparison would be meaningless"
+            );
+            assert!(
+                h_peak < c_peak,
+                "hypergraph build peak {h_peak:.1} MiB must be strictly below the clique's \
+                 {c_peak:.1} MiB on wide-transaction TPC-C"
+            );
+            assert!(
+                h_frac <= c_frac + 1e-9,
+                "hypergraph distributed fraction {h_frac:.4} must be no worse than the \
+                 clique's {c_frac:.4} at the same k"
+            );
+        }
+        rows.extend(pair);
+    }
+    format!(
+        "{{ \"smoke\": {smoke}, \"threads\": {threads}, \"k\": 8, \"replication\": false, \
+         \"blanket_free\": true, \"rows\": [{}] }}",
+        rows.join(", ")
+    )
 }
 
 fn main() {
@@ -401,20 +602,54 @@ fn main() {
         .unwrap_or(0);
     let scaling_only = schism_bench::flag("--scaling-only");
     let scale = |small: usize, paper: usize| if full { paper } else { small };
-
-    // The fixed-memory stress replaces the Table-1 / scaling runs: it is a
-    // different measurement with its own BENCH_graph.json section.
-    if schism_bench::flag("--huge") {
-        let smoke = schism_bench::flag("--smoke");
-        let t = if threads > 0 {
+    let resolved = |threads: usize| {
+        if threads > 0 {
             threads
         } else {
             schism_par::resolve_threads(0)
+        }
+    };
+
+    // A `--probe` child of the `--backends` comparison: one (workload,
+    // backend) measurement in a fresh process, then exit.
+    if let Some(wname) = schism_bench::arg_value("--probe") {
+        probe(
+            &wname,
+            schism_bench::graph_backend_arg(),
+            schism_bench::flag("--smoke"),
+            resolved(threads),
+        );
+        return;
+    }
+
+    // The backend head-to-head, recorded as the `"backends"` section. The
+    // smoke run still *asserts* (the criteria hold at CI scale too) but
+    // must not overwrite a full-scale record with smoke-sized numbers.
+    if schism_bench::flag("--backends") {
+        let smoke = schism_bench::flag("--smoke");
+        let section = backends_compare(smoke, resolved(threads));
+        write_bench_json(if smoke {
+            None
+        } else {
+            Some(("backends", section))
+        });
+        return;
+    }
+
+    // The fixed-memory stress replaces the Table-1 / scaling runs: it is a
+    // different measurement with its own BENCH_graph.json section (one per
+    // backend, so the records can sit side by side).
+    if schism_bench::flag("--huge") {
+        let smoke = schism_bench::flag("--smoke");
+        let backend = schism_bench::graph_backend_arg();
+        let section = huge(smoke, resolved(threads), backend);
+        let name = match backend {
+            GraphBackend::Clique => "huge",
+            GraphBackend::Hypergraph => "huge_hyper",
         };
-        let section = huge(smoke, t);
         // A smoke run validates the path but must not overwrite the real
         // 1e8 record with 1e6-sized numbers.
-        write_bench_json(None, if smoke { None } else { Some(section) });
+        write_bench_json(if smoke { None } else { Some((name, section)) });
         return;
     }
 
@@ -496,7 +731,7 @@ fn main() {
             schism_par::resolve_threads(0)
         };
         let section = thread_scaling(&tpcc_w, &tpcc_wcfg, full, max_threads);
-        write_bench_json(Some(section), None);
+        write_bench_json(Some(("scaling", section)));
     }
 }
 

@@ -48,6 +48,27 @@ pub fn peak_rss_bytes() -> Option<u64> {
     Some(kb * 1024)
 }
 
+/// Resets the `VmHWM` high-water mark (writes `5` to
+/// `/proc/self/clear_refs`), so a following [`peak_rss_bytes`] reads the
+/// peak of *this phase* rather than of the whole process. Returns `false`
+/// where the kernel interface is unavailable — callers should then treat
+/// the next reading as a whole-process upper bound.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Parses `--backend clique|hypergraph` (default `clique`) for the graph
+/// benches (`fig5_partitioner_scaling`, `table1_graph_sizes`). The
+/// serving/store benches reuse the same flag name for `mem|log` via
+/// [`backend_kind`]; the two sets of binaries don't overlap.
+pub fn graph_backend_arg() -> schism_core::GraphBackend {
+    match arg_value("--backend").as_deref() {
+        None | Some("clique") => schism_core::GraphBackend::Clique,
+        Some("hypergraph") => schism_core::GraphBackend::Hypergraph,
+        Some(other) => panic!("--backend takes clique|hypergraph, got {other}"),
+    }
+}
+
 /// Parses `--backend mem|log` (default `mem`), panicking with the usage
 /// string on an unknown value — bench binaries want loud misconfiguration.
 pub fn backend_kind() -> schism_store::BackendKind {
@@ -73,6 +94,39 @@ pub fn open_backend(
                 .expect("open LogStore under temp dir"),
         ),
     }
+}
+
+/// Pulls one single-line section (e.g. `"scaling"`, `"huge"`, a backend
+/// name) out of an existing sectioned BENCH json at `path`, so a run that
+/// measures only one section carries the others over instead of clobbering
+/// them. Sections are written one per line as `"name": { ... },` — this is
+/// a line parser, not a JSON parser, by design: the bench files are
+/// hand-formatted to keep it trivial.
+pub fn existing_section(path: &str, name: &str) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let prefix = format!("\"{name}\": ");
+    for line in text.lines() {
+        if let Some(rest) = line.trim_start().strip_prefix(&prefix) {
+            let rest = rest.trim_end().trim_end_matches(',');
+            if rest != "null" {
+                return Some(rest.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key": <num>` from a one-line JSON
+/// fragment (the bench files' section format). Returns `None` when the key
+/// is absent or non-numeric.
+pub fn json_num(fragment: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = fragment.find(&pat)? + pat.len();
+    let rest = &fragment[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Approximate values decoded from the paper's Figure 4 bar chart
@@ -175,6 +229,15 @@ pub fn paper_row(workload: &str) -> Option<&'static PaperFig4Row> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_num_extracts_section_fields() {
+        let frag = "{ \"peak_mib\": 76.5, \"cut\": 1200, \"frac\": -0.5 }";
+        assert_eq!(json_num(frag, "peak_mib"), Some(76.5));
+        assert_eq!(json_num(frag, "cut"), Some(1200.0));
+        assert_eq!(json_num(frag, "frac"), Some(-0.5));
+        assert_eq!(json_num(frag, "missing"), None);
+    }
 
     #[test]
     fn paper_rows_complete() {

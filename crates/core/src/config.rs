@@ -12,6 +12,23 @@ pub enum NodeWeight {
     DataSize,
 }
 
+/// Which co-access representation the graph build emits and the
+/// partitioning phase consumes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GraphBackend {
+    /// The paper's clique expansion (§4.1): a transaction touching `t`
+    /// groups contributes `t(t-1)/2` unit edges, partitioned under the
+    /// edge-cut metric. Memory is quadratic in transaction width, which is
+    /// what [`SchismConfig::blanket_threshold`] exists to contain.
+    #[default]
+    Clique,
+    /// One hyperedge (net) per transaction, partitioned under the (λ−1)
+    /// connectivity metric — the *exact* distributed-transaction count the
+    /// edge cut only approximates. Memory is linear in the sampled trace,
+    /// so wide transactions need no blanket-scan dropping.
+    Hypergraph,
+}
+
 /// Pipeline configuration. Defaults reproduce the paper's standard setup.
 #[derive(Clone, Debug)]
 pub struct SchismConfig {
@@ -52,6 +69,13 @@ pub struct SchismConfig {
     pub merge_shards: usize,
 
     // --- graph representation (§4.1) ---
+    /// Co-access representation: clique expansion (the paper's §4.1) or one
+    /// hyperedge per transaction (linear memory, exact distributed-txn
+    /// metric). Both backends share pass 1, the sampling/filtering
+    /// heuristics, replication stars and coalescing; the partitioning phase
+    /// dispatches on the built representation, so `Schism::run`/`rerun` and
+    /// the migration path work unchanged under either.
+    pub graph_backend: GraphBackend,
     /// Enable tuple-level replication via star explosion.
     pub replication: bool,
     /// Only explode tuples accessed by at least this many transactions
@@ -74,6 +98,13 @@ pub struct SchismConfig {
     pub min_tuple_accesses: u32,
     /// Tuple coalescing: merge tuples that are always accessed together.
     pub coalesce: bool,
+    /// Drift detection over Count-Min sketches instead of exact per-tuple
+    /// histograms when this configuration drives a
+    /// `schism_migrate::MigrationController`: fixed memory regardless of
+    /// how many distinct tuples the monitored windows touch. Sketch tuning
+    /// lives in the controller's own config (the sketch types are not
+    /// visible from this crate).
+    pub sketch_drift: bool,
 
     // --- graph partitioning (§4.2) ---
     pub partitioner: PartitionerConfig,
@@ -110,6 +141,7 @@ impl SchismConfig {
             threads: 0,
             compact_every: 1 << 23,
             merge_shards: 0,
+            graph_backend: GraphBackend::Clique,
             replication: true,
             replication_min_accesses: 2,
             node_weight: NodeWeight::Workload,
@@ -118,6 +150,7 @@ impl SchismConfig {
             blanket_threshold: 64,
             min_tuple_accesses: 1,
             coalesce: true,
+            sketch_drift: false,
             partitioner: PartitionerConfig::with_k(k),
             min_attr_frequency: 0.25,
             tree: TreeConfig {
@@ -142,6 +175,8 @@ mod tests {
         let cfg = SchismConfig::new(8);
         assert_eq!(cfg.k, 8);
         assert_eq!(cfg.partitioner.k, 8);
+        assert_eq!(cfg.graph_backend, GraphBackend::Clique);
+        assert!(!cfg.sketch_drift);
         assert!(cfg.replication);
         assert!((0.0..=1.0).contains(&cfg.train_fraction));
     }

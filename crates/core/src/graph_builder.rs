@@ -24,6 +24,12 @@
 //!   `replica_base[group] + n` where `n` counts prior allocations of that
 //!   group — exactly the ids a sequential trace walk would hand out — and
 //!   the `GraphBuilder` merge/CSR path dedups the concatenated edges.
+//!   Under [`SchismConfig::graph_backend`]` = Hypergraph` the same pass
+//!   emits **one net per transaction** into a chunk-local
+//!   [`HyperEdgeBuffer`] instead of the O(width²) clique — memory linear in
+//!   the sampled trace, so wide transactions need no blanket-scan dropping
+//!   — and the stitch resolves pins through the identical allocation log
+//!   into a [`HyperGraphBuilder`] (replica stars become 2-pin nets).
 //!
 //! **Determinism contract:** the resulting [`WorkloadGraph`] — tuples,
 //! groups, CSR edges, weights, [`BuildStats`] — is bit-identical for every
@@ -32,8 +38,10 @@
 //! [`SchismConfig::threads`] and [`SchismConfig::compact_every`] trade
 //! wall-clock and memory only, never output.
 
-use crate::config::{NodeWeight, SchismConfig};
-use schism_graph::{CsrGraph, EdgeBuffer, GraphBuilder, NodeId};
+use crate::config::{GraphBackend, NodeWeight, SchismConfig};
+use schism_graph::{
+    CsrGraph, EdgeBuffer, GraphBuilder, HyperEdgeBuffer, HyperGraph, HyperGraphBuilder, NodeId,
+};
 use schism_par::{chunk_size, resolve_threads, Pool};
 use schism_workload::{Trace, TraceSource, TupleId, Workload};
 use std::collections::hash_map::Entry;
@@ -152,19 +160,75 @@ impl ShardedStats {
     }
 }
 
-/// One chunk's share of pass 2: clique edges with chunk-locally encoded
-/// replica ids, plus the allocation log that resolves them.
+/// One chunk's share of pass 2: clique edges *or* transaction nets
+/// (depending on [`SchismConfig::graph_backend`]) with chunk-locally
+/// encoded replica ids, plus the allocation log that resolves them.
 struct Pass2Partial {
-    /// Group of the `i`-th chunk-local replica allocation; edge endpoints
-    /// `>= num_groups` encode an index into this log.
+    /// Group of the `i`-th chunk-local replica allocation; edge endpoints /
+    /// net pins `>= num_groups` encode an index into this log.
     alloc: Vec<NodeId>,
+    /// Clique backend: transaction-clique edges (empty under hypergraph).
     edges: EdgeBuffer,
+    /// Hypergraph backend: one net per transaction (empty under clique).
+    nets: HyperEdgeBuffer,
+    /// Widest transaction seen: maximum distinct-group member count after
+    /// dedup and blanket filtering.
+    widest: usize,
+}
+
+/// The stitch-side accumulator for whichever backend is active. Both
+/// receive the identical vertex weights and replica-star connections over
+/// the identical node ids, so the two representations describe the same
+/// node set and the invariants tests can compare them directly.
+enum BuildSink {
+    Clique(GraphBuilder),
+    Hyper(HyperGraphBuilder),
+}
+
+impl BuildSink {
+    fn set_vertex_weight(&mut self, v: NodeId, w: u32) {
+        match self {
+            BuildSink::Clique(gb) => gb.set_vertex_weight(v, w),
+            BuildSink::Hyper(hb) => hb.set_vertex_weight(v, w),
+        }
+    }
+
+    /// Connects a replica to its group center: a weighted star edge under
+    /// the clique backend, a 2-pin net under the hypergraph backend — a
+    /// 2-pin net's (λ−1) is exactly a cut edge, so the §4.1 replication
+    /// cost model carries over unchanged.
+    fn add_star(&mut self, center: NodeId, replica: NodeId, w: u32) {
+        match self {
+            BuildSink::Clique(gb) => gb.add_edge(center, replica, w),
+            BuildSink::Hyper(hb) => hb.add_net(&[center, replica], w),
+        }
+    }
+
+    /// Buffered pre-merge units (edges or pins) for the doubling guard.
+    fn pending(&self) -> usize {
+        match self {
+            BuildSink::Clique(gb) => gb.pending_edges(),
+            BuildSink::Hyper(hb) => hb.pending_pins(),
+        }
+    }
+
+    fn compact(&mut self) {
+        match self {
+            BuildSink::Clique(gb) => gb.compact(),
+            BuildSink::Hyper(hb) => hb.compact(),
+        }
+    }
 }
 
 /// The workload graph plus everything needed to map a partitioning back to
 /// tuples.
 pub struct WorkloadGraph {
+    /// Clique backend: the co-access graph ([`CsrGraph::empty`] when the
+    /// hypergraph backend was selected).
     pub graph: CsrGraph,
+    /// Hypergraph backend: one net per transaction plus 2-pin replica-star
+    /// nets, over the same node ids; `None` under the clique backend.
+    pub hgraph: Option<HyperGraph>,
     /// Distinct surviving tuples.
     tuples: Vec<TupleId>,
     /// `group_of[i]` = group (base node) of `tuples[i]`.
@@ -196,7 +260,17 @@ pub struct BuildStats {
     pub groups: usize,
     pub exploded_groups: usize,
     pub nodes: usize,
+    /// Distinct clique edges (0 under the hypergraph backend).
     pub edges: usize,
+    /// Distinct nets after merging (0 under the clique backend).
+    pub hyperedges: usize,
+    /// Total pins across all nets (0 under the clique backend).
+    pub pins: usize,
+    /// Widest sampled transaction: maximum distinct groups touched by one
+    /// transaction after dedup and blanket filtering. Under the hypergraph
+    /// backend with the blanket filter disabled this reports the scan
+    /// widths the clique path would have had to drop.
+    pub widest_txn: usize,
     pub dropped_scans: usize,
 }
 
@@ -204,6 +278,16 @@ impl WorkloadGraph {
     /// Tuples represented in the graph.
     pub fn tuples(&self) -> &[TupleId] {
         &self.tuples
+    }
+
+    /// Node count of whichever representation was built (group centers plus
+    /// planned replica nodes — identical for both backends at equal
+    /// configuration).
+    pub fn num_nodes(&self) -> usize {
+        match &self.hgraph {
+            Some(h) => h.num_vertices(),
+            None => self.graph.num_vertices(),
+        }
     }
 
     /// Resolves a graph partitioning into per-tuple partition sets: the set
@@ -294,6 +378,9 @@ impl WorkloadGraph {
             s.exploded_groups,
             s.nodes,
             s.edges,
+            s.hyperedges,
+            s.pins,
+            s.widest_txn,
             s.dropped_scans,
         ] {
             put(x as u64);
@@ -302,6 +389,17 @@ impl WorkloadGraph {
             put(u64::from(self.graph.vertex_weight(v as NodeId)));
             for (u, w) in self.graph.edges(v as NodeId) {
                 put((u64::from(u)) << 32 | u64::from(w));
+            }
+        }
+        if let Some(hg) = &self.hgraph {
+            for v in 0..hg.num_vertices() as NodeId {
+                put(u64::from(hg.vertex_weight(v)));
+            }
+            for e in 0..hg.num_nets() as u32 {
+                put(u64::from(hg.net_weight(e)));
+                for &p in hg.pins(e) {
+                    put(u64::from(p));
+                }
             }
         }
         h
@@ -350,25 +448,58 @@ impl WorkloadGraph {
         }
 
         // Label propagation for unseen groups: a group co-accessed with
-        // placed groups belongs with them.
+        // placed groups belongs with them. Under the clique backend the
+        // vote weight is the incident edge weight; under the hypergraph
+        // backend each net votes `net weight × labeled pins with that
+        // label` onto its unlabeled pins — the same co-access evidence the
+        // clique expansion would have spread over pairwise edges.
         let mut pass = 0;
         while unlabeled > 0 && pass < 3 {
             pass += 1;
             let mut gains: HashMap<usize, HashMap<u32, u64>> = HashMap::new();
-            for node in 0..self.graph.num_vertices() {
-                let Some(gu) = self.node_group(node) else {
-                    continue;
-                };
-                if labels[gu] == u32::MAX {
-                    continue;
+            if let Some(hg) = &self.hgraph {
+                let mut label_w: HashMap<u32, u64> = HashMap::new();
+                let mut open: Vec<usize> = Vec::new();
+                for e in 0..hg.num_nets() as u32 {
+                    label_w.clear();
+                    open.clear();
+                    let w = u64::from(hg.net_weight(e));
+                    for &p in hg.pins(e) {
+                        let Some(g) = self.node_group(p as usize) else {
+                            continue;
+                        };
+                        if labels[g] == u32::MAX {
+                            open.push(g);
+                        } else {
+                            *label_w.entry(labels[g]).or_insert(0) += w;
+                        }
+                    }
+                    if label_w.is_empty() {
+                        continue;
+                    }
+                    for &g in &open {
+                        let vote = gains.entry(g).or_default();
+                        for (&l, &lw) in &label_w {
+                            *vote.entry(l).or_insert(0) += lw;
+                        }
+                    }
                 }
-                let label = labels[gu];
-                for (v, w) in self.graph.edges(node as NodeId) {
-                    let Some(gv) = self.node_group(v as usize) else {
+            } else {
+                for node in 0..self.graph.num_vertices() {
+                    let Some(gu) = self.node_group(node) else {
                         continue;
                     };
-                    if labels[gv] == u32::MAX {
-                        *gains.entry(gv).or_default().entry(label).or_insert(0) += u64::from(w);
+                    if labels[gu] == u32::MAX {
+                        continue;
+                    }
+                    let label = labels[gu];
+                    for (v, w) in self.graph.edges(node as NodeId) {
+                        let Some(gv) = self.node_group(v as usize) else {
+                            continue;
+                        };
+                        if labels[gv] == u32::MAX {
+                            *gains.entry(gv).or_default().entry(label).or_insert(0) += u64::from(w);
+                        }
                     }
                 }
             }
@@ -423,7 +554,7 @@ impl WorkloadGraph {
             })
             .collect();
 
-        let mut assignment = Vec::with_capacity(self.graph.num_vertices());
+        let mut assignment = Vec::with_capacity(self.num_nodes());
         assignment.extend_from_slice(&labels);
         // Used replica slots take the group's previous extra partitions in
         // order (replica ids are clustered per group, so a simple running
@@ -442,7 +573,7 @@ impl WorkloadGraph {
             };
             assignment.push(seeded.unwrap_or(labels[g]));
         }
-        debug_assert_eq!(assignment.len(), self.graph.num_vertices());
+        debug_assert_eq!(assignment.len(), self.num_nodes());
         assignment
     }
 }
@@ -646,6 +777,8 @@ where
             let mut out = Pass2Partial {
                 alloc: Vec::new(),
                 edges: EdgeBuffer::new(),
+                nets: HyperEdgeBuffer::new(),
+                widest: 0,
             };
             // Length after the last compaction: once the deduplicated edge
             // set itself exceeds the threshold, re-compact only after the
@@ -681,6 +814,7 @@ where
                 // One member per distinct group per transaction.
                 members.sort_unstable();
                 members.dedup();
+                out.widest = out.widest.max(members.len());
                 // Exploded groups contribute a fresh replica node; encode
                 // it as `num_groups + <chunk-local allocation index>` and
                 // log the owning group — the stitch resolves real ids.
@@ -691,19 +825,30 @@ where
                         *m = local;
                     }
                 }
-                // Transaction clique (§4.1; Appendix B prefers cliques
-                // over stars for transactions).
-                for i in 0..members.len() {
-                    for j in i + 1..members.len() {
-                        out.edges.push(members[i], members[j], 1);
+                match cfg.graph_backend {
+                    // Transaction clique (§4.1; Appendix B prefers cliques
+                    // over stars for transactions).
+                    GraphBackend::Clique => {
+                        for i in 0..members.len() {
+                            for j in i + 1..members.len() {
+                                out.edges.push(members[i], members[j], 1);
+                            }
+                        }
                     }
+                    // One net per transaction: O(|members|) memory where
+                    // the clique costs O(|members|²), so no width is ever
+                    // too expensive to represent.
+                    GraphBackend::Hypergraph => out.nets.push(members, 1),
                 }
-                if out.edges.len() > local_compact && out.edges.len() >= 2 * compacted_len {
+                let buffered = out.edges.len() + out.nets.pin_count();
+                if buffered > local_compact && buffered >= 2 * compacted_len {
                     out.edges.compact();
-                    compacted_len = out.edges.len();
+                    out.nets.compact();
+                    compacted_len = out.edges.len() + out.nets.pin_count();
                 }
             });
             out.edges.compact();
+            out.nets.compact();
             out
         },
     );
@@ -713,7 +858,11 @@ where
     // where `n` counts the group's prior allocations across all earlier
     // chunks (and earlier transactions of this chunk) — exactly the rank a
     // sequential walk would assign, so the graph is chunking-independent.
-    let mut gb = GraphBuilder::new(n_nodes);
+    let widest_txn = parts.iter().map(|p| p.widest).max().unwrap_or(0);
+    let mut sink = match cfg.graph_backend {
+        GraphBackend::Clique => BuildSink::Clique(GraphBuilder::new(n_nodes)),
+        GraphBackend::Hypergraph => BuildSink::Hyper(HyperGraphBuilder::new(n_nodes)),
+    };
     // Node weights. Exploded groups spread their weight over replicas; the
     // center is a zero-weight anchor.
     for (gid, g) in groups.iter().enumerate() {
@@ -722,15 +871,16 @@ where
             NodeWeight::DataSize => g.2,
         };
         if exploded[gid] {
-            gb.set_vertex_weight(gid as NodeId, 0);
+            sink.set_vertex_weight(gid as NodeId, 0);
         } else {
-            gb.set_vertex_weight(gid as NodeId, weight.clamp(1, u32::MAX as u64) as u32);
+            sink.set_vertex_weight(gid as NodeId, weight.clamp(1, u32::MAX as u64) as u32);
         }
     }
     let mut alloc_count = vec![0u32; num_groups];
     let mut replica_used = vec![false; total_replicas];
     let mut map_local: Vec<NodeId> = Vec::new();
-    let mut gb_compacted_len = 0usize;
+    let mut net_scratch: Vec<NodeId> = Vec::new();
+    let mut sink_compacted_len = 0usize;
     for part in parts {
         map_local.clear();
         map_local.reserve(part.alloc.len());
@@ -745,14 +895,14 @@ where
                     NodeWeight::Workload => 1u64,
                     NodeWeight::DataSize => (grp.2 / grp.0.max(1) as u64).max(1),
                 };
-                gb.set_vertex_weight(node, weight.clamp(1, u32::MAX as u64) as u32);
+                sink.set_vertex_weight(node, weight.clamp(1, u32::MAX as u64) as u32);
                 // Star edge to the center, weighted by the update cost
                 // (§4.1: the number of transactions that update the tuple).
                 // The floor of 1 mirrors METIS's requirement of positive
                 // edge weights: replicating even a read-only tuple costs a
                 // token amount, so replicas do not scatter on zero-gain
                 // balance moves.
-                gb.add_edge(gid, node, grp.1.max(1));
+                sink.add_star(gid, node, grp.1.max(1));
                 node
             } else {
                 // Star capacity exhausted — only reachable if a signature
@@ -769,36 +919,55 @@ where
                 map_local[(e - num_groups_u32) as usize]
             }
         };
-        gb.append_edges(
-            part.edges
-                .into_edges()
-                .into_iter()
-                .map(|(u, v, w)| (resolve(u), resolve(v), w)),
-        );
+        match &mut sink {
+            BuildSink::Clique(gb) => gb.append_edges(
+                part.edges
+                    .into_edges()
+                    .into_iter()
+                    .map(|(u, v, w)| (resolve(u), resolve(v), w)),
+            ),
+            BuildSink::Hyper(hb) => {
+                for (pins, w) in part.nets.nets() {
+                    net_scratch.clear();
+                    net_scratch.extend(pins.iter().map(|&p| resolve(p)));
+                    hb.add_net(&net_scratch, w);
+                }
+            }
+        }
         // Same doubling guard as the chunk buffers: once the merged edge
-        // set exceeds the threshold, only re-compact after 2x growth.
-        if gb.pending_edges() > cfg.compact_every && gb.pending_edges() >= 2 * gb_compacted_len {
-            gb.compact();
-            gb_compacted_len = gb.pending_edges();
+        // (or pin) set exceeds the threshold, only re-compact after 2x
+        // growth.
+        if sink.pending() > cfg.compact_every && sink.pending() >= 2 * sink_compacted_len {
+            sink.compact();
+            sink_compacted_len = sink.pending();
         }
     }
 
     // Replicas may be fewer than planned if sampling hid some accesses;
     // unused planned ids simply stay isolated with weight 1.
-    let graph = gb.build();
+    let (graph, hgraph) = match sink {
+        BuildSink::Clique(gb) => (gb.build(), None),
+        BuildSink::Hyper(hb) => (CsrGraph::empty(), Some(hb.build())),
+    };
     let stats = BuildStats {
         sampled_txns,
         distinct_tuples: tuples.len(),
         groups: num_groups,
         exploded_groups,
-        nodes: graph.num_vertices(),
+        nodes: hgraph
+            .as_ref()
+            .map_or(graph.num_vertices(), |h| h.num_vertices()),
         edges: graph.num_edges(),
+        hyperedges: hgraph.as_ref().map_or(0, |h| h.num_nets()),
+        pins: hgraph.as_ref().map_or(0, |h| h.num_pins()),
+        widest_txn,
         dropped_scans,
     };
     let group_writes: Vec<u32> = groups.iter().map(|g| g.1).collect();
     let group_accesses: Vec<u32> = groups.iter().map(|g| g.0).collect();
     WorkloadGraph {
         graph,
+        hgraph,
         tuples,
         group_of,
         num_groups,
@@ -1018,6 +1187,146 @@ mod tests {
             } else {
                 assert_eq!(ps, vec![0], "cold tuples stay single-homed");
             }
+        }
+    }
+
+    #[test]
+    fn hypergraph_backend_emits_nets_not_edges() {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 500,
+            num_txns: 1_000,
+            scan_max: 20,
+            ..YcsbConfig::workload_e()
+        });
+        let mut cfg = base_cfg();
+        cfg.graph_backend = GraphBackend::Hypergraph;
+        cfg.blanket_threshold = usize::MAX; // linear memory: keep every scan
+        let g = build_graph(&w, &w.trace, &cfg);
+        let hg = g.hgraph.as_ref().expect("hypergraph built");
+        hg.validate().unwrap();
+        assert_eq!(g.stats.edges, 0);
+        assert!(g.stats.hyperedges > 0);
+        assert!(g.stats.pins >= 2 * g.stats.hyperedges);
+        assert_eq!(g.stats.dropped_scans, 0);
+        assert!(g.stats.widest_txn >= 2);
+        assert_eq!(g.stats.nodes, hg.num_vertices());
+        assert_eq!(g.num_nodes(), hg.num_vertices());
+    }
+
+    #[test]
+    fn backends_agree_on_nodes_and_weights() {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 400,
+            num_txns: 1_000,
+            ..YcsbConfig::workload_a()
+        });
+        let cfg = base_cfg();
+        let mut hcfg = base_cfg();
+        hcfg.graph_backend = GraphBackend::Hypergraph;
+        let cg = build_graph(&w, &w.trace, &cfg);
+        let hg = build_graph(&w, &w.trace, &hcfg);
+        assert_eq!(cg.tuples(), hg.tuples());
+        assert_eq!(cg.num_nodes(), hg.num_nodes());
+        assert_eq!(cg.stats.widest_txn, hg.stats.widest_txn);
+        let hyper = hg.hgraph.as_ref().unwrap();
+        for v in 0..cg.num_nodes() {
+            assert_eq!(
+                cg.graph.vertex_weight(v as NodeId),
+                hyper.vertex_weight(v as NodeId),
+                "vertex {v} weight"
+            );
+        }
+    }
+
+    #[test]
+    fn hypergraph_chunked_source_equals_whole_trace() {
+        use schism_workload::drifting::{self, DriftingConfig};
+        let dcfg = DriftingConfig {
+            num_txns: 2_000,
+            ..Default::default()
+        };
+        let w = drifting::generate(&dcfg);
+        let src = drifting::stream(&dcfg);
+        let whole = src.materialize();
+        for threads in [1usize, 3] {
+            let mut cfg = base_cfg();
+            cfg.graph_backend = GraphBackend::Hypergraph;
+            cfg.threads = threads;
+            let from_source = build_graph_source(&w, &src, &cfg);
+            let from_trace = build_graph(&w, &whole, &cfg);
+            assert_eq!(from_source.stats, from_trace.stats);
+            assert_eq!(from_source.digest(), from_trace.digest());
+            assert_eq!(from_source.hgraph, from_trace.hgraph);
+        }
+    }
+
+    #[test]
+    fn hypergraph_compact_threshold_never_changes_the_graph() {
+        let w = ycsb::generate(&YcsbConfig {
+            records: 500,
+            num_txns: 1_000,
+            ..YcsbConfig::workload_a()
+        });
+        let mut cfg = base_cfg();
+        cfg.graph_backend = GraphBackend::Hypergraph;
+        let base = build_graph(&w, &w.trace, &cfg);
+        let mut tiny = cfg.clone();
+        tiny.compact_every = 1;
+        let compacted = build_graph(&w, &w.trace, &tiny);
+        assert_eq!(base.digest(), compacted.digest());
+        assert_eq!(base.hgraph, compacted.hgraph);
+    }
+
+    #[test]
+    fn hypergraph_seed_assignment_propagates_labels() {
+        // Hand-build a trace of co-access pairs so label propagation has
+        // unambiguous nets to vote over.
+        use schism_workload::{Trace, TupleId, TxnBuilder};
+        let w = simplecount::generate(&SimpleCountConfig {
+            clients: 1,
+            rows_per_client: 8,
+            servers: 1,
+            num_txns: 1,
+            ..Default::default()
+        });
+        let mut txns = Vec::new();
+        for _ in 0..5 {
+            for i in 0..4u64 {
+                let mut b = TxnBuilder::new(false);
+                b.read(TupleId::new(0, 2 * i))
+                    .read(TupleId::new(0, 2 * i + 1));
+                txns.push(b.finish());
+            }
+        }
+        let trace = Trace { transactions: txns };
+        let mut cfg = base_cfg();
+        cfg.graph_backend = GraphBackend::Hypergraph;
+        cfg.replication = false;
+        cfg.coalesce = false;
+        let g = build_graph(&w, &trace, &cfg);
+        // Previous placement labels only the even rows; the odd partner of
+        // each pair must follow its net-mate, not the load-balance
+        // fallback.
+        let mut prev: HashMap<TupleId, schism_router::PartitionSet> = HashMap::new();
+        for i in 0..4u64 {
+            prev.insert(
+                TupleId::new(0, 2 * i),
+                schism_router::PartitionSet::single((i % 2) as u32),
+            );
+        }
+        let seeded = g.seed_assignment(&prev, 2);
+        let label_of: HashMap<TupleId, u32> = g
+            .tuple_partitions(&seeded)
+            .into_iter()
+            .map(|(t, ps)| (t, ps[0]))
+            .collect();
+        for i in 0..4u64 {
+            assert_eq!(
+                label_of[&TupleId::new(0, 2 * i + 1)],
+                (i % 2) as u32,
+                "odd row {} must co-locate with its pair",
+                2 * i + 1
+            );
         }
     }
 

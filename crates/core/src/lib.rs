@@ -16,7 +16,10 @@
 //!    [`schism_workload::TraceSource`]) across [`SchismConfig::threads`]
 //!    workers, with bit-identical output for every thread count.
 //! 3. **Graph partitioning** ([`partition_phase`]) — balanced min-cut via
-//!    the multilevel partitioner in [`schism_graph`].
+//!    the multilevel partitioner in [`schism_graph`]; with
+//!    [`SchismConfig::graph_backend`]` = Hypergraph` the build emits one
+//!    hyperedge per transaction instead of the clique expansion and the
+//!    (λ−1)-connectivity hypergraph partitioner runs in its place.
 //! 4. **Explanation** ([`explain`]) — a C4.5-style decision tree over
 //!    frequently-queried attributes turns the per-tuple assignment into
 //!    range predicates (with CFS attribute selection and cross-validation).
@@ -41,7 +44,7 @@ pub mod pipeline;
 pub mod report;
 pub mod validate;
 
-pub use config::{NodeWeight, SchismConfig};
+pub use config::{GraphBackend, NodeWeight, SchismConfig};
 pub use explain::{Explanation, TableExplanation};
 pub use graph_builder::{build_graph, build_graph_source, BuildStats, WorkloadGraph};
 pub use partition_phase::{run_partition_phase, run_partition_phase_warm, PartitionPhase};

@@ -1,6 +1,15 @@
 //! The graph-partitioning phase (§4.2): run the multilevel partitioner on
 //! the workload graph and resolve the node assignment back to per-tuple
 //! partition sets (replicated tuples map to several partitions).
+//!
+//! Dispatches on the representation the build produced: the edge-cut
+//! partitioner for clique graphs, the (λ−1)-connectivity hypergraph
+//! partitioner when [`crate::config::GraphBackend::Hypergraph`] built a
+//! net-per-transaction hypergraph. Everything downstream (explanation,
+//! validation, migration) consumes the resolved per-tuple sets and is
+//! backend-agnostic; for the hypergraph path `edge_cut` reports the
+//! connectivity cost — the exact number of extra partitions transactions
+//! span, weighted by transaction count.
 
 use crate::config::SchismConfig;
 use crate::graph_builder::WorkloadGraph;
@@ -32,7 +41,10 @@ pub fn run_partition_phase(wg: &WorkloadGraph, cfg: &SchismConfig) -> PartitionP
     pcfg.seed = cfg.seed;
     pcfg.threads = cfg.threads;
     let start = Instant::now();
-    let partitioning = schism_graph::partition(&wg.graph, &pcfg);
+    let partitioning = match &wg.hgraph {
+        Some(h) => schism_graph::hpartition(h, &pcfg),
+        None => schism_graph::partition(&wg.graph, &pcfg),
+    };
     resolve_phase(wg, partitioning, start.elapsed())
 }
 
@@ -51,7 +63,10 @@ pub fn run_partition_phase_warm(
     pcfg.seed = cfg.seed;
     pcfg.threads = cfg.threads;
     let start = Instant::now();
-    let partitioning = schism_graph::partition_warm(&wg.graph, initial, &pcfg);
+    let partitioning = match &wg.hgraph {
+        Some(h) => schism_graph::hpartition_warm(h, initial, &pcfg),
+        None => schism_graph::partition_warm(&wg.graph, initial, &pcfg),
+    };
     resolve_phase(wg, partitioning, start.elapsed())
 }
 
@@ -120,6 +135,77 @@ mod tests {
                 "stripe not cleanly assigned: {frac}"
             );
         }
+    }
+
+    #[test]
+    fn hypergraph_backend_partitions_cleanly() {
+        // Same striped workload as the clique test, via the hypergraph
+        // path: the (λ−1) partitioner must separate the stripes too, and
+        // the reported cut is the distributed-transaction weight.
+        let w = simplecount::generate(&SimpleCountConfig {
+            clients: 4,
+            rows_per_client: 100,
+            servers: 2,
+            mode: AccessMode::SinglePartition,
+            num_txns: 4_000,
+            ..Default::default()
+        });
+        let mut cfg = SchismConfig::new(2);
+        cfg.graph_backend = crate::config::GraphBackend::Hypergraph;
+        cfg.replication = false;
+        let wg = build_graph(&w, &w.trace, &cfg);
+        assert!(wg.hgraph.is_some());
+        let phase = run_partition_phase(&wg, &cfg);
+        assert!(phase.imbalance < 1.3, "imbalance {}", phase.imbalance);
+        let stripe = 400 / 2;
+        let mut stripe_parts: Vec<Vec<u32>> = vec![Vec::new(); 2];
+        for (t, pset) in &phase.assignment {
+            let s = (t.row / stripe) as usize;
+            stripe_parts[s].push(pset.first().unwrap());
+        }
+        for parts in &stripe_parts {
+            let ones = parts.iter().filter(|&&p| p == 1).count();
+            let frac = ones as f64 / parts.len() as f64;
+            assert!(
+                !(0.1..=0.9).contains(&frac),
+                "stripe not cleanly assigned: {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn hypergraph_warm_start_respects_seed() {
+        // A warm rerun from a clean previous placement must keep tuples
+        // where they were (no drift, nothing to move).
+        let w = simplecount::generate(&SimpleCountConfig {
+            clients: 2,
+            rows_per_client: 100,
+            servers: 2,
+            mode: AccessMode::SinglePartition,
+            num_txns: 2_000,
+            ..Default::default()
+        });
+        let mut cfg = SchismConfig::new(2);
+        cfg.graph_backend = crate::config::GraphBackend::Hypergraph;
+        cfg.replication = false;
+        let wg = build_graph(&w, &w.trace, &cfg);
+        let cold = run_partition_phase(&wg, &cfg);
+        let seed = wg.seed_assignment(&cold.assignment, cfg.k);
+        let warm = run_partition_phase_warm(&wg, &cfg, &seed);
+        assert!(
+            warm.edge_cut <= cold.edge_cut,
+            "warm start must not regress"
+        );
+        let moved = warm
+            .assignment
+            .iter()
+            .filter(|(t, ps)| cold.assignment.get(t) != Some(ps))
+            .count();
+        assert!(
+            moved * 10 <= warm.assignment.len(),
+            "warm start moved {moved} of {} tuples",
+            warm.assignment.len()
+        );
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! refinement scans the boundary in parallel but serializes only the
 //! conflict set of candidate moves.
 //!
+//! A hypergraph backend lives alongside the plain-graph path: a
+//! [`HyperGraph`] stores one net (hyperedge) per transaction in dual-CSR
+//! form, and [`hpartition()`] / [`hpartition_warm`] run the same multilevel
+//! scheme — heavy-pin matching, contraction, scan/apply refinement — under
+//! the (λ−1) connectivity metric, with the identical determinism contract.
+//!
 //! ```
 //! use schism_graph::{gen, partition, PartitionerConfig};
 //!
@@ -32,6 +38,8 @@ pub mod coarsen;
 pub mod components;
 pub mod csr;
 pub mod gen;
+pub mod hpartition;
+pub mod hypergraph;
 pub mod initial;
 pub mod matching;
 pub mod metrics;
@@ -41,5 +49,7 @@ pub mod refine;
 pub use builder::{EdgeBuffer, GraphBuilder};
 pub use components::{connected_components, UnionFind};
 pub use csr::{CsrGraph, NodeId};
+pub use hpartition::{connectivity_cost, hpart_weights, hpartition, hpartition_warm};
+pub use hypergraph::{HyperEdgeBuffer, HyperGraph, HyperGraphBuilder};
 pub use metrics::{boundary_size, edge_cut, imbalance, part_weights};
 pub use partition::{partition, partition_warm, PartitionerConfig, Partitioning};

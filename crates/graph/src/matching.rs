@@ -50,8 +50,9 @@ const PROPOSE_ROUNDS: usize = 8;
 
 /// SplitMix64 — the per-vertex tie-break priority. Seeded per matching call
 /// so repeated levels explore different orders, like the shuffle used to.
+/// Shared with the hypergraph matcher (`crate::hpartition`).
 #[inline]
-fn prio(seed: u64, v: NodeId) -> u64 {
+pub(crate) fn prio(seed: u64, v: NodeId) -> u64 {
     let mut z = seed.wrapping_add((v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -85,7 +85,7 @@ impl PartitionerConfig {
         }
     }
 
-    fn effective_coarsen_target(&self) -> usize {
+    pub(crate) fn effective_coarsen_target(&self) -> usize {
         if self.coarsen_target > 0 {
             self.coarsen_target
         } else {

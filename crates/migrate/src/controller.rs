@@ -2,7 +2,9 @@
 //! relabel, and emit a migration plan.
 //!
 //! [`MigrationController`] owns the pieces the rest of the crate provides —
-//! a [`DriftDetector`] rebased on every repartition, the current per-tuple
+//! a drift monitor rebased on every repartition (the exact
+//! [`DriftDetector`], or the fixed-memory [`SketchDriftDetector`] when
+//! [`SchismConfig::sketch_drift`] is set), the current per-tuple
 //! placement, and the planner budgets — and exposes a single
 //! [`observe`](MigrationController::observe) entry point per window. The
 //! caller executes the returned plan at its own pace: build a
@@ -16,10 +18,11 @@ use crate::drift::{DriftConfig, DriftDetector, DriftReport};
 use crate::executor::{ExecutorConfig, MigrationExecutor};
 use crate::incremental::{rerun_incremental, RepartitionOutcome};
 use crate::plan::{plan_migration, MigrationPlan, PlanConfig};
+use crate::sketch::{SketchConfig, SketchDriftDetector};
 use schism_core::{build_graph, run_partition_phase, Schism, SchismConfig};
 use schism_router::{PartitionSet, VersionedScheme};
 use schism_store::ShardStore;
-use schism_workload::{TupleId, Workload};
+use schism_workload::{Trace, TupleId, Workload};
 use std::collections::HashMap;
 
 /// Everything the controller needs to run the loop.
@@ -27,6 +30,12 @@ use std::collections::HashMap;
 pub struct ControllerConfig {
     pub schism: SchismConfig,
     pub drift: DriftConfig,
+    /// Sketch sizing, used only when
+    /// [`SchismConfig::sketch_drift`](schism_core::SchismConfig) is set —
+    /// the controller then monitors windows through a fixed-memory
+    /// [`SketchDriftDetector`] instead of exact per-tuple histograms, so
+    /// drift detection stops scaling with the hot-set size.
+    pub sketch: SketchConfig,
     pub plan: PlanConfig,
     /// Defaults for executors built via [`MigrationOutcome::executor`].
     pub executor: ExecutorConfig,
@@ -37,8 +46,46 @@ impl ControllerConfig {
         Self {
             schism: SchismConfig::new(k),
             drift: DriftConfig::default(),
+            sketch: SketchConfig::default(),
             plan: PlanConfig::default(),
             executor: ExecutorConfig::default(),
+        }
+    }
+}
+
+/// The drift monitor behind the controller: exact per-tuple histograms by
+/// default, count-min sketches behind [`SchismConfig::sketch_drift`]. Both
+/// expose the same observe/rebase surface, so the loop below is oblivious
+/// to which one is running.
+enum Detector {
+    Exact(DriftDetector),
+    Sketch(SketchDriftDetector),
+}
+
+impl Detector {
+    fn new(cfg: &ControllerConfig, reference: &Trace) -> Self {
+        if cfg.schism.sketch_drift {
+            Detector::Sketch(SketchDriftDetector::new(
+                cfg.drift.clone(),
+                cfg.sketch,
+                reference,
+            ))
+        } else {
+            Detector::Exact(DriftDetector::new(cfg.drift.clone(), reference))
+        }
+    }
+
+    fn observe(&self, window: &Trace) -> DriftReport {
+        match self {
+            Detector::Exact(d) => d.observe(window),
+            Detector::Sketch(d) => d.observe(window),
+        }
+    }
+
+    fn rebase(&mut self, reference: &Trace) {
+        match self {
+            Detector::Exact(d) => d.rebase(reference),
+            Detector::Sketch(d) => d.rebase(reference),
         }
     }
 }
@@ -88,7 +135,7 @@ impl MigrationOutcome {
 /// across windows.
 pub struct MigrationController {
     cfg: ControllerConfig,
-    detector: DriftDetector,
+    detector: Detector,
     assignment: HashMap<TupleId, PartitionSet>,
 }
 
@@ -98,7 +145,7 @@ impl MigrationController {
     pub fn bootstrap(workload: &Workload, cfg: ControllerConfig) -> Self {
         let wg = build_graph(workload, &workload.trace, &cfg.schism);
         let phase = run_partition_phase(&wg, &cfg.schism);
-        let detector = DriftDetector::new(cfg.drift.clone(), &workload.trace);
+        let detector = Detector::new(&cfg, &workload.trace);
         Self {
             cfg,
             detector,
@@ -113,7 +160,7 @@ impl MigrationController {
         assignment: HashMap<TupleId, PartitionSet>,
         cfg: ControllerConfig,
     ) -> Self {
-        let detector = DriftDetector::new(cfg.drift.clone(), &reference.trace);
+        let detector = Detector::new(&cfg, &reference.trace);
         Self {
             cfg,
             detector,
@@ -189,6 +236,35 @@ mod tests {
             Tick::Migrate(m) => panic!("spurious migration, distance {}", m.report.distance),
         }
         assert_eq!(ctl.assignment().len(), before.len(), "state untouched");
+    }
+
+    #[test]
+    fn sketch_detector_matches_exact_loop() {
+        // The same windows through a sketch-backed controller: stable stays
+        // stable, drift still triggers, and rebase still takes.
+        let dcfg = DriftingConfig {
+            num_txns: 2_000,
+            ..Default::default()
+        };
+        let w0 = drifting::window(&dcfg, 0);
+        let mut cfg = controller_cfg(4);
+        cfg.schism.sketch_drift = true;
+        let mut ctl = MigrationController::bootstrap(&w0, cfg);
+        let same = drifting::generate(&DriftingConfig { seed: 777, ..dcfg });
+        match ctl.observe(&same) {
+            Tick::Stable(r) => assert!(!r.drifted),
+            Tick::Migrate(m) => panic!("spurious migration, distance {}", m.report.distance),
+        }
+        let w3 = drifting::window(&dcfg, 3);
+        let outcome = match ctl.observe(&w3) {
+            Tick::Migrate(m) => m,
+            Tick::Stable(r) => panic!("sketch missed drift, distance {}", r.distance),
+        };
+        assert!(outcome.report.drifted);
+        match ctl.observe(&w3) {
+            Tick::Stable(r) => assert!(!r.drifted, "rebase failed: {}", r.distance),
+            Tick::Migrate(_) => panic!("same window migrated twice"),
+        }
     }
 
     #[test]

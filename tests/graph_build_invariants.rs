@@ -11,7 +11,7 @@
 //!   digests identically to the single-map merge.
 
 use proptest::prelude::*;
-use schism_core::{build_graph, build_graph_source, SchismConfig};
+use schism_core::{build_graph, build_graph_source, GraphBackend, SchismConfig};
 use schism_workload::drifting::{self, DriftingConfig};
 use schism_workload::ycsb::{self, YcsbConfig};
 use schism_workload::TraceSource;
@@ -110,6 +110,58 @@ proptest! {
         prop_assert!(chunked.stats.dropped_scans > 0, "threshold too lax for the pin");
         prop_assert_eq!(chunked.stats, whole.stats);
         prop_assert_eq!(chunked.digest(), whole.digest());
+    }
+
+    /// The clique and hypergraph backends are two views of the same sampled
+    /// workload: identical tuple set, node count, per-vertex (and hence
+    /// total) access weights, and bookkeeping — only the co-access
+    /// representation (clique edges vs transaction nets) differs.
+    #[test]
+    fn backends_agree_on_vertices_and_weights(
+        txn_pct in 40..=100u32,
+        seed in 0..20u64,
+        threads in 1..=4usize,
+    ) {
+        let ycfg = YcsbConfig {
+            records: 500,
+            num_txns: 700,
+            seed,
+            scan_max: 9,
+            ..YcsbConfig::workload_e()
+        };
+        let w = ycsb::generate(&ycfg);
+        let mut cfg = SchismConfig::new(2);
+        cfg.seed = seed;
+        cfg.threads = threads;
+        cfg.txn_sample = f64::from(txn_pct) / 100.0;
+        let clique = build_graph(&w, &w.trace, &cfg);
+        let mut hcfg = cfg.clone();
+        hcfg.graph_backend = GraphBackend::Hypergraph;
+        let hyper = build_graph(&w, &w.trace, &hcfg);
+
+        prop_assert_eq!(clique.tuples(), hyper.tuples());
+        prop_assert_eq!(clique.num_nodes(), hyper.num_nodes());
+        let hg = hyper.hgraph.as_ref().expect("hypergraph built");
+        prop_assert!(hg.validate().is_ok());
+        let total_clique: u64 = (0..clique.num_nodes() as u32)
+            .map(|v| u64::from(clique.graph.vertex_weight(v)))
+            .sum();
+        prop_assert_eq!(total_clique, hg.total_vertex_weight());
+        for v in 0..clique.num_nodes() as u32 {
+            prop_assert_eq!(
+                clique.graph.vertex_weight(v),
+                hg.vertex_weight(v),
+                "vertex {} weight diverged between backends",
+                v
+            );
+        }
+        // Bookkeeping agrees modulo the representation counters.
+        let mut cs = clique.stats;
+        let mut hs = hyper.stats;
+        cs.edges = 0;
+        hs.hyperedges = 0;
+        hs.pins = 0;
+        prop_assert_eq!(cs, hs);
     }
 
     /// The sharded pass-1 merge is a pure wall-clock knob: for any shard

@@ -9,7 +9,8 @@
 //! these explicit pins.
 
 use schism_core::{
-    build_graph, build_graph_source, run_partition_phase, run_partition_phase_warm, SchismConfig,
+    build_graph, build_graph_source, run_partition_phase, run_partition_phase_warm, GraphBackend,
+    SchismConfig,
 };
 use schism_graph::{gen, partition, partition_warm, PartitionerConfig, Partitioning};
 use schism_workload::drifting::{self, DriftingConfig};
@@ -170,6 +171,103 @@ fn build_graph_identical_across_threads_and_ingestion() {
         let whole = build_graph(&drift_w, &drift_src.materialize(), &mk(t));
         assert_eq!(chunked.stats, whole.stats, "drift chunked vs whole stats");
         assert_eq!(chunked.digest(), whole.digest(), "drift chunked vs whole");
+    }
+}
+
+/// The hypergraph backend carries the identical contract: the built
+/// hypergraph (one net per transaction), its digest and `BuildStats`, the
+/// (λ−1) partition cold and warm, and the resolved per-tuple partition
+/// sets are bit-identical at threads 1/2/4 and for chunked vs whole-trace
+/// ingestion.
+#[test]
+fn hypergraph_backend_identical_across_threads_and_ingestion() {
+    let mk = |threads: usize| {
+        let mut c = SchismConfig::new(4);
+        c.seed = 11;
+        c.threads = threads;
+        c.graph_backend = GraphBackend::Hypergraph;
+        c
+    };
+
+    let ycsb_w = ycsb::generate(&YcsbConfig {
+        records: 2_000,
+        num_txns: 3_000,
+        ..YcsbConfig::workload_e()
+    });
+    let tpcc_cfg = TpccConfig {
+        num_txns: 4_000,
+        ..TpccConfig::small(2)
+    };
+    let tpcc_w = tpcc::generate(&tpcc_cfg);
+    let drift_cfg = DriftingConfig {
+        num_txns: 3_000,
+        ..Default::default()
+    };
+    let drift_w = drifting::generate(&drift_cfg);
+
+    for (name, w) in [
+        ("ycsb-e", &ycsb_w),
+        ("tpcc", &tpcc_w),
+        ("drifting", &drift_w),
+    ] {
+        let base = build_graph(w, &w.trace, &mk(1));
+        let hg = base.hgraph.as_ref().expect("hypergraph built");
+        hg.validate().unwrap();
+        assert!(base.stats.hyperedges > 0, "{name}: no nets emitted");
+        for t in THREAD_COUNTS.into_iter().skip(1) {
+            let g = build_graph(w, &w.trace, &mk(t));
+            assert_eq!(
+                g.stats, base.stats,
+                "{name}: threads={t} changed BuildStats"
+            );
+            assert_eq!(
+                g.digest(),
+                base.digest(),
+                "{name}: threads={t} changed the hypergraph"
+            );
+            assert_eq!(g.hgraph, base.hgraph);
+        }
+    }
+
+    // Chunked (streaming source) vs whole-trace ingestion, at every thread
+    // count.
+    let tpcc_src = tpcc::stream(&tpcc_cfg);
+    let drift_src = drifting::stream(&drift_cfg);
+    for t in THREAD_COUNTS {
+        let chunked = build_graph_source(&tpcc_w, &tpcc_src, &mk(t));
+        let whole = build_graph(&tpcc_w, &tpcc_src.materialize(), &mk(t));
+        assert_eq!(chunked.stats, whole.stats, "tpcc chunked vs whole stats");
+        assert_eq!(chunked.digest(), whole.digest(), "tpcc chunked vs whole");
+
+        let chunked = build_graph_source(&drift_w, &drift_src, &mk(t));
+        let whole = build_graph(&drift_w, &drift_src.materialize(), &mk(t));
+        assert_eq!(chunked.stats, whole.stats, "drift chunked vs whole stats");
+        assert_eq!(chunked.digest(), whole.digest(), "drift chunked vs whole");
+    }
+
+    // The (λ−1) partition through schism-core, cold and warm.
+    let wg = build_graph(&tpcc_w, &tpcc_w.trace, &mk(1));
+    let base = run_partition_phase(&wg, &mk(1));
+    for t in [2usize, 4] {
+        let p = run_partition_phase(&wg, &mk(t));
+        assert_eq!(
+            p.edge_cut, base.edge_cut,
+            "threads={t} changed the connectivity cost"
+        );
+        assert_eq!(
+            p.assignment, base.assignment,
+            "threads={t} changed per-tuple partition sets"
+        );
+    }
+    let initial = wg.seed_assignment(&base.assignment, 4);
+    let warm_base = run_partition_phase_warm(&wg, &mk(1), &initial);
+    for t in [2usize, 4] {
+        let p = run_partition_phase_warm(&wg, &mk(t), &initial);
+        assert_eq!(p.edge_cut, warm_base.edge_cut, "warm threads={t} cut");
+        assert_eq!(
+            p.assignment, warm_base.assignment,
+            "warm threads={t} changed per-tuple partition sets"
+        );
     }
 }
 
